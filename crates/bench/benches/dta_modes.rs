@@ -1,0 +1,56 @@
+//! **Ablation D** (timing) — the three Algorithm 1 activation-search modes:
+//! the paper's literal path-peeling loop, enumeration restricted to the
+//! activated subgraph, and the single-pass longest-activated-path DP.
+//! All three find the same most-critical activated path; the bench shows
+//! why the framework "does not suffer from the long simulation times of
+//! other path-based techniques".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use terse_dta::engine::{DtaMode, DtsEngine, EndpointFilter};
+use terse_isa::assemble;
+use terse_netlist::pipeline::{PipelineConfig, PipelineNetlist};
+use terse_sim::cosim::CoSim;
+use terse_sim::machine::Machine;
+use terse_sta::analysis::Sta;
+use terse_sta::delay::{DelayLibrary, TimingConstraints};
+use terse_sta::statmin::MinOrdering;
+use terse_sta::variation::VariationConfig;
+
+fn bench_dta(c: &mut Criterion) {
+    let pipeline = PipelineNetlist::build(PipelineConfig::default()).unwrap();
+    let lib = DelayLibrary::normalized_45nm();
+    let sta = Sta::new(pipeline.netlist(), &lib);
+    let period = sta.min_period() / 1.33;
+    let prog = assemble(
+        "li r1, 0x7FFFFFFF\nli r2, 12345\nadd r3, r1, r2\nmul r4, r2, r2\nxor r5, r3, r4\nhalt\n",
+    )
+    .unwrap();
+    let mut machine = Machine::new(&prog, 64);
+    let trace = CoSim::run_program(&pipeline, &prog, &mut machine, 100).unwrap();
+    let vcd = trace.activity.cycle(4 + 3); // the add in EX
+
+    let modes = [
+        ("faithful_peeling", DtaMode::FaithfulPeeling { max_pops: 100_000 }),
+        ("restricted_search", DtaMode::RestrictedSearch { candidates: 4 }),
+        ("activated_subgraph", DtaMode::ActivatedSubgraph),
+    ];
+    let mut group = c.benchmark_group("dta/stage_dts_ex");
+    for (name, mode) in modes {
+        let engine = DtsEngine::new(
+            pipeline.netlist(),
+            lib.clone(),
+            VariationConfig::default(),
+            TimingConstraints::with_period(period),
+            mode,
+            MinOrdering::AscendingMean,
+        )
+        .unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| engine.stage_dts(3, vcd, EndpointFilter::All).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dta);
+criterion_main!(benches);

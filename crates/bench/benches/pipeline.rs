@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the simulation substrate: gate-level cycle
+//! throughput, co-simulation feed rate, architectural execution rate, and
+//! the end-to-end per-workload estimation phases (the Table 2 runtime
+//! columns in microcosm).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use terse::{Framework, Workload};
+use terse_isa::{assemble, Cfg};
+use terse_netlist::pipeline::{PipelineConfig, PipelineNetlist};
+use terse_netlist::Simulator;
+use terse_sim::cosim::CoSim;
+use terse_sim::machine::Machine;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let pipeline = PipelineNetlist::build(PipelineConfig::default()).unwrap();
+
+    c.bench_function("sim/gate_level_cycle", |b| {
+        let mut sim = Simulator::new(pipeline.netlist());
+        let mut toggle = 0u64;
+        b.iter(|| {
+            toggle = toggle.wrapping_add(0x9E37_79B9);
+            sim.force_ff_bus("b3.op_a", toggle).unwrap();
+            sim.step()
+        })
+    });
+
+    let prog = assemble(
+        "addi r1, r0, 1000\nloop: add r2, r2, r1\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n",
+    )
+    .unwrap();
+
+    c.bench_function("sim/architectural_instruction", |b| {
+        let mut m = Machine::new(&prog, 64);
+        b.iter(|| {
+            if m.halted() {
+                m = Machine::new(&prog, 64);
+            }
+            m.step(&prog).unwrap()
+        })
+    });
+
+    c.bench_function("sim/cosim_cycle", |b| {
+        let mut m = Machine::new(&prog, 64);
+        let mut cosim = CoSim::new(&pipeline);
+        b.iter(|| {
+            if m.halted() {
+                m = Machine::new(&prog, 64);
+            }
+            let r = m.step(&prog).unwrap();
+            cosim.feed(Some(r)).unwrap()
+        })
+    });
+
+    // End-to-end estimation phases on a small workload.
+    let framework = Framework::builder().samples(2).build().unwrap();
+    let w = Workload::from_asm(
+        "bench-kernel",
+        "addi r1, r0, 40\nloop: add r2, r2, r1\nmul r3, r1, r1\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n",
+    )
+    .unwrap();
+    let cfg = Cfg::from_program(w.program());
+    let profiles = framework.profile_workload(&w, &cfg).unwrap();
+    let model = framework.train_model(&w, &cfg, &profiles).unwrap();
+
+    c.bench_function("estimate/profile_workload", |b| {
+        b.iter(|| framework.profile_workload(&w, &cfg).unwrap())
+    });
+    c.bench_function("estimate/statistical_pipeline", |b| {
+        b.iter(|| framework.estimate(&w, &cfg, &profiles, &model).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

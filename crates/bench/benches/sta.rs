@@ -1,0 +1,45 @@
+//! Criterion benchmarks for the timing-analysis kernels: STA/SSTA
+//! construction and lazy critical-path enumeration.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use terse_netlist::pipeline::{PipelineConfig, PipelineNetlist};
+use terse_sta::analysis::{Sta, StatisticalSta};
+use terse_sta::delay::DelayLibrary;
+use terse_sta::paths::PathEnumerator;
+use terse_sta::variation::{VariationConfig, VariationModel};
+
+fn bench_sta(c: &mut Criterion) {
+    let pipeline = PipelineNetlist::build(PipelineConfig::default()).unwrap();
+    let netlist = pipeline.netlist();
+    let lib = DelayLibrary::normalized_45nm();
+    let model = VariationModel::new(netlist, &lib, VariationConfig::default()).unwrap();
+
+    c.bench_function("sta/deterministic_full_netlist", |b| {
+        b.iter(|| Sta::new(netlist, &lib))
+    });
+
+    c.bench_function("sta/statistical_full_netlist", |b| {
+        b.iter(|| StatisticalSta::new(netlist, &lib, &model))
+    });
+
+    let sta = Sta::new(netlist, &lib);
+    let endpoint = netlist.endpoints(3).unwrap()[0];
+    c.bench_function("sta/most_critical_path", |b| {
+        b.iter_batched(
+            || PathEnumerator::new(&sta, endpoint).unwrap(),
+            |mut e| e.next(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("sta/100_most_critical_paths", |b| {
+        b.iter_batched(
+            || PathEnumerator::new(&sta, endpoint).unwrap(),
+            |e| e.take(100).count(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_sta);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Regenerates the paper's **Figure 3**: cumulative probability
+//! distributions of program error rate with lower/upper bound envelopes,
+//! one series per benchmark, plus the performance-improvement top axis
+//! (computed with the paper's 1.15×/24-cycle model).
+//!
+//! ```text
+//! cargo run --release -p terse-bench --bin figure3 [benchmark ...]
+//! ```
+//!
+//! Output: tab-separated columns per benchmark —
+//! `rate_percent  perf_improvement_percent  lower  nominal  upper`.
+
+use terse::TsPerformanceModel;
+use terse_bench::{default_framework, run_benchmark, HarnessConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = HarnessConfig::default();
+    let framework = default_framework(&cfg).expect("framework construction");
+    // Top axis uses the paper's performance model so the figure is directly
+    // comparable (1.15x overclock, 24-cycle replay penalty).
+    let perf = TsPerformanceModel::paper_default();
+    let selected: Vec<&'static terse_workloads::BenchmarkSpec> = if args.is_empty() {
+        terse_workloads::all()
+    } else {
+        args.iter()
+            .filter_map(|n| terse_workloads::by_name(n))
+            .collect()
+    };
+    println!("# Figure 3 — Cumulative Probability Distributions of Program Error Rate");
+    println!("# columns: rate%  perf_improvement%  lower  nominal  upper");
+    for spec in selected {
+        match run_benchmark(&framework, spec, &cfg) {
+            Ok(report) => {
+                println!("\n## {}", spec.name);
+                let series = report
+                    .estimate
+                    .rate_cdf_series(33, 4.0, perf)
+                    .expect("cdf series");
+                for pt in series {
+                    println!(
+                        "{:.5}\t{:+.2}\t{:.4}\t{:.4}\t{:.4}",
+                        pt.rate * 100.0,
+                        pt.improvement_percent,
+                        pt.lower,
+                        pt.nominal,
+                        pt.upper
+                    );
+                }
+            }
+            Err(e) => eprintln!("  {} FAILED: {e}", spec.name),
+        }
+    }
+}

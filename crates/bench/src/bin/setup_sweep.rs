@@ -1,0 +1,78 @@
+//! Reproduces the paper's **Section 6.1 setup numbers** on the synthetic
+//! pipeline: the STA/SSTA sign-off point, the point of first failure, the
+//! working point — and sweeps the overclock factor to show where the
+//! error-rate regime (and the paper's performance crossover) lies.
+//!
+//! ```text
+//! cargo run --release -p terse-bench --bin setup_sweep
+//! ```
+
+use terse::{Framework, OperatingConfig, TsPerformanceModel};
+use terse_bench::HarnessConfig;
+use terse_workloads::DatasetSize;
+
+fn main() {
+    let cfg = HarnessConfig {
+        samples: 2,
+        size: DatasetSize::Small,
+        ..HarnessConfig::default()
+    };
+    // --- the derived operating points (Section 6.1 analogues) ----------
+    let base = Framework::builder().samples(cfg.samples).build().unwrap();
+    let op = base.operating_point();
+    println!("# Section 6.1 — Synthesis and timing analysis (synthetic-pipeline analogues)");
+    println!(
+        "sign-off (SSTA {:.2}% yield + {:.0}% droop guardband): period {:.1} ps  ({:.1} MHz-eq; paper: 718 MHz)",
+        op.config.yield_target * 100.0,
+        op.config.droop_guardband * 100.0,
+        op.signoff_period,
+        op.signoff_frequency_ghz() * 1000.0
+    );
+    println!(
+        "point of first failure: period {:.1} ps  ({:.1} MHz-eq, {:.2}x sign-off; paper: 810 MHz = 1.13x)",
+        op.first_failure_period,
+        op.first_failure_frequency_ghz() * 1000.0,
+        op.first_failure_factor()
+    );
+    println!(
+        "working point: period {:.1} ps  ({:.1} MHz-eq, {:.2}x sign-off; paper: 825 MHz = 1.15x)",
+        op.working_period,
+        op.working_frequency_ghz() * 1000.0,
+        op.config.overclock
+    );
+    println!(
+        "typical-silicon critical path: {:.1} ps",
+        op.mean_critical_delay
+    );
+    let perf = TsPerformanceModel::paper_default();
+    println!(
+        "performance crossover error rate (paper model 1.15x / 24 cycles): {:.3}%",
+        perf.crossover_rate() * 100.0
+    );
+
+    // --- error rate vs overclock sweep ----------------------------------
+    println!("\n# error rate vs overclock (benchmark: basicmath analog, small dataset)");
+    println!("overclock\trate%\tsd%\tdk_lambda\tdk_rate");
+    let spec = terse_workloads::by_name("basicmath").unwrap();
+    for oc in [1.15, 1.25, 1.30, 1.35, 1.40, 1.45, 1.50] {
+        let fw = Framework::builder()
+            .samples(cfg.samples)
+            .operating(OperatingConfig {
+                overclock: oc,
+                ..OperatingConfig::default()
+            })
+            .build()
+            .unwrap();
+        let w = spec.workload(cfg.size, cfg.samples, cfg.seed).unwrap();
+        match fw.run(&w) {
+            Ok(r) => println!(
+                "{oc:.2}\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
+                r.estimate.mean_error_rate_percent(),
+                r.estimate.sd_error_rate_percent(),
+                r.estimate.dk_lambda,
+                r.estimate.dk_count
+            ),
+            Err(e) => println!("{oc:.2}\tFAILED: {e}"),
+        }
+    }
+}

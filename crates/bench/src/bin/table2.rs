@@ -1,0 +1,60 @@
+//! Regenerates the paper's **Table 2**: per-benchmark program size,
+//! training/simulation runtime split, error-rate mean and SD, and the two
+//! Kolmogorov approximation-error bounds.
+//!
+//! ```text
+//! cargo run --release -p terse-bench --bin table2
+//! ```
+
+use terse::Report;
+use terse_bench::{default_framework, run_benchmark, HarnessConfig};
+
+fn main() {
+    let cfg = HarnessConfig::default();
+    let framework = default_framework(&cfg).expect("framework construction");
+    let op = framework.operating_point();
+    println!("# Table 2 — Results, Performance, and Accuracy of the Framework");
+    println!(
+        "# operating point: signoff {:.0} ps ({:.0} MHz-eq), first failure {:.0} ps ({:.2}x), working {:.0} ps ({:.2}x)",
+        op.signoff_period,
+        op.signoff_frequency_ghz() * 1000.0,
+        op.first_failure_period,
+        op.first_failure_factor(),
+        op.working_period,
+        op.config.overclock
+    );
+    println!(
+        "# correction: {} | samples: {} | dataset: {:?}",
+        framework.correction(),
+        cfg.samples,
+        cfg.size
+    );
+    println!("{}", Report::table2_header());
+    let mut total_train = 0.0;
+    let mut total_sim = 0.0;
+    let mut total_instr = 0.0;
+    let mut total_blocks = 0usize;
+    for spec in terse_workloads::all() {
+        match run_benchmark(&framework, spec, &cfg) {
+            Ok(report) => {
+                println!("{}", report.table2_row());
+                total_train += report.timings.training_s;
+                total_sim += report.timings.simulation_s;
+                total_instr += report.dynamic_instructions;
+                total_blocks += report.basic_blocks;
+            }
+            Err(e) => {
+                eprintln!("  {:<14} FAILED: {e}", spec.name);
+            }
+        }
+    }
+    println!(
+        "{:<14} {:>15} {:>7} {:>9.2} {:>9.2} {:>9.2}",
+        "Total",
+        format!("{:.3}G", total_instr / 1e9),
+        total_blocks,
+        total_train,
+        total_sim,
+        total_train + total_sim,
+    );
+}

@@ -1,0 +1,106 @@
+//! # terse-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper plus
+//! ablation studies, and Criterion micro-benchmarks for the analysis
+//! kernels. See DESIGN.md §6 for the experiment index and EXPERIMENTS.md
+//! for recorded paper-vs-measured results.
+//!
+//! Report binaries (all print to stdout):
+//!
+//! * `table2` — Table 2: program sizes, runtime split, error-rate mean/SD,
+//!   `d_K` bounds for all 12 benchmarks.
+//! * `figure3` — Figure 3: per-benchmark error-rate CDFs with lower/upper
+//!   bound envelopes and the performance-improvement axis.
+//! * `setup_sweep` — Section 6.1: the derived operating points and an
+//!   error-rate-vs-overclock sweep.
+//! * `ablation_spatial` — effect of dropping the spatial-correlation
+//!   component of process variation.
+//! * `ablation_mc` — analytic estimate vs Monte Carlo ground truth on an
+//!   affordable kernel (the validation the paper could not run).
+
+use std::time::Instant;
+use terse::{Framework, Report, Result, Workload};
+use terse_workloads::{BenchmarkSpec, DatasetSize};
+
+/// Harness-wide experiment settings (kept small enough for laptop runs;
+/// scale `samples` up for tighter data-variation statistics).
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Data-variation input draws per benchmark.
+    pub samples: usize,
+    /// Input dataset size.
+    pub size: DatasetSize,
+    /// Seed for dataset generation.
+    pub seed: u64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            samples: 4,
+            size: DatasetSize::Large,
+            seed: 0xDAC19,
+        }
+    }
+}
+
+/// Builds the default experiment framework (calibrated operating point,
+/// paper correction scheme).
+///
+/// # Errors
+///
+/// Propagates framework construction errors.
+pub fn default_framework(cfg: &HarnessConfig) -> Result<Framework> {
+    Framework::builder().samples(cfg.samples).build()
+}
+
+/// Builds the workload of a benchmark spec under the harness settings.
+///
+/// # Errors
+///
+/// Propagates assembly errors.
+pub fn workload_of(spec: &BenchmarkSpec, cfg: &HarnessConfig) -> Result<Workload> {
+    spec.workload(cfg.size, cfg.samples, cfg.seed)
+}
+
+/// Runs one benchmark and prints progress to stderr.
+///
+/// # Errors
+///
+/// Propagates the framework's errors.
+pub fn run_benchmark(
+    framework: &Framework,
+    spec: &BenchmarkSpec,
+    cfg: &HarnessConfig,
+) -> Result<Report> {
+    let t0 = Instant::now();
+    eprint!("  {:<14} ...", spec.name);
+    let w = workload_of(spec, cfg)?;
+    let report = framework.run(&w)?;
+    eprintln!(
+        " done in {:.1}s (rate {:.3}%)",
+        t0.elapsed().as_secs_f64(),
+        report.estimate.mean_error_rate_percent()
+    );
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_smoke() {
+        // One small benchmark end to end through the harness plumbing.
+        let cfg = HarnessConfig {
+            samples: 2,
+            size: DatasetSize::Small,
+            seed: 7,
+        };
+        let fw = default_framework(&cfg).unwrap();
+        let spec = terse_workloads::by_name("typeset").unwrap();
+        let report = run_benchmark(&fw, spec, &cfg).unwrap();
+        assert_eq!(report.name, "typeset");
+        assert!(report.estimate.mean_error_rate() >= 0.0);
+    }
+}

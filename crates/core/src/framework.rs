@@ -1,0 +1,735 @@
+//! The end-to-end estimation framework.
+//!
+//! [`Framework`] owns the synthetic pipeline and the analysis configuration;
+//! [`Framework::run`] executes the paper's full flow on a [`Workload`]:
+//!
+//! 1. **Simulation** — profile the program once per input draw (block
+//!    executions `e_i`, edge activations, per-instruction features in the
+//!    normal and post-correction previous states).
+//! 2. **Training** — characterize the control network per (block, edge) at
+//!    gate level, and train the datapath timing model (cached across
+//!    workloads; it depends only on the pipeline and operating point).
+//! 3. **Estimation** — conditional probabilities `p^c`/`p^e` per static
+//!    instruction per input draw; marginals via Tarjan + per-SCC linear
+//!    systems (Eqs. 1–2); λ (Eq. 10); the Stein and Chen–Stein bounds
+//!    (Eqs. 7–9, 11–13); and the Eq. 14 mixture CDF with bound envelopes.
+
+use crate::operating::{OperatingConfig, OperatingPoint};
+use crate::perf::TsPerformanceModel;
+use crate::report::{ErrorRateEstimate, Report, RunTimings};
+use crate::{Result, TerseError};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+use std::time::Instant;
+use terse_dta::control::{characterization_edges, characterize_control};
+use terse_dta::datapath::DatapathModel;
+use terse_dta::engine::{DtaMode, DtsEngine};
+use terse_dta::instmodel::InstructionErrorModel;
+use terse_errmodel::marginal::{solve_marginals, MarginalProblem};
+use terse_isa::{assemble, BlockId, Cfg, Program};
+use terse_netlist::pipeline::{PipelineConfig, PipelineNetlist};
+use terse_sim::correction::CorrectionScheme;
+use terse_sim::machine::Machine;
+use terse_sim::profile::{ProfileResult, Profiler};
+use terse_sta::delay::{DelayLibrary, TimingConstraints};
+use terse_sta::statmin::MinOrdering;
+use terse_sta::variation::{ChipSample, VariationConfig, VariationModel};
+use terse_stats::kahan::KahanSum;
+use terse_stats::stein::{chen_stein_program_bound, stein_normal_bound, BlockChain, CentralMoments};
+use terse_stats::{Normal, PoissonNormalMixture, SampleRv};
+
+/// A program plus its input datasets (the data-variation dimension).
+/// An input-dataset initializer (runs before execution, typically writing
+/// the data memory).
+pub type InputInit = Box<dyn Fn(&mut Machine) + Send + Sync>;
+
+/// A program plus its input datasets (the data-variation dimension) and an
+/// optional dynamic-instruction scaling target.
+pub struct Workload {
+    name: String,
+    program: Program,
+    inputs: Vec<InputInit>,
+    target_instructions: Option<u64>,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("instructions", &self.program.len())
+            .field("inputs", &self.inputs.len())
+            .field("target_instructions", &self.target_instructions)
+            .finish()
+    }
+}
+
+impl Workload {
+    /// A workload from an assembled program with a single (embedded) input.
+    pub fn new(name: impl Into<String>, program: Program) -> Self {
+        Workload {
+            name: name.into(),
+            program,
+            inputs: Vec::new(),
+            target_instructions: None,
+        }
+    }
+
+    /// Assembles source text into a workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembler errors.
+    pub fn from_asm(name: impl Into<String>, src: &str) -> Result<Self> {
+        Ok(Workload::new(name, assemble(src)?))
+    }
+
+    /// Adds an input-dataset initializer (run before execution; typically
+    /// writes the data memory).
+    pub fn push_input(&mut self, init: impl Fn(&mut Machine) + Send + Sync + 'static) {
+        self.inputs.push(Box::new(init));
+    }
+
+    /// Builder-style input addition.
+    pub fn with_input(mut self, init: impl Fn(&mut Machine) + Send + Sync + 'static) -> Self {
+        self.push_input(init);
+        self
+    }
+
+    /// Scales the estimate to this many dynamic instructions (the paper's
+    /// Table 2 instruction counts) instead of the simulated count.
+    pub fn with_target_instructions(mut self, n: u64) -> Self {
+        self.target_instructions = Some(n);
+        self
+    }
+
+    /// The workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Number of explicit input datasets (0 = the embedded data segment
+    /// only).
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// The scaling target, if any.
+    pub fn target_instructions(&self) -> Option<u64> {
+        self.target_instructions
+    }
+
+    /// Applies input `idx` (modulo the available inputs) to a machine.
+    pub fn init_input(&self, idx: usize, machine: &mut Machine) {
+        if !self.inputs.is_empty() {
+            (self.inputs[idx % self.inputs.len()])(machine);
+        }
+    }
+}
+
+/// Builder for [`Framework`].
+#[derive(Debug, Clone)]
+pub struct FrameworkBuilder {
+    pipeline: PipelineConfig,
+    variation: VariationConfig,
+    correction: CorrectionScheme,
+    operating: OperatingConfig,
+    dta_mode: DtaMode,
+    ordering: MinOrdering,
+    samples: usize,
+    profiler: Profiler,
+}
+
+impl Default for FrameworkBuilder {
+    fn default() -> Self {
+        FrameworkBuilder {
+            pipeline: PipelineConfig::default(),
+            variation: VariationConfig::default(),
+            correction: CorrectionScheme::paper_default(),
+            // The calibrated overclock puts error rates in the paper's
+            // 0.1–1 % band on the synthetic pipeline (see
+            // `OperatingConfig::calibrated`).
+            operating: OperatingConfig::calibrated(),
+            dta_mode: DtaMode::default(),
+            ordering: MinOrdering::default(),
+            samples: 8,
+            profiler: Profiler::default(),
+        }
+    }
+}
+
+impl FrameworkBuilder {
+    /// Sets the pipeline configuration.
+    pub fn pipeline(mut self, cfg: PipelineConfig) -> Self {
+        self.pipeline = cfg;
+        self
+    }
+
+    /// Sets the process-variation configuration.
+    pub fn variation(mut self, cfg: VariationConfig) -> Self {
+        self.variation = cfg;
+        self
+    }
+
+    /// Sets the error-correction scheme.
+    pub fn correction(mut self, scheme: CorrectionScheme) -> Self {
+        self.correction = scheme;
+        self
+    }
+
+    /// Sets the operating-point derivation parameters.
+    pub fn operating(mut self, cfg: OperatingConfig) -> Self {
+        self.operating = cfg;
+        self
+    }
+
+    /// Sets the Algorithm 1 search mode.
+    pub fn dta_mode(mut self, mode: DtaMode) -> Self {
+        self.dta_mode = mode;
+        self
+    }
+
+    /// Sets the statistical-min ordering strategy.
+    pub fn ordering(mut self, ordering: MinOrdering) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Sets the number of data-variation sample slots (input draws).
+    pub fn samples(mut self, n: usize) -> Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Sets the profiler configuration (budget, memory, reservoir size).
+    pub fn profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
+        self
+    }
+
+    /// Builds the framework (constructs the pipeline netlist and derives
+    /// the operating point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction and operating-point errors.
+    pub fn build(self) -> Result<Framework> {
+        let pipeline = PipelineNetlist::build(self.pipeline)?;
+        let lib = DelayLibrary::normalized_45nm();
+        let operating =
+            OperatingPoint::derive(pipeline.netlist(), &lib, self.variation, self.operating)?;
+        Ok(Framework {
+            pipeline,
+            lib,
+            variation: self.variation,
+            correction: self.correction,
+            operating,
+            dta_mode: self.dta_mode,
+            ordering: self.ordering,
+            samples: self.samples,
+            profiler: self.profiler,
+            datapath_cache: OnceLock::new(),
+        })
+    }
+}
+
+/// The estimation framework: pipeline + configuration + trained caches.
+#[derive(Debug)]
+pub struct Framework {
+    pipeline: PipelineNetlist,
+    lib: DelayLibrary,
+    variation: VariationConfig,
+    correction: CorrectionScheme,
+    operating: OperatingPoint,
+    dta_mode: DtaMode,
+    ordering: MinOrdering,
+    samples: usize,
+    profiler: Profiler,
+    datapath_cache: OnceLock<DatapathModel>,
+}
+
+impl Framework {
+    /// Starts a builder with the paper's defaults.
+    pub fn builder() -> FrameworkBuilder {
+        FrameworkBuilder::default()
+    }
+
+    /// The synthetic pipeline.
+    pub fn pipeline(&self) -> &PipelineNetlist {
+        &self.pipeline
+    }
+
+    /// The derived operating point.
+    pub fn operating_point(&self) -> &OperatingPoint {
+        &self.operating
+    }
+
+    /// The correction scheme.
+    pub fn correction(&self) -> CorrectionScheme {
+        self.correction
+    }
+
+    /// Number of data-variation samples per run.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The TS performance model at this operating point.
+    pub fn performance_model(&self) -> TsPerformanceModel {
+        TsPerformanceModel {
+            overclock: self.operating.config.overclock,
+            penalty_cycles: self.correction.penalty_cycles() as f64,
+        }
+    }
+
+    /// A fresh DTA engine at the working period (cheap: one STA pass).
+    ///
+    /// # Errors
+    ///
+    /// Propagates variation-model errors.
+    pub fn engine(&self) -> Result<DtsEngine<'_>> {
+        Ok(DtsEngine::new(
+            self.pipeline.netlist(),
+            self.lib.clone(),
+            self.variation,
+            TimingConstraints::with_period(self.operating.working_period),
+            self.dta_mode,
+            self.ordering,
+        )?)
+    }
+
+    /// Draws manufactured-chip samples (for Monte Carlo validation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates variation-model errors.
+    pub fn sample_chips(&self, n: usize, seed: u64) -> Result<Vec<ChipSample>> {
+        let model = VariationModel::new(self.pipeline.netlist(), &self.lib, self.variation)
+            .map_err(TerseError::Sta)?;
+        let mut rng = terse_stats::rng::Xoshiro256::seed_from_u64(seed);
+        Ok((0..n).map(|_| model.sample_chip(&mut rng)).collect())
+    }
+
+    /// Profiles a workload: one [`ProfileResult`] per data-variation sample.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn profile_workload(&self, w: &Workload, cfg: &Cfg) -> Result<Vec<ProfileResult>> {
+        let mut out = Vec::with_capacity(self.samples);
+        for s in 0..self.samples {
+            let mut prof = self.profiler;
+            prof.seed = self.profiler.seed.wrapping_add(s as u64);
+            out.push(prof.profile(w.program(), cfg, |m| w.init_input(s, m))?);
+        }
+        Ok(out)
+    }
+
+    /// Trains the per-workload instruction error model (control table per
+    /// profiled edge + the cached datapath model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DTA errors.
+    pub fn train_model(
+        &self,
+        w: &Workload,
+        cfg: &Cfg,
+        profiles: &[ProfileResult],
+    ) -> Result<InstructionErrorModel> {
+        let engine = self.engine()?;
+        let mut edges: Vec<(BlockId, BlockId)> = profiles
+            .iter()
+            .flat_map(|p| p.edge_counts.keys().copied())
+            .collect();
+        edges.sort();
+        edges.dedup();
+        let char_edges = characterization_edges(cfg, edges);
+        // Merge operand hints across profiles (first observation wins).
+        let n_static = w.program().len();
+        let mut hints: Vec<(u32, u32)> = vec![(0, 0); n_static];
+        for i in 0..n_static {
+            if let Some(h) = profiles.iter().find_map(|p| p.operand_reps[i]) {
+                hints[i] = h;
+            }
+        }
+        let hint_fn = move |i: u32| hints[i as usize];
+        let control = characterize_control(
+            &self.pipeline,
+            w.program(),
+            cfg,
+            &engine,
+            &char_edges,
+            &hint_fn,
+        )?;
+        let datapath = self.datapath(&engine)?;
+        Ok(InstructionErrorModel::new(
+            cfg,
+            control,
+            datapath,
+            self.ordering,
+        ))
+    }
+
+    fn datapath(&self, engine: &DtsEngine<'_>) -> Result<DatapathModel> {
+        if let Some(m) = self.datapath_cache.get() {
+            return Ok(m.clone());
+        }
+        let m = DatapathModel::train(&self.pipeline, engine)?;
+        let _ = self.datapath_cache.set(m.clone());
+        Ok(m)
+    }
+
+    /// Computes the error-rate estimate from profiles and a trained model
+    /// (the Section 5 statistical pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates marginal-solver and bound errors.
+    pub fn estimate(
+        &self,
+        w: &Workload,
+        cfg: &Cfg,
+        profiles: &[ProfileResult],
+        model: &InstructionErrorModel,
+    ) -> Result<ErrorRateEstimate> {
+        let s_count = profiles.len().max(1);
+        let m = cfg.len();
+        // --- Conditional probabilities p^c / p^e per instruction/sample ---
+        let mut cond_correct: Vec<Vec<SampleRv>> = Vec::with_capacity(m);
+        let mut cond_error: Vec<Vec<SampleRv>> = Vec::with_capacity(m);
+        for blk in cfg.blocks() {
+            let mut cc_blk = Vec::with_capacity(blk.len());
+            let mut ce_blk = Vec::with_capacity(blk.len());
+            for idx in blk.range() {
+                let mut cc = vec![0.0f64; s_count];
+                let mut ce = vec![0.0f64; s_count];
+                for (s, prof) in profiles.iter().enumerate() {
+                    let contexts = edge_contexts(prof, blk.id);
+                    let prob = |feats: &[terse_sim::features::InstFeatures]| -> f64 {
+                        if feats.is_empty() || contexts.is_empty() {
+                            return 0.0;
+                        }
+                        let mut acc = 0.0;
+                        for &(edge, wgt) in &contexts {
+                            let mut mean = KahanSum::new();
+                            for f in feats {
+                                mean.add(model.error_probability_rv(edge, idx as u32, f));
+                            }
+                            acc += wgt * mean.value() / feats.len() as f64;
+                        }
+                        acc.clamp(0.0, 1.0)
+                    };
+                    cc[s] = prob(&prof.features_normal[idx]);
+                    ce[s] = prob(&prof.features_corrected[idx]);
+                }
+                cc_blk.push(SampleRv::new(cc).map_err(TerseError::Stats)?);
+                ce_blk.push(SampleRv::new(ce).map_err(TerseError::Stats)?);
+            }
+            cond_correct.push(cc_blk);
+            cond_error.push(ce_blk);
+        }
+        // --- Marginals (Eqs. 1–2, Tarjan, per-SCC systems) ----------------
+        let mut edge_counts: HashMap<(BlockId, BlockId), Vec<f64>> = HashMap::new();
+        for (s, prof) in profiles.iter().enumerate() {
+            for (&e, &c) in &prof.edge_counts {
+                edge_counts.entry(e).or_insert_with(|| vec![0.0; s_count])[s] = c as f64;
+            }
+        }
+        let block_counts: Vec<Vec<f64>> = (0..m)
+            .map(|i| {
+                profiles
+                    .iter()
+                    .map(|p| p.block_counts[i] as f64)
+                    .collect()
+            })
+            .collect();
+        let problem = MarginalProblem {
+            cond_correct: cond_correct.clone(),
+            cond_error: cond_error.clone(),
+            edge_counts,
+            block_counts: block_counts.clone(),
+        };
+        let sol = solve_marginals(&problem)?;
+        // --- λ (Eq. 10) and the Stein moments ----------------------------
+        let scale: Vec<f64> = profiles
+            .iter()
+            .map(|p| match w.target_instructions() {
+                Some(t) if p.total_instructions > 0 => t as f64 / p.total_instructions as f64,
+                _ => 1.0,
+            })
+            .collect();
+        let mut lambda_slots = vec![KahanSum::new(); s_count];
+        // Two valid readings of Theorem 5.2's variable set (the paper's
+        // Eq. 6 explicitly permits replicating each instruction's indicator
+        // `e_i` times): (a) one weighted variable `e_i·p_{i_k}` per static
+        // instruction, (b) `e_i` identical replicas of `p_{i_k}`. Both give
+        // Kolmogorov bounds with D = 2; we report the tighter.
+        let mut moments_weighted: Vec<CentralMoments> = Vec::new();
+        let mut moments_replica: Vec<CentralMoments> = Vec::new();
+        for i in 0..m {
+            for k in 0..sol.marginal[i].len() {
+                let p_rv = &sol.marginal[i][k];
+                let x = SampleRv::from_fn(s_count, |s| {
+                    scale[s] * block_counts[i][s] * p_rv.samples()[s]
+                });
+                for (slot, &v) in lambda_slots.iter_mut().zip(x.samples()) {
+                    slot.add(v);
+                }
+                moments_weighted.push(CentralMoments {
+                    var: x.variance(),
+                    abs3: x.abs_central_moment(3),
+                    m4: x.central_moment(4),
+                });
+                let e_mean: f64 = (0..s_count)
+                    .map(|s| scale[s] * block_counts[i][s])
+                    .sum::<f64>()
+                    / s_count as f64;
+                moments_replica.push(CentralMoments {
+                    var: e_mean * p_rv.variance(),
+                    abs3: e_mean * p_rv.abs_central_moment(3),
+                    m4: e_mean * p_rv.central_moment(4),
+                });
+            }
+        }
+        let lambda = SampleRv::new(lambda_slots.iter().map(KahanSum::value).collect())
+            .map_err(TerseError::Stats)?;
+        let lam_sd = lambda.sd();
+        let dk_lambda = if lam_sd > 0.0 {
+            let a = stein_normal_bound(&moments_weighted, lam_sd, 2)
+                .map_err(TerseError::Stats)?
+                .kolmogorov;
+            let b = stein_normal_bound(&moments_replica, lam_sd, 2)
+                .map_err(TerseError::Stats)?
+                .kolmogorov;
+            a.min(b)
+        } else {
+            0.0
+        };
+        // --- Chen–Stein (Eqs. 7–9) ----------------------------------------
+        let mut b12 = vec![0.0f64; s_count];
+        for s in 0..s_count {
+            let chains: Vec<BlockChain> = (0..m)
+                .filter(|&i| block_counts[i][s] > 0.0)
+                .map(|i| BlockChain {
+                    executions: scale[s] * block_counts[i][s],
+                    p_in: sol.input[i].samples()[s],
+                    marginal: sol.marginal[i]
+                        .iter()
+                        .map(|rv| rv.samples()[s])
+                        .collect(),
+                    cond_error: cond_error[i].iter().map(|rv| rv.samples()[s]).collect(),
+                })
+                .collect();
+            if chains.is_empty() {
+                continue;
+            }
+            let bound = chen_stein_program_bound(&chains).map_err(TerseError::Stats)?;
+            b12[s] = bound.b1 + bound.b2;
+        }
+        let b12rv = SampleRv::new(b12).map_err(TerseError::Stats)?;
+        let b12_worst = b12rv.worst_case(6.0);
+        let lam_mean = lambda.mean().max(0.0);
+        let dk_count = (b12_worst / lam_mean.max(1.0)).min(1.0);
+        // --- Eq. 14 mixture ------------------------------------------------
+        let normal = Normal::new(lam_mean, lam_sd).map_err(TerseError::Stats)?;
+        let mixture = PoissonNormalMixture::new(normal).map_err(TerseError::Stats)?;
+        let total_instructions = profiles
+            .iter()
+            .zip(&scale)
+            .map(|(p, &k)| p.total_instructions as f64 * k)
+            .sum::<f64>()
+            / s_count as f64;
+        Ok(ErrorRateEstimate {
+            lambda,
+            lambda_normal: normal,
+            mixture,
+            total_instructions,
+            dk_lambda,
+            dk_count,
+            chen_stein_b12_worst: b12_worst,
+        })
+    }
+
+    /// Runs the full flow on a workload, with Table-2-style timing split.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every phase's errors.
+    pub fn run(&self, w: &Workload) -> Result<Report> {
+        let cfg = Cfg::from_program(w.program());
+        let t0 = Instant::now();
+        let profiles = self.profile_workload(w, &cfg)?;
+        let simulation_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let model = self.train_model(w, &cfg, &profiles)?;
+        let training_s = t1.elapsed().as_secs_f64();
+        let t2 = Instant::now();
+        let estimate = self.estimate(w, &cfg, &profiles, &model)?;
+        let estimation_s = t2.elapsed().as_secs_f64();
+        Ok(Report {
+            name: w.name().to_owned(),
+            dynamic_instructions: estimate.total_instructions,
+            estimate,
+            timings: RunTimings {
+                training_s,
+                simulation_s,
+                estimation_s,
+            },
+            static_instructions: w.program().len(),
+            basic_blocks: cfg.len(),
+            perf: self.performance_model(),
+        })
+    }
+}
+
+/// The incoming-edge contexts of a block in one profile, with activation
+/// weights (Eq. 2's `p^a`), including the virtual flushed-entry context.
+fn edge_contexts(prof: &ProfileResult, block: BlockId) -> Vec<(Option<BlockId>, f64)> {
+    let denom = prof.block_counts[block.index()] as f64;
+    if denom <= 0.0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut known = 0.0;
+    for (&(from, to), &c) in &prof.edge_counts {
+        if to == block && c > 0 {
+            out.push((Some(from), c as f64 / denom));
+            known += c as f64;
+        }
+    }
+    let virt = ((denom - known) / denom).max(0.0);
+    if virt > 0.0 {
+        out.push((None, virt));
+    }
+    out.sort_by_key(|a| a.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_framework() -> Framework {
+        Framework::builder()
+            .samples(2)
+            .profiler(Profiler {
+                max_feature_samples: 8,
+                budget: 100_000,
+                dmem_words: 4096,
+                seed: 1,
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_defaults_are_coherent() {
+        let f = small_framework();
+        assert_eq!(f.samples(), 2);
+        let op = f.operating_point();
+        assert!(op.working_period < op.signoff_period);
+        let perf = f.performance_model();
+        assert!((perf.overclock - 1.33).abs() < 1e-12);
+        assert!((perf.penalty_cycles - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn end_to_end_small_workload() {
+        let f = small_framework();
+        let w = Workload::from_asm(
+            "loop8",
+            r"
+                addi r1, r0, 8
+                li   r2, 0xABCDEF
+            loop:
+                add  r3, r3, r2
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                halt
+        ",
+        )
+        .unwrap();
+        let report = f.run(&w).unwrap();
+        let rate = report.estimate.mean_error_rate();
+        assert!((0.0..=1.0).contains(&rate), "rate = {rate}");
+        assert!(report.basic_blocks >= 3);
+        assert!(report.dynamic_instructions > 10.0);
+        // CDF endpoints behave.
+        let lo = report.estimate.rate_cdf(0.0).unwrap();
+        let hi = report.estimate.rate_cdf(1.0).unwrap();
+        assert!(lo.nominal <= hi.nominal);
+        assert!((hi.nominal - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaling_changes_counts_not_rate() {
+        let f = small_framework();
+        let src = r"
+            addi r1, r0, 6
+        loop:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        ";
+        let w_raw = Workload::from_asm("raw", src).unwrap();
+        let w_scaled = Workload::from_asm("scaled", src)
+            .unwrap()
+            .with_target_instructions(1_000_000);
+        let r_raw = f.run(&w_raw).unwrap();
+        let r_scaled = f.run(&w_scaled).unwrap();
+        assert!((r_scaled.dynamic_instructions - 1e6).abs() < 1.0);
+        let rr = r_raw.estimate.mean_error_rate();
+        let rs = r_scaled.estimate.mean_error_rate();
+        assert!(
+            (rr - rs).abs() < 1e-9 + rr * 0.01,
+            "raw {rr} vs scaled {rs}"
+        );
+        assert!(r_scaled.estimate.lambda.mean() > r_raw.estimate.lambda.mean());
+    }
+
+    #[test]
+    fn inputs_create_data_variation() {
+        let f = small_framework();
+        let src = r"
+            ld r1, r0, 0
+        loop:
+            add r2, r2, r1
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        ";
+        let w = Workload::from_asm("var", src)
+            .unwrap()
+            .with_input(|m| m.store(0, 5).unwrap())
+            .with_input(|m| m.store(0, 11).unwrap());
+        let report = f.run(&w).unwrap();
+        // The two inputs run different iteration counts → λ varies.
+        assert!(report.estimate.lambda.sd() >= 0.0);
+        let cdf = report.estimate.rate_cdf(report.estimate.mean_error_rate());
+        assert!(cdf.is_ok());
+    }
+
+    #[test]
+    fn edge_contexts_weights_sum_to_one() {
+        let f = small_framework();
+        let w = Workload::from_asm(
+            "ctx",
+            "addi r1, r0, 3\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt\n",
+        )
+        .unwrap();
+        let cfg = Cfg::from_program(w.program());
+        let profiles = f.profile_workload(&w, &cfg).unwrap();
+        for b in cfg.blocks() {
+            let ctx = edge_contexts(&profiles[0], b.id);
+            if profiles[0].block_counts[b.id.index()] > 0 {
+                let total: f64 = ctx.iter().map(|&(_, w)| w).sum();
+                assert!((total - 1.0).abs() < 1e-12, "block {}: {total}", b.id);
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Operating-point derivation (Section 6.1 of the paper).
+//!
+//! The paper's setup: Synopsys PrimeTime SSTA signed off the LEON3 core at
+//! 718 MHz (guardbanding a 10 % voltage droop), the *point of first failure*
+//! was measured at 810 MHz (1.13× the baseline), and the evaluation assumed
+//! a working frequency of 825 MHz (1.15×). We derive the analogous points on
+//! the synthetic pipeline: the SSTA sign-off period (yield percentile of the
+//! statistical critical path, inflated by the droop guardband), the
+//! first-failure point (the yield-percentile path delay without guardband —
+//! where a slow chip first misses timing), and the working period
+//! (sign-off period divided by the chosen overclock factor).
+
+use crate::{Result, TerseError};
+use terse_netlist::Netlist;
+use terse_sta::analysis::{Sta, StatisticalSta};
+use terse_sta::delay::DelayLibrary;
+use terse_sta::variation::{VariationConfig, VariationModel};
+
+/// Parameters of the operating-point derivation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingConfig {
+    /// Timing-yield target of the sign-off (fraction of chips meeting
+    /// timing at the sign-off period before guardbanding).
+    pub yield_target: f64,
+    /// Voltage-droop guardband (0.10 = 10 %, as in the paper).
+    pub droop_guardband: f64,
+    /// Working-point overclock factor versus the sign-off (1.15 in the
+    /// paper).
+    pub overclock: f64,
+}
+
+impl Default for OperatingConfig {
+    fn default() -> Self {
+        OperatingConfig::paper()
+    }
+}
+
+impl OperatingConfig {
+    /// The paper's literal factors (10 % droop guardband, 1.15× overclock).
+    pub fn paper() -> Self {
+        OperatingConfig {
+            yield_target: 0.9999,
+            droop_guardband: 0.10,
+            overclock: 1.15,
+        }
+    }
+
+    /// The calibrated working point for the synthetic pipeline: overclocked
+    /// until program error rates land in the paper's 0.1–1 % band.
+    ///
+    /// The paper reaches that band at 1.15× because synthesis timing
+    /// optimization packs many LEON3 paths close to the critical one; our
+    /// structurally generated pipeline is unoptimized, so typical activated
+    /// paths sit slightly further below the static critical path and the
+    /// equivalent regime needs a modestly deeper overclock (~1.33×).
+    /// DESIGN.md records this substitution; the Figure 3 performance axis
+    /// still uses the paper's 1.15×/24-cycle model.
+    pub fn calibrated() -> Self {
+        OperatingConfig {
+            yield_target: 0.9999,
+            droop_guardband: 0.10,
+            overclock: 1.33,
+        }
+    }
+}
+
+/// The derived operating points of a pipeline (all periods in library time
+/// units; frequencies in the library's GHz-like unit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Conventional (non-speculative) sign-off period, with guardband.
+    pub signoff_period: f64,
+    /// The period at which the first timing failures appear on yield-worst
+    /// silicon (no guardband).
+    pub first_failure_period: f64,
+    /// The timing-speculative working period (`signoff / overclock`).
+    pub working_period: f64,
+    /// Mean (typical-silicon) critical path delay, for reference.
+    pub mean_critical_delay: f64,
+    /// The configuration that produced these points.
+    pub config: OperatingConfig,
+}
+
+impl OperatingPoint {
+    /// Derives the operating points of a netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TerseError::Config`] on non-positive factors and
+    /// propagates variation-model errors.
+    pub fn derive(
+        netlist: &Netlist,
+        lib: &DelayLibrary,
+        variation: VariationConfig,
+        config: OperatingConfig,
+    ) -> Result<Self> {
+        if !(config.overclock > 0.0) || !(config.droop_guardband >= 0.0) {
+            return Err(TerseError::Config(
+                "overclock must be positive and guardband non-negative".into(),
+            ));
+        }
+        if !(config.yield_target > 0.0 && config.yield_target < 1.0) {
+            return Err(TerseError::Config("yield target must be in (0, 1)".into()));
+        }
+        let model = VariationModel::new(netlist, lib, variation)?;
+        let ssta = StatisticalSta::new(netlist, lib, &model);
+        let sta = Sta::new(netlist, lib);
+        let first_failure_period = ssta.period_at_yield(config.yield_target);
+        let signoff_period = first_failure_period * (1.0 + config.droop_guardband);
+        Ok(OperatingPoint {
+            signoff_period,
+            first_failure_period,
+            working_period: signoff_period / config.overclock,
+            mean_critical_delay: sta.min_period(),
+            config,
+        })
+    }
+
+    /// Sign-off frequency (the paper's 718 MHz analogue).
+    pub fn signoff_frequency_ghz(&self) -> f64 {
+        1000.0 / self.signoff_period
+    }
+
+    /// First-failure frequency (the paper's 810 MHz analogue).
+    pub fn first_failure_frequency_ghz(&self) -> f64 {
+        1000.0 / self.first_failure_period
+    }
+
+    /// Working frequency (the paper's 825 MHz analogue).
+    pub fn working_frequency_ghz(&self) -> f64 {
+        1000.0 / self.working_period
+    }
+
+    /// First-failure overclock factor versus sign-off (the paper's 1.13×).
+    pub fn first_failure_factor(&self) -> f64 {
+        self.signoff_period / self.first_failure_period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terse_netlist::pipeline::{PipelineConfig, PipelineNetlist};
+
+    fn derive_default() -> OperatingPoint {
+        let p = PipelineNetlist::build(PipelineConfig::small()).unwrap();
+        OperatingPoint::derive(
+            p.netlist(),
+            &DelayLibrary::normalized_45nm(),
+            VariationConfig::default(),
+            OperatingConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn point_ordering_matches_paper_structure() {
+        let op = derive_default();
+        // signoff (slowest) > first failure > working (fastest period).
+        assert!(op.signoff_period > op.first_failure_period);
+        assert!(op.first_failure_period > op.working_period);
+        // Frequencies in the opposite order.
+        assert!(op.signoff_frequency_ghz() < op.first_failure_frequency_ghz());
+        assert!(op.first_failure_frequency_ghz() < op.working_frequency_ghz());
+        // Guardband of 10 % puts first failure at 1.10× sign-off frequency,
+        // between 1 and the 1.15 working factor — the paper's 1.13 analogue.
+        let f = op.first_failure_factor();
+        assert!((f - 1.10).abs() < 1e-9, "factor = {f}");
+        // Statistical sign-off exceeds typical-silicon critical delay.
+        assert!(op.first_failure_period >= op.mean_critical_delay);
+    }
+
+    #[test]
+    fn working_period_scales_with_overclock() {
+        let p = PipelineNetlist::build(PipelineConfig::small()).unwrap();
+        let lib = DelayLibrary::normalized_45nm();
+        let mk = |oc: f64| {
+            OperatingPoint::derive(
+                p.netlist(),
+                &lib,
+                VariationConfig::default(),
+                OperatingConfig {
+                    overclock: oc,
+                    ..OperatingConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let a = mk(1.15);
+        let b = mk(1.30);
+        assert!(b.working_period < a.working_period);
+        assert!((a.signoff_period - b.signoff_period).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let p = PipelineNetlist::build(PipelineConfig::small()).unwrap();
+        let lib = DelayLibrary::normalized_45nm();
+        for bad in [
+            OperatingConfig {
+                overclock: 0.0,
+                ..OperatingConfig::default()
+            },
+            OperatingConfig {
+                yield_target: 1.0,
+                ..OperatingConfig::default()
+            },
+            OperatingConfig {
+                droop_guardband: -0.1,
+                ..OperatingConfig::default()
+            },
+        ] {
+            assert!(OperatingPoint::derive(
+                p.netlist(),
+                &lib,
+                VariationConfig::default(),
+                bad
+            )
+            .is_err());
+        }
+    }
+}

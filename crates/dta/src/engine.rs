@@ -1,0 +1,458 @@
+//! Algorithms 1 and 2: stage and instruction dynamic timing slack.
+
+use crate::{DtaError, Result};
+use terse_netlist::{BitSet, EndpointClass, Netlist};
+use terse_sim::cosim::CoSimTrace;
+use terse_sta::analysis::Sta;
+use terse_sta::delay::{DelayLibrary, TimingConstraints};
+use terse_sta::paths::{longest_activated_path, ActivatedDp, Path, PathEnumerator};
+use terse_sta::statmin::{statistical_min, MinOrdering};
+use terse_sta::variation::{VariationConfig, VariationModel};
+use terse_sta::CanonicalRv;
+
+/// Which endpoints Algorithm 1 considers (the paper splits the analysis:
+/// gate-level characterization on control endpoints, the trained model on
+/// data endpoints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EndpointFilter {
+    /// Every flip-flop endpoint.
+    #[default]
+    All,
+    /// Control endpoints only (Section 4 control-network characterization).
+    Control,
+    /// Data endpoints only (datapath model training).
+    Data,
+}
+
+impl EndpointFilter {
+    fn accepts(self, class: EndpointClass) -> bool {
+        match self {
+            EndpointFilter::All => true,
+            EndpointFilter::Control => class == EndpointClass::Control,
+            EndpointFilter::Data => class == EndpointClass::Data,
+        }
+    }
+}
+
+/// How the most-critical activated path of an endpoint is found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DtaMode {
+    /// The paper's literal Algorithm 1 loop: pop paths of `P(e_i)` in
+    /// decreasing criticality, test activation of every gate, stop at the
+    /// first activated path. `max_pops` bounds the pathological case; on
+    /// exhaustion the engine falls back to the subgraph DP.
+    FaithfulPeeling {
+        /// Maximum criticality-ordered paths examined per endpoint.
+        max_pops: usize,
+    },
+    /// Enumerate *within* the activated subgraph (identical result, never
+    /// examines non-activated paths) and keep the `candidates` most
+    /// critical activated paths so the SSTA percentile re-ranking
+    /// (Section 3's two-pass rule) can pick both the 1st- and
+    /// 99th-percentile winners.
+    RestrictedSearch {
+        /// Activated candidates retained per endpoint.
+        candidates: usize,
+    },
+    /// Single longest-activated-path dynamic program per endpoint — the
+    /// fastest mode; skips percentile re-ranking.
+    ActivatedSubgraph,
+}
+
+impl Default for DtaMode {
+    fn default() -> Self {
+        DtaMode::RestrictedSearch { candidates: 4 }
+    }
+}
+
+/// The dynamic-timing-slack engine over one netlist: owns the STA results,
+/// the variation model and the operating point.
+pub struct DtsEngine<'n> {
+    netlist: &'n Netlist,
+    sta: Sta<'n>,
+    model: VariationModel,
+    lib: DelayLibrary,
+    t_clk: f64,
+    mode: DtaMode,
+    ordering: MinOrdering,
+}
+
+impl std::fmt::Debug for DtsEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DtsEngine")
+            .field("t_clk", &self.t_clk)
+            .field("mode", &self.mode)
+            .field("ordering", &self.ordering)
+            .finish()
+    }
+}
+
+impl<'n> DtsEngine<'n> {
+    /// Builds the engine: runs STA, instantiates the variation model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid variation configurations.
+    pub fn new(
+        netlist: &'n Netlist,
+        lib: DelayLibrary,
+        variation: VariationConfig,
+        constraints: TimingConstraints,
+        mode: DtaMode,
+        ordering: MinOrdering,
+    ) -> Result<Self> {
+        let sta = Sta::new(netlist, &lib);
+        let model = VariationModel::new(netlist, &lib, variation)?;
+        Ok(DtsEngine {
+            netlist,
+            sta,
+            model,
+            lib,
+            t_clk: constraints.clock_period,
+            mode,
+            ordering,
+        })
+    }
+
+    /// The netlist under analysis.
+    pub fn netlist(&self) -> &'n Netlist {
+        self.netlist
+    }
+
+    /// The deterministic STA results.
+    pub fn sta(&self) -> &Sta<'n> {
+        &self.sta
+    }
+
+    /// The variation model.
+    pub fn variation(&self) -> &VariationModel {
+        &self.model
+    }
+
+    /// The delay library.
+    pub fn library(&self) -> &DelayLibrary {
+        &self.lib
+    }
+
+    /// The clock period under analysis.
+    pub fn clock_period(&self) -> f64 {
+        self.t_clk
+    }
+
+    /// Changes the operating point (slacks shift by the period delta; all
+    /// queries recompute, nothing is cached against the period).
+    pub fn set_clock_period(&mut self, t_clk: f64) -> Result<()> {
+        if !(t_clk > 0.0) {
+            return Err(DtaError::InvalidParameter {
+                name: "t_clk",
+                value: t_clk,
+            });
+        }
+        self.t_clk = t_clk;
+        Ok(())
+    }
+
+    /// The most critical activated path capturing at endpoint `e` under
+    /// activation set `vcd`, per the configured [`DtaMode`] — plus up to
+    /// `candidates − 1` runner-ups in `RestrictedSearch` mode.
+    fn activated_candidates(
+        &self,
+        e: terse_netlist::GateId,
+        vcd: &BitSet,
+    ) -> Result<Vec<Path>> {
+        match self.mode {
+            DtaMode::FaithfulPeeling { max_pops } => {
+                // Algorithm 1 lines 5–20, literally: CP pops paths in
+                // decreasing criticality over the *whole* path set; the
+                // while-loop tests each for activation.
+                let mut popped = 0usize;
+                for p in PathEnumerator::new(&self.sta, e)? {
+                    popped += 1;
+                    if p.is_activated(vcd) {
+                        return Ok(vec![p]);
+                    }
+                    if popped >= max_pops {
+                        // Fallback: the DP gives the exact same answer.
+                        return Ok(longest_activated_path(&self.sta, e, vcd)?
+                            .into_iter()
+                            .collect());
+                    }
+                }
+                Ok(Vec::new())
+            }
+            DtaMode::RestrictedSearch { candidates } => Ok(PathEnumerator::restricted(
+                &self.sta, e, vcd,
+            )?
+            .take(candidates.max(1))
+            .collect()),
+            DtaMode::ActivatedSubgraph => Ok(longest_activated_path(&self.sta, e, vcd)?
+                .into_iter()
+                .collect()),
+        }
+    }
+
+    /// **Algorithm 1 (SSTA form)** — `DTS(N, s, t)`: the statistical
+    /// minimum of the slacks of the most critical activated paths of stage
+    /// `s` under the activation set `vcd` (= `VCD(t)`), over the endpoints
+    /// admitted by `filter`. Returns `None` when no admitted endpoint has
+    /// an activated path (an idle stage has no DTS that cycle).
+    ///
+    /// In SSTA the most critical path is ambiguous near ties, so per the
+    /// paper the candidate set `AP` is assembled from both a worst-case
+    /// (1st-percentile) and a best-case (99th-percentile) ranking before
+    /// the statistical min.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist/STA errors (out-of-range stage).
+    pub fn stage_dts(
+        &self,
+        s: usize,
+        vcd: &BitSet,
+        filter: EndpointFilter,
+    ) -> Result<Option<CanonicalRv>> {
+        let endpoints = self
+            .netlist
+            .endpoints(s)
+            .map_err(|e| DtaError::Sim(e.to_string()))?;
+        // In subgraph mode, one DP pass serves every endpoint of the stage.
+        let dp = match self.mode {
+            DtaMode::ActivatedSubgraph => Some(ActivatedDp::new(&self.sta, vcd)),
+            _ => None,
+        };
+        let mut ap_slacks: Vec<CanonicalRv> = Vec::new();
+        for &e in endpoints {
+            let class = self
+                .netlist
+                .endpoint_class(e)
+                .expect("stage endpoints are flip-flops");
+            if !filter.accepts(class) {
+                continue;
+            }
+            let cands = match &dp {
+                Some(dp) => dp.path_to(&self.sta, e)?.into_iter().collect(),
+                None => self.activated_candidates(e, vcd)?,
+            };
+            if cands.is_empty() {
+                continue;
+            }
+            let slacks: Vec<CanonicalRv> = cands
+                .iter()
+                .map(|p| p.slack_rv(&self.model, self.lib.clk_to_q, self.lib.setup, self.t_clk))
+                .collect();
+            // Two-pass percentile ranking (Section 3): keep the candidate
+            // most critical at the 1st percentile and at the 99th.
+            let pick = |pct: f64| -> usize {
+                slacks
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.percentile(pct).total_cmp(&b.percentile(pct)))
+                    .map(|(i, _)| i)
+                    .expect("non-empty")
+            };
+            let lo = pick(0.01);
+            let hi = pick(0.99);
+            ap_slacks.push(slacks[lo].clone());
+            if hi != lo {
+                ap_slacks.push(slacks[hi].clone());
+            }
+        }
+        if ap_slacks.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(statistical_min(&ap_slacks, self.ordering)?))
+    }
+
+    /// **Algorithm 2** — `InstDTS(N, t)`: the DTS of the instruction fed at
+    /// cycle `k` of a co-simulation trace is
+    /// `min_{s} DTS(N, s, k + s)` — the instruction occupies stage `s` at
+    /// cycle `k + s` on the ideal in-order pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-stage errors.
+    pub fn inst_dts(
+        &self,
+        trace: &CoSimTrace,
+        k: usize,
+        filter: EndpointFilter,
+    ) -> Result<Option<CanonicalRv>> {
+        let mut per_stage: Vec<CanonicalRv> = Vec::with_capacity(self.netlist.stage_count());
+        for s in 0..self.netlist.stage_count() {
+            let t = k + s;
+            if t >= trace.activity.len() {
+                break;
+            }
+            if let Some(dts) = self.stage_dts(s, trace.activity.cycle(t), filter)? {
+                per_stage.push(dts);
+            }
+        }
+        if per_stage.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(statistical_min(&per_stage, self.ordering)?))
+    }
+
+    /// The min-ordering strategy in use.
+    pub fn ordering(&self) -> MinOrdering {
+        self.ordering
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terse_isa::assemble;
+    use terse_netlist::pipeline::{PipelineConfig, PipelineNetlist};
+    use terse_sim::cosim::CoSim;
+    use terse_sim::machine::Machine;
+
+    fn pipeline() -> PipelineNetlist {
+        PipelineNetlist::build(PipelineConfig::default()).unwrap()
+    }
+
+    fn engine(p: &PipelineNetlist, mode: DtaMode) -> DtsEngine<'_> {
+        let lib = DelayLibrary::normalized_45nm();
+        let sta = Sta::new(p.netlist(), &lib);
+        let t = sta.min_period() / 1.15; // overclocked 1.15× like the paper
+        DtsEngine::new(
+            p.netlist(),
+            lib,
+            VariationConfig::default(),
+            TimingConstraints::with_period(t),
+            mode,
+            MinOrdering::AscendingMean,
+        )
+        .unwrap()
+    }
+
+    fn trace(p: &PipelineNetlist, src: &str) -> CoSimTrace {
+        let prog = assemble(src).unwrap();
+        let mut m = Machine::new(&prog, 64);
+        CoSim::run_program(p, &prog, &mut m, 1000).unwrap()
+    }
+
+    #[test]
+    fn stage_dts_none_when_idle() {
+        let p = pipeline();
+        let eng = engine(&p, DtaMode::default());
+        let empty = BitSet::new(p.netlist().gate_count());
+        for s in 0..6 {
+            assert!(eng
+                .stage_dts(s, &empty, EndpointFilter::All)
+                .unwrap()
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn modes_agree_on_most_critical_path() {
+        let p = pipeline();
+        let t = trace(&p, "li r1, 0xFFFFFF\nadd r2, r1, r1\nmul r3, r1, r1\nhalt\n");
+        let modes = [
+            DtaMode::FaithfulPeeling { max_pops: 50_000 },
+            DtaMode::RestrictedSearch { candidates: 1 },
+            DtaMode::ActivatedSubgraph,
+        ];
+        // Cycle where the add is in EX: fed index 2 (two li halves), +3.
+        let vcd = t.activity.cycle(2 + 3);
+        let mut means = Vec::new();
+        for mode in modes {
+            let eng = engine(&p, mode);
+            let dts = eng.stage_dts(3, vcd, EndpointFilter::All).unwrap();
+            means.push(dts.expect("EX active").mean());
+        }
+        // With a single candidate each, all three modes find the same most
+        // critical activated path per endpoint.
+        assert!((means[0] - means[1]).abs() < 1e-6, "{means:?}");
+        assert!((means[1] - means[2]).abs() < 1e-6, "{means:?}");
+    }
+
+    #[test]
+    fn instruction_dts_depends_on_operands() {
+        let p = pipeline();
+        let eng = engine(&p, DtaMode::default());
+        // Long-carry add vs no-carry add.
+        let t_long = trace(&p, "li r1, 0x7FFFFFFF\nli r2, 1\nadd r3, r1, r2\nhalt\n");
+        let t_short = trace(&p, "li r1, 0\nli r2, 0\nadd r3, r1, r2\nhalt\n");
+        // The add is the 5th fed instruction (index 4) in both.
+        let d_long = eng
+            .inst_dts(&t_long, 4, EndpointFilter::All)
+            .unwrap()
+            .expect("active");
+        let d_short = eng
+            .inst_dts(&t_short, 4, EndpointFilter::All)
+            .unwrap()
+            .expect("active");
+        assert!(
+            d_long.mean() < d_short.mean(),
+            "long-carry DTS {} should be tighter than {}",
+            d_long.mean(),
+            d_short.mean()
+        );
+    }
+
+    #[test]
+    fn inst_dts_is_min_over_stages() {
+        let p = pipeline();
+        let eng = engine(&p, DtaMode::default());
+        let t = trace(&p, "li r1, 0xABCD\nadd r2, r1, r1\nhalt\n");
+        let k = 2;
+        let inst = eng
+            .inst_dts(&t, k, EndpointFilter::All)
+            .unwrap()
+            .expect("active");
+        for s in 0..6 {
+            if let Some(stage) = eng
+                .stage_dts(s, t.activity.cycle(k + s), EndpointFilter::All)
+                .unwrap()
+            {
+                assert!(
+                    inst.mean() <= stage.mean() + 1e-9,
+                    "stage {s}: inst {} vs stage {}",
+                    inst.mean(),
+                    stage.mean()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn control_filter_excludes_datapath_criticality() {
+        let p = pipeline();
+        let eng = engine(&p, DtaMode::default());
+        // A long multiply makes the *data* endpoints critical; control DTS
+        // should be looser.
+        let t = trace(&p, "li r1, 0xFFFF\nmul r2, r1, r1\nhalt\n");
+        let vcd = t.activity.cycle(2 + 3);
+        let all = eng
+            .stage_dts(3, vcd, EndpointFilter::All)
+            .unwrap()
+            .expect("active");
+        // EX is datapath-dominated; its control endpoints may be entirely
+        // idle (None) or, when active, must be no tighter than the overall
+        // stage DTS.
+        if let Some(ctl) = eng.stage_dts(3, vcd, EndpointFilter::Control).unwrap() { assert!(ctl.mean() >= all.mean() - 1e-9) }
+    }
+
+    #[test]
+    fn dts_tightens_with_overclocking() {
+        let p = pipeline();
+        let t = trace(&p, "li r1, 0xFFFFFF\nadd r2, r1, r1\nhalt\n");
+        let mut eng = engine(&p, DtaMode::default());
+        let base = eng
+            .inst_dts(&t, 2, EndpointFilter::All)
+            .unwrap()
+            .unwrap()
+            .mean();
+        let faster = eng.clock_period() * 0.9;
+        eng.set_clock_period(faster).unwrap();
+        let tighter = eng
+            .inst_dts(&t, 2, EndpointFilter::All)
+            .unwrap()
+            .unwrap()
+            .mean();
+        assert!(tighter < base);
+        assert!(eng.set_clock_period(-1.0).is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! Tarjan's strongly-connected-components algorithm (iterative) and the
+//! topological order of the condensation — exactly the tools the paper
+//! cites (\[23]) for handling CFG cycles in the marginal-probability system.
+
+use terse_isa::BlockId;
+
+/// Computes the strongly connected components of a graph over `n` nodes
+/// with the given successor function. Components are returned in *reverse
+/// topological order* of the condensation (Tarjan's natural output):
+/// a component appears before any component that can reach it.
+///
+/// The implementation is iterative (explicit stack) so deep CFGs cannot
+/// overflow the call stack.
+pub fn strongly_connected_components(
+    n: usize,
+    successors: impl Fn(usize) -> Vec<usize>,
+) -> Vec<Vec<usize>> {
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<usize>> = Vec::new();
+
+    // Iterative DFS frame: (node, successor list, next successor position).
+    struct Frame {
+        v: usize,
+        succs: Vec<usize>,
+        pos: usize,
+    }
+    for start in 0..n {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        let mut frames = vec![Frame {
+            v: start,
+            succs: successors(start),
+            pos: 0,
+        }];
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(frame) = frames.last_mut() {
+            let v = frame.v;
+            if frame.pos < frame.succs.len() {
+                let w = frame.succs[frame.pos];
+                frame.pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push(Frame {
+                        v: w,
+                        succs: successors(w),
+                        pos: 0,
+                    });
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                // Post-visit.
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    components.push(comp);
+                }
+                let low_v = lowlink[v];
+                frames.pop();
+                if let Some(parent) = frames.last_mut() {
+                    lowlink[parent.v] = lowlink[parent.v].min(low_v);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Strongly connected components of a block graph, in *topological order*
+/// (predecessors before successors) — the processing order of the paper's
+/// per-SCC linear systems.
+pub fn condensation_order(
+    n: usize,
+    successors: impl Fn(usize) -> Vec<usize>,
+) -> Vec<Vec<BlockId>> {
+    let mut comps = strongly_connected_components(n, successors);
+    comps.reverse(); // reverse topological → topological
+    comps
+        .into_iter()
+        .map(|c| c.into_iter().map(|i| BlockId(i as u32)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adj(edges: &[(usize, usize)], _n: usize) -> impl Fn(usize) -> Vec<usize> + '_ {
+        move |v| {
+            edges
+                .iter()
+                .filter(|&&(a, _)| a == v)
+                .map(|&(_, b)| b)
+                .collect()
+        }
+    }
+
+    #[test]
+    fn dag_yields_singletons_in_topo_order() {
+        // 0 → 1 → 2, 0 → 2.
+        let edges = [(0, 1), (1, 2), (0, 2)];
+        let comps = condensation_order(3, adj(&edges, 3));
+        assert_eq!(comps.len(), 3);
+        let pos = |b: u32| comps.iter().position(|c| c.contains(&BlockId(b))).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(1) < pos(2));
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        // 0 → 1 → 2 → 0, plus 2 → 3.
+        let edges = [(0, 1), (1, 2), (2, 0), (2, 3)];
+        let comps = condensation_order(4, adj(&edges, 4));
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![BlockId(0), BlockId(1), BlockId(2)]);
+        assert_eq!(comps[1], vec![BlockId(3)]);
+    }
+
+    #[test]
+    fn self_loop_is_its_own_component() {
+        let edges = [(0, 0), (0, 1)];
+        let comps = strongly_connected_components(2, adj(&edges, 2));
+        assert_eq!(comps.len(), 2);
+        // Reverse topological: 1 before 0.
+        assert_eq!(comps[0], vec![1]);
+        assert_eq!(comps[1], vec![0]);
+    }
+
+    #[test]
+    fn two_nested_loops() {
+        // Outer: 0→1→2→3→0; inner: 1→2→1 (2 has edge back to 1).
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 0), (2, 1)];
+        let comps = strongly_connected_components(4, adj(&edges, 4));
+        // All four nodes are one SCC (outer loop connects everything).
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn disconnected_nodes_covered() {
+        let edges = [(0, 1)];
+        let comps = strongly_connected_components(4, adj(&edges, 4));
+        let total: usize = comps.iter().map(Vec::len).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn brute_force_reachability_cross_check() {
+        // Random digraphs: two nodes share an SCC iff mutually reachable.
+        let mut seed = 0xACEu64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..20 {
+            let n = 8usize;
+            let mut edges = Vec::new();
+            for _ in 0..12 {
+                edges.push(((rnd() % n as u64) as usize, (rnd() % n as u64) as usize));
+            }
+            // Floyd–Warshall reachability.
+            let mut reach = [[false; 8]; 8];
+            for i in 0..n {
+                reach[i][i] = true;
+            }
+            for &(a, b) in &edges {
+                reach[a][b] = true;
+            }
+            for k in 0..n {
+                for i in 0..n {
+                    for j in 0..n {
+                        reach[i][j] |= reach[i][k] && reach[k][j];
+                    }
+                }
+            }
+            let comps = strongly_connected_components(n, adj(&edges, n));
+            let mut comp_of = vec![usize::MAX; n];
+            for (ci, c) in comps.iter().enumerate() {
+                for &v in c {
+                    comp_of[v] = ci;
+                }
+            }
+            for i in 0..n {
+                for j in 0..n {
+                    let same = comp_of[i] == comp_of[j];
+                    let mutual = reach[i][j] && reach[j][i];
+                    assert_eq!(same, mutual, "nodes {i},{j} edges {edges:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the marginal-probability solver and Tarjan.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use terse_errmodel::marginal::{solve_marginals, MarginalProblem};
+use terse_errmodel::strongly_connected_components;
+use terse_isa::BlockId;
+use terse_stats::SampleRv;
+
+/// A random strongly-exercised marginal problem over `m` blocks.
+fn random_problem(seed: u64, m: usize, samples: usize) -> MarginalProblem {
+    let mut rng = terse_stats::rng::Xoshiro256::seed_from_u64(seed);
+    let mut edge_counts: HashMap<(BlockId, BlockId), Vec<f64>> = HashMap::new();
+    let mut block_counts = vec![vec![0.0f64; samples]; m];
+    for s in 0..samples {
+        block_counts[0][s] = 1.0;
+    }
+    for _ in 0..(2 * m) {
+        let a = rng.next_below(m as u64) as u32;
+        let b = rng.next_below(m as u64) as u32;
+        let entry = edge_counts
+            .entry((BlockId(a), BlockId(b)))
+            .or_insert_with(|| vec![0.0; samples]);
+        for s in 0..samples {
+            let c = (rng.next_below(12) + 1) as f64;
+            entry[s] += c;
+            block_counts[b as usize][s] += c;
+        }
+    }
+    let rv = |rng: &mut terse_stats::rng::Xoshiro256, hi: f64| {
+        SampleRv::from_fn(samples, |_| rng.next_range(0.0, hi))
+    };
+    let cond_correct: Vec<Vec<SampleRv>> = (0..m)
+        .map(|_| (0..3).map(|_| rv(&mut rng, 0.4)).collect())
+        .collect();
+    let cond_error: Vec<Vec<SampleRv>> = (0..m)
+        .map(|_| (0..3).map(|_| rv(&mut rng, 0.9)).collect())
+        .collect();
+    MarginalProblem {
+        cond_correct,
+        cond_error,
+        edge_counts,
+        block_counts,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn marginals_are_probabilities(seed in 0u64..10_000, m in 1usize..8, samples in 1usize..4) {
+        let problem = random_problem(seed, m, samples);
+        let sol = solve_marginals(&problem).unwrap();
+        for blk in &sol.marginal {
+            for rv in blk {
+                prop_assert!(rv.min() >= 0.0 && rv.max() <= 1.0);
+            }
+        }
+        for rv in sol.input.iter().chain(sol.output.iter()) {
+            prop_assert!(rv.min() >= 0.0 && rv.max() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn marginals_satisfy_the_recurrence(seed in 0u64..10_000, m in 1usize..6) {
+        // Eq. 1: p_k = p^e_k p_{k-1} + p^c_k (1 − p_{k-1}) must hold exactly
+        // for every executed block, sample by sample.
+        let problem = random_problem(seed, m, 2);
+        let sol = solve_marginals(&problem).unwrap();
+        for i in 0..m {
+            for s in 0..2 {
+                if problem.block_counts[i][s] <= 0.0 {
+                    continue;
+                }
+                let mut prev = sol.input[i].samples()[s];
+                for k in 0..3 {
+                    let pc = problem.cond_correct[i][k].samples()[s];
+                    let pe = problem.cond_error[i][k].samples()[s];
+                    let want = (pe * prev + pc * (1.0 - prev)).clamp(0.0, 1.0);
+                    let got = sol.marginal[i][k].samples()[s];
+                    prop_assert!((got - want).abs() < 1e-9, "block {i} instr {k}");
+                    prev = got;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn marginal_between_conditionals(seed in 0u64..10_000, m in 1usize..6) {
+        // The marginal is a convex combination of p^c and p^e, so it must
+        // lie between them.
+        let problem = random_problem(seed, m, 1);
+        let sol = solve_marginals(&problem).unwrap();
+        for i in 0..m {
+            if problem.block_counts[i][0] <= 0.0 {
+                continue;
+            }
+            for k in 0..3 {
+                let pc = problem.cond_correct[i][k].samples()[0];
+                let pe = problem.cond_error[i][k].samples()[0];
+                let p = sol.marginal[i][k].samples()[0];
+                let (lo, hi) = if pc <= pe { (pc, pe) } else { (pe, pc) };
+                prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn tarjan_components_partition_nodes(seed in 0u64..5000, n in 1usize..12, edges in 0usize..25) {
+        let mut rng = terse_stats::rng::Xoshiro256::seed_from_u64(seed);
+        let edge_list: Vec<(usize, usize)> = (0..edges)
+            .map(|_| (
+                rng.next_below(n as u64) as usize,
+                rng.next_below(n as u64) as usize,
+            ))
+            .collect();
+        let comps = strongly_connected_components(n, |v| {
+            edge_list.iter().filter(|&&(a, _)| a == v).map(|&(_, b)| b).collect()
+        });
+        let mut seen = vec![false; n];
+        for c in &comps {
+            for &v in c {
+                prop_assert!(!seen[v], "node {v} in two components");
+                seen[v] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|x| x));
+        // Reverse topological order: no edge from an earlier component to a
+        // later one may be contradicted... check the defining property: for
+        // every edge a→b in different components, b's component comes first.
+        let mut comp_of = vec![usize::MAX; n];
+        for (ci, c) in comps.iter().enumerate() {
+            for &v in c {
+                comp_of[v] = ci;
+            }
+        }
+        for &(a, b) in &edge_list {
+            if comp_of[a] != comp_of[b] {
+                prop_assert!(comp_of[b] < comp_of[a], "edge {a}->{b} violates reverse topo order");
+            }
+        }
+    }
+}

@@ -1,0 +1,702 @@
+//! The two-pass TERSE-32 assembler and disassembler.
+//!
+//! Syntax:
+//!
+//! ```text
+//! # comment (also `;` and `//`)
+//! .data
+//! table:  .word 1, 2, 3, 0x10, -5
+//! buf:    .space 16              # 16 zero words
+//! .text
+//! main:   li   r1, 100000        # pseudo: lui+ori (always 2 instructions)
+//!         la   r2, table         # pseudo: address of a data label
+//!         mv   r3, r1            # pseudo: or r3, r1, r0
+//!         j    loop              # pseudo: beq r0, r0, loop
+//! loop:   ld   r4, r2, 0
+//!         add  r5, r5, r4
+//!         addi r1, r1, -1
+//!         bne  r1, r0, loop
+//!         call subroutine        # pseudo: jal
+//!         halt
+//! subroutine:
+//!         ret                    # pseudo: jr r31
+//! ```
+//!
+//! Registers are `r0`–`r31` with aliases `zero` (r0), `sp` (r30) and `ra`
+//! (r31). Branch/`jal` targets are text labels (assembled as absolute
+//! instruction indices). `ld`/`st` use `op rD, rBase, offset` /
+//! `st rVal, rBase, offset` order.
+
+use crate::inst::Instruction;
+use crate::opcode::Opcode;
+use crate::program::Program;
+use crate::{IsaError, Result};
+use std::collections::HashMap;
+
+/// Assembles source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`IsaError::Syntax`], [`IsaError::UndefinedLabel`],
+/// [`IsaError::DuplicateLabel`], [`IsaError::ImmediateOverflow`] or
+/// [`IsaError::EmptyProgram`] as appropriate — all with line numbers.
+pub fn assemble(source: &str) -> Result<Program> {
+    let lines = tokenize(source)?;
+    // Pass 1: assign label addresses (pseudo sizes are deterministic).
+    let mut text_labels: HashMap<String, u32> = HashMap::new();
+    let mut data_labels: HashMap<String, u32> = HashMap::new();
+    let mut pc = 0u32;
+    let mut daddr = 0u32;
+    for line in &lines {
+        for label in &line.labels {
+            let table = if line.section == Section::Text {
+                &mut text_labels
+            } else {
+                &mut data_labels
+            };
+            let addr = if line.section == Section::Text { pc } else { daddr };
+            if table.insert(label.clone(), addr).is_some() {
+                return Err(IsaError::DuplicateLabel {
+                    label: label.clone(),
+                });
+            }
+        }
+        match &line.body {
+            Body::None => {}
+            Body::Instruction { mnemonic, .. } => {
+                pc += pseudo_size(mnemonic);
+            }
+            Body::Word(vals) => daddr += vals.len() as u32,
+            Body::Space(n) => daddr += n,
+        }
+    }
+    // Pass 2: emit.
+    let mut instructions: Vec<Instruction> = Vec::with_capacity(pc as usize);
+    let mut data: Vec<u32> = Vec::with_capacity(daddr as usize);
+    for line in &lines {
+        match &line.body {
+            Body::None => {}
+            Body::Word(vals) => {
+                for v in vals {
+                    data.push(*v as u32);
+                }
+            }
+            Body::Space(n) => data.extend(std::iter::repeat_n(0u32, *n as usize)),
+            Body::Instruction { mnemonic, operands } => {
+                emit(
+                    mnemonic,
+                    operands,
+                    line.number,
+                    &text_labels,
+                    &data_labels,
+                    &mut instructions,
+                )?;
+            }
+        }
+    }
+    Program::new(instructions, data, text_labels, data_labels)
+}
+
+/// Number of machine instructions a mnemonic expands to.
+fn pseudo_size(mnemonic: &str) -> u32 {
+    match mnemonic {
+        "li" | "la" => 2,
+        _ => 1,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+#[derive(Debug, Clone)]
+enum Body {
+    None,
+    Instruction {
+        mnemonic: String,
+        operands: Vec<String>,
+    },
+    Word(Vec<i64>),
+    Space(u32),
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    number: usize,
+    section: Section,
+    labels: Vec<String>,
+    body: Body,
+}
+
+fn tokenize(source: &str) -> Result<Vec<Line>> {
+    let mut out = Vec::new();
+    let mut section = Section::Text;
+    for (i, raw) in source.lines().enumerate() {
+        let number = i + 1;
+        // Strip comments.
+        let mut s = raw;
+        for marker in ["#", ";", "//"] {
+            if let Some(pos) = s.find(marker) {
+                s = &s[..pos];
+            }
+        }
+        let mut s = s.trim();
+        let mut labels = Vec::new();
+        // Leading labels (possibly several).
+        while let Some(colon) = s.find(':') {
+            let (head, rest) = s.split_at(colon);
+            let head = head.trim();
+            if head.is_empty()
+                || !head
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+                || head.starts_with('.')
+            {
+                break;
+            }
+            labels.push(head.to_string());
+            s = rest[1..].trim();
+        }
+        if s.is_empty() {
+            if !labels.is_empty() {
+                out.push(Line {
+                    number,
+                    section,
+                    labels,
+                    body: Body::None,
+                });
+            }
+            continue;
+        }
+        if let Some(rest) = s.strip_prefix(".data") {
+            if rest.trim().is_empty() {
+                section = Section::Data;
+                push_labels(&mut out, number, section, labels);
+                continue;
+            }
+        }
+        if let Some(rest) = s.strip_prefix(".text") {
+            if rest.trim().is_empty() {
+                section = Section::Text;
+                push_labels(&mut out, number, section, labels);
+                continue;
+            }
+        }
+        let body = if let Some(rest) = s.strip_prefix(".word") {
+            let vals: Result<Vec<i64>> = rest
+                .split(',')
+                .map(|t| parse_int(t.trim(), number))
+                .collect();
+            Body::Word(vals?)
+        } else if let Some(rest) = s.strip_prefix(".space") {
+            let n = parse_int(rest.trim(), number)?;
+            if n < 0 {
+                return Err(IsaError::Syntax {
+                    line: number,
+                    message: "negative .space size".into(),
+                });
+            }
+            Body::Space(n as u32)
+        } else {
+            // Instruction: mnemonic [operands…].
+            let (mn, rest) = match s.find(char::is_whitespace) {
+                Some(p) => (&s[..p], s[p..].trim()),
+                None => (s, ""),
+            };
+            let operands: Vec<String> = if rest.is_empty() {
+                vec![]
+            } else {
+                rest.split(',').map(|t| t.trim().to_string()).collect()
+            };
+            Body::Instruction {
+                mnemonic: mn.to_lowercase(),
+                operands,
+            }
+        };
+        out.push(Line {
+            number,
+            section,
+            labels,
+            body,
+        });
+    }
+    Ok(out)
+}
+
+fn push_labels(out: &mut Vec<Line>, number: usize, section: Section, labels: Vec<String>) {
+    if !labels.is_empty() {
+        out.push(Line {
+            number,
+            section,
+            labels,
+            body: Body::None,
+        });
+    }
+}
+
+fn parse_int(t: &str, line: usize) -> Result<i64> {
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        t.parse::<i64>()
+    }
+    .map_err(|_| IsaError::Syntax {
+        line,
+        message: format!("expected integer, found `{t}`"),
+    })?;
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_reg(t: &str, line: usize) -> Result<u8> {
+    let r = match t {
+        "zero" => return Ok(0),
+        "sp" => return Ok(30),
+        "ra" => return Ok(31),
+        _ => t,
+    };
+    let idx = r
+        .strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| n < 32)
+        .ok_or_else(|| IsaError::Syntax {
+            line,
+            message: format!("expected register, found `{t}`"),
+        })?;
+    Ok(idx)
+}
+
+/// An operand that may be an immediate or a label.
+fn parse_imm_or_label(
+    t: &str,
+    line: usize,
+    text_labels: &HashMap<String, u32>,
+    data_labels: &HashMap<String, u32>,
+) -> Result<i64> {
+    if t.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-') {
+        return parse_int(t, line);
+    }
+    if let Some(&a) = text_labels.get(t) {
+        return Ok(a as i64);
+    }
+    if let Some(&a) = data_labels.get(t) {
+        return Ok(a as i64);
+    }
+    Err(IsaError::UndefinedLabel {
+        label: t.to_string(),
+        line,
+    })
+}
+
+fn expect_operands(ops: &[String], n: usize, line: usize, mn: &str) -> Result<()> {
+    if ops.len() != n {
+        return Err(IsaError::Syntax {
+            line,
+            message: format!("`{mn}` expects {n} operands, found {}", ops.len()),
+        });
+    }
+    Ok(())
+}
+
+fn check_imm16(v: i64, line: usize) -> Result<i32> {
+    if !(-(1 << 15)..1 << 15).contains(&v) {
+        return Err(IsaError::ImmediateOverflow { line, value: v });
+    }
+    Ok(v as i32)
+}
+
+/// Immediate check for the zero-extending operations (`andi`/`ori`/`xori`/
+/// `lui`): accepts the unsigned 16-bit range too, storing the raw field in
+/// its sign-wrapped encoding form.
+fn check_imm16_logical(v: i64, line: usize) -> Result<i32> {
+    if !(-(1 << 15)..1 << 16).contains(&v) {
+        return Err(IsaError::ImmediateOverflow { line, value: v });
+    }
+    Ok(((v as u16) as i16) as i32)
+}
+
+fn emit(
+    mn: &str,
+    ops: &[String],
+    line: usize,
+    text_labels: &HashMap<String, u32>,
+    data_labels: &HashMap<String, u32>,
+    out: &mut Vec<Instruction>,
+) -> Result<()> {
+    let imm = |t: &str| parse_imm_or_label(t, line, text_labels, data_labels);
+    let reg = |t: &str| parse_reg(t, line);
+    match mn {
+        // ---- pseudo-instructions ------------------------------------
+        "li" | "la" => {
+            expect_operands(ops, 2, line, mn)?;
+            let rd = reg(&ops[0])?;
+            let v = imm(&ops[1])? as i32;
+            // Always two instructions so label addresses stay stable:
+            // lui rd, hi16 ; ori rd, rd, lo16. The 16-bit fields are stored
+            // sign-extended (encoding form) but interpreted as raw bits by
+            // the `lui`/`ori` semantics (zero-extension).
+            let hi = (((v as u32) >> 16) as u16) as i16 as i32;
+            let lo = ((v as u32 & 0xFFFF) as u16) as i16 as i32;
+            out.push(Instruction::itype(Opcode::Lui, rd, 0, hi));
+            out.push(Instruction::itype(Opcode::Ori, rd, rd, lo));
+            Ok(())
+        }
+        "mv" => {
+            expect_operands(ops, 2, line, mn)?;
+            out.push(Instruction::rtype(Opcode::Or, reg(&ops[0])?, reg(&ops[1])?, 0));
+            Ok(())
+        }
+        "j" => {
+            expect_operands(ops, 1, line, mn)?;
+            let t = imm(&ops[0])?;
+            out.push(Instruction {
+                opcode: Opcode::Beq,
+                rd: 0,
+                rs1: 0,
+                rs2: 0,
+                imm: t as i32,
+            });
+            Ok(())
+        }
+        "call" => {
+            expect_operands(ops, 1, line, mn)?;
+            out.push(Instruction {
+                opcode: Opcode::Jal,
+                rd: 31,
+                rs1: 0,
+                rs2: 0,
+                imm: imm(&ops[0])? as i32,
+            });
+            Ok(())
+        }
+        "ret" => {
+            expect_operands(ops, 0, line, mn)?;
+            out.push(Instruction {
+                opcode: Opcode::Jr,
+                rd: 0,
+                rs1: 31,
+                rs2: 0,
+                imm: 0,
+            });
+            Ok(())
+        }
+        // ---- real instructions --------------------------------------
+        _ => {
+            let opcode = Opcode::from_mnemonic(mn).ok_or_else(|| IsaError::Syntax {
+                line,
+                message: format!("unknown mnemonic `{mn}`"),
+            })?;
+            let inst = match opcode {
+                Opcode::Nop => {
+                    expect_operands(ops, 0, line, mn)?;
+                    Instruction::nop()
+                }
+                Opcode::Halt => {
+                    expect_operands(ops, 0, line, mn)?;
+                    Instruction::halt()
+                }
+                o if o.is_rtype() => {
+                    expect_operands(ops, 3, line, mn)?;
+                    Instruction::rtype(o, reg(&ops[0])?, reg(&ops[1])?, reg(&ops[2])?)
+                }
+                Opcode::Lui => {
+                    expect_operands(ops, 2, line, mn)?;
+                    Instruction::itype(
+                        opcode,
+                        reg(&ops[0])?,
+                        0,
+                        check_imm16_logical(imm(&ops[1])?, line)?,
+                    )
+                }
+                o if o.is_itype() || o == Opcode::Ld => {
+                    expect_operands(ops, 3, line, mn)?;
+                    let check = if matches!(o, Opcode::Andi | Opcode::Ori | Opcode::Xori) {
+                        check_imm16_logical
+                    } else {
+                        check_imm16
+                    };
+                    Instruction::itype(
+                        o,
+                        reg(&ops[0])?,
+                        reg(&ops[1])?,
+                        check(imm(&ops[2])?, line)?,
+                    )
+                }
+                Opcode::St => {
+                    expect_operands(ops, 3, line, mn)?;
+                    Instruction {
+                        opcode,
+                        rd: 0,
+                        rs1: reg(&ops[1])?,
+                        rs2: reg(&ops[0])?,
+                        imm: check_imm16(imm(&ops[2])?, line)?,
+                    }
+                }
+                o if o.is_branch() => {
+                    expect_operands(ops, 3, line, mn)?;
+                    Instruction {
+                        opcode: o,
+                        rd: 0,
+                        rs1: reg(&ops[0])?,
+                        rs2: reg(&ops[1])?,
+                        imm: imm(&ops[2])? as i32,
+                    }
+                }
+                Opcode::Jal => {
+                    expect_operands(ops, 1, line, mn)?;
+                    Instruction {
+                        opcode,
+                        rd: 31,
+                        rs1: 0,
+                        rs2: 0,
+                        imm: imm(&ops[0])? as i32,
+                    }
+                }
+                Opcode::Jr => {
+                    expect_operands(ops, 1, line, mn)?;
+                    Instruction {
+                        opcode,
+                        rd: 0,
+                        rs1: reg(&ops[0])?,
+                        rs2: 0,
+                        imm: 0,
+                    }
+                }
+                _ => {
+                    return Err(IsaError::Syntax {
+                        line,
+                        message: format!("unsupported mnemonic `{mn}`"),
+                    })
+                }
+            };
+            out.push(inst);
+            Ok(())
+        }
+    }
+}
+
+/// Disassembles a program back to readable text, annotating text labels.
+pub fn disassemble(program: &Program) -> String {
+    let labels = program.text_labels_sorted();
+    let mut by_addr: HashMap<u32, Vec<&str>> = HashMap::new();
+    for (name, addr) in labels {
+        by_addr.entry(addr).or_default().push(name);
+    }
+    let mut s = String::new();
+    for (i, inst) in program.instructions().iter().enumerate() {
+        if let Some(names) = by_addr.get(&(i as u32)) {
+            for n in names {
+                s.push_str(n);
+                s.push_str(":\n");
+            }
+        }
+        s.push_str(&format!("    {inst}\n"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_program_assembles() {
+        let p = assemble(
+            r"
+            .text
+            main:
+                addi r1, r0, 5
+                add  r2, r1, r1
+                halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.text_label("main"), Some(0));
+        assert_eq!(p.instructions()[0].imm, 5);
+        assert_eq!(p.instructions()[1].opcode, Opcode::Add);
+    }
+
+    #[test]
+    fn labels_and_branches_resolve() {
+        let p = assemble(
+            r"
+            start:
+                addi r1, r0, 3
+            loop:
+                addi r1, r1, -1
+                bne r1, r0, loop
+                beq r0, r0, start
+                halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.instructions()[2].imm, 1); // loop at index 1
+        assert_eq!(p.instructions()[3].imm, 0); // start at index 0
+    }
+
+    #[test]
+    fn forward_references_work() {
+        let p = assemble(
+            r"
+                j end
+                nop
+            end:
+                halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.instructions()[0].imm, 2);
+    }
+
+    #[test]
+    fn data_section_and_la() {
+        let p = assemble(
+            r"
+            .data
+            nums: .word 10, 20, 0x1F, -1
+            buf:  .space 4
+            tail: .word 7
+            .text
+                la r1, nums
+                la r2, tail
+                ld r3, r1, 2
+                halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.data().len(), 4 + 4 + 1);
+        assert_eq!(p.data()[2], 0x1F);
+        assert_eq!(p.data()[3], u32::MAX);
+        assert_eq!(p.data_label("buf"), Some(4));
+        assert_eq!(p.data_label("tail"), Some(8));
+        // la expands to lui+ori: tail → 8 in the low half.
+        assert_eq!(p.instructions()[2].opcode, Opcode::Lui);
+        assert_eq!(p.instructions()[3].imm, 8);
+    }
+
+    #[test]
+    fn li_expansion_handles_large_values() {
+        let p = assemble(
+            r"
+                li r5, 0x12345678
+                halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.instructions()[0].opcode, Opcode::Lui);
+        assert_eq!(p.instructions()[0].imm, 0x1234);
+        assert_eq!(p.instructions()[1].opcode, Opcode::Ori);
+        assert_eq!(p.instructions()[1].imm, 0x5678);
+    }
+
+    #[test]
+    fn pseudo_instructions() {
+        let p = assemble(
+            r"
+                mv r3, r7
+                call fn
+                halt
+            fn:
+                ret
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.instructions()[0].opcode, Opcode::Or);
+        assert_eq!(p.instructions()[1].opcode, Opcode::Jal);
+        assert_eq!(p.instructions()[1].imm, 3);
+        assert_eq!(p.instructions()[3].opcode, Opcode::Jr);
+        assert_eq!(p.instructions()[3].rs1, 31);
+    }
+
+    #[test]
+    fn register_aliases() {
+        let p = assemble(
+            r"
+                add r1, zero, ra
+                add r2, sp, r0
+                halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.instructions()[0].rs1, 0);
+        assert_eq!(p.instructions()[0].rs2, 31);
+        assert_eq!(p.instructions()[1].rs1, 30);
+    }
+
+    #[test]
+    fn store_operand_order() {
+        // st rVal, rBase, offset
+        let p = assemble("st r7, r3, 5\nhalt\n").unwrap();
+        let st = p.instructions()[0];
+        assert_eq!(st.rs2, 7);
+        assert_eq!(st.rs1, 3);
+        assert_eq!(st.imm, 5);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble(
+            r"
+            # full comment
+            main:  nop  // trailing
+                   nop  ; also trailing
+                   halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            assemble("bogus r1, r2\nhalt\n"),
+            Err(IsaError::Syntax { line: 1, .. })
+        ));
+        assert!(matches!(
+            assemble("bne r1, r0, nowhere\nhalt\n"),
+            Err(IsaError::UndefinedLabel { .. })
+        ));
+        assert!(matches!(
+            assemble("a:\na:\nhalt\n"),
+            Err(IsaError::DuplicateLabel { .. })
+        ));
+        assert!(matches!(
+            assemble("addi r1, r0, 100000\nhalt\n"),
+            Err(IsaError::ImmediateOverflow { .. })
+        ));
+        assert!(matches!(
+            assemble("add r1, r2\nhalt\n"),
+            Err(IsaError::Syntax { .. })
+        ));
+        assert!(matches!(
+            assemble("add r1, r2, r99\nhalt\n"),
+            Err(IsaError::Syntax { .. })
+        ));
+        assert!(matches!(assemble(""), Err(IsaError::EmptyProgram)));
+    }
+
+    #[test]
+    fn disassembly_roundtrips_through_assembler() {
+        let src = r"
+            main:
+                addi r1, r0, 5
+            loop:
+                addi r1, r1, -1
+                bne r1, r0, loop
+                st r1, r0, 0
+                halt
+        ";
+        let p1 = assemble(src).unwrap();
+        let text = disassemble(&p1);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p1.instructions(), p2.instructions());
+    }
+}

@@ -1,0 +1,400 @@
+//! Decoded instructions and their 32-bit binary encoding.
+//!
+//! Encoding layout (big fields first):
+//!
+//! ```text
+//! R-type:  [31:26] op  [25:21] rd  [20:16] rs1  [15:11] rs2
+//! I-type:  [31:26] op  [25:21] rd  [20:16] rs1  [15:0]  imm16 (sign-extended)
+//! store:   [31:26] op  [25:21] rs2 [20:16] rs1  [15:0]  imm16
+//! branch:  [31:26] op  [25:21] t_hi[20:16] rs1  [15:11] rs2  [10:0] t_lo
+//! jal:     [31:26] op  [25:0]  target26
+//! ```
+//!
+//! Branches compare `rs1`/`rs2` and carry a 16-bit absolute instruction
+//! index (`t_hi:t_lo`); `jal` carries a 26-bit absolute target. Absolute
+//! targets keep the assembler and CFG trivial to reason about without
+//! changing anything the timing analysis sees.
+
+use crate::opcode::Opcode;
+use crate::{IsaError, Result};
+
+/// A decoded TERSE-32 instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// Operation.
+    pub opcode: Opcode,
+    /// Destination register (0..32).
+    pub rd: u8,
+    /// First source register.
+    pub rs1: u8,
+    /// Second source register.
+    pub rs2: u8,
+    /// Immediate / absolute target. Sign-extended 16-bit for I-type, an
+    /// absolute instruction index for branches and `jal`.
+    pub imm: i32,
+}
+
+impl Instruction {
+    /// A canonical `nop`.
+    pub fn nop() -> Self {
+        Instruction {
+            opcode: Opcode::Nop,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 0,
+        }
+    }
+
+    /// A `halt`.
+    pub fn halt() -> Self {
+        Instruction {
+            opcode: Opcode::Halt,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 0,
+        }
+    }
+
+    /// An R-type instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a register index is ≥ 32 or the opcode is not R-type.
+    pub fn rtype(opcode: Opcode, rd: u8, rs1: u8, rs2: u8) -> Self {
+        assert!(opcode.is_rtype(), "{opcode} is not an R-type opcode");
+        assert!(rd < 32 && rs1 < 32 && rs2 < 32, "register out of range");
+        Instruction {
+            opcode,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        }
+    }
+
+    /// An I-type instruction (also used for `ld`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a register index is ≥ 32.
+    pub fn itype(opcode: Opcode, rd: u8, rs1: u8, imm: i32) -> Self {
+        assert!(rd < 32 && rs1 < 32, "register out of range");
+        Instruction {
+            opcode,
+            rd,
+            rs1,
+            rs2: 0,
+            imm,
+        }
+    }
+
+    /// Encodes to a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::ImmediateOverflow`] if the immediate does not
+    /// fit the destination field.
+    pub fn encode(&self) -> Result<u32> {
+        let op = (self.opcode.code() as u32) << 26;
+        let rd = (self.rd as u32 & 31) << 21;
+        let rs1 = (self.rs1 as u32 & 31) << 16;
+        let rs2 = (self.rs2 as u32 & 31) << 11;
+        let word = match self.opcode {
+            Opcode::Nop | Opcode::Halt => op,
+            o if o.is_rtype() => op | rd | rs1 | rs2,
+            Opcode::Jr => op | rs1,
+            Opcode::Jal => {
+                let t = self.imm;
+                if !(0..1 << 26).contains(&t) {
+                    return Err(IsaError::ImmediateOverflow {
+                        line: 0,
+                        value: t as i64,
+                    });
+                }
+                // rd is implicitly r31 (link); target fills [25:0].
+                op | (t as u32)
+            }
+            o if o.is_branch() => {
+                let t = self.imm;
+                if !(0..1 << 16).contains(&t) {
+                    return Err(IsaError::ImmediateOverflow {
+                        line: 0,
+                        value: t as i64,
+                    });
+                }
+                // rs1/rs2 compared; 16-bit target split over the rd field
+                // (high 5 bits) and [10:0] (low 11 bits).
+                let hi = ((t >> 11) & 31) as u32;
+                let lo = (t & 0x7FF) as u32;
+                op | (hi << 21) | rs1 | rs2 | lo
+            }
+            Opcode::St => {
+                let imm = self.imm;
+                if !(-(1 << 15)..1 << 15).contains(&imm) {
+                    return Err(IsaError::ImmediateOverflow {
+                        line: 0,
+                        value: imm as i64,
+                    });
+                }
+                // Value register travels in the rd field.
+                op | ((self.rs2 as u32 & 31) << 21) | rs1 | (imm as u32 & 0xFFFF)
+            }
+            _ => {
+                // I-type incl. ld/lui.
+                let imm = self.imm;
+                if !(-(1 << 15)..1 << 15).contains(&imm) {
+                    return Err(IsaError::ImmediateOverflow {
+                        line: 0,
+                        value: imm as i64,
+                    });
+                }
+                op | rd | rs1 | (imm as u32 & 0xFFFF)
+            }
+        };
+        Ok(word)
+    }
+
+    /// Decodes a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::BadEncoding`] for unknown opcodes.
+    pub fn decode(word: u32) -> Result<Self> {
+        let code = (word >> 26) as u8;
+        let opcode = Opcode::from_code(code).ok_or(IsaError::BadEncoding { word })?;
+        let rd = ((word >> 21) & 31) as u8;
+        let rs1 = ((word >> 16) & 31) as u8;
+        let rs2 = ((word >> 11) & 31) as u8;
+        let imm16 = (word & 0xFFFF) as u16 as i16 as i32;
+        let inst = match opcode {
+            Opcode::Nop | Opcode::Halt => Instruction {
+                opcode,
+                rd: 0,
+                rs1: 0,
+                rs2: 0,
+                imm: 0,
+            },
+            o if o.is_rtype() => Instruction {
+                opcode,
+                rd,
+                rs1,
+                rs2,
+                imm: 0,
+            },
+            Opcode::Jr => Instruction {
+                opcode,
+                rd: 0,
+                rs1,
+                rs2: 0,
+                imm: 0,
+            },
+            Opcode::Jal => Instruction {
+                opcode,
+                rd: 31,
+                rs1: 0,
+                rs2: 0,
+                imm: (word & 0x03FF_FFFF) as i32,
+            },
+            o if o.is_branch() => Instruction {
+                opcode,
+                rd: 0,
+                rs1,
+                rs2,
+                imm: ((rd as i32) << 11) | (word & 0x7FF) as i32,
+            },
+            Opcode::St => Instruction {
+                opcode,
+                rd: 0,
+                rs1,
+                rs2: rd, // value register travels in the rd field
+                imm: imm16,
+            },
+            _ => Instruction {
+                opcode,
+                rd,
+                rs1,
+                rs2: 0,
+                imm: imm16,
+            },
+        };
+        Ok(inst)
+    }
+
+    /// The registers this instruction reads.
+    pub fn sources(&self) -> Vec<u8> {
+        match self.opcode {
+            o if o.is_rtype() => vec![self.rs1, self.rs2],
+            o if o.is_branch() => vec![self.rs1, self.rs2],
+            Opcode::St => vec![self.rs1, self.rs2],
+            Opcode::Jr => vec![self.rs1],
+            Opcode::Nop | Opcode::Halt | Opcode::Jal => vec![],
+            Opcode::Lui => vec![],
+            _ => vec![self.rs1],
+        }
+    }
+
+    /// The register this instruction writes, if any.
+    pub fn destination(&self) -> Option<u8> {
+        if self.opcode.writes_rd() && self.rd != 0 {
+            Some(self.rd)
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for Instruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let m = self.opcode.mnemonic();
+        match self.opcode {
+            Opcode::Nop | Opcode::Halt => write!(f, "{m}"),
+            o if o.is_rtype() => write!(f, "{m} r{}, r{}, r{}", self.rd, self.rs1, self.rs2),
+            o if o.is_branch() => write!(f, "{m} r{}, r{}, {}", self.rs1, self.rs2, self.imm),
+            Opcode::Jal => write!(f, "{m} {}", self.imm),
+            Opcode::Jr => write!(f, "{m} r{}", self.rs1),
+            Opcode::St => write!(f, "{m} r{}, r{}, {}", self.rs2, self.rs1, self.imm),
+            Opcode::Lui => write!(f, "{m} r{}, {}", self.rd, self.imm),
+            _ => write!(f, "{m} r{}, r{}, {}", self.rd, self.rs1, self.imm),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Instruction) {
+        let w = i.encode().unwrap();
+        let d = Instruction::decode(w).unwrap();
+        assert_eq!(i, d, "word {w:#010x}");
+    }
+
+    #[test]
+    fn rtype_roundtrip() {
+        for op in [Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::Sltu] {
+            roundtrip(Instruction::rtype(op, 5, 17, 31));
+        }
+    }
+
+    #[test]
+    fn itype_roundtrip_with_negative_imm() {
+        roundtrip(Instruction::itype(Opcode::Addi, 1, 2, -300));
+        roundtrip(Instruction::itype(Opcode::Ld, 9, 30, 32767));
+        roundtrip(Instruction::itype(Opcode::Addi, 9, 30, -32768));
+        roundtrip(Instruction::itype(Opcode::Lui, 4, 0, 1234));
+    }
+
+    #[test]
+    fn store_roundtrip() {
+        let st = Instruction {
+            opcode: Opcode::St,
+            rd: 0,
+            rs1: 3,
+            rs2: 7,
+            imm: -8,
+        };
+        roundtrip(st);
+    }
+
+    #[test]
+    fn branch_roundtrip_with_large_target() {
+        let b = Instruction {
+            opcode: Opcode::Bne,
+            rd: 0,
+            rs1: 4,
+            rs2: 5,
+            imm: 60_000, // needs the 5 high bits in the rd field
+        };
+        roundtrip(b);
+        let too_far = Instruction {
+            opcode: Opcode::Bne,
+            rd: 0,
+            rs1: 4,
+            rs2: 5,
+            imm: 1 << 16,
+        };
+        assert!(too_far.encode().is_err());
+    }
+
+    #[test]
+    fn jal_and_jr_roundtrip() {
+        let j = Instruction {
+            opcode: Opcode::Jal,
+            rd: 31,
+            rs1: 0,
+            rs2: 0,
+            imm: 40_000_000,
+        };
+        roundtrip(j);
+        let r = Instruction {
+            opcode: Opcode::Jr,
+            rd: 0,
+            rs1: 31,
+            rs2: 0,
+            imm: 0,
+        };
+        roundtrip(r);
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let too_big = Instruction::itype(Opcode::Addi, 1, 1, 40000);
+        assert!(matches!(
+            too_big.encode(),
+            Err(IsaError::ImmediateOverflow { .. })
+        ));
+        let neg_branch = Instruction {
+            opcode: Opcode::Beq,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: -1,
+        };
+        assert!(neg_branch.encode().is_err());
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let word = 62u32 << 26;
+        assert!(matches!(
+            Instruction::decode(word),
+            Err(IsaError::BadEncoding { .. })
+        ));
+    }
+
+    #[test]
+    fn sources_and_destination() {
+        let add = Instruction::rtype(Opcode::Add, 3, 1, 2);
+        assert_eq!(add.sources(), vec![1, 2]);
+        assert_eq!(add.destination(), Some(3));
+        let st = Instruction {
+            opcode: Opcode::St,
+            rd: 0,
+            rs1: 4,
+            rs2: 5,
+            imm: 0,
+        };
+        assert_eq!(st.sources(), vec![4, 5]);
+        assert_eq!(st.destination(), None);
+        // Writes to r0 are discarded.
+        let to_zero = Instruction::rtype(Opcode::Add, 0, 1, 2);
+        assert_eq!(to_zero.destination(), None);
+        let lui = Instruction::itype(Opcode::Lui, 7, 0, 5);
+        assert!(lui.sources().is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Instruction::nop().to_string(), "nop");
+        assert_eq!(
+            Instruction::rtype(Opcode::Add, 1, 2, 3).to_string(),
+            "add r1, r2, r3"
+        );
+        assert_eq!(
+            Instruction::itype(Opcode::Ld, 1, 2, 4).to_string(),
+            "ld r1, r2, 4"
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! # terse-isa
+//!
+//! TERSE-32: a SPARC-V8-flavoured 32-bit in-order RISC instruction set,
+//! with a two-pass assembler and CFG extraction.
+//!
+//! The paper analyzes SPARC V8 binaries of MiBench programs on the LEON3
+//! integer unit. Shipping a SPARC toolchain is out of scope, so the
+//! workloads are written for this deliberately LEON3-like ISA: 32 registers
+//! (`r0` hardwired to zero, `r31` the link register), single-issue in-order
+//! semantics, loads/stores against a word-addressed data memory, and the
+//! usual integer/branch repertoire. The estimator only consumes the CFG,
+//! per-instruction timing features and block/edge statistics, all of which
+//! this ISA exercises identically to SPARC.
+//!
+//! Contents:
+//!
+//! * [`opcode`] — the instruction repertoire and its properties.
+//! * [`inst`] — decoded instruction type and 32-bit binary encoding.
+//! * [`asm`] — the two-pass text assembler (labels, `.data`/`.word`/
+//!   `.space`, pseudo-instructions) and the disassembler.
+//! * [`program`] — the assembled program container.
+//! * [`mod@cfg`] — basic-block partitioning and static control-flow edges
+//!   (indirect jumps contribute edges discovered at profile time).
+//!
+//! # Example
+//!
+//! ```
+//! use terse_isa::asm::assemble;
+//!
+//! # fn main() -> Result<(), terse_isa::IsaError> {
+//! let program = assemble(r#"
+//!     .text
+//!     main:
+//!         addi r1, r0, 10
+//!     loop:
+//!         addi r1, r1, -1
+//!         bne  r1, r0, loop
+//!         halt
+//! "#)?;
+//! assert_eq!(program.instructions().len(), 4);
+//! let cfg = terse_isa::cfg::Cfg::from_program(&program);
+//! assert_eq!(cfg.blocks().len(), 3); // main / loop / halt
+//! # Ok(())
+//! # }
+//! ```
+
+// Numeric-kernel idioms used intentionally throughout this crate:
+// `!(x >= 0.0)` rejects NaN along with negatives, and index loops run over
+// several parallel arrays at once.
+#![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
+#![warn(missing_docs)]
+pub mod asm;
+pub mod cfg;
+pub mod inst;
+pub mod opcode;
+pub mod program;
+
+pub use asm::{assemble, disassemble};
+pub use cfg::{BasicBlock, BlockId, Cfg};
+pub use inst::Instruction;
+pub use opcode::Opcode;
+pub use program::Program;
+
+use std::fmt;
+
+/// Errors from assembling or decoding TERSE-32 code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A syntax error at a source line.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An undefined label was referenced.
+    UndefinedLabel {
+        /// The label name.
+        label: String,
+        /// 1-based line number of the reference.
+        line: usize,
+    },
+    /// A label was defined twice.
+    DuplicateLabel {
+        /// The label name.
+        label: String,
+    },
+    /// An immediate does not fit its field.
+    ImmediateOverflow {
+        /// 1-based line number.
+        line: usize,
+        /// The offending value.
+        value: i64,
+    },
+    /// An undecodable instruction word.
+    BadEncoding {
+        /// The 32-bit word.
+        word: u32,
+    },
+    /// The program has no instructions.
+    EmptyProgram,
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            IsaError::UndefinedLabel { label, line } => {
+                write!(f, "line {line}: undefined label `{label}`")
+            }
+            IsaError::DuplicateLabel { label } => write!(f, "duplicate label `{label}`"),
+            IsaError::ImmediateOverflow { line, value } => {
+                write!(f, "line {line}: immediate {value} does not fit its field")
+            }
+            IsaError::BadEncoding { word } => write!(f, "undecodable instruction {word:#010x}"),
+            IsaError::EmptyProgram => write!(f, "program has no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+/// Crate-wide result alias.
+pub type Result<T, E = IsaError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn error_traits() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<super::IsaError>();
+    }
+}

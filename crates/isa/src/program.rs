@@ -1,0 +1,152 @@
+//! The assembled program container.
+
+use crate::inst::Instruction;
+use crate::{IsaError, Result};
+use std::collections::HashMap;
+
+/// An assembled TERSE-32 program: instruction memory, initial data memory,
+/// and the label maps (text labels are instruction indices, data labels are
+/// data-memory word addresses).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    instructions: Vec<Instruction>,
+    data: Vec<u32>,
+    text_labels: HashMap<String, u32>,
+    data_labels: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Builds a program from parts (used by the assembler; tests may build
+    /// programs directly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::EmptyProgram`] if there are no instructions.
+    pub fn new(
+        instructions: Vec<Instruction>,
+        data: Vec<u32>,
+        text_labels: HashMap<String, u32>,
+        data_labels: HashMap<String, u32>,
+    ) -> Result<Self> {
+        if instructions.is_empty() {
+            return Err(IsaError::EmptyProgram);
+        }
+        Ok(Program {
+            instructions,
+            data,
+            text_labels,
+            data_labels,
+        })
+    }
+
+    /// The instruction memory.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// The initial data memory (word-addressed from 0).
+    pub fn data(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program has no instructions (never true post-assembly).
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Looks up a text label (instruction index).
+    pub fn text_label(&self, name: &str) -> Option<u32> {
+        self.text_labels.get(name).copied()
+    }
+
+    /// Looks up a data label (data word address).
+    pub fn data_label(&self, name: &str) -> Option<u32> {
+        self.data_labels.get(name).copied()
+    }
+
+    /// All text labels sorted by address (for disassembly).
+    pub fn text_labels_sorted(&self) -> Vec<(&str, u32)> {
+        let mut v: Vec<(&str, u32)> = self
+            .text_labels
+            .iter()
+            .map(|(k, &a)| (k.as_str(), a))
+            .collect();
+        v.sort_by_key(|&(_, a)| a);
+        v
+    }
+
+    /// Encodes the instruction memory to binary words.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors (cannot occur for assembler output).
+    pub fn encode(&self) -> Result<Vec<u32>> {
+        self.instructions.iter().map(Instruction::encode).collect()
+    }
+
+    /// Decodes a binary instruction memory back into a program (labels are
+    /// lost).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::BadEncoding`] on undecodable words or
+    /// [`IsaError::EmptyProgram`] for an empty image.
+    pub fn from_words(words: &[u32], data: Vec<u32>) -> Result<Self> {
+        let instructions: Vec<Instruction> = words
+            .iter()
+            .map(|&w| Instruction::decode(w))
+            .collect::<Result<_>>()?;
+        Program::new(instructions, data, HashMap::new(), HashMap::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Opcode;
+
+    #[test]
+    fn empty_program_rejected() {
+        assert!(matches!(
+            Program::new(vec![], vec![], HashMap::new(), HashMap::new()),
+            Err(IsaError::EmptyProgram)
+        ));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let prog = Program::new(
+            vec![
+                Instruction::itype(Opcode::Addi, 1, 0, 7),
+                Instruction::rtype(Opcode::Add, 2, 1, 1),
+                Instruction::halt(),
+            ],
+            vec![1, 2, 3],
+            HashMap::new(),
+            HashMap::new(),
+        )
+        .unwrap();
+        let words = prog.encode().unwrap();
+        let back = Program::from_words(&words, prog.data().to_vec()).unwrap();
+        assert_eq!(back.instructions(), prog.instructions());
+        assert_eq!(back.data(), prog.data());
+    }
+
+    #[test]
+    fn label_lookup() {
+        let mut tl = HashMap::new();
+        tl.insert("main".to_string(), 0u32);
+        let mut dl = HashMap::new();
+        dl.insert("buf".to_string(), 16u32);
+        let prog = Program::new(vec![Instruction::halt()], vec![], tl, dl).unwrap();
+        assert_eq!(prog.text_label("main"), Some(0));
+        assert_eq!(prog.data_label("buf"), Some(16));
+        assert_eq!(prog.text_label("nope"), None);
+        assert_eq!(prog.text_labels_sorted(), vec![("main", 0)]);
+    }
+}

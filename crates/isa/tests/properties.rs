@@ -1,0 +1,155 @@
+//! Property-based tests for the ISA: encode/decode round trips, assembler
+//! stability, and CFG partition invariants.
+
+use proptest::prelude::*;
+use terse_isa::{assemble, disassemble, Cfg, Instruction, Opcode};
+
+fn arb_rtype() -> impl Strategy<Value = Instruction> {
+    (
+        prop::sample::select(vec![
+            Opcode::Add,
+            Opcode::Sub,
+            Opcode::And,
+            Opcode::Or,
+            Opcode::Xor,
+            Opcode::Sll,
+            Opcode::Srl,
+            Opcode::Sra,
+            Opcode::Mul,
+            Opcode::Slt,
+            Opcode::Sltu,
+        ]),
+        0u8..32,
+        0u8..32,
+        0u8..32,
+    )
+        .prop_map(|(op, rd, rs1, rs2)| Instruction::rtype(op, rd, rs1, rs2))
+}
+
+fn arb_itype() -> impl Strategy<Value = Instruction> {
+    (
+        prop::sample::select(vec![
+            Opcode::Addi,
+            Opcode::Slli,
+            Opcode::Srli,
+            Opcode::Srai,
+            Opcode::Slti,
+            Opcode::Ld,
+        ]),
+        0u8..32,
+        0u8..32,
+        -32768i32..32768,
+    )
+        .prop_map(|(op, rd, rs1, imm)| Instruction::itype(op, rd, rs1, imm))
+}
+
+fn arb_branch() -> impl Strategy<Value = Instruction> {
+    (
+        prop::sample::select(vec![Opcode::Beq, Opcode::Bne, Opcode::Blt, Opcode::Bge]),
+        0u8..32,
+        0u8..32,
+        0i32..65536,
+    )
+        .prop_map(|(op, rs1, rs2, target)| Instruction {
+            opcode: op,
+            rd: 0,
+            rs1,
+            rs2,
+            imm: target,
+        })
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip_rtype(inst in arb_rtype()) {
+        let w = inst.encode().unwrap();
+        prop_assert_eq!(Instruction::decode(w).unwrap(), inst);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_itype(inst in arb_itype()) {
+        let w = inst.encode().unwrap();
+        prop_assert_eq!(Instruction::decode(w).unwrap(), inst);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_branch(inst in arb_branch()) {
+        let w = inst.encode().unwrap();
+        prop_assert_eq!(Instruction::decode(w).unwrap(), inst);
+    }
+
+    #[test]
+    fn store_roundtrip(rs1 in 0u8..32, rs2 in 0u8..32, imm in -32768i32..32768) {
+        let st = Instruction { opcode: Opcode::St, rd: 0, rs1, rs2, imm };
+        let w = st.encode().unwrap();
+        prop_assert_eq!(Instruction::decode(w).unwrap(), st);
+    }
+
+    #[test]
+    fn disassembly_reassembles_identically(
+        insts in prop::collection::vec(
+            prop_oneof![arb_rtype(), arb_itype()],
+            1..40,
+        )
+    ) {
+        // Build a program text from generated instructions plus a halt, then
+        // assemble → disassemble → reassemble and compare binaries.
+        let mut src = String::new();
+        for i in &insts {
+            src.push_str(&format!("    {i}\n"));
+        }
+        src.push_str("    halt\n");
+        let p1 = assemble(&src).unwrap();
+        let text = disassemble(&p1);
+        let p2 = assemble(&text).unwrap();
+        prop_assert_eq!(p1.instructions(), p2.instructions());
+    }
+
+    #[test]
+    fn cfg_partitions_program_exactly(
+        insts in prop::collection::vec(prop_oneof![arb_rtype(), arb_itype()], 1..30),
+        branch_positions in prop::collection::vec(0usize..30, 0..5),
+    ) {
+        // Insert branches at arbitrary in-range positions targeting
+        // arbitrary in-range instructions.
+        let mut all: Vec<Instruction> = insts;
+        let n0 = all.len();
+        for (k, &pos) in branch_positions.iter().enumerate() {
+            let target = (pos * 7 + k) % n0;
+            all.insert(pos % all.len(), Instruction {
+                opcode: Opcode::Bne,
+                rd: 0,
+                rs1: (k % 31) as u8,
+                rs2: 0,
+                imm: target as i32,
+            });
+        }
+        all.push(Instruction::halt());
+        let program = terse_isa::Program::new(
+            all,
+            vec![],
+            Default::default(),
+            Default::default(),
+        ).unwrap();
+        let cfg = Cfg::from_program(&program);
+        // Blocks tile the program: contiguous, ordered, complete.
+        let mut next = 0u32;
+        for b in cfg.blocks() {
+            prop_assert_eq!(b.start, next);
+            prop_assert!(b.end > b.start);
+            next = b.end;
+        }
+        prop_assert_eq!(next as usize, program.len());
+        // Every instruction's containing block is consistent.
+        for i in 0..program.len() {
+            let blk = cfg.blocks()[cfg.block_containing(i).index()];
+            prop_assert!(blk.range().contains(&i));
+        }
+        // Successor lists never point past the program.
+        for b in cfg.blocks() {
+            for s in cfg.successors(b.id) {
+                prop_assert!(s.index() < cfg.len());
+            }
+        }
+    }
+}

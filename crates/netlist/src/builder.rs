@@ -1,0 +1,490 @@
+//! Incremental netlist construction with validation.
+
+use crate::gate::{GateId, GateKind};
+use crate::netlist::{EndpointClass, GateData, Netlist, Point};
+use crate::{NetlistError, Result};
+use std::collections::HashMap;
+
+/// Builds a [`Netlist`] gate by gate, validating arity and acyclicity.
+///
+/// Placement: the builder maintains a *current region*; every gate created
+/// while a region is active receives a deterministic pseudo-random position
+/// inside it. Structural generators set one region per functional unit so
+/// that spatially correlated process variation affects whole units together,
+/// as it does on a real die.
+///
+/// # Example
+/// ```
+/// use terse_netlist::builder::NetlistBuilder;
+/// use terse_netlist::gate::GateKind;
+/// use terse_netlist::netlist::EndpointClass;
+///
+/// # fn main() -> Result<(), terse_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new(1);
+/// let a = b.input("a", 0)?;
+/// let ff = b.flip_flop("q", EndpointClass::Data, 0)?;
+/// let inv = b.gate(GateKind::Not, &[a], 0)?;
+/// b.connect_ff_input(ff, inv)?;
+/// let netlist = b.finish()?;
+/// assert_eq!(netlist.gate_count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    gates: Vec<GateData>,
+    names: HashMap<String, Vec<GateId>>,
+    ff_input: Vec<Option<GateId>>,
+    stage_count: usize,
+    region: (Point, Point),
+    /// Small LCG for deterministic placement jitter.
+    place_state: u64,
+}
+
+impl NetlistBuilder {
+    /// Creates a builder for a netlist with `stage_count` pipeline stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage_count == 0`.
+    pub fn new(stage_count: usize) -> Self {
+        assert!(stage_count > 0, "a netlist needs at least one stage");
+        NetlistBuilder {
+            gates: Vec::new(),
+            names: HashMap::new(),
+            ff_input: Vec::new(),
+            stage_count,
+            region: (Point { x: 0.0, y: 0.0 }, Point { x: 1.0, y: 1.0 }),
+            place_state: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Sets the placement region for subsequently created gates
+    /// (normalized die coordinates).
+    pub fn set_region(&mut self, x0: f32, y0: f32, x1: f32, y1: f32) {
+        self.region = (Point { x: x0, y: y0 }, Point { x: x1, y: y1 });
+    }
+
+    fn next_pos(&mut self) -> Point {
+        // SplitMix-style step, two outputs for x and y jitter.
+        let step = |s: &mut u64| {
+            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((*s >> 33) as f32) / (u32::MAX >> 1) as f32
+        };
+        let (lo, hi) = self.region;
+        let u = step(&mut self.place_state).clamp(0.0, 1.0);
+        let v = step(&mut self.place_state).clamp(0.0, 1.0);
+        Point {
+            x: lo.x + (hi.x - lo.x) * u,
+            y: lo.y + (hi.y - lo.y) * v,
+        }
+    }
+
+    fn check_stage(&self, stage: usize) -> Result<()> {
+        if stage >= self.stage_count {
+            return Err(NetlistError::BadStage {
+                stage,
+                stages: self.stage_count,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_ids(&self, fanin: &[GateId]) -> Result<()> {
+        for f in fanin {
+            if f.index() >= self.gates.len() {
+                return Err(NetlistError::UnknownGate { id: f.0 });
+            }
+        }
+        Ok(())
+    }
+
+    fn push(&mut self, data: GateData) -> GateId {
+        let id = GateId(self.gates.len() as u32);
+        self.gates.push(data);
+        self.ff_input.push(None);
+        id
+    }
+
+    /// Creates a combinational gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadFaninCount`] on arity mismatch,
+    /// [`NetlistError::UnknownGate`] on dangling fanin, and
+    /// [`NetlistError::BadStage`] on an out-of-range stage.
+    pub fn gate(&mut self, kind: GateKind, fanin: &[GateId], stage: usize) -> Result<GateId> {
+        self.check_stage(stage)?;
+        self.check_ids(fanin)?;
+        match kind.fanin_count() {
+            Some(n) if n == fanin.len() => {}
+            Some(n) => {
+                return Err(NetlistError::BadFaninCount {
+                    kind: kind.cell_name(),
+                    expected: n,
+                    got: fanin.len(),
+                })
+            }
+            None => {
+                return Err(NetlistError::BadFaninCount {
+                    kind: kind.cell_name(),
+                    expected: 1,
+                    got: fanin.len(),
+                })
+            }
+        }
+        let pos = self.next_pos();
+        Ok(self.push(GateData {
+            kind,
+            fanin: fanin.to_vec(),
+            stage: stage as u16,
+            pos,
+            endpoint: None,
+        }))
+    }
+
+    /// Creates a named 1-bit primary input in the given stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] or [`NetlistError::BadStage`].
+    pub fn input(&mut self, name: &str, stage: usize) -> Result<GateId> {
+        let ids = self.input_bus(name, 1, stage)?;
+        Ok(ids[0])
+    }
+
+    /// Creates a named bus of `width` primary inputs (LSB first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] or [`NetlistError::BadStage`].
+    pub fn input_bus(&mut self, name: &str, width: usize, stage: usize) -> Result<Vec<GateId>> {
+        self.check_stage(stage)?;
+        let mut ids = Vec::with_capacity(width);
+        for _ in 0..width {
+            let pos = self.next_pos();
+            ids.push(self.push(GateData {
+                kind: GateKind::Input,
+                fanin: Vec::new(),
+                stage: stage as u16,
+                pos,
+                endpoint: None,
+            }));
+        }
+        self.register(name, ids.clone())?;
+        Ok(ids)
+    }
+
+    /// Creates a named flip-flop endpoint capturing stage `capture_stage`
+    /// logic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] or [`NetlistError::BadStage`].
+    pub fn flip_flop(
+        &mut self,
+        name: &str,
+        class: EndpointClass,
+        capture_stage: usize,
+    ) -> Result<GateId> {
+        let ids = self.flip_flop_bus(name, 1, class, capture_stage)?;
+        Ok(ids[0])
+    }
+
+    /// Creates a named bus of flip-flop endpoints (LSB first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] or [`NetlistError::BadStage`].
+    pub fn flip_flop_bus(
+        &mut self,
+        name: &str,
+        width: usize,
+        class: EndpointClass,
+        capture_stage: usize,
+    ) -> Result<Vec<GateId>> {
+        self.check_stage(capture_stage)?;
+        let mut ids = Vec::with_capacity(width);
+        for _ in 0..width {
+            let pos = self.next_pos();
+            ids.push(self.push(GateData {
+                kind: GateKind::FlipFlop,
+                fanin: Vec::new(),
+                stage: capture_stage as u16,
+                pos,
+                endpoint: Some(class),
+            }));
+        }
+        self.register(name, ids.clone())?;
+        Ok(ids)
+    }
+
+    /// Creates a constant driver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadStage`] on an out-of-range stage.
+    pub fn tie(&mut self, value: bool, stage: usize) -> Result<GateId> {
+        self.check_stage(stage)?;
+        let pos = self.next_pos();
+        Ok(self.push(GateData {
+            kind: GateKind::Tie(value),
+            fanin: Vec::new(),
+            stage: stage as u16,
+            pos,
+            endpoint: None,
+        }))
+    }
+
+    /// Connects the D input of flip-flop `ff` to `driver`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownGate`] for dangling ids or if `ff` is
+    /// not a flip-flop.
+    pub fn connect_ff_input(&mut self, ff: GateId, driver: GateId) -> Result<()> {
+        self.check_ids(&[ff, driver])?;
+        if self.gates[ff.index()].kind != GateKind::FlipFlop {
+            return Err(NetlistError::UnknownGate { id: ff.0 });
+        }
+        self.gates[ff.index()].fanin = vec![driver];
+        self.ff_input[ff.index()] = Some(driver);
+        Ok(())
+    }
+
+    /// Registers an additional bus name for existing gates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name exists or
+    /// [`NetlistError::UnknownGate`] on dangling ids.
+    pub fn name_bus(&mut self, name: &str, ids: &[GateId]) -> Result<()> {
+        self.check_ids(ids)?;
+        self.register(name, ids.to_vec())
+    }
+
+    fn register(&mut self, name: &str, ids: Vec<GateId>) -> Result<()> {
+        if self.names.contains_key(name) {
+            return Err(NetlistError::DuplicateName {
+                name: name.to_owned(),
+            });
+        }
+        self.names.insert(name.to_owned(), ids);
+        Ok(())
+    }
+
+    /// Number of gates created so far.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Looks up an already registered bus during construction (structural
+    /// generators reference earlier stages' banks by name).
+    pub fn peek_bus(&self, name: &str) -> Option<Vec<GateId>> {
+        self.names.get(name).cloned()
+    }
+
+    /// Validates and freezes the netlist: checks every flip-flop is
+    /// connected, builds fanout lists, and topologically orders the
+    /// combinational gates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnconnectedFlipFlop`] or
+    /// [`NetlistError::CombinationalCycle`].
+    pub fn finish(self) -> Result<Netlist> {
+        let n = self.gates.len();
+        // Every FF must have a D driver.
+        for (i, g) in self.gates.iter().enumerate() {
+            if g.kind == GateKind::FlipFlop && self.ff_input[i].is_none() {
+                return Err(NetlistError::UnconnectedFlipFlop { id: i as u32 });
+            }
+        }
+        // Fanout adjacency.
+        let mut fanout: Vec<Vec<GateId>> = vec![Vec::new(); n];
+        for (i, g) in self.gates.iter().enumerate() {
+            for f in &g.fanin {
+                fanout[f.index()].push(GateId(i as u32));
+            }
+        }
+        // Kahn topological sort over combinational gates (endpoints and
+        // ports are sources; FF D-edges terminate at the FF which is not
+        // itself propagated combinationally).
+        let mut indeg = vec![0usize; n];
+        for (i, g) in self.gates.iter().enumerate() {
+            if g.kind.is_endpoint() {
+                continue;
+            }
+            indeg[i] = g
+                .fanin
+                .iter()
+                .filter(|f| !self.gates[f.index()].kind.is_endpoint())
+                .count();
+        }
+        let mut queue: Vec<usize> = (0..n)
+            .filter(|&i| !self.gates[i].kind.is_endpoint() && indeg[i] == 0)
+            .collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            topo.push(GateId(u as u32));
+            for v in &fanout[u] {
+                let vi = v.index();
+                if self.gates[vi].kind.is_endpoint() {
+                    continue;
+                }
+                indeg[vi] -= 1;
+                if indeg[vi] == 0 {
+                    queue.push(vi);
+                }
+            }
+        }
+        let comb_count = self
+            .gates
+            .iter()
+            .filter(|g| !g.kind.is_endpoint())
+            .count();
+        if topo.len() != comb_count {
+            return Err(NetlistError::CombinationalCycle);
+        }
+        // Endpoint lists per capture stage.
+        let mut endpoints_by_stage: Vec<Vec<GateId>> = vec![Vec::new(); self.stage_count];
+        for (i, g) in self.gates.iter().enumerate() {
+            if g.kind == GateKind::FlipFlop {
+                endpoints_by_stage[g.stage as usize].push(GateId(i as u32));
+            }
+        }
+        Ok(Netlist {
+            gates: self.gates,
+            fanout,
+            topo,
+            stage_count: self.stage_count,
+            endpoints_by_stage,
+            names: self.names,
+            ff_input: self.ff_input,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_validation() {
+        let mut b = NetlistBuilder::new(1);
+        let a = b.input("a", 0).unwrap();
+        assert!(matches!(
+            b.gate(GateKind::And, &[a], 0),
+            Err(NetlistError::BadFaninCount { .. })
+        ));
+        assert!(matches!(
+            b.gate(GateKind::Not, &[a, a], 0),
+            Err(NetlistError::BadFaninCount { .. })
+        ));
+        assert!(b.gate(GateKind::Not, &[a], 0).is_ok());
+    }
+
+    #[test]
+    fn dangling_fanin_rejected() {
+        let mut b = NetlistBuilder::new(1);
+        let bogus = GateId::from_index(99);
+        assert!(matches!(
+            b.gate(GateKind::Not, &[bogus], 0),
+            Err(NetlistError::UnknownGate { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = NetlistBuilder::new(1);
+        b.input("x", 0).unwrap();
+        assert!(matches!(
+            b.input("x", 0),
+            Err(NetlistError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn unconnected_ff_rejected() {
+        let mut b = NetlistBuilder::new(1);
+        b.flip_flop("q", EndpointClass::Data, 0).unwrap();
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::UnconnectedFlipFlop { .. })
+        ));
+    }
+
+    #[test]
+    fn combinational_cycle_rejected() {
+        let mut b = NetlistBuilder::new(1);
+        let a = b.input("a", 0).unwrap();
+        let g1 = b.gate(GateKind::And, &[a, a], 0).unwrap();
+        let g2 = b.gate(GateKind::Or, &[g1, g1], 0).unwrap();
+        // Manually create a cycle by rebuilding g1's fanin — emulate via a
+        // second gate pair that feeds back.
+        let g3 = b.gate(GateKind::And, &[g2, g2], 0).unwrap();
+        // There is no public API to create a cycle (fanin fixed at creation),
+        // which is itself the guarantee; assert finish succeeds.
+        let _ = g3;
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn bad_stage_rejected() {
+        let mut b = NetlistBuilder::new(2);
+        assert!(matches!(
+            b.input("a", 2),
+            Err(NetlistError::BadStage { .. })
+        ));
+    }
+
+    #[test]
+    fn placement_respects_region() {
+        let mut b = NetlistBuilder::new(1);
+        b.set_region(0.25, 0.5, 0.5, 0.75);
+        let bus = b.input_bus("v", 64, 0).unwrap();
+        let b2 = {
+            let mut nb = b;
+            let ff = nb.flip_flop("q", EndpointClass::Data, 0).unwrap();
+            nb.connect_ff_input(ff, bus[0]).unwrap();
+            nb.finish().unwrap()
+        };
+        for &g in b2.bus("v").unwrap() {
+            let p = b2.position(g);
+            assert!((0.25..=0.5).contains(&p.x), "x = {}", p.x);
+            assert!((0.5..=0.75).contains(&p.y), "y = {}", p.y);
+        }
+    }
+
+    #[test]
+    fn name_bus_aliases_existing_gates() {
+        let mut b = NetlistBuilder::new(1);
+        let xs = b.input_bus("x", 4, 0).unwrap();
+        b.name_bus("alias", &xs[0..2]).unwrap();
+        let ff = b.flip_flop("q", EndpointClass::Control, 0).unwrap();
+        b.connect_ff_input(ff, xs[0]).unwrap();
+        let n = b.finish().unwrap();
+        assert_eq!(n.bus("alias").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let build = || {
+            let mut b = NetlistBuilder::new(1);
+            let xs = b.input_bus("x", 8, 0).unwrap();
+            let g = b.gate(GateKind::Xor, &[xs[0], xs[1]], 0).unwrap();
+            let ff = b.flip_flop("q", EndpointClass::Data, 0).unwrap();
+            b.connect_ff_input(ff, g).unwrap();
+            b.finish().unwrap()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.gate_count(), b.gate_count());
+        for id in a.gate_ids() {
+            assert_eq!(a.position(id).x, b.position(id).x);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Gate kinds and boolean evaluation.
+
+/// Identifier of a gate within a [`crate::Netlist`].
+///
+/// Gate ids are dense indices assigned in creation order; they index the
+/// per-gate vectors of the netlist and the per-cycle activation bit sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub(crate) u32);
+
+impl GateId {
+    /// The dense index of this gate.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `GateId` from a dense index.
+    ///
+    /// Prefer obtaining ids from the netlist; this exists for serialization
+    /// and test helpers.
+    pub fn from_index(index: usize) -> Self {
+        GateId(index as u32)
+    }
+}
+
+impl std::fmt::Display for GateId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// The boolean function of a gate.
+///
+/// The cell library is deliberately small (the 45 nm standard-cell subset a
+/// synthesis tool would map arithmetic onto): inverter/buffer, the 2-input
+/// basic gates, a 2:1 mux, constants, primary inputs and flip-flops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// A primary input port, driven by the testbench/co-simulator.
+    Input,
+    /// A constant driver.
+    Tie(bool),
+    /// Buffer (identity). Also used for fanout trees.
+    Buf,
+    /// Inverter.
+    Not,
+    /// 2-input AND.
+    And,
+    /// 2-input OR.
+    Or,
+    /// 2-input NAND.
+    Nand,
+    /// 2-input NOR.
+    Nor,
+    /// 2-input XOR.
+    Xor,
+    /// 2-input XNOR.
+    Xnor,
+    /// 2:1 multiplexer: inputs are `[sel, a, b]`, output `sel ? b : a`.
+    Mux,
+    /// A D flip-flop *endpoint*. Its single input is the D pin; its output
+    /// is the captured Q value, updated at the clock edge.
+    FlipFlop,
+}
+
+impl GateKind {
+    /// Number of inputs this kind requires (`None` for [`GateKind::FlipFlop`]
+    /// whose D input is connected after creation).
+    pub fn fanin_count(self) -> Option<usize> {
+        match self {
+            GateKind::Input | GateKind::Tie(_) => Some(0),
+            GateKind::Buf | GateKind::Not => Some(1),
+            GateKind::And
+            | GateKind::Or
+            | GateKind::Nand
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor => Some(2),
+            GateKind::Mux => Some(3),
+            GateKind::FlipFlop => None,
+        }
+    }
+
+    /// Whether this kind is a sequential element or port (i.e. a path
+    /// *endpoint* in the paper's Definition 3.1 sense).
+    pub fn is_endpoint(self) -> bool {
+        matches!(self, GateKind::Input | GateKind::FlipFlop | GateKind::Tie(_))
+    }
+
+    /// Evaluates the boolean function on the input values.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `inputs` has the wrong arity. Flip-flops
+    /// and inputs are not evaluated combinationally and return `false`;
+    /// the simulator handles them separately.
+    #[inline]
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        debug_assert!(
+            self.fanin_count().is_none_or(|n| n == inputs.len()),
+            "gate {self:?} arity mismatch: {} inputs",
+            inputs.len()
+        );
+        match self {
+            GateKind::Input | GateKind::FlipFlop => false,
+            GateKind::Tie(v) => v,
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs[0] & inputs[1],
+            GateKind::Or => inputs[0] | inputs[1],
+            GateKind::Nand => !(inputs[0] & inputs[1]),
+            GateKind::Nor => !(inputs[0] | inputs[1]),
+            GateKind::Xor => inputs[0] ^ inputs[1],
+            GateKind::Xnor => !(inputs[0] ^ inputs[1]),
+            GateKind::Mux => {
+                if inputs[0] {
+                    inputs[2]
+                } else {
+                    inputs[1]
+                }
+            }
+        }
+    }
+
+    /// A short cell-library style name (`INV`, `ND2`, …).
+    pub fn cell_name(self) -> &'static str {
+        match self {
+            GateKind::Input => "PORT",
+            GateKind::Tie(false) => "TIE0",
+            GateKind::Tie(true) => "TIE1",
+            GateKind::Buf => "BUF",
+            GateKind::Not => "INV",
+            GateKind::And => "AN2",
+            GateKind::Or => "OR2",
+            GateKind::Nand => "ND2",
+            GateKind::Nor => "NR2",
+            GateKind::Xor => "XO2",
+            GateKind::Xnor => "XN2",
+            GateKind::Mux => "MX2",
+            GateKind::FlipFlop => "DFF",
+        }
+    }
+}
+
+impl std::fmt::Display for GateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.cell_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables() {
+        let cases2: [(GateKind, [bool; 4]); 6] = [
+            (GateKind::And, [false, false, false, true]),
+            (GateKind::Or, [false, true, true, true]),
+            (GateKind::Nand, [true, true, true, false]),
+            (GateKind::Nor, [true, false, false, false]),
+            (GateKind::Xor, [false, true, true, false]),
+            (GateKind::Xnor, [true, false, false, true]),
+        ];
+        for (kind, table) in cases2 {
+            for (i, want) in table.into_iter().enumerate() {
+                let a = i & 2 != 0;
+                let b = i & 1 != 0;
+                assert_eq!(kind.eval(&[a, b]), want, "{kind} ({a},{b})");
+            }
+        }
+        assert!(GateKind::Not.eval(&[false]));
+        assert!(!GateKind::Not.eval(&[true]));
+        assert!(GateKind::Buf.eval(&[true]));
+        assert!(GateKind::Tie(true).eval(&[]));
+        assert!(!GateKind::Tie(false).eval(&[]));
+    }
+
+    #[test]
+    fn mux_selects() {
+        // [sel, a, b] -> sel ? b : a
+        assert!(!GateKind::Mux.eval(&[false, false, true]));
+        assert!(GateKind::Mux.eval(&[true, false, true]));
+        assert!(GateKind::Mux.eval(&[false, true, false]));
+    }
+
+    #[test]
+    fn endpoint_classification() {
+        assert!(GateKind::FlipFlop.is_endpoint());
+        assert!(GateKind::Input.is_endpoint());
+        assert!(!GateKind::And.is_endpoint());
+    }
+
+    #[test]
+    fn arity_matches_kind() {
+        assert_eq!(GateKind::Mux.fanin_count(), Some(3));
+        assert_eq!(GateKind::And.fanin_count(), Some(2));
+        assert_eq!(GateKind::Not.fanin_count(), Some(1));
+        assert_eq!(GateKind::Input.fanin_count(), Some(0));
+        assert_eq!(GateKind::FlipFlop.fanin_count(), None);
+    }
+
+    #[test]
+    fn id_roundtrip_and_display() {
+        let id = GateId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "g42");
+        assert_eq!(GateKind::Nand.to_string(), "ND2");
+    }
+}

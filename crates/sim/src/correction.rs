@@ -1,0 +1,127 @@
+//! Error detection/correction schemes and their dynamic effects.
+//!
+//! Section 4.1 of the paper: when a timing error is detected, the processor
+//! corrects it (replay, flush, or bubbles), and the *next* instruction then
+//! transitions the datapath from the corrected state instead of from the
+//! errant instruction's state — which activates different timing paths and
+//! makes the post-error conditional probability `p^e` differ from `p^c`.
+//! The paper emulates this by instrumenting a `nop` before each instruction;
+//! we emulate it by extracting features against the flushed bus state
+//! ([`crate::features::BusState::flushed`]).
+
+use crate::features::BusState;
+use terse_isa::Instruction;
+
+/// An error-correction mechanism of a timing-speculative processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrectionScheme {
+    /// Instruction replay at half frequency (the paper's evaluation scheme,
+    /// after the 45 nm resilient Intel core \[4]): on error the frequency is
+    /// halved, the pipeline flushed, and the errant instruction reissued —
+    /// a 24-cycle penalty for the 6-stage pipeline.
+    ReplayAtHalfFrequency {
+        /// Total penalty cycles per error (24 in the paper's setup).
+        penalty: u32,
+    },
+    /// Pipeline flush on error (\[4]-style, resolving bypass-register
+    /// complications); penalty ≈ pipeline refill.
+    PipelineFlush {
+        /// Pipeline depth to refill.
+        depth: u32,
+    },
+    /// Razor-II-style bubble insertion \[9]: bubbles keep the errant
+    /// instruction from committing; penalty is the bubble count.
+    BubbleInsertion {
+        /// Bubbles inserted per error.
+        bubbles: u32,
+    },
+}
+
+impl CorrectionScheme {
+    /// The paper's evaluation configuration: replay at half frequency with
+    /// a 24-cycle penalty on a 6-stage pipeline.
+    pub fn paper_default() -> Self {
+        CorrectionScheme::ReplayAtHalfFrequency { penalty: 24 }
+    }
+
+    /// Penalty cycles paid per timing error.
+    pub fn penalty_cycles(&self) -> u32 {
+        match *self {
+            CorrectionScheme::ReplayAtHalfFrequency { penalty } => penalty,
+            CorrectionScheme::PipelineFlush { depth } => depth,
+            CorrectionScheme::BubbleInsertion { bubbles } => bubbles,
+        }
+    }
+
+    /// The datapath bus state the correction mechanism leaves behind: all
+    /// three schemes park the operand buses at the `nop` values (zeros)
+    /// before the replayed/next instruction issues.
+    pub fn post_error_bus_state(&self) -> BusState {
+        BusState::flushed()
+    }
+
+    /// The instrumentation prefix the paper inserts to *measure* the
+    /// post-correction conditional probabilities: a `nop` executed before
+    /// the instruction mimics the corrected machine state.
+    pub fn emulation_prefix(&self) -> Vec<Instruction> {
+        vec![Instruction::nop()]
+    }
+}
+
+impl Default for CorrectionScheme {
+    fn default() -> Self {
+        CorrectionScheme::paper_default()
+    }
+}
+
+impl std::fmt::Display for CorrectionScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            CorrectionScheme::ReplayAtHalfFrequency { penalty } => {
+                write!(f, "replay-at-half-frequency ({penalty} cycles)")
+            }
+            CorrectionScheme::PipelineFlush { depth } => {
+                write!(f, "pipeline-flush ({depth} cycles)")
+            }
+            CorrectionScheme::BubbleInsertion { bubbles } => {
+                write!(f, "bubble-insertion ({bubbles} cycles)")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_evaluation_setup() {
+        let s = CorrectionScheme::paper_default();
+        assert_eq!(s.penalty_cycles(), 24);
+        assert_eq!(s, CorrectionScheme::default());
+    }
+
+    #[test]
+    fn penalties() {
+        assert_eq!(
+            CorrectionScheme::PipelineFlush { depth: 6 }.penalty_cycles(),
+            6
+        );
+        assert_eq!(
+            CorrectionScheme::BubbleInsertion { bubbles: 1 }.penalty_cycles(),
+            1
+        );
+    }
+
+    #[test]
+    fn post_error_state_is_flushed() {
+        let s = CorrectionScheme::paper_default();
+        assert_eq!(s.post_error_bus_state(), BusState::flushed());
+        assert_eq!(s.emulation_prefix().len(), 1);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!CorrectionScheme::paper_default().to_string().is_empty());
+    }
+}

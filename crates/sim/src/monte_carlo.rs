@@ -1,0 +1,341 @@
+//! Monte Carlo error-injection baseline.
+//!
+//! The paper *cannot* verify its Poisson/Normal approximations by Monte
+//! Carlo ("our baseline simulator is too slow to handle large input
+//! datasets") and falls back on Stein-method bounds. Our simulator is fast
+//! enough on scaled-down programs, so this module provides the ground
+//! truth the analytic estimator is validated against in tests and in the
+//! `ablation_mc` experiment: sample manufactured chips × program inputs,
+//! execute, draw per-instruction timing errors from the instruction error
+//! model, apply the correction scheme's dynamic effect, and count.
+
+use crate::correction::CorrectionScheme;
+use crate::features::{extract, BusState, InstFeatures};
+use crate::machine::Machine;
+use crate::Result;
+use terse_isa::Program;
+use terse_sta::variation::ChipSample;
+use terse_stats::rng::Xoshiro256;
+
+/// An instruction error model queried by the Monte Carlo engine.
+///
+/// Implemented by the DTA crate's trained model; the probability is
+/// conditional on the manufactured chip (shared process-variation draw) and
+/// on the previous-instruction state (encoded in the features' toggle
+/// components).
+pub trait InstErrorModel {
+    /// Probability that the dynamic instance of static instruction `index`
+    /// (previously retired instruction `prev_index`, if any) with these
+    /// features fails on this chip.
+    fn error_probability(
+        &self,
+        prev_index: Option<u32>,
+        index: u32,
+        features: &InstFeatures,
+        chip: &ChipSample,
+    ) -> f64;
+
+    /// Probability with process variation marginalized out per instruction
+    /// — the independence treatment the paper's analytic pipeline uses
+    /// (each indicator is Bernoulli with the *unconditional* probability,
+    /// ignoring that one chip's variation draw is shared by every
+    /// instruction it executes).
+    fn marginal_probability(
+        &self,
+        prev_index: Option<u32>,
+        index: u32,
+        features: &InstFeatures,
+    ) -> f64;
+}
+
+/// Configuration of a Monte Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarloConfig {
+    /// Dynamic instruction budget per execution.
+    pub budget: u64,
+    /// Data memory words.
+    pub dmem_words: usize,
+    /// Bernoulli-draw seed.
+    pub seed: u64,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig {
+            budget: 10_000_000,
+            dmem_words: 1 << 16,
+            seed: 0x4D43, // "MC"
+        }
+    }
+}
+
+/// Runs the program once per `(chip, input)` pair and returns the error
+/// count matrix `counts[chip][input]`.
+///
+/// `init(input_index, machine)` prepares the input dataset.
+///
+/// # Errors
+///
+/// Propagates machine errors.
+pub fn error_counts<M, F>(
+    program: &Program,
+    model: &M,
+    chips: &[ChipSample],
+    inputs: usize,
+    scheme: CorrectionScheme,
+    mut init: F,
+    cfg: MonteCarloConfig,
+) -> Result<Vec<Vec<u64>>>
+where
+    M: InstErrorModel,
+    F: FnMut(usize, &mut Machine),
+{
+    let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
+    let mut counts = Vec::with_capacity(chips.len());
+    for chip in chips {
+        let mut per_input = Vec::with_capacity(inputs);
+        for input in 0..inputs {
+            let mut machine = Machine::new(program, cfg.dmem_words);
+            init(input, &mut machine);
+            let mut errors = 0u64;
+            // Program starts from a flushed processor state (the paper's
+            // `p^in = 1` convention).
+            let mut bus = BusState::flushed();
+            let mut executed = 0u64;
+            let mut prev_index: Option<u32> = None;
+            while !machine.halted() {
+                if executed >= cfg.budget {
+                    return Err(crate::SimError::InstructionBudgetExhausted {
+                        budget: cfg.budget,
+                    });
+                }
+                let r = machine.step(program)?;
+                executed += 1;
+                let f = extract(&r, bus);
+                let p = model.error_probability(prev_index, r.index, &f, chip);
+                prev_index = Some(r.index);
+                if rng.next_f64() < p {
+                    errors += 1;
+                    bus = scheme.post_error_bus_state();
+                } else {
+                    bus.advance(&r);
+                }
+            }
+            per_input.push(errors);
+        }
+        counts.push(per_input);
+    }
+    Ok(counts)
+}
+
+/// Like [`error_counts`] but with process variation *marginalized* per
+/// instruction (the analytic pipeline's independence assumption): no chips
+/// are drawn; each dynamic instruction errs independently with its
+/// unconditional probability. Comparing this against the per-chip variant
+/// isolates the effect of chip-shared variation, which the paper's
+/// dependency-neighborhood bounds do not cover.
+///
+/// Returns `reps × inputs` error counts.
+///
+/// # Errors
+///
+/// Propagates machine errors.
+pub fn error_counts_marginalized<M, F>(
+    program: &Program,
+    model: &M,
+    reps: usize,
+    inputs: usize,
+    scheme: CorrectionScheme,
+    mut init: F,
+    cfg: MonteCarloConfig,
+) -> Result<Vec<u64>>
+where
+    M: InstErrorModel,
+    F: FnMut(usize, &mut Machine),
+{
+    let mut rng = Xoshiro256::seed_from_u64(cfg.seed ^ 0x4D41_5247);
+    let mut counts = Vec::with_capacity(reps * inputs);
+    for _ in 0..reps {
+        for input in 0..inputs {
+            let mut machine = Machine::new(program, cfg.dmem_words);
+            init(input, &mut machine);
+            let mut errors = 0u64;
+            let mut bus = BusState::flushed();
+            let mut executed = 0u64;
+            let mut prev_index: Option<u32> = None;
+            while !machine.halted() {
+                if executed >= cfg.budget {
+                    return Err(crate::SimError::InstructionBudgetExhausted {
+                        budget: cfg.budget,
+                    });
+                }
+                let r = machine.step(program)?;
+                executed += 1;
+                let f = extract(&r, bus);
+                let p = model.marginal_probability(prev_index, r.index, &f);
+                prev_index = Some(r.index);
+                if rng.next_f64() < p {
+                    errors += 1;
+                    bus = scheme.post_error_bus_state();
+                } else {
+                    bus.advance(&r);
+                }
+            }
+            counts.push(errors);
+        }
+    }
+    Ok(counts)
+}
+
+/// Summarizes a count matrix into the empirical error-count distribution
+/// (all chip×input cells pooled, equal weights).
+pub fn pooled_counts(counts: &[Vec<u64>]) -> Vec<u64> {
+    counts.iter().flatten().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terse_isa::assemble;
+    use terse_sta::delay::DelayLibrary;
+    use terse_sta::variation::{VariationConfig, VariationModel};
+
+    /// A toy model: adds fail with probability proportional to carry chain,
+    /// everything else never fails.
+    struct ToyModel;
+    impl InstErrorModel for ToyModel {
+        fn error_probability(
+            &self,
+            _prev: Option<u32>,
+            _index: u32,
+            f: &InstFeatures,
+            _chip: &ChipSample,
+        ) -> f64 {
+            f.carry_chain as f64 / 64.0
+        }
+        fn marginal_probability(
+            &self,
+            _prev: Option<u32>,
+            _index: u32,
+            f: &InstFeatures,
+        ) -> f64 {
+            f.carry_chain as f64 / 64.0
+        }
+    }
+
+    fn chips(n: usize) -> Vec<ChipSample> {
+        // Any netlist works for drawing chip samples; use a minimal one.
+        let mut b = terse_netlist::NetlistBuilder::new(1);
+        let x = b.input("x", 0).unwrap();
+        let g = b.gate(terse_netlist::GateKind::Not, &[x], 0).unwrap();
+        let ff = b
+            .flip_flop("q", terse_netlist::EndpointClass::Data, 0)
+            .unwrap();
+        b.connect_ff_input(ff, g).unwrap();
+        let n_ = b.finish().unwrap();
+        let lib = DelayLibrary::normalized_45nm();
+        let model = VariationModel::new(&n_, &lib, VariationConfig::default()).unwrap();
+        let mut rng = Xoshiro256::seed_from_u64(77);
+        (0..n).map(|_| model.sample_chip(&mut rng)).collect()
+    }
+
+    #[test]
+    fn zero_probability_model_counts_zero() {
+        struct Never;
+        impl InstErrorModel for Never {
+            fn error_probability(
+                &self,
+                _: Option<u32>,
+                _: u32,
+                _: &InstFeatures,
+                _: &ChipSample,
+            ) -> f64 {
+                0.0
+            }
+            fn marginal_probability(
+                &self,
+                _: Option<u32>,
+                _: u32,
+                _: &InstFeatures,
+            ) -> f64 {
+                0.0
+            }
+        }
+        let p = assemble("addi r1, r0, 3\nadd r2, r1, r1\nhalt\n").unwrap();
+        let counts = error_counts(
+            &p,
+            &Never,
+            &chips(2),
+            3,
+            CorrectionScheme::paper_default(),
+            |_, _| {},
+            MonteCarloConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(counts.len(), 2);
+        assert!(counts.iter().flatten().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn error_rate_tracks_model_probability() {
+        // A loop of adds with full carries: p = carry_chain/64 per add.
+        let p = assemble(
+            r"
+                li   r1, 0xFFFF
+                addi r2, r0, 200
+            loop:
+                add  r3, r1, r1      # carry chain > 0
+                addi r2, r2, -1
+                bne  r2, r0, loop
+                halt
+        ",
+        )
+        .unwrap();
+        let counts = error_counts(
+            &p,
+            &ToyModel,
+            &chips(8),
+            4,
+            CorrectionScheme::paper_default(),
+            |_, _| {},
+            MonteCarloConfig::default(),
+        )
+        .unwrap();
+        let pooled = pooled_counts(&counts);
+        assert_eq!(pooled.len(), 32);
+        let mean = pooled.iter().sum::<u64>() as f64 / pooled.len() as f64;
+        // Errors happen (the adds carry) but not on every instruction.
+        assert!(mean > 1.0, "mean = {mean}");
+        assert!(mean < 600.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = assemble("li r1, 0xFFF\nadd r2, r1, r1\nhalt\n").unwrap();
+        let cfg = MonteCarloConfig {
+            seed: 5,
+            ..MonteCarloConfig::default()
+        };
+        let c1 = error_counts(
+            &p,
+            &ToyModel,
+            &chips(3),
+            2,
+            CorrectionScheme::paper_default(),
+            |_, _| {},
+            cfg,
+        )
+        .unwrap();
+        let c2 = error_counts(
+            &p,
+            &ToyModel,
+            &chips(3),
+            2,
+            CorrectionScheme::paper_default(),
+            |_, _| {},
+            cfg,
+        )
+        .unwrap();
+        assert_eq!(c1, c2);
+    }
+}

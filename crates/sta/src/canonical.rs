@@ -1,0 +1,430 @@
+//! Canonical first-order Gaussian form and Clark's statistical max/min.
+//!
+//! SSTA represents every timing quantity as
+//!
+//! ```text
+//! X = μ + Σᵢ aᵢ·ΔXᵢ + b·ΔR
+//! ```
+//!
+//! where the `ΔXᵢ` are shared standard-normal principal components (one
+//! global variable plus quad-tree spatial-grid variables — see
+//! [`crate::variation`]) and `ΔR` is an independent standard-normal residual.
+//! Sums are exact; max/min of two canonical forms is approximated by Clark's
+//! moment matching, re-canonicalized through the *tightness probability* so
+//! correlations keep propagating — the standard block-based SSTA machinery
+//! the paper builds Algorithm 1 on.
+
+use terse_stats::special::{std_normal_cdf, std_normal_pdf, std_normal_quantile_clamped};
+
+/// A Gaussian in canonical first-order form.
+///
+/// # Example
+/// ```
+/// use terse_sta::CanonicalRv;
+/// let a = CanonicalRv::deterministic(10.0, 3);
+/// let b = CanonicalRv::with_sensitivities(12.0, vec![1.0, 0.0, 0.0], 0.5);
+/// let s = a.add(&b);
+/// assert!((s.mean() - 22.0).abs() < 1e-12);
+/// assert!((s.variance() - (1.0 + 0.25)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonicalRv {
+    mean: f64,
+    /// Sensitivities to the shared principal components (dense).
+    coeffs: Vec<f64>,
+    /// Independent residual sensitivity (σ of the private part).
+    indep: f64,
+}
+
+impl CanonicalRv {
+    /// A deterministic value (all sensitivities zero) over `var_count`
+    /// shared variables.
+    pub fn deterministic(mean: f64, var_count: usize) -> Self {
+        CanonicalRv {
+            mean,
+            coeffs: vec![0.0; var_count],
+            indep: 0.0,
+        }
+    }
+
+    /// Builds a canonical form from explicit sensitivities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indep < 0`.
+    pub fn with_sensitivities(mean: f64, coeffs: Vec<f64>, indep: f64) -> Self {
+        assert!(indep >= 0.0, "independent sensitivity must be non-negative");
+        CanonicalRv {
+            mean,
+            coeffs,
+            indep,
+        }
+    }
+
+    /// The mean μ.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The shared-variable sensitivities.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// The independent residual sensitivity.
+    pub fn indep(&self) -> f64 {
+        self.indep
+    }
+
+    /// Number of shared variables.
+    pub fn var_count(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Variance `Σ aᵢ² + b²`.
+    pub fn variance(&self) -> f64 {
+        self.coeffs.iter().map(|a| a * a).sum::<f64>() + self.indep * self.indep
+    }
+
+    /// Standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Covariance with another canonical form (shared variables only;
+    /// residuals are independent across forms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if variable counts differ.
+    pub fn cov(&self, other: &CanonicalRv) -> f64 {
+        assert_eq!(
+            self.coeffs.len(),
+            other.coeffs.len(),
+            "canonical forms must share the variable space"
+        );
+        self.coeffs
+            .iter()
+            .zip(&other.coeffs)
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Correlation coefficient with another form (0 when either is
+    /// deterministic).
+    pub fn corr(&self, other: &CanonicalRv) -> f64 {
+        let va = self.variance();
+        let vb = other.variance();
+        if va <= 0.0 || vb <= 0.0 {
+            return 0.0;
+        }
+        (self.cov(other) / (va * vb).sqrt()).clamp(-1.0, 1.0)
+    }
+
+    /// Exact sum `self + other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if variable counts differ.
+    pub fn add(&self, other: &CanonicalRv) -> CanonicalRv {
+        assert_eq!(self.coeffs.len(), other.coeffs.len());
+        CanonicalRv {
+            mean: self.mean + other.mean,
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| a + b)
+                .collect(),
+            indep: (self.indep * self.indep + other.indep * other.indep).sqrt(),
+        }
+    }
+
+    /// In-place accumulation (the hot loop of path-delay summation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if variable counts differ.
+    pub fn add_assign(&mut self, other: &CanonicalRv) {
+        assert_eq!(self.coeffs.len(), other.coeffs.len());
+        self.mean += other.mean;
+        for (a, b) in self.coeffs.iter_mut().zip(&other.coeffs) {
+            *a += b;
+        }
+        self.indep = (self.indep * self.indep + other.indep * other.indep).sqrt();
+    }
+
+    /// Adds a deterministic offset.
+    pub fn add_scalar(&self, dx: f64) -> CanonicalRv {
+        CanonicalRv {
+            mean: self.mean + dx,
+            coeffs: self.coeffs.clone(),
+            indep: self.indep,
+        }
+    }
+
+    /// Negation (used for `min = −max(−a, −b)` and for slack = period −
+    /// delay).
+    pub fn negate(&self) -> CanonicalRv {
+        CanonicalRv {
+            mean: -self.mean,
+            coeffs: self.coeffs.iter().map(|a| -a).collect(),
+            indep: self.indep,
+        }
+    }
+
+    /// The `p`-quantile `μ + z_p·σ` (clamped at the endpoints).
+    pub fn percentile(&self, p: f64) -> f64 {
+        let z = std_normal_quantile_clamped(p.clamp(1e-12, 1.0 - 1e-12));
+        self.mean + z * self.sd()
+    }
+
+    /// `Pr(X < 0)` — the instruction error probability primitive once `X` is
+    /// a dynamic timing slack.
+    pub fn prob_negative(&self) -> f64 {
+        let sd = self.sd();
+        if sd == 0.0 {
+            return if self.mean < 0.0 { 1.0 } else { 0.0 };
+        }
+        std_normal_cdf(-self.mean / sd)
+    }
+
+    /// `Pr(X < 0 | shared variables = draw)` — the *chip-conditional*
+    /// failure probability: on one manufactured chip the shared components
+    /// are fixed and only the independent residual remains Gaussian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `draw.len()` differs from the variable count.
+    pub fn prob_negative_given(&self, draw: &[f64]) -> f64 {
+        assert_eq!(draw.len(), self.coeffs.len());
+        let m = self.mean
+            + self
+                .coeffs
+                .iter()
+                .zip(draw)
+                .map(|(a, x)| a * x)
+                .sum::<f64>();
+        if self.indep == 0.0 {
+            return if m < 0.0 { 1.0 } else { 0.0 };
+        }
+        std_normal_cdf(-m / self.indep)
+    }
+
+    /// Evaluates the form at a concrete draw of the shared variables plus a
+    /// private standard-normal `r` (used by Monte Carlo chip sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `draw.len()` differs from the variable count.
+    pub fn sample_at(&self, draw: &[f64], r: f64) -> f64 {
+        assert_eq!(draw.len(), self.coeffs.len());
+        self.mean
+            + self
+                .coeffs
+                .iter()
+                .zip(draw)
+                .map(|(a, x)| a * x)
+                .sum::<f64>()
+            + self.indep * r
+    }
+
+    /// Clark's statistical maximum, re-canonicalized: returns the canonical
+    /// approximation of `max(self, other)` and the tightness probability
+    /// `T = Pr(self > other)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if variable counts differ.
+    pub fn stat_max(&self, other: &CanonicalRv) -> (CanonicalRv, f64) {
+        assert_eq!(self.coeffs.len(), other.coeffs.len());
+        let va = self.variance();
+        let vb = other.variance();
+        let cov = self.cov(other);
+        let theta2 = (va + vb - 2.0 * cov).max(0.0);
+        let theta = theta2.sqrt();
+        if theta < 1e-12 {
+            // Effectively perfectly correlated with equal spread: the max is
+            // whichever has the larger mean.
+            return if self.mean >= other.mean {
+                (self.clone(), 1.0)
+            } else {
+                (other.clone(), 0.0)
+            };
+        }
+        let alpha = (self.mean - other.mean) / theta;
+        let t = std_normal_cdf(alpha); // tightness Pr(A > B)
+        let phi = std_normal_pdf(alpha);
+        let mean = self.mean * t + other.mean * (1.0 - t) + theta * phi;
+        // Clark's second moment.
+        let second = (self.mean * self.mean + va) * t
+            + (other.mean * other.mean + vb) * (1.0 - t)
+            + (self.mean + other.mean) * theta * phi;
+        let var = (second - mean * mean).max(0.0);
+        // Re-canonicalize: aᵢ = T·aᵢ + (1−T)·bᵢ (preserves covariances with
+        // third-party forms to first order), residual absorbs the remainder.
+        let coeffs: Vec<f64> = self
+            .coeffs
+            .iter()
+            .zip(&other.coeffs)
+            .map(|(a, b)| t * a + (1.0 - t) * b)
+            .collect();
+        let shared_var: f64 = coeffs.iter().map(|a| a * a).sum();
+        let indep = (var - shared_var).max(0.0).sqrt();
+        (
+            CanonicalRv {
+                mean,
+                coeffs,
+                indep,
+            },
+            t,
+        )
+    }
+
+    /// Clark's statistical minimum (via `min(a,b) = −max(−a,−b)`); returns
+    /// the canonical approximation and the tightness `Pr(self < other)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if variable counts differ.
+    pub fn stat_min(&self, other: &CanonicalRv) -> (CanonicalRv, f64) {
+        let (neg_max, t) = self.negate().stat_max(&other.negate());
+        (neg_max.negate(), t)
+    }
+}
+
+impl std::fmt::Display for CanonicalRv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "N({:.3}, {:.3}²)", self.mean, self.sd())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terse_stats::rng::Xoshiro256;
+
+    fn mc_max(
+        a: &CanonicalRv,
+        b: &CanonicalRv,
+        n: usize,
+        seed: u64,
+    ) -> (f64, f64) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let k = a.var_count();
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let draw: Vec<f64> = (0..k).map(|_| rng.next_gaussian()).collect();
+            let xa = a.sample_at(&draw, rng.next_gaussian());
+            let xb = b.sample_at(&draw, rng.next_gaussian());
+            let m = xa.max(xb);
+            sum += m;
+            sum2 += m * m;
+        }
+        let mean = sum / n as f64;
+        (mean, sum2 / n as f64 - mean * mean)
+    }
+
+    #[test]
+    fn sum_is_exact() {
+        let a = CanonicalRv::with_sensitivities(5.0, vec![1.0, 2.0], 1.0);
+        let b = CanonicalRv::with_sensitivities(3.0, vec![0.5, -1.0], 2.0);
+        let s = a.add(&b);
+        assert_eq!(s.mean(), 8.0);
+        assert_eq!(s.coeffs(), &[1.5, 1.0]);
+        assert!((s.indep() - 5f64.sqrt()).abs() < 1e-12);
+        // Var(A+B) = Var(A)+Var(B)+2Cov — check through the canonical form.
+        let want = a.variance() + b.variance() + 2.0 * a.cov(&b);
+        assert!((s.variance() - want).abs() < 1e-10);
+    }
+
+    #[test]
+    fn covariance_and_correlation() {
+        let a = CanonicalRv::with_sensitivities(0.0, vec![3.0, 0.0], 0.0);
+        let b = CanonicalRv::with_sensitivities(0.0, vec![3.0, 0.0], 0.0);
+        assert!((a.corr(&b) - 1.0).abs() < 1e-12);
+        let c = CanonicalRv::with_sensitivities(0.0, vec![0.0, 1.0], 0.0);
+        assert_eq!(a.corr(&c), 0.0);
+        let det = CanonicalRv::deterministic(1.0, 2);
+        assert_eq!(det.corr(&a), 0.0);
+    }
+
+    #[test]
+    fn clark_max_identical_independent_gaussians() {
+        // max of two iid N(0,1): mean = 1/√π, var = 1 − 1/π.
+        let a = CanonicalRv::with_sensitivities(0.0, vec![], 1.0);
+        let b = CanonicalRv::with_sensitivities(0.0, vec![], 1.0);
+        let (m, t) = a.stat_max(&b);
+        assert!((t - 0.5).abs() < 1e-12);
+        let want_mean = 1.0 / std::f64::consts::PI.sqrt();
+        assert!((m.mean() - want_mean).abs() < 1e-12, "mean = {}", m.mean());
+        let want_var = 1.0 - 1.0 / std::f64::consts::PI;
+        assert!((m.variance() - want_var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clark_max_matches_monte_carlo() {
+        let a = CanonicalRv::with_sensitivities(10.0, vec![2.0, 0.5], 1.0);
+        let b = CanonicalRv::with_sensitivities(10.5, vec![1.0, 1.5], 0.7);
+        let (m, _) = a.stat_max(&b);
+        let (mc_mean, mc_var) = mc_max(&a, &b, 200_000, 7);
+        assert!((m.mean() - mc_mean).abs() < 0.02, "{} vs {mc_mean}", m.mean());
+        assert!(
+            (m.variance() - mc_var).abs() < 0.1,
+            "{} vs {mc_var}",
+            m.variance()
+        );
+    }
+
+    #[test]
+    fn clark_max_dominating_operand() {
+        // When A ≫ B the max is A.
+        let a = CanonicalRv::with_sensitivities(100.0, vec![1.0], 0.5);
+        let b = CanonicalRv::with_sensitivities(0.0, vec![0.3], 0.5);
+        let (m, t) = a.stat_max(&b);
+        assert!((t - 1.0).abs() < 1e-9);
+        assert!((m.mean() - 100.0).abs() < 1e-6);
+        assert!((m.variance() - a.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clark_min_is_dual() {
+        let a = CanonicalRv::with_sensitivities(5.0, vec![1.0], 0.5);
+        let b = CanonicalRv::with_sensitivities(5.2, vec![0.8], 0.6);
+        let (mn, t_min) = a.stat_min(&b);
+        let (mx, _) = a.stat_max(&b);
+        // E[min] + E[max] = E[A] + E[B].
+        assert!((mn.mean() + mx.mean() - (5.0 + 5.2)).abs() < 1e-10);
+        // Tightness of min is Pr(A < B).
+        assert!((0.0..=1.0).contains(&t_min));
+        // min mean below both operand means.
+        assert!(mn.mean() <= 5.0 + 1e-12);
+    }
+
+    #[test]
+    fn perfectly_correlated_max_picks_larger_mean() {
+        let a = CanonicalRv::with_sensitivities(4.0, vec![1.0], 0.0);
+        let b = CanonicalRv::with_sensitivities(5.0, vec![1.0], 0.0);
+        let (m, t) = a.stat_max(&b);
+        assert_eq!(t, 0.0);
+        assert_eq!(m.mean(), 5.0);
+    }
+
+    #[test]
+    fn percentiles_and_prob_negative() {
+        let x = CanonicalRv::with_sensitivities(2.0, vec![1.0], 0.0);
+        assert!((x.percentile(0.5) - 2.0).abs() < 1e-9);
+        assert!(x.percentile(0.99) > x.percentile(0.01));
+        // Pr(N(2,1) < 0) = Φ(−2).
+        assert!((x.prob_negative() - std_normal_cdf(-2.0)).abs() < 1e-12);
+        let det = CanonicalRv::deterministic(-1.0, 0);
+        assert_eq!(det.prob_negative(), 1.0);
+    }
+
+    #[test]
+    fn display_shows_mean_and_sd() {
+        let x = CanonicalRv::with_sensitivities(1.0, vec![1.0], 0.0);
+        assert!(x.to_string().contains("N(1.000"));
+    }
+}

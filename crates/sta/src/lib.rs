@@ -1,0 +1,109 @@
+//! # terse-sta
+//!
+//! Static and statistical static timing analysis (STA / SSTA) over
+//! `terse-netlist` netlists — the timing engine behind the paper's
+//! Algorithm 1.
+//!
+//! The paper runs Synopsys PrimeTime for STA and replaces it with SSTA to
+//! model process variation. This crate provides the same two modes:
+//!
+//! * **Deterministic STA** ([`analysis`]): nominal gate delays from a small
+//!   normalized cell library ([`delay`]), block-based longest-path arrival
+//!   times, endpoint slacks, and exact path delays.
+//! * **SSTA** ([`variation`], [`canonical`]): gate delays become Gaussians in
+//!   *canonical first-order form* — a mean plus sensitivities to a global
+//!   variable, to quad-tree spatial-grid variables (the spatial-correlation
+//!   property the paper highlights), and an independent residual. Path
+//!   delays sum exactly; statistical max/min across paths uses Clark's
+//!   moment matching with the greedy pairwise ordering of Sinha et al.
+//!   (\[21] in the paper) implemented in [`statmin`].
+//! * **Critical-path enumeration** ([`paths`]): `CP(P_i)` — paths ending at
+//!   an endpoint in decreasing criticality — implemented lazily (best-first
+//!   search with an admissible longest-distance bound), plus the
+//!   activated-subgraph shortcut used by the fast DTA mode.
+//!
+//! # Example
+//!
+//! ```
+//! use terse_netlist::pipeline::{PipelineConfig, PipelineNetlist};
+//! use terse_sta::delay::DelayLibrary;
+//! use terse_sta::analysis::Sta;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let p = PipelineNetlist::build(PipelineConfig::default())?;
+//! let lib = DelayLibrary::normalized_45nm();
+//! let sta = Sta::new(p.netlist(), &lib);
+//! // The most critical stage of the full-width pipeline is EX (stage 3).
+//! let crit = sta.critical_stage();
+//! assert_eq!(crit, 3);
+//! # Ok(())
+//! # }
+//! ```
+
+// Numeric-kernel idioms used intentionally throughout this crate:
+// `!(x >= 0.0)` rejects NaN along with negatives, and index loops run over
+// several parallel arrays at once.
+#![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
+#![warn(missing_docs)]
+pub mod analysis;
+pub mod canonical;
+pub mod delay;
+pub mod paths;
+pub mod statmin;
+pub mod variation;
+
+pub use analysis::Sta;
+pub use canonical::CanonicalRv;
+pub use delay::{DelayLibrary, TimingConstraints};
+pub use paths::{Path, PathEnumerator};
+pub use variation::{ChipSample, VariationConfig, VariationModel};
+
+use std::fmt;
+
+/// Error type for timing analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StaError {
+    /// The referenced endpoint is not a flip-flop of the netlist.
+    NotAnEndpoint {
+        /// The gate id supplied.
+        id: u32,
+    },
+    /// A path was empty or malformed.
+    MalformedPath {
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// A numeric parameter was out of range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaError::NotAnEndpoint { id } => write!(f, "gate {id} is not an endpoint"),
+            StaError::MalformedPath { reason } => write!(f, "malformed path: {reason}"),
+            StaError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter `{name}` = {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StaError {}
+
+/// Crate-wide result alias.
+pub type Result<T, E = StaError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn error_traits() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<super::StaError>();
+    }
+}

@@ -1,0 +1,402 @@
+//! Process-variation modeling with spatially correlated gate delays.
+//!
+//! The paper stresses that its instruction error model accounts for process
+//! variation "including its spatial correlation property". We implement the
+//! classic quad-tree grid model (Agarwal-style): gate-delay variation splits
+//! into a chip-global component, spatially correlated grid components (one
+//! grid per quad-tree level — gates in the same cell share that level's
+//! variable, so physical neighbours correlate more strongly), and an
+//! independent per-gate residual:
+//!
+//! ```text
+//! D_g = d_g · (1 + σ_rel · Z_g)
+//! Z_g = √s_G·G + √(s_S/L)·Σ_ℓ C[ℓ, cell_ℓ(g)] + √s_I·R_g
+//! ```
+//!
+//! with variance shares `s_G + s_S + s_I = 1`. Every gate delay becomes a
+//! [`CanonicalRv`]; path delays and slacks stay in canonical form throughout
+//! Algorithm 1.
+
+use crate::canonical::CanonicalRv;
+use crate::{Result, StaError};
+use terse_netlist::{GateId, Netlist};
+use terse_stats::rng::Xoshiro256;
+
+/// Configuration of the variation model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationConfig {
+    /// Relative gate-delay sigma (σ/μ); 45 nm-typical is ~5 %.
+    pub sigma_rel: f64,
+    /// Number of quad-tree levels (level ℓ has `4^ℓ` cells). 3 levels give
+    /// 1 + 4 + 16 = 21 spatial variables.
+    pub levels: usize,
+    /// Variance share of the chip-global component.
+    pub share_global: f64,
+    /// Variance share of the spatially correlated component.
+    pub share_spatial: f64,
+    /// Variance share of the independent per-gate residual.
+    pub share_indep: f64,
+}
+
+impl Default for VariationConfig {
+    fn default() -> Self {
+        VariationConfig {
+            sigma_rel: 0.05,
+            levels: 3,
+            share_global: 0.3,
+            share_spatial: 0.5,
+            share_indep: 0.2,
+        }
+    }
+}
+
+impl VariationConfig {
+    /// A configuration with variation disabled (deterministic STA) — the
+    /// baseline for the spatial-correlation ablation.
+    pub fn disabled() -> Self {
+        VariationConfig {
+            sigma_rel: 0.0,
+            ..VariationConfig::default()
+        }
+    }
+
+    /// A configuration with the spatial component folded into the
+    /// independent one (no correlation) — the other ablation arm.
+    pub fn without_spatial_correlation(self) -> Self {
+        VariationConfig {
+            share_indep: self.share_indep + self.share_spatial,
+            share_spatial: 0.0,
+            ..self
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.sigma_rel >= 0.0) {
+            return Err(StaError::InvalidParameter {
+                name: "sigma_rel",
+                value: self.sigma_rel,
+            });
+        }
+        let total = self.share_global + self.share_spatial + self.share_indep;
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(StaError::InvalidParameter {
+                name: "variance shares (must sum to 1)",
+                value: total,
+            });
+        }
+        if self.levels == 0 || self.levels > 6 {
+            return Err(StaError::InvalidParameter {
+                name: "levels",
+                value: self.levels as f64,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The instantiated variation model: canonical-form delay for every gate of
+/// a netlist.
+///
+/// # Example
+/// ```
+/// use terse_netlist::pipeline::{PipelineConfig, PipelineNetlist};
+/// use terse_sta::delay::DelayLibrary;
+/// use terse_sta::variation::{VariationConfig, VariationModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = PipelineNetlist::build(PipelineConfig::small())?;
+/// let lib = DelayLibrary::normalized_45nm();
+/// let model = VariationModel::new(p.netlist(), &lib, VariationConfig::default())?;
+/// // Each gate delay is a Gaussian with ~5% relative sigma.
+/// let g = p.netlist().topo_order()[0];
+/// let d = model.gate_delay(g);
+/// assert!((d.sd() / d.mean() - 0.05).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct VariationModel {
+    config: VariationConfig,
+    var_count: usize,
+    delays: Vec<CanonicalRv>,
+}
+
+impl VariationModel {
+    /// Builds the model from a netlist, a delay library and a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::InvalidParameter`] for invalid configurations.
+    pub fn new(
+        netlist: &Netlist,
+        lib: &crate::delay::DelayLibrary,
+        config: VariationConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        let var_count = Self::shared_var_count(config.levels);
+        let sg = config.share_global.sqrt();
+        let ss = if config.levels > 0 {
+            (config.share_spatial / config.levels as f64).sqrt()
+        } else {
+            0.0
+        };
+        let si = config.share_indep.sqrt();
+        let mut delays = Vec::with_capacity(netlist.gate_count());
+        for g in netlist.gate_ids() {
+            let nom = lib.nominal(netlist, g);
+            if nom == 0.0 || config.sigma_rel == 0.0 {
+                delays.push(CanonicalRv::deterministic(nom, var_count));
+                continue;
+            }
+            let scale = nom * config.sigma_rel;
+            let mut coeffs = vec![0.0; var_count];
+            coeffs[0] = scale * sg;
+            let pos = netlist.position(g);
+            for level in 0..config.levels {
+                let idx = Self::cell_index(config.levels, level, pos.x, pos.y);
+                coeffs[idx] = scale * ss;
+            }
+            delays.push(CanonicalRv::with_sensitivities(nom, coeffs, scale * si));
+        }
+        Ok(VariationModel {
+            config,
+            var_count,
+            delays,
+        })
+    }
+
+    /// Total number of shared variables for a level count
+    /// (1 global + Σ 4^ℓ grid cells).
+    pub fn shared_var_count(levels: usize) -> usize {
+        1 + (0..levels).map(|l| 4usize.pow(l as u32)).sum::<usize>()
+    }
+
+    /// Flat shared-variable index for the quad-tree cell containing `(x, y)`
+    /// at `level`.
+    fn cell_index(levels: usize, level: usize, x: f32, y: f32) -> usize {
+        debug_assert!(level < levels);
+        let side = 1usize << level; // 2^level cells per axis
+        let cx = ((x.clamp(0.0, 0.999_99) * side as f32) as usize).min(side - 1);
+        let cy = ((y.clamp(0.0, 0.999_99) * side as f32) as usize).min(side - 1);
+        let offset = 1 + (0..level).map(|l| 4usize.pow(l as u32)).sum::<usize>();
+        offset + cy * side + cx
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> VariationConfig {
+        self.config
+    }
+
+    /// Number of shared variables in every canonical form of this model.
+    pub fn var_count(&self) -> usize {
+        self.var_count
+    }
+
+    /// The canonical delay of a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the modeled netlist.
+    pub fn gate_delay(&self, id: GateId) -> &CanonicalRv {
+        &self.delays[id.index()]
+    }
+
+    /// A deterministic zero in this model's variable space (identity for
+    /// path-delay accumulation).
+    pub fn zero(&self) -> CanonicalRv {
+        CanonicalRv::deterministic(0.0, self.var_count)
+    }
+
+    /// A deterministic constant in this model's variable space.
+    pub fn constant(&self, value: f64) -> CanonicalRv {
+        CanonicalRv::deterministic(value, self.var_count)
+    }
+
+    /// Draws one manufactured chip: a realization of all shared variables
+    /// plus a seed for the per-gate residuals.
+    pub fn sample_chip(&self, rng: &mut Xoshiro256) -> ChipSample {
+        let draw: Vec<f64> = (0..self.var_count).map(|_| rng.next_gaussian()).collect();
+        ChipSample {
+            draw,
+            indep_seed: rng.next_u64(),
+        }
+    }
+}
+
+/// A concrete manufactured-chip realization: every gate has a fixed delay.
+///
+/// Used by the Monte Carlo baseline (`terse-sim`) to validate the analytic
+/// estimator on affordable cases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipSample {
+    draw: Vec<f64>,
+    indep_seed: u64,
+}
+
+impl ChipSample {
+    /// The realized shared-variable vector.
+    pub fn shared_draw(&self) -> &[f64] {
+        &self.draw
+    }
+
+    /// The realized delay of a gate on this chip.
+    ///
+    /// The per-gate residual is derived deterministically from the chip seed
+    /// and the gate id, so repeated queries agree.
+    pub fn gate_delay(&self, model: &VariationModel, id: GateId) -> f64 {
+        let r = self.residual(id);
+        model.gate_delay(id).sample_at(&self.draw, r)
+    }
+
+    /// Evaluates an arbitrary canonical form on this chip, using `tag` to
+    /// derive the residual draw (pass the gate/path id for reproducibility).
+    pub fn eval(&self, rv: &CanonicalRv, tag: u64) -> f64 {
+        let mut h = self.indep_seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        let mut rng = Xoshiro256::seed_from_u64(h);
+        rv.sample_at(&self.draw, rng.next_gaussian())
+    }
+
+    fn residual(&self, id: GateId) -> f64 {
+        let mut h = self.indep_seed ^ (id.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        let mut rng = Xoshiro256::seed_from_u64(h);
+        rng.next_gaussian()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::DelayLibrary;
+    use terse_netlist::builder::NetlistBuilder;
+    use terse_netlist::netlist::EndpointClass;
+    use terse_netlist::GateKind;
+
+    fn two_gate_netlist(p1: (f32, f32), p2: (f32, f32)) -> (terse_netlist::Netlist, GateId, GateId) {
+        let mut b = NetlistBuilder::new(1);
+        let x = b.input("x", 0).unwrap();
+        b.set_region(p1.0, p1.1, p1.0 + 1e-4, p1.1 + 1e-4);
+        let g1 = b.gate(GateKind::Not, &[x], 0).unwrap();
+        b.set_region(p2.0, p2.1, p2.0 + 1e-4, p2.1 + 1e-4);
+        let g2 = b.gate(GateKind::Not, &[x], 0).unwrap();
+        let ff = b.flip_flop("q", EndpointClass::Data, 0).unwrap();
+        let or = b.gate(GateKind::Or, &[g1, g2], 0).unwrap();
+        b.connect_ff_input(ff, or).unwrap();
+        (b.finish().unwrap(), g1, g2)
+    }
+
+    #[test]
+    fn relative_sigma_matches_config() {
+        let (n, g1, _) = two_gate_netlist((0.1, 0.1), (0.9, 0.9));
+        let lib = DelayLibrary::normalized_45nm();
+        let m = VariationModel::new(&n, &lib, VariationConfig::default()).unwrap();
+        let d = m.gate_delay(g1);
+        assert!(d.mean() > 0.0);
+        assert!((d.sd() / d.mean() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearby_gates_correlate_more() {
+        let lib = DelayLibrary::normalized_45nm();
+        let cfg = VariationConfig::default();
+        let (n_near, a1, a2) = two_gate_netlist((0.10, 0.10), (0.12, 0.12));
+        let m_near = VariationModel::new(&n_near, &lib, cfg).unwrap();
+        let c_near = m_near.gate_delay(a1).corr(m_near.gate_delay(a2));
+        let (n_far, b1, b2) = two_gate_netlist((0.05, 0.05), (0.95, 0.95));
+        let m_far = VariationModel::new(&n_far, &lib, cfg).unwrap();
+        let c_far = m_far.gate_delay(b1).corr(m_far.gate_delay(b2));
+        assert!(
+            c_near > c_far + 0.2,
+            "near corr {c_near} should exceed far corr {c_far}"
+        );
+        // Far gates still share the global component and the level-0 cell.
+        assert!(c_far > 0.0);
+    }
+
+    #[test]
+    fn no_spatial_correlation_ablation() {
+        let lib = DelayLibrary::normalized_45nm();
+        let cfg = VariationConfig::default().without_spatial_correlation();
+        let (n, g1, g2) = two_gate_netlist((0.10, 0.10), (0.11, 0.11));
+        let m = VariationModel::new(&n, &lib, cfg).unwrap();
+        let c = m.gate_delay(g1).corr(m.gate_delay(g2));
+        // Only the global share remains: corr = share_global = 0.3.
+        assert!((c - 0.3).abs() < 1e-9, "corr = {c}");
+        // Total sigma unchanged.
+        let d = m.gate_delay(g1);
+        assert!((d.sd() / d.mean() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_variation_is_deterministic() {
+        let (n, g1, _) = two_gate_netlist((0.2, 0.2), (0.8, 0.8));
+        let lib = DelayLibrary::normalized_45nm();
+        let m = VariationModel::new(&n, &lib, VariationConfig::disabled()).unwrap();
+        assert_eq!(m.gate_delay(g1).sd(), 0.0);
+        assert!(m.gate_delay(g1).mean() > 0.0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let (n, _, _) = two_gate_netlist((0.2, 0.2), (0.8, 0.8));
+        let lib = DelayLibrary::normalized_45nm();
+        let bad_shares = VariationConfig {
+            share_global: 0.9,
+            ..VariationConfig::default()
+        };
+        assert!(VariationModel::new(&n, &lib, bad_shares).is_err());
+        let bad_levels = VariationConfig {
+            levels: 0,
+            ..VariationConfig::default()
+        };
+        assert!(VariationModel::new(&n, &lib, bad_levels).is_err());
+    }
+
+    #[test]
+    fn chip_samples_are_reproducible_and_distinct() {
+        let (n, g1, _) = two_gate_netlist((0.3, 0.3), (0.6, 0.6));
+        let lib = DelayLibrary::normalized_45nm();
+        let m = VariationModel::new(&n, &lib, VariationConfig::default()).unwrap();
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let chip1 = m.sample_chip(&mut rng);
+        let chip2 = m.sample_chip(&mut rng);
+        let d1a = chip1.gate_delay(&m, g1);
+        let d1b = chip1.gate_delay(&m, g1);
+        assert_eq!(d1a, d1b, "same chip, same gate, same delay");
+        assert_ne!(d1a, chip2.gate_delay(&m, g1));
+    }
+
+    #[test]
+    fn chip_sample_statistics_match_model() {
+        let (n, g1, _) = two_gate_netlist((0.3, 0.3), (0.6, 0.6));
+        let lib = DelayLibrary::normalized_45nm();
+        let m = VariationModel::new(&n, &lib, VariationConfig::default()).unwrap();
+        let rv = m.gate_delay(g1);
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let nchips = 20_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..nchips {
+            let chip = m.sample_chip(&mut rng);
+            let d = chip.gate_delay(&m, g1);
+            sum += d;
+            sum2 += d * d;
+        }
+        let mean = sum / nchips as f64;
+        let var = sum2 / nchips as f64 - mean * mean;
+        assert!((mean - rv.mean()).abs() / rv.mean() < 0.01);
+        assert!((var - rv.variance()).abs() / rv.variance() < 0.05);
+    }
+
+    #[test]
+    fn var_count_formula() {
+        assert_eq!(VariationModel::shared_var_count(1), 2);
+        assert_eq!(VariationModel::shared_var_count(2), 6);
+        assert_eq!(VariationModel::shared_var_count(3), 22);
+    }
+}

@@ -1,0 +1,337 @@
+//! Discrete random variables with exact moments.
+//!
+//! The paper represents error-probability distributions "as discrete random
+//! variables" whose third and fourth moments feed the Stein bound
+//! (Section 5, after Theorem 5.2). [`DiscreteRv`] is that representation:
+//! a finite support with probability weights, deduplicated and sorted.
+
+use crate::kahan::KahanSum;
+use crate::{Result, StatsError};
+
+/// A finitely supported random variable `Pr(X = xᵢ) = wᵢ`.
+///
+/// # Example
+/// ```
+/// use terse_stats::DiscreteRv;
+/// # fn main() -> Result<(), terse_stats::StatsError> {
+/// let d = DiscreteRv::new(vec![(0.0, 0.25), (1.0, 0.75)])?;
+/// assert!((d.mean() - 0.75).abs() < 1e-15);
+/// assert!((d.variance() - 0.1875).abs() < 1e-15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteRv {
+    /// Sorted, deduplicated support with positive normalized weights.
+    points: Vec<(f64, f64)>,
+}
+
+impl DiscreteRv {
+    /// Builds a discrete RV from `(value, weight)` pairs. Weights are
+    /// normalized to sum to 1; duplicate values are merged; zero-weight
+    /// points are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] if no point has positive weight, and
+    /// [`StatsError::InvalidParameter`] on negative or non-finite weights or
+    /// non-finite values.
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Self> {
+        let mut pts: Vec<(f64, f64)> = Vec::with_capacity(points.len());
+        for (x, w) in points {
+            if !x.is_finite() {
+                return Err(StatsError::InvalidParameter {
+                    name: "value",
+                    value: x,
+                    requirement: "finite",
+                });
+            }
+            if !(w >= 0.0) || !w.is_finite() {
+                return Err(StatsError::InvalidParameter {
+                    name: "weight",
+                    value: w,
+                    requirement: "finite and >= 0",
+                });
+            }
+            if w > 0.0 {
+                pts.push((x, w));
+            }
+        }
+        if pts.is_empty() {
+            return Err(StatsError::Empty {
+                what: "positively weighted support",
+            });
+        }
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Merge duplicates.
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(pts.len());
+        for (x, w) in pts {
+            match merged.last_mut() {
+                Some((px, pw)) if *px == x => *pw += w,
+                _ => merged.push((x, w)),
+            }
+        }
+        let total: f64 = merged.iter().map(|&(_, w)| w).sum();
+        for p in &mut merged {
+            p.1 /= total;
+        }
+        Ok(DiscreteRv { points: merged })
+    }
+
+    /// A point mass at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite.
+    pub fn point_mass(x: f64) -> Self {
+        assert!(x.is_finite(), "point mass requires a finite value");
+        DiscreteRv {
+            points: vec![(x, 1.0)],
+        }
+    }
+
+    /// The empirical distribution of a sample set (each sample weight `1/n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] for an empty sample set and
+    /// [`StatsError::InvalidParameter`] for non-finite samples.
+    pub fn from_samples(samples: &[f64]) -> Result<Self> {
+        DiscreteRv::new(samples.iter().map(|&x| (x, 1.0)).collect())
+    }
+
+    /// The `(value, probability)` support points, sorted by value.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of distinct support points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the support is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Expectation of an arbitrary function, `E[f(X)]`.
+    pub fn expect(&self, f: impl Fn(f64) -> f64) -> f64 {
+        let mut s = KahanSum::new();
+        for &(x, w) in &self.points {
+            s.add(w * f(x));
+        }
+        s.value()
+    }
+
+    /// The mean `E[X]`.
+    pub fn mean(&self) -> f64 {
+        self.expect(|x| x)
+    }
+
+    /// The variance `E[(X − μ)²]`.
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.expect(|x| (x - m) * (x - m)).max(0.0)
+    }
+
+    /// The standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Raw moment `E[X^k]`.
+    pub fn raw_moment(&self, k: u32) -> f64 {
+        self.expect(|x| x.powi(k as i32))
+    }
+
+    /// Central moment `E[(X − μ)^k]`.
+    pub fn central_moment(&self, k: u32) -> f64 {
+        let m = self.mean();
+        self.expect(|x| (x - m).powi(k as i32))
+    }
+
+    /// Absolute central moment `E[|X − μ|^k]`.
+    pub fn abs_central_moment(&self, k: u32) -> f64 {
+        let m = self.mean();
+        self.expect(|x| (x - m).abs().powi(k as i32))
+    }
+
+    /// CDF `Pr(X ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let mut s = KahanSum::new();
+        for &(v, w) in &self.points {
+            if v <= x {
+                s.add(w);
+            } else {
+                break;
+            }
+        }
+        s.value().min(1.0)
+    }
+
+    /// Smallest support value `q` with `Pr(X ≤ q) ≥ p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile level must be in [0,1]");
+        let mut cum = 0.0;
+        for &(v, w) in &self.points {
+            cum += w;
+            if cum >= p - 1e-15 {
+                return v;
+            }
+        }
+        self.points.last().expect("support is non-empty").0
+    }
+
+    /// Applies a deterministic transformation `Y = f(X)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` produces non-finite values.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> DiscreteRv {
+        DiscreteRv::new(self.points.iter().map(|&(x, w)| (f(x), w)).collect())
+            .expect("mapping a valid support stays valid for finite f")
+    }
+
+    /// The distribution of `X + Y` for **independent** `X`, `Y` (full
+    /// support convolution, O(|X|·|Y|)).
+    pub fn convolve(&self, other: &DiscreteRv) -> DiscreteRv {
+        let mut pts = Vec::with_capacity(self.len() * other.len());
+        for &(x, wx) in &self.points {
+            for &(y, wy) in &other.points {
+                pts.push((x + y, wx * wy));
+            }
+        }
+        DiscreteRv::new(pts).expect("product of valid supports is valid")
+    }
+
+    /// Reduces the support to at most `max_points` by merging adjacent
+    /// points, preserving total mass and (approximately) the mean.
+    pub fn compress(&self, max_points: usize) -> DiscreteRv {
+        if self.len() <= max_points || max_points == 0 {
+            return self.clone();
+        }
+        // Greedy: bucket the support into `max_points` equal-mass groups and
+        // replace each group by its conditional mean.
+        let target = 1.0 / max_points as f64;
+        let mut out: Vec<(f64, f64)> = Vec::with_capacity(max_points);
+        let mut acc_w = 0.0;
+        let mut acc_xw = 0.0;
+        for &(x, w) in &self.points {
+            acc_w += w;
+            acc_xw += x * w;
+            if acc_w >= target {
+                out.push((acc_xw / acc_w, acc_w));
+                acc_w = 0.0;
+                acc_xw = 0.0;
+            }
+        }
+        if acc_w > 0.0 {
+            out.push((acc_xw / acc_w, acc_w));
+        }
+        DiscreteRv::new(out).expect("compression preserves validity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_and_merges() {
+        let d = DiscreteRv::new(vec![(1.0, 2.0), (1.0, 2.0), (2.0, 4.0)]).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!((d.points()[0].1 - 0.5).abs() < 1e-15);
+        assert!((d.points()[1].1 - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(DiscreteRv::new(vec![]).is_err());
+        assert!(DiscreteRv::new(vec![(1.0, -0.5)]).is_err());
+        assert!(DiscreteRv::new(vec![(f64::NAN, 1.0)]).is_err());
+        assert!(DiscreteRv::new(vec![(1.0, 0.0)]).is_err()); // all-zero mass
+    }
+
+    #[test]
+    fn bernoulli_moments() {
+        let p = 0.3;
+        let d = DiscreteRv::new(vec![(0.0, 1.0 - p), (1.0, p)]).unwrap();
+        assert!((d.mean() - p).abs() < 1e-15);
+        assert!((d.variance() - p * (1.0 - p)).abs() < 1e-15);
+        // E[(X-p)^3] = p(1-p)(1-2p)
+        assert!((d.central_moment(3) - p * (1.0 - p) * (1.0 - 2.0 * p)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cdf_and_quantile_are_consistent() {
+        let d = DiscreteRv::new(vec![(1.0, 0.2), (2.0, 0.3), (3.0, 0.5)]).unwrap();
+        assert!((d.cdf(1.0) - 0.2).abs() < 1e-15);
+        assert!((d.cdf(2.5) - 0.5).abs() < 1e-15);
+        assert_eq!(d.quantile(0.1), 1.0);
+        assert_eq!(d.quantile(0.2), 1.0);
+        assert_eq!(d.quantile(0.21), 2.0);
+        assert_eq!(d.quantile(1.0), 3.0);
+    }
+
+    #[test]
+    fn convolution_of_bernoullis_is_binomial() {
+        let b = DiscreteRv::new(vec![(0.0, 0.5), (1.0, 0.5)]).unwrap();
+        let s = b.convolve(&b).convolve(&b);
+        // Binomial(3, 1/2): 1/8, 3/8, 3/8, 1/8.
+        let want = [0.125, 0.375, 0.375, 0.125];
+        for (i, &(x, w)) in s.points().iter().enumerate() {
+            assert_eq!(x, i as f64);
+            assert!((w - want[i]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn map_transforms_support() {
+        let d = DiscreteRv::new(vec![(1.0, 0.5), (2.0, 0.5)]).unwrap();
+        let sq = d.map(|x| x * x);
+        assert_eq!(sq.points()[0].0, 1.0);
+        assert_eq!(sq.points()[1].0, 4.0);
+        // Map that collapses support merges mass.
+        let c = d.map(|_| 7.0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.points()[0], (7.0, 1.0));
+    }
+
+    #[test]
+    fn compress_preserves_mass_and_mean() {
+        let pts: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, 1.0)).collect();
+        let d = DiscreteRv::new(pts).unwrap();
+        let c = d.compress(10);
+        assert!(c.len() <= 11);
+        let mass: f64 = c.points().iter().map(|&(_, w)| w).sum();
+        assert!((mass - 1.0).abs() < 1e-12);
+        assert!((c.mean() - d.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_samples_empirical() {
+        let d = DiscreteRv::from_samples(&[1.0, 1.0, 2.0, 4.0]).unwrap();
+        assert_eq!(d.len(), 3);
+        assert!((d.cdf(1.0) - 0.5).abs() < 1e-15);
+        assert!((d.mean() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn point_mass_properties() {
+        let d = DiscreteRv::point_mass(3.5);
+        assert_eq!(d.mean(), 3.5);
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.quantile(0.5), 3.5);
+    }
+
+    #[test]
+    fn expect_arbitrary_function() {
+        let d = DiscreteRv::new(vec![(0.0, 0.5), (2.0, 0.5)]).unwrap();
+        assert!((d.expect(|x| x.exp()) - (1.0 + 2.0f64.exp()) / 2.0).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,109 @@
+//! Compensated (Kahan–Babuška–Neumaier) summation.
+//!
+//! The estimator sums error probabilities over billions of weighted dynamic
+//! instructions (Eq. 10); naive accumulation loses the small addends long
+//! before the sum is finished. Every long accumulation in the workspace goes
+//! through [`KahanSum`].
+
+/// A running compensated sum (Neumaier variant, which also handles addends
+/// larger than the running sum).
+///
+/// # Example
+/// ```
+/// use terse_stats::kahan::KahanSum;
+/// let mut s = KahanSum::new();
+/// for _ in 0..10_000_000 {
+///     s.add(0.1);
+/// }
+/// assert!((s.value() - 1_000_000.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// Creates an empty sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one term.
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated value of the sum.
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+impl Extend<f64> for KahanSum {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for KahanSum {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = KahanSum::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Compensated sum of a slice.
+///
+/// # Example
+/// ```
+/// let xs = [1e16, 1.0, -1e16];
+/// assert_eq!(terse_stats::kahan::sum(&xs), 1.0);
+/// ```
+pub fn sum(xs: &[f64]) -> f64 {
+    xs.iter().copied().collect::<KahanSum>().value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_cancellation() {
+        // Naive summation returns 0 here; Neumaier recovers the 1.0.
+        let naive: f64 = [1e16, 1.0, -1e16].iter().sum();
+        assert_eq!(naive, 0.0);
+        assert_eq!(sum(&[1e16, 1.0, -1e16]), 1.0);
+    }
+
+    #[test]
+    fn many_small_terms() {
+        let mut s = KahanSum::new();
+        let n = 1_000_000;
+        for _ in 0..n {
+            s.add(1e-10);
+        }
+        let want = n as f64 * 1e-10;
+        assert!(((s.value() - want) / want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_iterator_matches_manual() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
+        let a: KahanSum = xs.iter().copied().collect();
+        let mut b = KahanSum::new();
+        for &x in &xs {
+            b.add(x);
+        }
+        assert_eq!(a.value(), b.value());
+    }
+}

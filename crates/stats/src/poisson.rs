@@ -1,0 +1,272 @@
+//! The Poisson distribution.
+//!
+//! The law of rare events (Poisson limit theorem, Le Cam \[20] in the paper)
+//! approximates the program error count — a sum of many Bernoulli indicators
+//! with small success probabilities — by a Poisson distribution (`N̄_E` in
+//! Section 5). Its CDF is evaluated through the regularized upper incomplete
+//! gamma function so that means up to ~10⁷ (billions of instructions at
+//! sub-percent error rates) remain tractable.
+
+use crate::special::{ln_gamma, reg_gamma_q};
+use crate::{Result, StatsError};
+
+/// A Poisson distribution with mean (and variance) `λ > 0`.
+///
+/// # Example
+/// ```
+/// use terse_stats::Poisson;
+/// # fn main() -> Result<(), terse_stats::StatsError> {
+/// let p = Poisson::new(3.0)?;
+/// // Pr(X = 0) = e^{-3}
+/// assert!((p.pmf(0) - (-3.0f64).exp()).abs() < 1e-14);
+/// assert!((p.cdf(1000.0) - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with the given mean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `λ` is finite and
+    /// `λ ≥ 0`. `λ = 0` is the point mass at zero.
+    pub fn new(lambda: f64) -> Result<Self> {
+        if !(lambda >= 0.0) || !lambda.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "lambda",
+                value: lambda,
+                requirement: "finite and >= 0",
+            });
+        }
+        Ok(Poisson { lambda })
+    }
+
+    /// The mean λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The mean (equal to λ).
+    pub fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The variance (equal to λ).
+    pub fn variance(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Probability mass `Pr(X = k)`, computed in log space to avoid overflow
+    /// for large `k` and `λ`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        if self.lambda == 0.0 {
+            return if k == 0 { 1.0 } else { 0.0 };
+        }
+        let kf = k as f64;
+        (kf * self.lambda.ln() - self.lambda - ln_gamma(kf + 1.0)).exp()
+    }
+
+    /// Cumulative distribution function `Pr(X ≤ k)` for real `k`
+    /// (fractional `k` floors, matching the paper's `⌊k⌋` in Eq. 14).
+    ///
+    /// Evaluated as `Q(⌊k⌋ + 1, λ)`, the regularized upper incomplete gamma
+    /// function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the incomplete-gamma evaluation fails to converge, which is
+    /// unreachable for finite `λ ≥ 0` (the iteration budget scales with
+    /// `√λ`).
+    pub fn cdf(&self, k: f64) -> f64 {
+        if k < 0.0 {
+            return 0.0;
+        }
+        if self.lambda == 0.0 {
+            return 1.0;
+        }
+        let kfl = k.floor();
+        reg_gamma_q(kfl + 1.0, self.lambda)
+            .expect("incomplete gamma converges for finite lambda")
+    }
+
+    /// Survival function `Pr(X > k)`.
+    pub fn sf(&self, k: f64) -> f64 {
+        if k < 0.0 {
+            return 1.0;
+        }
+        if self.lambda == 0.0 {
+            return 0.0;
+        }
+        let kfl = k.floor();
+        crate::special::reg_gamma_p(kfl + 1.0, self.lambda)
+            .expect("incomplete gamma converges for finite lambda")
+    }
+
+    /// Smallest `k` with `Pr(X ≤ k) ≥ p`, found by bisection on the CDF.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `0 < p < 1`.
+    pub fn quantile(&self, p: f64) -> Result<u64> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "p",
+                value: p,
+                requirement: "0 < p < 1",
+            });
+        }
+        if self.lambda == 0.0 {
+            return Ok(0);
+        }
+        // Bracket using the normal approximation then bisect.
+        let guess = self.lambda
+            + crate::special::std_normal_quantile_clamped(p) * self.lambda.sqrt();
+        let mut lo = 0u64;
+        let mut hi = (guess.max(self.lambda) * 2.0 + 20.0) as u64;
+        while self.cdf(hi as f64) < p {
+            lo = hi;
+            hi = hi.saturating_mul(2).max(hi + 16);
+        }
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.cdf(mid as f64) >= p {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Ok(lo)
+    }
+
+    /// Draws one sample using the supplied uniform variate `u ∈ (0, 1)`.
+    ///
+    /// Inversion by sequential search for small λ; normal approximation with
+    /// a local CDF search for large λ. Deterministic given `u`.
+    pub fn sample_with(&self, u: f64) -> u64 {
+        let u = u.clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON);
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        if self.lambda < 50.0 {
+            // Sequential inversion.
+            let mut k = 0u64;
+            let mut p = (-self.lambda).exp();
+            let mut cum = p;
+            while cum < u && k < 10_000 {
+                k += 1;
+                p *= self.lambda / k as f64;
+                cum += p;
+            }
+            k
+        } else {
+            self.quantile(u).unwrap_or(self.lambda as u64)
+        }
+    }
+}
+
+impl std::fmt::Display for Poisson {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Poisson({})", self.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_lambda() {
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one_small_lambda() {
+        let p = Poisson::new(4.2).unwrap();
+        let total: f64 = (0..200).map(|k| p.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_matches_pmf_partial_sums() {
+        let p = Poisson::new(7.7).unwrap();
+        let mut cum = 0.0;
+        for k in 0..40u64 {
+            cum += p.pmf(k);
+            let cdf = p.cdf(k as f64);
+            assert!((cdf - cum).abs() < 1e-11, "k={k} cdf={cdf} cum={cum}");
+        }
+    }
+
+    #[test]
+    fn cdf_floors_fractional_k() {
+        let p = Poisson::new(2.0).unwrap();
+        assert_eq!(p.cdf(3.999), p.cdf(3.0));
+        assert!(p.cdf(4.0) > p.cdf(3.999));
+    }
+
+    #[test]
+    fn cdf_large_lambda_median() {
+        // Median of Poisson(λ) ≈ λ + 1/3 − 0.02/λ; CDF at λ is close to 1/2.
+        for lam in [1e3, 1e5, 1e6] {
+            let p = Poisson::new(lam).unwrap();
+            let c = p.cdf(lam);
+            assert!((c - 0.5).abs() < 0.01, "λ={lam} cdf(λ)={c}");
+        }
+    }
+
+    #[test]
+    fn cdf_sf_complement() {
+        let p = Poisson::new(123.4).unwrap();
+        for k in [0.0, 50.0, 123.0, 200.0, 400.0] {
+            assert!((p.cdf(k) + p.sf(k) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_is_cdf_inverse() {
+        let p = Poisson::new(31.0).unwrap();
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let k = p.quantile(q).unwrap();
+            assert!(p.cdf(k as f64) >= q);
+            if k > 0 {
+                assert!(p.cdf(k as f64 - 1.0) < q);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_lambda_point_mass() {
+        let p = Poisson::new(0.0).unwrap();
+        assert_eq!(p.pmf(0), 1.0);
+        assert_eq!(p.pmf(3), 0.0);
+        assert_eq!(p.cdf(0.0), 1.0);
+        assert_eq!(p.sample_with(0.9), 0);
+    }
+
+    #[test]
+    fn sampling_mean_converges() {
+        let p = Poisson::new(9.0).unwrap();
+        let n = 20_000;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64; // stratified uniforms
+            sum += p.sample_with(u) as f64;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 9.0).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn sampling_large_lambda() {
+        let p = Poisson::new(1e4).unwrap();
+        let s = p.sample_with(0.5);
+        assert!((s as f64 - 1e4).abs() < 50.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! `basicmath` analog (MiBench automotive): Newton integer square roots and
+//! fixed-point angle conversion over an input vector, with software
+//! division — the add/mul/divide mix of the original's cubic solver and
+//! sqrt workloads.
+
+use crate::{rng_for, write_at, BenchmarkSpec, DatasetSize};
+use terse_isa::Program;
+use terse_sim::machine::Machine;
+
+/// Assembly source. Data layout: `n` (element count), `arr` (inputs),
+/// `sq` (isqrt outputs), `rad` (angle-conversion outputs).
+pub const ASM: &str = r"
+.data
+n:    .word 4
+arr:  .space 512
+sq:   .space 512
+rad:  .space 512
+.text
+main:
+    la   r20, n
+    ld   r21, r20, 0        # n
+    la   r22, arr
+    la   r23, sq
+    addi r24, r0, 0         # i
+sqrt_loop:
+    bge  r24, r21, conv_init
+    add  r5, r22, r24
+    ld   r10, r5, 0         # x
+    mv   r11, r10           # g = x
+    beq  r11, r0, sqrt_store
+newton:
+    mv   r1, r10            # x / g
+    mv   r2, r11
+    call udiv
+    add  r12, r11, r3
+    srli r12, r12, 1        # g2 = (g + x/g) / 2
+    bge  r12, r11, sqrt_store
+    mv   r11, r12
+    j    newton
+sqrt_store:
+    add  r6, r23, r24
+    st   r11, r6, 0
+    addi r24, r24, 1
+    j    sqrt_loop
+conv_init:
+    # deg -> centiradian fixed point: rad = x * 31416 / 18000
+    la   r23, rad
+    addi r24, r0, 0
+conv_loop:
+    bge  r24, r21, done
+    add  r5, r22, r24
+    ld   r10, r5, 0
+    andi r10, r10, 0x7FFF   # keep the product in signed-positive range
+    li   r7, 31416
+    mul  r1, r10, r7
+    li   r2, 18000
+    call udiv
+    add  r6, r23, r24
+    st   r3, r6, 0
+    addi r24, r24, 1
+    j    conv_loop
+done:
+    halt
+
+# unsigned restoring division: r1 / r2 -> quotient r3, remainder r4.
+# clobbers r5-r7; divisor must be nonzero.
+udiv:
+    addi r3, r0, 0
+    addi r4, r0, 0
+    addi r5, r0, 31
+udloop:
+    slli r4, r4, 1
+    srl  r6, r1, r5
+    andi r6, r6, 1
+    or   r4, r4, r6
+    slli r3, r3, 1
+    sltu r7, r4, r2
+    bne  r7, r0, udskip
+    sub  r4, r4, r2
+    ori  r3, r3, 1
+udskip:
+    addi r5, r5, -1
+    bge  r5, r0, udloop
+    ret
+";
+
+fn fill(m: &mut Machine, p: &Program, seed: u64, size: DatasetSize) {
+    let mut rng = rng_for(seed);
+    // Data variation: both the element count and the magnitude profile of
+    // the inputs change with the dataset draw.
+    let n = match size {
+        DatasetSize::Small => 8 + rng.next_below(8) as u32,
+        DatasetSize::Large => 64 + rng.next_below(64) as u32,
+    };
+    let mag_bits = 16 + rng.next_below(14) as u32; // 16..30 significant bits
+    let mask = (1u32 << mag_bits).wrapping_sub(1).max(0xFFFF);
+    let values: Vec<u32> = (0..n)
+        .map(|_| (rng.next_u64() as u32) & mask)
+        .collect();
+    write_at(m, p, "n", &[n]);
+    write_at(m, p, "arr", &values);
+}
+
+/// The benchmark spec (paper Table 2: 1,487,629,739 instructions, 86
+/// blocks).
+pub static SPEC: BenchmarkSpec = BenchmarkSpec {
+    name: "basicmath",
+    category: "automotive",
+    paper_instructions: 1_487_629_739,
+    paper_blocks: 86,
+    asm: ASM,
+    fill,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_results_are_correct() {
+        let p = SPEC.program().unwrap();
+        let mut m = Machine::new(&p, 1 << 14);
+        (SPEC.fill)(&mut m, &p, 5, DatasetSize::Small);
+        m.run(&p, 10_000_000).unwrap();
+        let n = m.dmem()[p.data_label("n").unwrap() as usize] as usize;
+        let arr = p.data_label("arr").unwrap() as usize;
+        let sq = p.data_label("sq").unwrap() as usize;
+        assert!(n > 0);
+        for i in 0..n {
+            let x = m.dmem()[arr + i] as u64;
+            let g = m.dmem()[sq + i] as u64;
+            assert!(g * g <= x, "sqrt({x}) = {g}");
+            assert!((g + 1) * (g + 1) > x, "sqrt({x}) = {g} too small");
+        }
+    }
+
+    #[test]
+    fn angle_conversion_matches_reference() {
+        let p = SPEC.program().unwrap();
+        let mut m = Machine::new(&p, 1 << 14);
+        (SPEC.fill)(&mut m, &p, 9, DatasetSize::Small);
+        m.run(&p, 10_000_000).unwrap();
+        let n = m.dmem()[p.data_label("n").unwrap() as usize] as usize;
+        let arr = p.data_label("arr").unwrap() as usize;
+        let rad = p.data_label("rad").unwrap() as usize;
+        for i in 0..n {
+            let x = (m.dmem()[arr + i] & 0x7FFF) as u64;
+            let want = (x * 31416) / 18000;
+            assert_eq!(m.dmem()[rad + i] as u64, want, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn large_input_is_heavier() {
+        let p = SPEC.program().unwrap();
+        let run = |size| {
+            let mut m = Machine::new(&p, 1 << 14);
+            (SPEC.fill)(&mut m, &p, 1, size);
+            m.run(&p, 50_000_000).unwrap()
+        };
+        assert!(run(DatasetSize::Large) > 3 * run(DatasetSize::Small));
+    }
+}

@@ -1,0 +1,231 @@
+//! `bitcount` analog (MiBench automotive): five bit-counting strategies
+//! over a word stream — the original benchmark's whole point is comparing
+//! counting methods, which gives five differently shaped inner loops
+//! (shift-heavy, branch-heavy, mask/mul SWAR, table lookups).
+
+use crate::{rng_for, write_at, BenchmarkSpec, DatasetSize};
+use terse_isa::Program;
+use terse_sim::machine::Machine;
+
+/// Assembly source. Data: `n`, `arr`, nibble `table` (16 entries), and
+/// `totals` (5 method results, which must agree).
+pub const ASM: &str = r"
+.data
+n:      .word 4
+arr:    .space 512
+table:  .word 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4
+totals: .space 8
+.text
+main:
+    la   r20, n
+    ld   r21, r20, 0
+    la   r22, arr
+    la   r23, totals
+
+    # ---- method 1: naive 32-bit shift loop -------------------------
+    addi r24, r0, 0          # i
+    addi r25, r0, 0          # total
+m1_outer:
+    bge  r24, r21, m1_done
+    add  r5, r22, r24
+    ld   r10, r5, 0
+    addi r11, r0, 0          # bit
+m1_inner:
+    srl  r12, r10, r11
+    andi r12, r12, 1
+    add  r25, r25, r12
+    addi r11, r11, 1
+    slti r13, r11, 32
+    bne  r13, r0, m1_inner
+    addi r24, r24, 1
+    j    m1_outer
+m1_done:
+    st   r25, r23, 0
+
+    # ---- method 2: Kernighan x &= x-1 ------------------------------
+    addi r24, r0, 0
+    addi r25, r0, 0
+m2_outer:
+    bge  r24, r21, m2_done
+    add  r5, r22, r24
+    ld   r10, r5, 0
+m2_inner:
+    beq  r10, r0, m2_next
+    addi r11, r10, -1
+    and  r10, r10, r11
+    addi r25, r25, 1
+    j    m2_inner
+m2_next:
+    addi r24, r24, 1
+    j    m2_outer
+m2_done:
+    st   r25, r23, 1
+
+    # ---- method 3: SWAR with multiply ------------------------------
+    addi r24, r0, 0
+    addi r25, r0, 0
+    li   r14, 0x55555555
+    li   r15, 0x33333333
+    li   r16, 0x0F0F0F0F
+    li   r17, 0x01010101
+m3_outer:
+    bge  r24, r21, m3_done
+    add  r5, r22, r24
+    ld   r10, r5, 0
+    srli r11, r10, 1
+    and  r11, r11, r14
+    sub  r10, r10, r11
+    srli r11, r10, 2
+    and  r11, r11, r15
+    and  r10, r10, r15
+    add  r10, r10, r11
+    srli r11, r10, 4
+    add  r10, r10, r11
+    and  r10, r10, r16
+    mul  r10, r10, r17
+    srli r10, r10, 24
+    add  r25, r25, r10
+    addi r24, r24, 1
+    j    m3_outer
+m3_done:
+    st   r25, r23, 2
+
+    # ---- method 4: nibble table lookups -----------------------------
+    la   r18, table
+    addi r24, r0, 0
+    addi r25, r0, 0
+m4_outer:
+    bge  r24, r21, m4_done
+    add  r5, r22, r24
+    ld   r10, r5, 0
+    addi r11, r0, 8          # 8 nibbles
+m4_inner:
+    andi r12, r10, 15
+    add  r13, r18, r12
+    ld   r12, r13, 0
+    add  r25, r25, r12
+    srli r10, r10, 4
+    addi r11, r11, -1
+    bne  r11, r0, m4_inner
+    addi r24, r24, 1
+    j    m4_outer
+m4_done:
+    st   r25, r23, 3
+
+    # ---- method 5: sparse upper/lower split ------------------------
+    addi r24, r0, 0
+    addi r25, r0, 0
+m5_outer:
+    bge  r24, r21, m5_done
+    add  r5, r22, r24
+    ld   r10, r5, 0
+    andi r11, r10, 0xFFFF    # low half via Kernighan
+m5_low:
+    beq  r11, r0, m5_high
+    addi r12, r11, -1
+    and  r11, r11, r12
+    addi r25, r25, 1
+    j    m5_low
+m5_high:
+    srli r11, r10, 16
+m5_hloop:
+    beq  r11, r0, m5_next
+    addi r12, r11, -1
+    and  r11, r11, r12
+    addi r25, r25, 1
+    j    m5_hloop
+m5_next:
+    addi r24, r24, 1
+    j    m5_outer
+m5_done:
+    st   r25, r23, 4
+
+    # ---- verify all methods agree -----------------------------------
+    ld   r10, r23, 0
+    addi r11, r0, 1
+    addi r12, r0, 1          # ok flag
+vloop:
+    slti r13, r11, 5
+    beq  r13, r0, vdone
+    add  r14, r23, r11
+    ld   r14, r14, 0
+    beq  r14, r10, vnext
+    addi r12, r0, 0
+vnext:
+    addi r11, r11, 1
+    j    vloop
+vdone:
+    st   r12, r23, 5
+    halt
+";
+
+fn fill(m: &mut Machine, p: &Program, seed: u64, size: DatasetSize) {
+    let mut rng = rng_for(seed);
+    let n = match size {
+        DatasetSize::Small => 12 + rng.next_below(8) as u32,
+        DatasetSize::Large => 90 + rng.next_below(60) as u32,
+    };
+    // Bit density varies per draw: dense words make Kernighan-style loops
+    // longer and carry chains shorter, sparse words the opposite.
+    let density = rng.next_below(3);
+    let values: Vec<u32> = (0..n)
+        .map(|_| {
+            let w = rng.next_u64() as u32;
+            match density {
+                0 => w,
+                1 => w & rng.next_u64() as u32,
+                _ => w | rng.next_u64() as u32,
+            }
+        })
+        .collect();
+    write_at(m, p, "n", &[n]);
+    write_at(m, p, "arr", &values);
+}
+
+/// The benchmark spec (paper Table 2: 589,809,283 instructions, 72 blocks).
+pub static SPEC: BenchmarkSpec = BenchmarkSpec {
+    name: "bitcount",
+    category: "automotive",
+    paper_instructions: 589_809_283,
+    paper_blocks: 72,
+    asm: ASM,
+    fill,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_methods_agree_and_match_reference() {
+        let p = SPEC.program().unwrap();
+        let mut m = Machine::new(&p, 1 << 14);
+        (SPEC.fill)(&mut m, &p, 77, DatasetSize::Small);
+        m.run(&p, 10_000_000).unwrap();
+        let n = m.dmem()[p.data_label("n").unwrap() as usize] as usize;
+        let arr = p.data_label("arr").unwrap() as usize;
+        let totals = p.data_label("totals").unwrap() as usize;
+        let want: u32 = (0..n).map(|i| m.dmem()[arr + i].count_ones()).sum();
+        for method in 0..5 {
+            assert_eq!(
+                m.dmem()[totals + method],
+                want,
+                "method {method} disagrees"
+            );
+        }
+        // The program's own agreement flag.
+        assert_eq!(m.dmem()[totals + 5], 1);
+    }
+
+    #[test]
+    fn different_seeds_give_different_counts() {
+        let p = SPEC.program().unwrap();
+        let total = |seed| {
+            let mut m = Machine::new(&p, 1 << 14);
+            (SPEC.fill)(&mut m, &p, seed, DatasetSize::Small);
+            m.run(&p, 10_000_000).unwrap();
+            m.dmem()[p.data_label("totals").unwrap() as usize]
+        };
+        assert_ne!(total(1), total(99));
+    }
+}

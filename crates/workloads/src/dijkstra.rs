@@ -1,0 +1,185 @@
+//! `dijkstra` analog (MiBench network): single-source shortest paths over
+//! an adjacency matrix with O(N²) linear selection — load/compare dominated
+//! with data-dependent branches, like the original.
+
+use crate::{rng_for, write_at, BenchmarkSpec, DatasetSize};
+use terse_isa::Program;
+use terse_sim::machine::Machine;
+
+/// Large sentinel standing in for +∞ (fits comfortably in signed compares).
+pub const INF: u32 = 0x3FFF_FFFF;
+
+/// Assembly source. Data: `nn` (node count), `adj` (row-major N×N weights,
+/// 0 = no edge), `dist` (output distances), `visited` (scratch).
+pub const ASM: &str = r"
+.data
+nn:      .word 4
+adj:     .space 1024
+dist:    .space 32
+visited: .space 32
+.text
+main:
+    la   r20, nn
+    ld   r21, r20, 0         # N
+    la   r22, adj
+    la   r23, dist
+    la   r24, visited
+    li   r25, 0x3FFFFFFF     # INF
+
+    # init dist = INF, visited = 0; dist[0] = 0
+    addi r5, r0, 0
+init:
+    bge  r5, r21, init_done
+    add  r6, r23, r5
+    st   r25, r6, 0
+    add  r6, r24, r5
+    st   r0, r6, 0
+    addi r5, r5, 1
+    j    init
+init_done:
+    st   r0, r23, 0
+
+    addi r26, r0, 0          # iteration counter
+iter:
+    bge  r26, r21, done
+    # select unvisited u with minimal dist
+    addi r10, r0, -1         # u = -1
+    mv   r11, r25            # best = INF (ties excluded below)
+    addi r5, r0, 0
+select:
+    bge  r5, r21, select_done
+    add  r6, r24, r5
+    ld   r7, r6, 0           # visited[v]
+    bne  r7, r0, select_next
+    add  r6, r23, r5
+    ld   r7, r6, 0           # dist[v]
+    bge  r7, r11, select_next
+    mv   r11, r7
+    mv   r10, r5
+select_next:
+    addi r5, r5, 1
+    j    select
+select_done:
+    # no reachable unvisited node left
+    blt  r10, r0, done
+    # mark visited
+    add  r6, r24, r10
+    addi r7, r0, 1
+    st   r7, r6, 0
+    # relax edges u -> v
+    mul  r12, r10, r21       # row base
+    addi r5, r0, 0
+relax:
+    bge  r5, r21, relax_done
+    add  r6, r22, r12
+    add  r6, r6, r5
+    ld   r7, r6, 0           # w(u, v)
+    beq  r7, r0, relax_next
+    add  r13, r11, r7        # dist[u] + w
+    add  r6, r23, r5
+    ld   r14, r6, 0
+    bge  r13, r14, relax_next
+    st   r13, r6, 0
+relax_next:
+    addi r5, r5, 1
+    j    relax
+relax_done:
+    addi r26, r26, 1
+    j    iter
+done:
+    halt
+";
+
+/// Generates a connected random graph: a ring plus random chords.
+pub fn generate_graph(seed: u64, n: usize) -> Vec<u32> {
+    let mut rng = rng_for(seed ^ 0xD13);
+    let mut adj = vec![0u32; n * n];
+    let connect = |a: usize, b: usize, w: u32, adj: &mut Vec<u32>| {
+        adj[a * n + b] = w;
+        adj[b * n + a] = w;
+    };
+    for i in 0..n {
+        let w = (rng.next_below(9) + 1) as u32;
+        connect(i, (i + 1) % n, w, &mut adj);
+    }
+    for _ in 0..n {
+        let a = rng.next_below(n as u64) as usize;
+        let b = rng.next_below(n as u64) as usize;
+        if a != b {
+            let w = (rng.next_below(9) + 1) as u32;
+            connect(a, b, w, &mut adj);
+        }
+    }
+    adj
+}
+
+fn fill(m: &mut Machine, p: &Program, seed: u64, size: DatasetSize) {
+    let mut rng = rng_for(seed ^ 0xD1A);
+    let n = match size {
+        DatasetSize::Small => 6 + rng.next_below(4) as usize,
+        DatasetSize::Large => 18 + rng.next_below(12) as usize,
+    };
+    let adj = generate_graph(seed, n);
+    write_at(m, p, "nn", &[n as u32]);
+    write_at(m, p, "adj", &adj);
+}
+
+/// The benchmark spec (paper Table 2: 254,491,123 instructions, 70 blocks).
+pub static SPEC: BenchmarkSpec = BenchmarkSpec {
+    name: "dijkstra",
+    category: "network",
+    paper_instructions: 254_491_123,
+    paper_blocks: 70,
+    asm: ASM,
+    fill,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference shortest paths.
+    fn reference(adj: &[u32], n: usize) -> Vec<u32> {
+        let mut dist = vec![INF; n];
+        let mut visited = vec![false; n];
+        dist[0] = 0;
+        for _ in 0..n {
+            let u = (0..n)
+                .filter(|&v| !visited[v] && dist[v] < INF)
+                .min_by_key(|&v| dist[v]);
+            let Some(u) = u else { break };
+            visited[u] = true;
+            for v in 0..n {
+                let w = adj[u * n + v];
+                if w > 0 && dist[u] + w < dist[v] {
+                    dist[v] = dist[u] + w;
+                }
+            }
+        }
+        dist
+    }
+
+    #[test]
+    fn distances_match_reference() {
+        let p = SPEC.program().unwrap();
+        for seed in [3u64, 8, 21] {
+            let mut m = Machine::new(&p, 1 << 14);
+            (SPEC.fill)(&mut m, &p, seed, DatasetSize::Small);
+            m.run(&p, 10_000_000).unwrap();
+            let n = m.dmem()[p.data_label("nn").unwrap() as usize] as usize;
+            let adj_base = p.data_label("adj").unwrap() as usize;
+            let dist_base = p.data_label("dist").unwrap() as usize;
+            let adj: Vec<u32> = m.dmem()[adj_base..adj_base + n * n].to_vec();
+            let want = reference(&adj, n);
+            for v in 0..n {
+                assert_eq!(
+                    m.dmem()[dist_base + v],
+                    want[v],
+                    "seed {seed}, node {v}"
+                );
+            }
+            // Ring guarantees connectivity: everything reachable.
+            assert!(want.iter().all(|&d| d < INF));
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! `ghostscript` analog (MiBench office): a stack-machine interpreter over
+//! a synthetic page program — the dispatch-loop structure (fetch opcode,
+//! branch chain, operate) of the original PostScript interpreter, which is
+//! what gives it its many basic blocks and low error rate in the paper.
+
+use crate::{rng_for, write_at, BenchmarkSpec, DatasetSize};
+use terse_isa::Program;
+use terse_sim::machine::Machine;
+
+/// Interpreter opcodes.
+pub mod op {
+    /// Stop interpretation.
+    pub const HALT: u32 = 0;
+    /// Push the next bytecode word.
+    pub const PUSH: u32 = 1;
+    /// Pop b, a; push a + b.
+    pub const ADD: u32 = 2;
+    /// Pop b, a; push a × b (low 32).
+    pub const MUL: u32 = 3;
+    /// Duplicate the top of stack.
+    pub const DUP: u32 = 4;
+    /// Swap the top two entries.
+    pub const SWAP: u32 = 5;
+    /// Pop and append to the output tape.
+    pub const EMIT: u32 = 6;
+    /// Pop counter; if nonzero, push counter−1 and jump to the bytecode
+    /// address in the next word, else skip it.
+    pub const LOOPNZ: u32 = 7;
+    /// Pop b, a; push a − b.
+    pub const SUB: u32 = 8;
+    /// Pop b, a; push a & b.
+    pub const AND: u32 = 9;
+    /// Pop b, a; push a ^ b.
+    pub const XOR: u32 = 10;
+}
+
+/// Assembly source. Data: `code` (bytecode), `stack`, `outbuf`, `outlen`.
+pub const ASM: &str = r"
+.data
+outlen: .word 0
+code:   .space 2048
+stack:  .space 256
+outbuf: .space 2048
+.text
+main:
+    la   r20, code
+    la   r21, stack
+    la   r22, outbuf
+    addi r23, r0, 0          # pc (bytecode index)
+    addi r24, r0, 0          # sp (stack depth)
+    addi r25, r0, 0          # out count
+dispatch:
+    add  r5, r20, r23
+    ld   r10, r5, 0          # opcode
+    addi r23, r23, 1
+    beq  r10, r0, vm_halt
+    addi r11, r10, -1
+    beq  r11, r0, vm_push
+    addi r11, r10, -2
+    beq  r11, r0, vm_add
+    addi r11, r10, -3
+    beq  r11, r0, vm_mul
+    addi r11, r10, -4
+    beq  r11, r0, vm_dup
+    addi r11, r10, -5
+    beq  r11, r0, vm_swap
+    addi r11, r10, -6
+    beq  r11, r0, vm_emit
+    addi r11, r10, -7
+    beq  r11, r0, vm_loopnz
+    addi r11, r10, -8
+    beq  r11, r0, vm_sub
+    addi r11, r10, -9
+    beq  r11, r0, vm_and
+    addi r11, r10, -10
+    beq  r11, r0, vm_xor
+    j    vm_halt             # unknown opcode: stop
+vm_push:
+    add  r5, r20, r23
+    ld   r12, r5, 0
+    addi r23, r23, 1
+    add  r5, r21, r24
+    st   r12, r5, 0
+    addi r24, r24, 1
+    j    dispatch
+vm_add:
+    addi r24, r24, -1
+    add  r5, r21, r24
+    ld   r12, r5, 0
+    addi r6, r24, -1
+    add  r5, r21, r6
+    ld   r13, r5, 0
+    add  r13, r13, r12
+    st   r13, r5, 0
+    j    dispatch
+vm_sub:
+    addi r24, r24, -1
+    add  r5, r21, r24
+    ld   r12, r5, 0
+    addi r6, r24, -1
+    add  r5, r21, r6
+    ld   r13, r5, 0
+    sub  r13, r13, r12
+    st   r13, r5, 0
+    j    dispatch
+vm_mul:
+    addi r24, r24, -1
+    add  r5, r21, r24
+    ld   r12, r5, 0
+    addi r6, r24, -1
+    add  r5, r21, r6
+    ld   r13, r5, 0
+    mul  r13, r13, r12
+    st   r13, r5, 0
+    j    dispatch
+vm_and:
+    addi r24, r24, -1
+    add  r5, r21, r24
+    ld   r12, r5, 0
+    addi r6, r24, -1
+    add  r5, r21, r6
+    ld   r13, r5, 0
+    and  r13, r13, r12
+    st   r13, r5, 0
+    j    dispatch
+vm_xor:
+    addi r24, r24, -1
+    add  r5, r21, r24
+    ld   r12, r5, 0
+    addi r6, r24, -1
+    add  r5, r21, r6
+    ld   r13, r5, 0
+    xor  r13, r13, r12
+    st   r13, r5, 0
+    j    dispatch
+vm_dup:
+    addi r6, r24, -1
+    add  r5, r21, r6
+    ld   r12, r5, 0
+    add  r5, r21, r24
+    st   r12, r5, 0
+    addi r24, r24, 1
+    j    dispatch
+vm_swap:
+    addi r6, r24, -1
+    add  r5, r21, r6
+    ld   r12, r5, 0
+    addi r6, r24, -2
+    add  r5, r21, r6
+    ld   r13, r5, 0
+    st   r12, r5, 0
+    addi r6, r24, -1
+    add  r5, r21, r6
+    st   r13, r5, 0
+    j    dispatch
+vm_emit:
+    addi r24, r24, -1
+    add  r5, r21, r24
+    ld   r12, r5, 0
+    add  r5, r22, r25
+    st   r12, r5, 0
+    addi r25, r25, 1
+    j    dispatch
+vm_loopnz:
+    addi r24, r24, -1
+    add  r5, r21, r24
+    ld   r12, r5, 0          # counter
+    add  r5, r20, r23
+    ld   r13, r5, 0          # jump target
+    addi r23, r23, 1
+    beq  r12, r0, dispatch   # fell to zero: continue
+    addi r12, r12, -1
+    add  r5, r21, r24
+    st   r12, r5, 0
+    addi r24, r24, 1
+    mv   r23, r13
+    j    dispatch
+vm_halt:
+    la   r5, outlen
+    st   r25, r5, 0
+    halt
+";
+
+/// Generates a terminating bytecode "page": an outer loop repeating a batch
+/// of random arithmetic, with one EMIT per iteration.
+pub fn generate_page(seed: u64, iterations: u32, body_ops: usize) -> Vec<u32> {
+    let mut rng = rng_for(seed ^ 0x6502);
+    let mut code = Vec::new();
+    code.push(op::PUSH);
+    code.push(iterations);
+    let loop_top = code.len() as u32;
+    // Body: start from the loop counter value... keep the counter at the
+    // bottom; push a working value first.
+    code.push(op::PUSH);
+    code.push(rng.next_u64() as u32 & 0xFFFF);
+    for _ in 0..body_ops {
+        match rng.next_below(6) {
+            0 => {
+                code.push(op::PUSH);
+                code.push(rng.next_u64() as u32 & 0xFFFF);
+                code.push(op::ADD);
+            }
+            1 => {
+                code.push(op::PUSH);
+                code.push(rng.next_u64() as u32 & 0xFF);
+                code.push(op::MUL);
+            }
+            2 => {
+                code.push(op::DUP);
+                code.push(op::XOR);
+            }
+            3 => {
+                code.push(op::DUP);
+                code.push(op::ADD);
+            }
+            4 => {
+                code.push(op::PUSH);
+                code.push(rng.next_u64() as u32 & 0xFFFF);
+                code.push(op::AND);
+            }
+            _ => {
+                code.push(op::PUSH);
+                code.push(rng.next_u64() as u32 & 0xFFF);
+                code.push(op::SUB);
+            }
+        }
+    }
+    code.push(op::EMIT); // consume the working value
+    code.push(op::LOOPNZ);
+    code.push(loop_top);
+    code.push(op::HALT);
+    code
+}
+
+fn fill(m: &mut Machine, p: &Program, seed: u64, size: DatasetSize) {
+    let mut rng = rng_for(seed ^ 0x9505);
+    let (iters, body) = match size {
+        DatasetSize::Small => (4 + rng.next_below(5) as u32, 5 + rng.next_below(3) as usize),
+        DatasetSize::Large => (40 + rng.next_below(40) as u32, 8 + rng.next_below(5) as usize),
+    };
+    let code = generate_page(seed, iters, body);
+    write_at(m, p, "code", &code);
+}
+
+/// The benchmark spec (paper Table 2: 743,108,760 instructions, 192 blocks).
+pub static SPEC: BenchmarkSpec = BenchmarkSpec {
+    name: "ghostscript",
+    category: "office",
+    paper_instructions: 743_108_760,
+    paper_blocks: 192,
+    asm: ASM,
+    fill,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference interpreter.
+    fn interpret(code: &[u32]) -> Vec<u32> {
+        let mut stack: Vec<u32> = Vec::new();
+        let mut out = Vec::new();
+        let mut pc = 0usize;
+        loop {
+            let opc = code[pc];
+            pc += 1;
+            match opc {
+                op::HALT => break,
+                op::PUSH => {
+                    stack.push(code[pc]);
+                    pc += 1;
+                }
+                op::ADD => {
+                    let b = stack.pop().unwrap();
+                    let a = stack.pop().unwrap();
+                    stack.push(a.wrapping_add(b));
+                }
+                op::SUB => {
+                    let b = stack.pop().unwrap();
+                    let a = stack.pop().unwrap();
+                    stack.push(a.wrapping_sub(b));
+                }
+                op::MUL => {
+                    let b = stack.pop().unwrap();
+                    let a = stack.pop().unwrap();
+                    stack.push(a.wrapping_mul(b));
+                }
+                op::AND => {
+                    let b = stack.pop().unwrap();
+                    let a = stack.pop().unwrap();
+                    stack.push(a & b);
+                }
+                op::XOR => {
+                    let b = stack.pop().unwrap();
+                    let a = stack.pop().unwrap();
+                    stack.push(a ^ b);
+                }
+                op::DUP => {
+                    let t = *stack.last().unwrap();
+                    stack.push(t);
+                }
+                op::SWAP => {
+                    let n = stack.len();
+                    stack.swap(n - 1, n - 2);
+                }
+                op::EMIT => {
+                    out.push(stack.pop().unwrap());
+                }
+                op::LOOPNZ => {
+                    let t = code[pc] as usize;
+                    pc += 1;
+                    let c = stack.pop().unwrap();
+                    if c != 0 {
+                        stack.push(c - 1);
+                        pc = t;
+                    }
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn machine_interpreter_matches_reference() {
+        let p = SPEC.program().unwrap();
+        for seed in [4u64, 9] {
+            let mut m = Machine::new(&p, 1 << 14);
+            (SPEC.fill)(&mut m, &p, seed, DatasetSize::Small);
+            let code_base = p.data_label("code").unwrap() as usize;
+            let code: Vec<u32> = m.dmem()[code_base..code_base + 256].to_vec();
+            let want = interpret(&code);
+            m.run(&p, 10_000_000).unwrap();
+            let outlen = m.dmem()[p.data_label("outlen").unwrap() as usize] as usize;
+            assert_eq!(outlen, want.len(), "seed {seed}");
+            let ob = p.data_label("outbuf").unwrap() as usize;
+            assert_eq!(&m.dmem()[ob..ob + outlen], &want[..], "seed {seed}");
+            assert!(outlen >= 4, "the page loop must run");
+        }
+    }
+
+    #[test]
+    fn page_generator_terminates() {
+        let code = generate_page(1, 100, 8);
+        let out = interpret(&code);
+        assert_eq!(out.len(), 101); // iterations + the final pass
+    }
+}

@@ -1,0 +1,184 @@
+//! `patricia` analog (MiBench network): bitwise-trie insert and lookup over
+//! random IPv4-like keys — pointer chasing with data-dependent branching
+//! and almost no arithmetic, the control-dominated extreme of the suite
+//! (the paper's lowest error rate and its 11.9 % best-case speedup).
+
+use crate::{rng_for, write_at, BenchmarkSpec, DatasetSize};
+use terse_isa::Program;
+use terse_sim::machine::Machine;
+
+/// Trie depth (bits per key).
+pub const KEY_BITS: u32 = 16;
+
+/// Assembly source. Data: `nk` (key count), `keys`, `queries`, node pool
+/// (`pool`, 2 words per node: left/right child indices; 0 = absent),
+/// `pool_next` (bump allocator), `counts` (leaf hit counters), `hits`
+/// (lookup result).
+pub const ASM: &str = r"
+.data
+nk:        .word 4
+hits:      .word 0
+pool_next: .word 2            # node 0 unused (null), node 1 = root
+keys:      .space 128
+queries:   .space 128
+counts:    .space 4096
+pool:      .space 16384
+.text
+main:
+    la   r20, nk
+    ld   r21, r20, 0
+    la   r22, keys
+    la   r23, pool
+    la   r26, pool_next
+
+    # ---- insert all keys -------------------------------------------
+    addi r24, r0, 0          # i
+ins_outer:
+    bge  r24, r21, lookup_init
+    add  r5, r22, r24
+    ld   r10, r5, 0          # key
+    addi r11, r0, 1          # cur = root node index
+    addi r12, r0, 0          # depth
+ins_walk:
+    slti r13, r12, 16
+    beq  r13, r0, ins_leaf
+    srl  r13, r10, r12
+    andi r13, r13, 1         # bit
+    slli r14, r11, 1
+    add  r14, r14, r13       # pool slot = cur*2 + bit
+    add  r15, r23, r14
+    ld   r16, r15, 0         # child
+    bne  r16, r0, ins_down
+    # allocate a node
+    ld   r16, r26, 0
+    addi r17, r16, 1
+    st   r17, r26, 0
+    st   r16, r15, 0
+ins_down:
+    mv   r11, r16
+    addi r12, r12, 1
+    j    ins_walk
+ins_leaf:
+    # bump the leaf's visit counter (indexed by leaf node id)
+    la   r15, counts
+    add  r15, r15, r11
+    ld   r16, r15, 0
+    addi r16, r16, 1
+    st   r16, r15, 0
+    addi r24, r24, 1
+    j    ins_outer
+
+    # ---- look up the query stream ------------------------------------
+lookup_init:
+    la   r22, queries
+    addi r24, r0, 0
+    addi r25, r0, 0          # hits
+lk_outer:
+    bge  r24, r21, done
+    add  r5, r22, r24
+    ld   r10, r5, 0
+    addi r11, r0, 1
+    addi r12, r0, 0
+lk_walk:
+    slti r13, r12, 16
+    beq  r13, r0, lk_hit
+    srl  r13, r10, r12
+    andi r13, r13, 1
+    slli r14, r11, 1
+    add  r14, r14, r13
+    add  r15, r23, r14
+    ld   r16, r15, 0
+    beq  r16, r0, lk_miss
+    mv   r11, r16
+    addi r12, r12, 1
+    j    lk_walk
+lk_hit:
+    addi r25, r25, 1
+lk_miss:
+    addi r24, r24, 1
+    j    lk_outer
+done:
+    la   r20, hits
+    st   r25, r20, 0
+    halt
+";
+
+fn fill(m: &mut Machine, p: &Program, seed: u64, size: DatasetSize) {
+    let mut rng = rng_for(seed ^ 0x5041); // "PA"
+    let nk = match size {
+        DatasetSize::Small => 10 + rng.next_below(6) as u32,
+        DatasetSize::Large => 24 + rng.next_below(16) as u32,
+    };
+    // Key locality varies per draw: clustered prefixes share trie paths.
+    let prefix = (rng.next_u64() as u32) & 0xF000;
+    let clustered = rng.next_below(2) == 0;
+    let keys: Vec<u32> = (0..nk)
+        .map(|_| {
+            let k = (rng.next_u64() as u32) & 0xFFFF;
+            if clustered { prefix | (k & 0x0FFF) } else { k }
+        })
+        .collect();
+    // Half the queries are inserted keys (hits), half random (likely miss).
+    let queries: Vec<u32> = (0..nk)
+        .map(|i| {
+            if i % 2 == 0 {
+                keys[(i as usize) % keys.len()]
+            } else {
+                (rng.next_u64() as u32) & 0xFFFF
+            }
+        })
+        .collect();
+    write_at(m, p, "nk", &[nk]);
+    write_at(m, p, "keys", &keys);
+    write_at(m, p, "queries", &queries);
+}
+
+/// The benchmark spec (paper Table 2: 1,167,201 instructions, 184 blocks).
+pub static SPEC: BenchmarkSpec = BenchmarkSpec {
+    name: "patricia",
+    category: "network",
+    paper_instructions: 1_167_201,
+    paper_blocks: 184,
+    asm: ASM,
+    fill,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn lookups_count_exact_hits() {
+        let p = SPEC.program().unwrap();
+        for seed in [2u64, 31] {
+            let mut m = Machine::new(&p, 1 << 16);
+            (SPEC.fill)(&mut m, &p, seed, DatasetSize::Small);
+            m.run(&p, 10_000_000).unwrap();
+            let nk = m.dmem()[p.data_label("nk").unwrap() as usize] as usize;
+            let keys_base = p.data_label("keys").unwrap() as usize;
+            let q_base = p.data_label("queries").unwrap() as usize;
+            let keys: HashSet<u32> =
+                m.dmem()[keys_base..keys_base + nk].iter().copied().collect();
+            let want = m.dmem()[q_base..q_base + nk]
+                .iter()
+                .filter(|q| keys.contains(q))
+                .count() as u32;
+            let hits = m.dmem()[p.data_label("hits").unwrap() as usize];
+            assert_eq!(hits, want, "seed {seed}");
+            assert!(hits >= (nk as u32).div_ceil(2), "planted hits missing");
+        }
+    }
+
+    #[test]
+    fn inserted_key_count_preserved() {
+        let p = SPEC.program().unwrap();
+        let mut m = Machine::new(&p, 1 << 16);
+        (SPEC.fill)(&mut m, &p, 4, DatasetSize::Small);
+        m.run(&p, 10_000_000).unwrap();
+        let nk = m.dmem()[p.data_label("nk").unwrap() as usize];
+        let counts_base = p.data_label("counts").unwrap() as usize;
+        let total: u32 = m.dmem()[counts_base..counts_base + 4096].iter().sum();
+        assert_eq!(total, nk, "every insertion reaches exactly one leaf");
+    }
+}

@@ -1,0 +1,210 @@
+//! `pgp.encode` / `pgp.decode` analogs (MiBench security): a CFB-style
+//! keystream cipher with multiplicative key mixing — the multiply/xor/rotate
+//! mix of the original's RSA/IDEA kernels, in both directions.
+//!
+//! Scheme (word-wise, LCG keystream `k`, ciphertext chaining):
+//!
+//! ```text
+//! k_{i+1} = k_i · 1103515245 + 12345
+//! c_i     = p_i ^ (k_i >> 8) ^ rotl(c_{i−1}, 3)        (c_{−1} = IV)
+//! p_i     = c_i ^ (k_i >> 8) ^ rotl(c_{i−1}, 3)
+//! ```
+
+use crate::{rng_for, write_at, BenchmarkSpec, DatasetSize};
+use terse_isa::Program;
+use terse_sim::machine::Machine;
+
+/// Shared cipher core: direction is selected by `mode` (0 = encode reads
+/// `inbuf`→`outbuf` with chaining on the *output*; 1 = decode chains on the
+/// *input*).
+pub const ASM: &str = r"
+.data
+n:     .word 4
+mode:  .word 0
+key:   .word 0x12345678
+iv:    .word 0xA5A5A5A5
+inbuf:  .space 600
+outbuf: .space 600
+.text
+main:
+    la   r20, n
+    ld   r21, r20, 0
+    la   r22, inbuf
+    la   r23, outbuf
+    la   r5, key
+    ld   r24, r5, 0          # k
+    la   r5, iv
+    ld   r25, r5, 0          # prev ciphertext
+    la   r5, mode
+    ld   r26, r5, 0          # 0 = encode, 1 = decode
+    addi r27, r0, 0          # i
+loop:
+    bge  r27, r21, done
+    # keystream word: ks = k >> 8 ; k = k*1103515245 + 12345
+    srli r10, r24, 8
+    li   r11, 1103515245
+    mul  r24, r24, r11
+    li   r11, 12345
+    add  r24, r24, r11
+    # chain = rotl(prev, 3)
+    slli r12, r25, 3
+    srli r13, r25, 29
+    or   r12, r12, r13
+    # out = in ^ ks ^ chain
+    add  r14, r22, r27
+    ld   r15, r14, 0         # in word
+    xor  r16, r15, r10
+    xor  r16, r16, r12
+    add  r14, r23, r27
+    st   r16, r14, 0
+    # prev = ciphertext: encode -> out word, decode -> in word
+    beq  r26, r0, enc_chain
+    mv   r25, r15
+    j    next
+enc_chain:
+    mv   r25, r16
+next:
+    addi r27, r27, 1
+    j    loop
+done:
+    halt
+";
+
+fn fill_encode(m: &mut Machine, p: &Program, seed: u64, size: DatasetSize) {
+    let mut rng = rng_for(seed ^ 0x9c9);
+    let n = match size {
+        DatasetSize::Small => 24 + rng.next_below(16) as u32,
+        DatasetSize::Large => 384 + rng.next_below(256) as u32,
+    };
+    let plain: Vec<u32> = (0..n).map(|_| rng.next_u64() as u32).collect();
+    write_at(m, p, "n", &[n]);
+    write_at(m, p, "mode", &[0]);
+    write_at(m, p, "key", &[rng.next_u64() as u32]);
+    write_at(m, p, "inbuf", &plain);
+}
+
+fn fill_decode(m: &mut Machine, p: &Program, seed: u64, size: DatasetSize) {
+    // Decode runs on a real ciphertext: generate a plaintext, encrypt it in
+    // Rust (same scheme), and hand the ciphertext to the program.
+    let mut rng = rng_for(seed ^ 0xDEC);
+    let n = match size {
+        DatasetSize::Small => 24 + rng.next_below(16) as u32,
+        DatasetSize::Large => 384 + rng.next_below(256) as u32,
+    };
+    let key = rng.next_u64() as u32;
+    let plain: Vec<u32> = (0..n).map(|_| rng.next_u64() as u32).collect();
+    let cipher = reference_encode(&plain, key, 0xA5A5_A5A5);
+    write_at(m, p, "n", &[n]);
+    write_at(m, p, "mode", &[1]);
+    write_at(m, p, "key", &[key]);
+    write_at(m, p, "inbuf", &cipher);
+}
+
+/// Reference encoder (shared by tests and the decode input generator).
+pub fn reference_encode(plain: &[u32], key: u32, iv: u32) -> Vec<u32> {
+    let mut k = key;
+    let mut prev = iv;
+    plain
+        .iter()
+        .map(|&pw| {
+            let ks = k >> 8;
+            k = k.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+            let c = pw ^ ks ^ prev.rotate_left(3);
+            prev = c;
+            c
+        })
+        .collect()
+}
+
+/// The encode spec (paper Table 2: 782,002,182 instructions, 49 blocks).
+pub static ENCODE_SPEC: BenchmarkSpec = BenchmarkSpec {
+    name: "pgp.encode",
+    category: "security",
+    paper_instructions: 782_002_182,
+    paper_blocks: 49,
+    asm: ASM,
+    fill: fill_encode,
+};
+
+/// The decode spec (paper Table 2: 212,201,598 instructions, 56 blocks).
+pub static DECODE_SPEC: BenchmarkSpec = BenchmarkSpec {
+    name: "pgp.decode",
+    category: "security",
+    paper_instructions: 212_201_598,
+    paper_blocks: 56,
+    asm: ASM,
+    fill: fill_decode,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_spec(spec: &BenchmarkSpec, seed: u64) -> (Vec<u32>, Vec<u32>, Machine, Program) {
+        let p = spec.program().unwrap();
+        let mut m = Machine::new(&p, 1 << 14);
+        (spec.fill)(&mut m, &p, seed, DatasetSize::Small);
+        let n = m.dmem()[p.data_label("n").unwrap() as usize] as usize;
+        let inb = p.data_label("inbuf").unwrap() as usize;
+        let input: Vec<u32> = m.dmem()[inb..inb + n].to_vec();
+        m.run(&p, 10_000_000).unwrap();
+        let outb = p.data_label("outbuf").unwrap() as usize;
+        let output: Vec<u32> = m.dmem()[outb..outb + n].to_vec();
+        (input, output, m, p)
+    }
+
+    #[test]
+    fn encode_matches_reference() {
+        let (plain, cipher, m, p) = run_spec(&ENCODE_SPEC, 5);
+        let key0 = {
+            // The key cell still holds the *initial* key? No — the program
+            // reads it into a register; the cell is untouched.
+            m.dmem()[p.data_label("key").unwrap() as usize]
+        };
+        let want = reference_encode(&plain, key0, 0xA5A5_A5A5);
+        assert_eq!(cipher, want);
+        // The cipher is not trivially the plaintext.
+        assert_ne!(cipher, plain);
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        let p = DECODE_SPEC.program().unwrap();
+        let mut m = Machine::new(&p, 1 << 14);
+        (DECODE_SPEC.fill)(&mut m, &p, 5, DatasetSize::Small);
+        // Reconstruct the expected plaintext from the generated inputs.
+        let n = m.dmem()[p.data_label("n").unwrap() as usize] as usize;
+        let key = m.dmem()[p.data_label("key").unwrap() as usize];
+        let inb = p.data_label("inbuf").unwrap() as usize;
+        let cipher: Vec<u32> = m.dmem()[inb..inb + n].to_vec();
+        m.run(&p, 10_000_000).unwrap();
+        let outb = p.data_label("outbuf").unwrap() as usize;
+        let decoded: Vec<u32> = m.dmem()[outb..outb + n].to_vec();
+        // Round trip: re-encoding the decoded text gives the ciphertext.
+        assert_eq!(reference_encode(&decoded, key, 0xA5A5_A5A5), cipher);
+    }
+
+    #[test]
+    fn machine_encode_then_machine_decode_roundtrip() {
+        // Full in-machine round trip using the mode switch.
+        let p = ENCODE_SPEC.program().unwrap();
+        let mut m = Machine::new(&p, 1 << 14);
+        (ENCODE_SPEC.fill)(&mut m, &p, 11, DatasetSize::Small);
+        let n = m.dmem()[p.data_label("n").unwrap() as usize] as usize;
+        let key = m.dmem()[p.data_label("key").unwrap() as usize];
+        let inb = p.data_label("inbuf").unwrap() as usize;
+        let plain: Vec<u32> = m.dmem()[inb..inb + n].to_vec();
+        m.run(&p, 10_000_000).unwrap();
+        let outb = p.data_label("outbuf").unwrap() as usize;
+        let cipher: Vec<u32> = m.dmem()[outb..outb + n].to_vec();
+        // Second machine: decode.
+        let mut m2 = Machine::new(&p, 1 << 14);
+        crate::write_at(&mut m2, &p, "n", &[n as u32]);
+        crate::write_at(&mut m2, &p, "mode", &[1]);
+        crate::write_at(&mut m2, &p, "key", &[key]);
+        crate::write_at(&mut m2, &p, "inbuf", &cipher);
+        m2.run(&p, 10_000_000).unwrap();
+        let decoded: Vec<u32> = m2.dmem()[outb..outb + n].to_vec();
+        assert_eq!(decoded, plain);
+    }
+}

@@ -1,0 +1,121 @@
+//! `tiff2bw` analog (MiBench consumer): RGB → luminance conversion over a
+//! packed pixel buffer — the multiply-accumulate inner loop of the original
+//! image converter.
+
+use crate::{rng_for, write_at, BenchmarkSpec, DatasetSize};
+use terse_isa::Program;
+use terse_sim::machine::Machine;
+
+/// Assembly source. Data: `npix`, packed `pixels` (0x00RRGGBB), `gray`
+/// output (one luminance byte per word), `hist` (16-bin brightness
+/// histogram — the original accumulates statistics too).
+pub const ASM: &str = r"
+.data
+npix:   .word 4
+pixels: .space 700
+gray:   .space 700
+hist:   .space 16
+.text
+main:
+    la   r20, npix
+    ld   r21, r20, 0
+    la   r22, pixels
+    la   r23, gray
+    la   r28, hist
+    addi r24, r0, 0
+loop:
+    bge  r24, r21, done
+    add  r5, r22, r24
+    ld   r10, r5, 0
+    # unpack channels
+    andi r11, r10, 0xFF      # B
+    srli r12, r10, 8
+    andi r12, r12, 0xFF      # G
+    srli r13, r10, 16
+    andi r13, r13, 0xFF      # R
+    # gray = (77·R + 150·G + 29·B) >> 8  (ITU-601 weights)
+    addi r14, r0, 77
+    mul  r14, r13, r14
+    addi r15, r0, 150
+    mul  r15, r12, r15
+    add  r14, r14, r15
+    addi r15, r0, 29
+    mul  r15, r11, r15
+    add  r14, r14, r15
+    srli r14, r14, 8
+    add  r5, r23, r24
+    st   r14, r5, 0
+    # histogram bin = gray >> 4
+    srli r15, r14, 4
+    add  r16, r28, r15
+    ld   r17, r16, 0
+    addi r17, r17, 1
+    st   r17, r16, 0
+    addi r24, r24, 1
+    j    loop
+done:
+    halt
+";
+
+fn fill(m: &mut Machine, p: &Program, seed: u64, size: DatasetSize) {
+    let mut rng = rng_for(seed ^ 0x71FF);
+    let n = match size {
+        DatasetSize::Small => 36 + rng.next_below(24) as u32,
+        DatasetSize::Large => 480 + rng.next_below(320) as u32,
+    };
+    // Exposure varies per draw (dark frames have short mul operands).
+    let shift = rng.next_below(3) as u32;
+    let pixels: Vec<u32> = (0..n)
+        .map(|_| {
+            let p = rng.next_u64() as u32 & 0x00FF_FFFF;
+            (p >> shift) & 0x00FF_FFFF
+        })
+        .collect();
+    write_at(m, p, "npix", &[n]);
+    write_at(m, p, "pixels", &pixels);
+}
+
+/// The benchmark spec (paper Table 2: 670,620,091 instructions, 174 blocks).
+pub static SPEC: BenchmarkSpec = BenchmarkSpec {
+    name: "tiff2bw",
+    category: "consumer",
+    paper_instructions: 670_620_091,
+    paper_blocks: 174,
+    asm: ASM,
+    fill,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luminance_matches_reference() {
+        let p = SPEC.program().unwrap();
+        let mut m = Machine::new(&p, 1 << 14);
+        (SPEC.fill)(&mut m, &p, 13, DatasetSize::Small);
+        m.run(&p, 10_000_000).unwrap();
+        let n = m.dmem()[p.data_label("npix").unwrap() as usize] as usize;
+        let px = p.data_label("pixels").unwrap() as usize;
+        let gy = p.data_label("gray").unwrap() as usize;
+        for i in 0..n {
+            let v = m.dmem()[px + i];
+            let (r, g, b) = (v >> 16 & 0xFF, v >> 8 & 0xFF, v & 0xFF);
+            let want = (77 * r + 150 * g + 29 * b) >> 8;
+            assert_eq!(m.dmem()[gy + i], want, "pixel {i} = {v:#08x}");
+            assert!(want < 256);
+        }
+    }
+
+    #[test]
+    fn histogram_sums_to_pixel_count() {
+        let p = SPEC.program().unwrap();
+        let mut m = Machine::new(&p, 1 << 14);
+        (SPEC.fill)(&mut m, &p, 14, DatasetSize::Small);
+        m.run(&p, 10_000_000).unwrap();
+        let n = m.dmem()[p.data_label("npix").unwrap() as usize];
+        let h = p.data_label("hist").unwrap() as usize;
+        let total: u32 = m.dmem()[h..h + 16].iter().sum();
+        assert_eq!(total, n);
+    }
+}

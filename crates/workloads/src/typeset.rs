@@ -1,0 +1,141 @@
+//! `typeset` analog (MiBench consumer): greedy line breaking with quadratic
+//! badness — the accumulate/compare/square pattern of a paragraph
+//! typesetter's inner loop.
+
+use crate::{rng_for, write_at, BenchmarkSpec, DatasetSize};
+use terse_isa::Program;
+use terse_sim::machine::Machine;
+
+/// Assembly source. Data: `nw` (word count), `limit` (line width),
+/// `widths` (word widths), outputs `lines` and `badness`
+/// (Σ (limit − used)² over finished lines).
+pub const ASM: &str = r"
+.data
+nw:      .word 4
+limit:   .word 72
+lines:   .word 0
+badness: .word 0
+widths:  .space 600
+.text
+main:
+    la   r20, nw
+    ld   r21, r20, 0
+    la   r5, limit
+    ld   r22, r5, 0          # W
+    la   r23, widths
+    addi r24, r0, 0          # i
+    addi r25, r0, 0          # used width on current line
+    addi r26, r0, 0          # lines
+    addi r27, r0, 0          # badness
+loop:
+    bge  r24, r21, flush
+    add  r5, r23, r24
+    ld   r10, r5, 0          # w_i
+    # candidate = used + w (+1 space if line non-empty)
+    beq  r25, r0, no_space
+    addi r11, r25, 1
+    j    have_sep
+no_space:
+    mv   r11, r25
+have_sep:
+    add  r11, r11, r10
+    bge  r22, r11, fits
+    # break line: badness += (W - used)^2
+    sub  r12, r22, r25
+    mul  r12, r12, r12
+    add  r27, r27, r12
+    addi r26, r26, 1
+    mv   r25, r10            # word starts the new line
+    j    next
+fits:
+    mv   r25, r11
+next:
+    addi r24, r24, 1
+    j    loop
+flush:
+    beq  r25, r0, done
+    sub  r12, r22, r25
+    mul  r12, r12, r12
+    add  r27, r27, r12
+    addi r26, r26, 1
+done:
+    la   r5, lines
+    st   r26, r5, 0
+    la   r5, badness
+    st   r27, r5, 0
+    halt
+";
+
+fn fill(m: &mut Machine, p: &Program, seed: u64, size: DatasetSize) {
+    let mut rng = rng_for(seed ^ 0x7859);
+    let n = match size {
+        DatasetSize::Small => 32 + rng.next_below(16) as u32,
+        DatasetSize::Large => 420 + rng.next_below(280) as u32,
+    };
+    // Vocabulary profile varies per draw (long-word documents break more).
+    let max_w = 8 + rng.next_below(10); // widths 2..=max_w
+    let widths: Vec<u32> = (0..n).map(|_| (rng.next_below(max_w) + 2) as u32).collect();
+    write_at(m, p, "nw", &[n]);
+    write_at(m, p, "widths", &widths);
+    write_at(m, p, "limit", &[60 + rng.next_below(40) as u32]);
+}
+
+/// The benchmark spec (paper Table 2: 66,490,215 instructions, 69 blocks).
+pub static SPEC: BenchmarkSpec = BenchmarkSpec {
+    name: "typeset",
+    category: "consumer",
+    paper_instructions: 66_490_215,
+    paper_blocks: 69,
+    asm: ASM,
+    fill,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(widths: &[u32], limit: u32) -> (u32, u32) {
+        let (mut used, mut lines, mut badness) = (0u32, 0u32, 0u32);
+        for &w in widths {
+            let cand = if used == 0 { w } else { used + 1 + w };
+            if cand <= limit {
+                used = cand;
+            } else {
+                badness += (limit - used) * (limit - used);
+                lines += 1;
+                used = w;
+            }
+        }
+        if used > 0 {
+            badness += (limit - used) * (limit - used);
+            lines += 1;
+        }
+        (lines, badness)
+    }
+
+    #[test]
+    fn line_breaking_matches_reference() {
+        let p = SPEC.program().unwrap();
+        for seed in [1u64, 17, 40] {
+            let mut m = Machine::new(&p, 1 << 14);
+            (SPEC.fill)(&mut m, &p, seed, DatasetSize::Small);
+            m.run(&p, 10_000_000).unwrap();
+            let n = m.dmem()[p.data_label("nw").unwrap() as usize] as usize;
+            let wbase = p.data_label("widths").unwrap() as usize;
+            let widths: Vec<u32> = m.dmem()[wbase..wbase + n].to_vec();
+            let limit = m.dmem()[p.data_label("limit").unwrap() as usize];
+            let (lines, badness) = reference(&widths, limit);
+            assert_eq!(
+                m.dmem()[p.data_label("lines").unwrap() as usize],
+                lines,
+                "seed {seed}"
+            );
+            assert_eq!(
+                m.dmem()[p.data_label("badness").unwrap() as usize],
+                badness,
+                "seed {seed}"
+            );
+            assert!(lines >= 2, "paragraph should span multiple lines");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Runs the 12 MiBench-analog benchmarks through the framework and prints
+//! a compact Table-2-style summary — the paper's evaluation in one command.
+//!
+//! ```text
+//! cargo run --release -p terse --example benchmark_suite [small|large]
+//! ```
+
+use terse::{Framework, Report};
+use terse_workloads::DatasetSize;
+
+fn main() -> Result<(), terse::TerseError> {
+    let size = match std::env::args().nth(1).as_deref() {
+        Some("small") => DatasetSize::Small,
+        _ => DatasetSize::Large,
+    };
+    let samples = 4;
+    let framework = Framework::builder().samples(samples).build()?;
+    println!("{}", Report::table2_header());
+    for spec in terse_workloads::all() {
+        let workload = spec.workload(size, samples, 0xDAC19)?;
+        let report = framework.run(&workload)?;
+        println!("{}", report.table2_row());
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Bring your own program: assemble a TERSE-32 source file (path as the
+//! first argument, or an embedded demo), inspect its CFG, and estimate its
+//! error-rate distribution.
+//!
+//! ```text
+//! cargo run --release -p terse --example custom_program [program.s]
+//! ```
+
+use terse::{Framework, Workload};
+use terse_isa::{disassemble, Cfg};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => {
+            // Embedded demo: iterative Fibonacci.
+            String::from(
+                r"
+.data
+n:    .word 30
+out:  .word 0
+.text
+main:
+    la   r1, n
+    ld   r1, r1, 0
+    addi r2, r0, 0          # fib(i)
+    addi r3, r0, 1          # fib(i+1)
+loop:
+    beq  r1, r0, done
+    add  r4, r2, r3
+    mv   r2, r3
+    mv   r3, r4
+    addi r1, r1, -1
+    j    loop
+done:
+    la   r5, out
+    st   r2, r5, 0
+    halt
+",
+            )
+        }
+    };
+    let workload = Workload::from_asm("custom", &source)?;
+    println!("## disassembly\n{}", disassemble(workload.program()));
+    let cfg = Cfg::from_program(workload.program());
+    println!("## control-flow graph ({} blocks)", cfg.len());
+    for b in cfg.blocks() {
+        let succs: Vec<String> = cfg.successors(b.id).iter().map(|s| s.to_string()).collect();
+        println!(
+            "  {}: instructions {}..{} -> [{}]",
+            b.id,
+            b.start,
+            b.end,
+            succs.join(", ")
+        );
+    }
+    let framework = Framework::builder().samples(2).build()?;
+    let report = framework.run(&workload)?;
+    println!(
+        "\nerror rate: {:.4}% ± {:.4}%  (λ = {:.3} over {:.0} instructions)",
+        report.estimate.mean_error_rate_percent(),
+        report.estimate.sd_error_rate_percent(),
+        report.estimate.lambda.mean(),
+        report.dynamic_instructions
+    );
+    let median = report.estimate.rate_cdf(report.estimate.mean_error_rate())?;
+    println!(
+        "P(rate <= mean) = {:.3} (bounds [{:.3}, {:.3}])",
+        median.nominal, median.lower, median.upper
+    );
+    Ok(())
+}

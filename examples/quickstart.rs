@@ -1,0 +1,86 @@
+//! Quickstart: estimate the timing-error rate of a small program on the
+//! timing-speculative pipeline, print the distribution and what it means
+//! for performance.
+//!
+//! ```text
+//! cargo run --release -p terse --example quickstart
+//! ```
+
+use terse::{Framework, TsPerformanceModel, Workload};
+
+fn main() -> Result<(), terse::TerseError> {
+    // 1. Build the framework: the synthetic 6-stage pipeline netlist, its
+    //    SSTA-derived operating point, and the paper's replay-at-half-
+    //    frequency correction scheme.
+    let framework = Framework::builder().samples(4).build()?;
+    let op = framework.operating_point();
+    println!(
+        "operating point: sign-off {:.0} ps, first failure {:.0} ps ({:.2}x), working {:.0} ps ({:.2}x)",
+        op.signoff_period,
+        op.first_failure_period,
+        op.first_failure_factor(),
+        op.working_period,
+        op.config.overclock
+    );
+
+    // 2. A workload: TERSE-32 assembly plus input datasets. This one sums
+    //    squares — the multiply and the accumulating adds exercise
+    //    value-dependent timing paths.
+    let workload = Workload::from_asm(
+        "sum-of-squares",
+        r"
+            ld   r1, r0, 0          # n  (from the input dataset)
+            addi r2, r0, 0          # acc
+        loop:
+            mul  r3, r1, r1
+            add  r2, r2, r3
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            st   r2, r0, 1
+            halt
+        ",
+    )?
+    .with_input(|m| m.store(0, 900).expect("in-range store"))
+    .with_input(|m| m.store(0, 1300).expect("in-range store"))
+    .with_input(|m| m.store(0, 1100).expect("in-range store"))
+    .with_input(|m| m.store(0, 700).expect("in-range store"));
+
+    // 3. Run the full pipeline: profile → characterize → estimate.
+    let report = framework.run(&workload)?;
+    let est = &report.estimate;
+    println!(
+        "\n{} — {} static instructions, {} basic blocks, {:.0} dynamic instructions",
+        report.name, report.static_instructions, report.basic_blocks, report.dynamic_instructions
+    );
+    println!(
+        "error rate: {:.4}% ± {:.4}%   (λ = {:.2} expected errors)",
+        est.mean_error_rate_percent(),
+        est.sd_error_rate_percent(),
+        est.lambda.mean()
+    );
+    println!(
+        "approximation bounds: d_K(λ,λ̄) = {:.2e}, d_K(R_E,R̄_E) = {:.4}",
+        est.dk_lambda, est.dk_count
+    );
+
+    // 4. The error-rate CDF with its certified envelope (Figure 3 style),
+    //    and what the rate means for TS-processor performance.
+    let perf = TsPerformanceModel::paper_default();
+    println!("\n{:>10} {:>8} {:>8} {:>8} {:>10}", "rate%", "lower", "nominal", "upper", "perf%");
+    for pt in est.rate_cdf_series(9, 3.0, perf)? {
+        println!(
+            "{:>10.4} {:>8.3} {:>8.3} {:>8.3} {:>+10.2}",
+            pt.rate * 100.0,
+            pt.lower,
+            pt.nominal,
+            pt.upper,
+            pt.improvement_percent
+        );
+    }
+    println!(
+        "\ntiming speculation pays off below ε* = {:.3}% (crossover of the {}-cycle penalty)",
+        perf.crossover_rate() * 100.0,
+        perf.penalty_cycles
+    );
+    Ok(())
+}

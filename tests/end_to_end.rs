@@ -1,0 +1,124 @@
+//! Cross-crate integration tests: the full estimation pipeline from
+//! assembly source to bounded error-rate distribution.
+
+use terse::{Framework, Workload};
+use terse_sim::profile::Profiler;
+
+fn small_framework(samples: usize) -> Framework {
+    Framework::builder()
+        .samples(samples)
+        .profiler(Profiler {
+            max_feature_samples: 16,
+            budget: 2_000_000,
+            dmem_words: 1 << 16,
+            seed: 99,
+        })
+        .build()
+        .expect("framework builds")
+}
+
+fn demo_workload() -> Workload {
+    Workload::from_asm(
+        "demo",
+        r"
+            ld   r1, r0, 0
+            addi r2, r0, 0
+        loop:
+            mul  r3, r1, r1
+            add  r2, r2, r3
+            sub  r4, r2, r1
+            srli r5, r4, 3
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            st   r2, r0, 1
+            halt
+        ",
+    )
+    .expect("assembles")
+    .with_input(|m| m.store(0, 60).expect("store"))
+    .with_input(|m| m.store(0, 85).expect("store"))
+}
+
+#[test]
+fn full_pipeline_produces_coherent_report() {
+    let fw = small_framework(2);
+    let report = fw.run(&demo_workload()).expect("run succeeds");
+    let est = &report.estimate;
+    // Basic coherence.
+    assert!(report.basic_blocks >= 3);
+    assert!(report.dynamic_instructions > 100.0);
+    assert!(est.lambda.mean() >= 0.0);
+    assert!((0.0..=1.0).contains(&est.mean_error_rate()));
+    assert!(est.sd_error_rate() >= 0.0);
+    assert!((0.0..=1.0).contains(&est.dk_count));
+    assert!((0.0..=1.0).contains(&est.dk_lambda));
+    // CDF sanity: monotone, bounded, bracketed.
+    let mut prev = -1.0;
+    for i in 0..=10 {
+        let rate = est.mean_error_rate() * 2.0 * i as f64 / 10.0;
+        let b = est.rate_cdf(rate).expect("cdf evaluates");
+        assert!(b.lower <= b.nominal + 1e-9 && b.nominal <= b.upper + 1e-9);
+        assert!(b.nominal >= prev - 1e-9, "cdf must be monotone");
+        prev = b.nominal;
+    }
+    // Far right tail saturates.
+    assert!(est.rate_cdf(1.0).expect("cdf").nominal > 0.999);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let fw = small_framework(2);
+    let r1 = fw.run(&demo_workload()).expect("first run");
+    let r2 = fw.run(&demo_workload()).expect("second run");
+    assert_eq!(
+        r1.estimate.lambda.samples(),
+        r2.estimate.lambda.samples(),
+        "identical seeds must give identical λ samples"
+    );
+    assert_eq!(r1.estimate.dk_count, r2.estimate.dk_count);
+    assert_eq!(r1.estimate.dk_lambda, r2.estimate.dk_lambda);
+}
+
+#[test]
+fn instruction_scaling_preserves_rate() {
+    let fw = small_framework(2);
+    let base = fw.run(&demo_workload()).expect("unscaled run");
+    let scaled_workload = demo_workload().with_target_instructions(50_000_000);
+    let scaled = fw.run(&scaled_workload).expect("scaled run");
+    assert!((scaled.dynamic_instructions - 5e7).abs() < 1.0);
+    let (a, b) = (
+        base.estimate.mean_error_rate(),
+        scaled.estimate.mean_error_rate(),
+    );
+    assert!(
+        (a - b).abs() <= a * 0.02 + 1e-12,
+        "scaling e_i must not change the rate: {a} vs {b}"
+    );
+    assert!(scaled.estimate.lambda.mean() > base.estimate.lambda.mean() * 100.0);
+}
+
+#[test]
+fn report_row_formats() {
+    let fw = small_framework(2);
+    let report = fw.run(&demo_workload()).expect("run");
+    let row = report.table2_row();
+    assert!(row.contains("demo"));
+    assert!(!terse::Report::table2_header().is_empty());
+}
+
+#[test]
+fn three_representative_benchmarks_run_small() {
+    let fw = small_framework(2);
+    for name in ["typeset", "gsm.encode", "dijkstra"] {
+        let spec = terse_workloads::by_name(name).expect("registered");
+        let w = spec
+            .workload(terse_workloads::DatasetSize::Small, 2, 0xA11CE)
+            .expect("workload");
+        let report = fw.run(&w).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            (0.0..=0.2).contains(&report.estimate.mean_error_rate()),
+            "{name} rate {} out of sane range",
+            report.estimate.mean_error_rate()
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Validates the analytic estimator against Monte Carlo error injection —
+//! the ground-truth comparison the paper could not afford (Section 5 notes
+//! its baseline simulator was too slow; ours is not, on scaled kernels).
+
+use terse::{Framework, Workload};
+use terse_isa::Cfg;
+use terse_sim::monte_carlo::{self, MonteCarloConfig};
+
+/// A kernel with enough timing exposure for a measurable error rate.
+fn kernel() -> Workload {
+    Workload::from_asm(
+        "mc-kernel",
+        r"
+            ld   r1, r0, 0
+            li   r6, 0x00FFFFFF
+        loop:
+            add  r2, r2, r6
+            mul  r3, r1, r2
+            sub  r4, r3, r2
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            halt
+        ",
+    )
+    .expect("assembles")
+    .with_input(|m| m.store(0, 40).expect("store"))
+    .with_input(|m| m.store(0, 55).expect("store"))
+}
+
+#[test]
+fn analytic_lambda_matches_monte_carlo_mean() {
+    let samples = 2;
+    let fw = Framework::builder().samples(samples).build().expect("framework");
+    let w = kernel();
+    let cfg = Cfg::from_program(w.program());
+    let profiles = fw.profile_workload(&w, &cfg).expect("profiles");
+    let model = fw.train_model(&w, &cfg, &profiles).expect("model");
+    let estimate = fw.estimate(&w, &cfg, &profiles, &model).expect("estimate");
+
+    let chips = fw.sample_chips(48, 0xBEEF).expect("chips");
+    let counts = monte_carlo::error_counts(
+        w.program(),
+        &model,
+        &chips,
+        samples,
+        fw.correction(),
+        |idx, m| {
+            m.store(0, if idx == 0 { 40 } else { 55 }).expect("store");
+        },
+        MonteCarloConfig::default(),
+    )
+    .expect("monte carlo");
+    let pooled = monte_carlo::pooled_counts(&counts);
+    let mc_mean = pooled.iter().sum::<u64>() as f64 / pooled.len() as f64;
+    let analytic = estimate.lambda.mean();
+    // The analytic λ and the MC mean must agree within MC noise plus model
+    // coarseness (the datapath model bins features; MC replays exact
+    // sequences — a ~35% band is the honest tolerance at this kernel size).
+    let tol = (analytic.max(mc_mean) * 0.35).max(1.5);
+    assert!(
+        (analytic - mc_mean).abs() < tol,
+        "analytic λ {analytic} vs MC mean {mc_mean} (tolerance {tol})"
+    );
+    assert!(mc_mean > 0.0, "the kernel must actually err at this operating point");
+}
+
+#[test]
+fn estimate_cdf_brackets_monte_carlo_cdf() {
+    let samples = 2;
+    let fw = Framework::builder().samples(samples).build().expect("framework");
+    let w = kernel();
+    let cfg = Cfg::from_program(w.program());
+    let profiles = fw.profile_workload(&w, &cfg).expect("profiles");
+    let model = fw.train_model(&w, &cfg, &profiles).expect("model");
+    let estimate = fw.estimate(&w, &cfg, &profiles, &model).expect("estimate");
+
+    let chips = fw.sample_chips(64, 0xF00D).expect("chips");
+    let counts = monte_carlo::error_counts(
+        w.program(),
+        &model,
+        &chips,
+        samples,
+        fw.correction(),
+        |idx, m| {
+            m.store(0, if idx == 0 { 40 } else { 55 }).expect("store");
+        },
+        MonteCarloConfig::default(),
+    )
+    .expect("monte carlo");
+    let pooled = monte_carlo::pooled_counts(&counts);
+    let n = pooled.len() as f64;
+    let max_k = pooled.iter().copied().max().unwrap_or(1);
+    let mut inside = 0usize;
+    let mut total = 0usize;
+    for k in 0..=max_k {
+        let mc_cdf = pooled.iter().filter(|&&c| c <= k).count() as f64 / n;
+        let b = estimate
+            .rate_cdf(k as f64 / estimate.total_instructions)
+            .expect("cdf");
+        // MC sampling noise at 128 cells is ~±0.09 (95%).
+        if b.lower - 0.12 <= mc_cdf && mc_cdf <= b.upper + 0.12 {
+            inside += 1;
+        }
+        total += 1;
+    }
+    assert!(
+        inside * 10 >= total * 7,
+        "bound envelope must bracket the MC CDF at >=70% of points: {inside}/{total}"
+    );
+}

@@ -1,0 +1,133 @@
+//! Shape tests: the qualitative claims of the paper's evaluation that the
+//! reproduction must preserve (absolute numbers are substrate-dependent;
+//! see EXPERIMENTS.md).
+
+use terse::{Framework, OperatingConfig, TsPerformanceModel};
+use terse_workloads::DatasetSize;
+
+#[test]
+fn operating_points_are_ordered_like_section_6_1() {
+    // Paper: sign-off 718 MHz < first failure 810 MHz (1.13x) < working
+    // 825 MHz (1.15x). Same ordering and factor structure here.
+    let fw = Framework::builder().samples(1).build().expect("framework");
+    let op = fw.operating_point();
+    assert!(op.signoff_frequency_ghz() < op.first_failure_frequency_ghz());
+    assert!(op.first_failure_frequency_ghz() < op.working_frequency_ghz());
+    assert!(op.first_failure_factor() > 1.0);
+    assert!(op.first_failure_factor() < op.config.overclock);
+}
+
+#[test]
+fn performance_model_reproduces_section_6_3() {
+    let perf = TsPerformanceModel::paper_default();
+    // "an error rate of 0.4% results in a 4.93% improvement".
+    assert!((perf.improvement_percent(0.004) - 4.93).abs() < 0.01);
+    // gsm.decode's 1.068% → 8.46% degradation.
+    assert!((perf.improvement_percent(0.01068) + 8.46).abs() < 0.02);
+    // Positive below the crossover, negative above.
+    let c = perf.crossover_rate();
+    assert!(perf.improvement_percent(c * 0.9) > 0.0);
+    assert!(perf.improvement_percent(c * 1.1) < 0.0);
+}
+
+#[test]
+fn error_rate_grows_with_overclock() {
+    // The fundamental monotonicity behind Figure 3's premise: pushing the
+    // working frequency deeper into the slack distribution increases the
+    // error rate.
+    let spec = terse_workloads::by_name("gsm.encode").expect("registered");
+    let mut prev = -1.0;
+    for oc in [1.25, 1.33, 1.41] {
+        let fw = Framework::builder()
+            .samples(2)
+            .operating(OperatingConfig {
+                overclock: oc,
+                ..OperatingConfig::default()
+            })
+            .build()
+            .expect("framework");
+        let w = spec
+            .workload(DatasetSize::Small, 2, 0xDAC19)
+            .expect("workload");
+        let rate = fw.run(&w).expect("run").estimate.mean_error_rate();
+        assert!(
+            rate >= prev - 1e-9,
+            "rate must not decrease with overclock: {rate} after {prev}"
+        );
+        prev = rate;
+    }
+    assert!(prev > 0.0, "the deepest overclock must show errors");
+}
+
+#[test]
+fn bounds_scale_with_error_rate() {
+    // Table 2's d_K(R_E, R̄_E) column grows with the error rate (gsm.decode
+    // max, patricia min in the paper). Check the correlation sign over a
+    // few benchmarks.
+    let fw = Framework::builder().samples(2).build().expect("framework");
+    let mut pairs = Vec::new();
+    for name in ["typeset", "bitcount", "gsm.encode", "tiff2bw"] {
+        let spec = terse_workloads::by_name(name).expect("registered");
+        let w = spec
+            .workload(DatasetSize::Small, 2, 0xDAC19)
+            .expect("workload");
+        let r = fw.run(&w).expect("run");
+        pairs.push((r.estimate.mean_error_rate(), r.estimate.dk_count));
+    }
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    // The largest-rate benchmark must not have the smallest bound.
+    let bounds: Vec<f64> = pairs.iter().map(|&(_, d)| d).collect();
+    let max_rate_bound = *bounds.last().expect("non-empty");
+    let min_bound = bounds.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(
+        max_rate_bound >= min_bound,
+        "bounds should track rates: {pairs:?}"
+    );
+}
+
+#[test]
+fn per_application_rates_differ() {
+    // The paper's headline: "applications experience different DTS and,
+    // consequently, different numbers of timing errors" — rates must spread
+    // across benchmarks, not collapse to one value.
+    let fw = Framework::builder().samples(2).build().expect("framework");
+    let mut rates = Vec::new();
+    for name in ["typeset", "bitcount", "gsm.encode"] {
+        let spec = terse_workloads::by_name(name).expect("registered");
+        let w = spec
+            .workload(DatasetSize::Small, 2, 0xDAC19)
+            .expect("workload");
+        rates.push(fw.run(&w).expect("run").estimate.mean_error_rate());
+    }
+    let min = rates.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = rates.iter().copied().fold(0.0f64, f64::max);
+    assert!(
+        max > min * 1.5 + 1e-9,
+        "application-specific analysis must discriminate: {rates:?}"
+    );
+}
+
+#[test]
+fn correction_scheme_changes_conditional_probabilities() {
+    // Section 4.1: the correction mechanism makes p^e differ from p^c
+    // because the next instruction transitions from the corrected state.
+    // Observable consequence: features extracted against a flushed bus
+    // differ from in-sequence features.
+    use terse_isa::assemble;
+    use terse_sim::features::{extract, BusState};
+    use terse_sim::machine::Machine;
+    let p = assemble("li r1, 0xFFFF00\nadd r2, r1, r1\nadd r3, r2, r2\nhalt\n").expect("asm");
+    let mut m = Machine::new(&p, 16);
+    m.step(&p).expect("lui");
+    m.step(&p).expect("ori");
+    let mut bus = BusState::flushed();
+    let r_add1 = m.step(&p).expect("first add");
+    bus.advance(&r_add1);
+    let r_add2 = m.step(&p).expect("second add");
+    let normal = extract(&r_add2, bus);
+    let corrected = extract(&r_add2, BusState::flushed());
+    assert_ne!(
+        normal, corrected,
+        "flushed-state features must differ in-sequence"
+    );
+}
