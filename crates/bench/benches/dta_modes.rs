@@ -30,8 +30,14 @@ fn bench_dta(c: &mut Criterion) {
     let vcd = trace.activity.cycle(4 + 3); // the add in EX
 
     let modes = [
-        ("faithful_peeling", DtaMode::FaithfulPeeling { max_pops: 100_000 }),
-        ("restricted_search", DtaMode::RestrictedSearch { candidates: 4 }),
+        (
+            "faithful_peeling",
+            DtaMode::FaithfulPeeling { max_pops: 100_000 },
+        ),
+        (
+            "restricted_search",
+            DtaMode::RestrictedSearch { candidates: 4 },
+        ),
         ("activated_subgraph", DtaMode::ActivatedSubgraph),
     ];
     let mut group = c.benchmark_group("dta/stage_dts_ex");

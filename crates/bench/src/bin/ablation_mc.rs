@@ -20,7 +20,10 @@ use terse_workloads::DatasetSize;
 
 fn main() {
     let samples = 4;
-    let framework = Framework::builder().samples(samples).build().expect("framework");
+    let framework = Framework::builder()
+        .samples(samples)
+        .build()
+        .expect("framework");
     // A small kernel so Monte Carlo over many chips is affordable; *no*
     // instruction-count scaling (the MC runs the real execution).
     let spec = terse_workloads::by_name("typeset").expect("registered benchmark");
@@ -68,7 +71,9 @@ fn main() {
     .expect("marginalized monte carlo");
     let marg_mean = marg.iter().sum::<u64>() as f64 / marg.len() as f64;
 
-    println!("# Ablation — analytic estimate vs Monte Carlo ground truth (typeset kernel, small inputs)");
+    println!(
+        "# Ablation — analytic estimate vs Monte Carlo ground truth (typeset kernel, small inputs)"
+    );
     println!(
         "analytic λ: {:.2}   per-chip MC mean: {:.2}   marginalized MC mean: {:.2}   ({} chips × {} inputs)",
         estimate.lambda.mean(),
@@ -93,10 +98,11 @@ fn main() {
     let mut inside = 0usize;
     let mut total = 0usize;
     for k in (0..=max_k).step_by((max_k as usize / 12).max(1)) {
-        let chip_cdf =
-            pooled.iter().filter(|&&c| c <= k).count() as f64 / pooled.len() as f64;
+        let chip_cdf = pooled.iter().filter(|&&c| c <= k).count() as f64 / pooled.len() as f64;
         let marg_cdf = marg.iter().filter(|&&c| c <= k).count() as f64 / marg.len() as f64;
-        let b = estimate.rate_cdf(k as f64 / estimate.total_instructions).expect("cdf");
+        let b = estimate
+            .rate_cdf(k as f64 / estimate.total_instructions)
+            .expect("cdf");
         let ok = b.lower - 0.08 <= marg_cdf && marg_cdf <= b.upper + 0.08;
         inside += usize::from(ok);
         total += 1;

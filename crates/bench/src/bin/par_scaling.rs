@@ -1,0 +1,108 @@
+//! Parallel scaling of the data-parallel execution layer: serial (1 thread)
+//! vs N-thread wall time for the Monte Carlo validation grid and the full
+//! analytic flow, plus the determinism check that makes the comparison
+//! meaningful — counts and estimates must be **bitwise identical** across
+//! thread counts.
+//!
+//! ```text
+//! cargo run --release -p terse-bench --bin par_scaling
+//! ```
+//!
+//! Writes `results/BENCH_parallel.json` (relative to the working directory)
+//! and prints the same numbers to stdout.
+
+use std::time::Instant;
+use terse_bench::{default_framework, workload_of, HarnessConfig};
+use terse_sim::monte_carlo::{self, MonteCarloConfig};
+
+/// Chips in the MC grid (the acceptance grid from the issue).
+const CHIPS: usize = 16;
+/// Inputs per chip in the MC grid.
+const INPUTS: usize = 4;
+/// Timed repetitions; the minimum is reported.
+const REPS: usize = 3;
+
+fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let v = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn main() {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cfg = HarnessConfig {
+        samples: INPUTS,
+        ..HarnessConfig::default()
+    };
+
+    // --- Monte Carlo grid: serial vs default-thread error_counts ---------
+    let fw = default_framework(&cfg).expect("framework");
+    let spec = terse_workloads::by_name("typeset").expect("typeset exists");
+    let w = workload_of(spec, &cfg).expect("workload");
+    let isa_cfg = terse_isa::Cfg::from_program(w.program());
+    let profiles = fw.profile_workload(&w, &isa_cfg).expect("profiles");
+    let model = fw.train_model(&w, &isa_cfg, &profiles).expect("model");
+    let chips = fw.sample_chips(CHIPS, 0xC0FFEE).expect("chips");
+
+    let mc = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            monte_carlo::error_counts(
+                w.program(),
+                &model,
+                &chips,
+                INPUTS,
+                fw.correction(),
+                |idx, m| w.init_input(idx, m),
+                MonteCarloConfig::default(),
+            )
+            .expect("monte carlo")
+        })
+    };
+    let (mc_serial_s, counts_serial) = time_min(REPS, || mc(1));
+    let (mc_par_s, counts_par) = time_min(REPS, || mc(0));
+    let mc_identical = counts_serial == counts_par;
+    assert!(mc_identical, "thread count changed the MC count matrix");
+
+    // --- Full analytic flow: Framework::run at 1 thread vs default -------
+    let run_with = |threads: usize| {
+        let fw = terse::Framework::builder()
+            .samples(cfg.samples)
+            .threads(threads)
+            .build()
+            .expect("framework");
+        fw.run(&w).expect("run")
+    };
+    let (run_serial_s, report_serial) = time_min(REPS, || run_with(1));
+    let (run_par_s, report_par) = time_min(REPS, || run_with(0));
+    let run_identical = report_serial.estimate.lambda.mean().to_bits()
+        == report_par.estimate.lambda.mean().to_bits()
+        && report_serial.estimate.lambda.sd().to_bits()
+            == report_par.estimate.lambda.sd().to_bits();
+    assert!(run_identical, "thread count changed the analytic estimate");
+
+    let json = format!(
+        "{{\n  \"host_threads\": {host},\n  \"mc_grid\": {{\n    \"workload\": \"{name}\",\n    \"chips\": {CHIPS},\n    \"inputs\": {INPUTS},\n    \"serial_s\": {mc_serial_s:.6},\n    \"parallel_s\": {mc_par_s:.6},\n    \"speedup\": {mc_speedup:.3},\n    \"bitwise_identical\": {mc_identical}\n  }},\n  \"framework_run\": {{\n    \"workload\": \"{name}\",\n    \"samples\": {samples},\n    \"serial_s\": {run_serial_s:.6},\n    \"parallel_s\": {run_par_s:.6},\n    \"speedup\": {run_speedup:.3},\n    \"bitwise_identical\": {run_identical}\n  }}\n}}\n",
+        name = w.name(),
+        samples = cfg.samples,
+        mc_speedup = mc_serial_s / mc_par_s,
+        run_speedup = run_serial_s / run_par_s,
+    );
+    print!("{json}");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/BENCH_parallel.json", &json))
+    {
+        eprintln!("could not write results/BENCH_parallel.json: {e}");
+    } else {
+        eprintln!("wrote results/BENCH_parallel.json");
+    }
+}

@@ -14,10 +14,22 @@
 //!    systems (Eqs. 1–2); λ (Eq. 10); the Stein and Chen–Stein bounds
 //!    (Eqs. 7–9, 11–13); and the Eq. 14 mixture CDF with bound envelopes.
 
+//! # Parallel execution & reproducibility
+//!
+//! Every hot loop here — per-sample profiling, per-chip sampling, the
+//! per-block conditional-probability sweep in [`Framework::estimate`] — fans
+//! out with `rayon` under a scoped thread pool whose size is set by
+//! [`FrameworkBuilder::threads`] (`0` = machine default). Results are
+//! bitwise identical for every thread count: each parallel unit owns a
+//! counter-based RNG stream (`Xoshiro256::seed_stream`) keyed by its index,
+//! outputs are placed by index, and floating-point reductions fold in index
+//! order.
+
 use crate::operating::{OperatingConfig, OperatingPoint};
 use crate::perf::TsPerformanceModel;
 use crate::report::{ErrorRateEstimate, Report, RunTimings};
 use crate::{Result, TerseError};
+use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -29,13 +41,16 @@ use terse_errmodel::marginal::{solve_marginals, MarginalProblem};
 use terse_isa::{assemble, BlockId, Cfg, Program};
 use terse_netlist::pipeline::{PipelineConfig, PipelineNetlist};
 use terse_sim::correction::CorrectionScheme;
+use terse_sim::features::InstFeatures;
 use terse_sim::machine::Machine;
 use terse_sim::profile::{ProfileResult, Profiler};
 use terse_sta::delay::{DelayLibrary, TimingConstraints};
 use terse_sta::statmin::MinOrdering;
 use terse_sta::variation::{ChipSample, VariationConfig, VariationModel};
 use terse_stats::kahan::KahanSum;
-use terse_stats::stein::{chen_stein_program_bound, stein_normal_bound, BlockChain, CentralMoments};
+use terse_stats::stein::{
+    chen_stein_program_bound, stein_normal_bound, BlockChain, CentralMoments,
+};
 use terse_stats::{Normal, PoissonNormalMixture, SampleRv};
 
 /// A program plus its input datasets (the data-variation dimension).
@@ -142,6 +157,7 @@ pub struct FrameworkBuilder {
     ordering: MinOrdering,
     samples: usize,
     profiler: Profiler,
+    threads: usize,
 }
 
 impl Default for FrameworkBuilder {
@@ -158,6 +174,7 @@ impl Default for FrameworkBuilder {
             ordering: MinOrdering::default(),
             samples: 8,
             profiler: Profiler::default(),
+            threads: 0,
         }
     }
 }
@@ -211,6 +228,14 @@ impl FrameworkBuilder {
         self
     }
 
+    /// Sets the worker-thread count for the framework's parallel phases
+    /// (`0` = the machine's available parallelism). Thread count never
+    /// changes results — see the module docs.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
     /// Builds the framework (constructs the pipeline netlist and derives
     /// the operating point).
     ///
@@ -222,6 +247,10 @@ impl FrameworkBuilder {
         let lib = DelayLibrary::normalized_45nm();
         let operating =
             OperatingPoint::derive(pipeline.netlist(), &lib, self.variation, self.operating)?;
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.threads)
+            .build()
+            .map_err(|e| TerseError::Config(format!("thread pool: {e}")))?;
         Ok(Framework {
             pipeline,
             lib,
@@ -232,6 +261,8 @@ impl FrameworkBuilder {
             ordering: self.ordering,
             samples: self.samples,
             profiler: self.profiler,
+            threads: self.threads,
+            pool,
             datapath_cache: OnceLock::new(),
         })
     }
@@ -249,6 +280,8 @@ pub struct Framework {
     ordering: MinOrdering,
     samples: usize,
     profiler: Profiler,
+    threads: usize,
+    pool: rayon::ThreadPool,
     datapath_cache: OnceLock<DatapathModel>,
 }
 
@@ -276,6 +309,11 @@ impl Framework {
     /// Number of data-variation samples per run.
     pub fn samples(&self) -> usize {
         self.samples
+    }
+
+    /// The configured worker-thread count (`0` = machine default).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The TS performance model at this operating point.
@@ -310,23 +348,37 @@ impl Framework {
     pub fn sample_chips(&self, n: usize, seed: u64) -> Result<Vec<ChipSample>> {
         let model = VariationModel::new(self.pipeline.netlist(), &self.lib, self.variation)
             .map_err(TerseError::Sta)?;
-        let mut rng = terse_stats::rng::Xoshiro256::seed_from_u64(seed);
-        Ok((0..n).map(|_| model.sample_chip(&mut rng)).collect())
+        // Chip `i` owns RNG stream `(seed, i)`, so the drawn population is
+        // identical for every thread count.
+        Ok(self.pool.install(|| {
+            (0..n)
+                .into_par_iter()
+                .map(|i| {
+                    let mut rng = terse_stats::rng::Xoshiro256::seed_stream(seed, i as u64);
+                    model.sample_chip(&mut rng)
+                })
+                .collect()
+        }))
     }
 
-    /// Profiles a workload: one [`ProfileResult`] per data-variation sample.
+    /// Profiles a workload — in parallel across data-variation samples: one
+    /// [`ProfileResult`] per sample, each from its own profiler seed.
     ///
     /// # Errors
     ///
     /// Propagates simulation errors.
     pub fn profile_workload(&self, w: &Workload, cfg: &Cfg) -> Result<Vec<ProfileResult>> {
-        let mut out = Vec::with_capacity(self.samples);
-        for s in 0..self.samples {
-            let mut prof = self.profiler;
-            prof.seed = self.profiler.seed.wrapping_add(s as u64);
-            out.push(prof.profile(w.program(), cfg, |m| w.init_input(s, m))?);
-        }
-        Ok(out)
+        self.pool.install(|| {
+            (0..self.samples)
+                .into_par_iter()
+                .map(|s| {
+                    let mut prof = self.profiler;
+                    prof.seed = self.profiler.seed.wrapping_add(s as u64);
+                    prof.profile(w.program(), cfg, |m| w.init_input(s, m))
+                        .map_err(TerseError::from)
+                })
+                .collect()
+        })
     }
 
     /// Trains the per-workload instruction error model (control table per
@@ -400,39 +452,48 @@ impl Framework {
         let s_count = profiles.len().max(1);
         let m = cfg.len();
         // --- Conditional probabilities p^c / p^e per instruction/sample ---
-        let mut cond_correct: Vec<Vec<SampleRv>> = Vec::with_capacity(m);
-        let mut cond_error: Vec<Vec<SampleRv>> = Vec::with_capacity(m);
-        for blk in cfg.blocks() {
-            let mut cc_blk = Vec::with_capacity(blk.len());
-            let mut ce_blk = Vec::with_capacity(blk.len());
-            for idx in blk.range() {
-                let mut cc = vec![0.0f64; s_count];
-                let mut ce = vec![0.0f64; s_count];
-                for (s, prof) in profiles.iter().enumerate() {
-                    let contexts = edge_contexts(prof, blk.id);
-                    let prob = |feats: &[terse_sim::features::InstFeatures]| -> f64 {
-                        if feats.is_empty() || contexts.is_empty() {
-                            return 0.0;
+        // One parallel unit per basic block. Each block carries a private
+        // memo of `model.error_probability_rv` keyed by (edge context,
+        // static instruction, feature vector): identical feature vectors
+        // recur across samples and across the normal/post-correction
+        // states, and every hit skips a canonical-form evaluation.
+        let per_block: Vec<(Vec<SampleRv>, Vec<SampleRv>)> = self.pool.install(|| {
+            cfg.blocks()
+                .par_iter()
+                .map(|blk| -> Result<(Vec<SampleRv>, Vec<SampleRv>)> {
+                    let contexts: Vec<Vec<(Option<BlockId>, f64)>> =
+                        profiles.iter().map(|p| edge_contexts(p, blk.id)).collect();
+                    let mut memo: HashMap<(Option<BlockId>, u32, InstFeatures), f64> =
+                        HashMap::new();
+                    let mut cc_blk = Vec::with_capacity(blk.len());
+                    let mut ce_blk = Vec::with_capacity(blk.len());
+                    for idx in blk.range() {
+                        let mut cc = vec![0.0f64; s_count];
+                        let mut ce = vec![0.0f64; s_count];
+                        for (s, prof) in profiles.iter().enumerate() {
+                            cc[s] = memoized_mean_prob(
+                                model,
+                                &mut memo,
+                                &contexts[s],
+                                idx as u32,
+                                &prof.features_normal[idx],
+                            );
+                            ce[s] = memoized_mean_prob(
+                                model,
+                                &mut memo,
+                                &contexts[s],
+                                idx as u32,
+                                &prof.features_corrected[idx],
+                            );
                         }
-                        let mut acc = 0.0;
-                        for &(edge, wgt) in &contexts {
-                            let mut mean = KahanSum::new();
-                            for f in feats {
-                                mean.add(model.error_probability_rv(edge, idx as u32, f));
-                            }
-                            acc += wgt * mean.value() / feats.len() as f64;
-                        }
-                        acc.clamp(0.0, 1.0)
-                    };
-                    cc[s] = prob(&prof.features_normal[idx]);
-                    ce[s] = prob(&prof.features_corrected[idx]);
-                }
-                cc_blk.push(SampleRv::new(cc).map_err(TerseError::Stats)?);
-                ce_blk.push(SampleRv::new(ce).map_err(TerseError::Stats)?);
-            }
-            cond_correct.push(cc_blk);
-            cond_error.push(ce_blk);
-        }
+                        cc_blk.push(SampleRv::new(cc).map_err(TerseError::Stats)?);
+                        ce_blk.push(SampleRv::new(ce).map_err(TerseError::Stats)?);
+                    }
+                    Ok((cc_blk, ce_blk))
+                })
+                .collect::<Result<_>>()
+        })?;
+        let (cond_correct, cond_error): (Vec<_>, Vec<_>) = per_block.into_iter().unzip();
         // --- Marginals (Eqs. 1–2, Tarjan, per-SCC systems) ----------------
         let mut edge_counts: HashMap<(BlockId, BlockId), Vec<f64>> = HashMap::new();
         for (s, prof) in profiles.iter().enumerate() {
@@ -441,20 +502,18 @@ impl Framework {
             }
         }
         let block_counts: Vec<Vec<f64>> = (0..m)
-            .map(|i| {
-                profiles
-                    .iter()
-                    .map(|p| p.block_counts[i] as f64)
-                    .collect()
-            })
+            .map(|i| profiles.iter().map(|p| p.block_counts[i] as f64).collect())
             .collect();
+        // The problem owns the conditional tables and counts; later phases
+        // read them back through it (no clones).
         let problem = MarginalProblem {
-            cond_correct: cond_correct.clone(),
-            cond_error: cond_error.clone(),
+            cond_correct,
+            cond_error,
             edge_counts,
-            block_counts: block_counts.clone(),
+            block_counts,
         };
         let sol = solve_marginals(&problem)?;
+        let (cond_error, block_counts) = (&problem.cond_error, &problem.block_counts);
         // --- λ (Eq. 10) and the Stein moments ----------------------------
         let scale: Vec<f64> = profiles
             .iter()
@@ -518,10 +577,7 @@ impl Framework {
                 .map(|i| BlockChain {
                     executions: scale[s] * block_counts[i][s],
                     p_in: sol.input[i].samples()[s],
-                    marginal: sol.marginal[i]
-                        .iter()
-                        .map(|rv| rv.samples()[s])
-                        .collect(),
+                    marginal: sol.marginal[i].iter().map(|rv| rv.samples()[s]).collect(),
                     cond_error: cond_error[i].iter().map(|rv| rv.samples()[s]).collect(),
                 })
                 .collect();
@@ -585,6 +641,33 @@ impl Framework {
             perf: self.performance_model(),
         })
     }
+}
+
+/// Context-weighted mean error probability of one static instruction's
+/// dynamic feature population (the `prob` kernel of Eq. 2), with a memo in
+/// front of the model's canonical-form evaluation.
+fn memoized_mean_prob(
+    model: &InstructionErrorModel,
+    memo: &mut HashMap<(Option<BlockId>, u32, InstFeatures), f64>,
+    contexts: &[(Option<BlockId>, f64)],
+    idx: u32,
+    feats: &[InstFeatures],
+) -> f64 {
+    if feats.is_empty() || contexts.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for &(edge, wgt) in contexts {
+        let mut mean = KahanSum::new();
+        for f in feats {
+            let p = *memo
+                .entry((edge, idx, *f))
+                .or_insert_with(|| model.error_probability_rv(edge, idx, f));
+            mean.add(p);
+        }
+        acc += wgt * mean.value() / feats.len() as f64;
+    }
+    acc.clamp(0.0, 1.0)
 }
 
 /// The incoming-edge contexts of a block in one profile, with activation

@@ -210,13 +210,9 @@ mod tests {
                 ..OperatingConfig::default()
             },
         ] {
-            assert!(OperatingPoint::derive(
-                p.netlist(),
-                &lib,
-                VariationConfig::default(),
-                bad
-            )
-            .is_err());
+            assert!(
+                OperatingPoint::derive(p.netlist(), &lib, VariationConfig::default(), bad).is_err()
+            );
         }
     }
 }

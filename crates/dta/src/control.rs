@@ -94,7 +94,11 @@ fn synth_retired(
         } else {
             None
         },
-        loaded: if inst.opcode == Opcode::Ld { Some(0) } else { None },
+        loaded: if inst.opcode == Opcode::Ld {
+            Some(0)
+        } else {
+            None
+        },
         taken,
         next_pc: next_index,
     }

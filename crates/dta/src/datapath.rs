@@ -210,14 +210,22 @@ fn training_operands(unit: FuncUnit, level: u8) -> (u32, u32) {
                 (0, 0)
             } else {
                 let ones = (level as u32 + 1).min(32);
-                let a = if ones >= 32 { u32::MAX } else { (1u32 << ones) - 1 };
+                let a = if ones >= 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << ones) - 1
+                };
                 (a, 1)
             }
         }
         // Toggle count of `level`: level one-bits against a flushed bus.
         FuncUnit::Logic => {
             let bits = level.min(32) as u32;
-            let v = if bits >= 32 { u32::MAX } else { (1u32 << bits) - 1 };
+            let v = if bits >= 32 {
+                u32::MAX
+            } else {
+                (1u32 << bits) - 1
+            };
             (v, v)
         }
         // Shift amount = level.

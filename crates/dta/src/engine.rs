@@ -1,6 +1,7 @@
 //! Algorithms 1 and 2: stage and instruction dynamic timing slack.
 
 use crate::{DtaError, Result};
+use rayon::prelude::*;
 use terse_netlist::{BitSet, EndpointClass, Netlist};
 use terse_sim::cosim::CoSimTrace;
 use terse_sta::analysis::Sta;
@@ -155,11 +156,7 @@ impl<'n> DtsEngine<'n> {
     /// The most critical activated path capturing at endpoint `e` under
     /// activation set `vcd`, per the configured [`DtaMode`] — plus up to
     /// `candidates − 1` runner-ups in `RestrictedSearch` mode.
-    fn activated_candidates(
-        &self,
-        e: terse_netlist::GateId,
-        vcd: &BitSet,
-    ) -> Result<Vec<Path>> {
+    fn activated_candidates(&self, e: terse_netlist::GateId, vcd: &BitSet) -> Result<Vec<Path>> {
         match self.mode {
             DtaMode::FaithfulPeeling { max_pops } => {
                 // Algorithm 1 lines 5–20, literally: CP pops paths in
@@ -180,15 +177,58 @@ impl<'n> DtsEngine<'n> {
                 }
                 Ok(Vec::new())
             }
-            DtaMode::RestrictedSearch { candidates } => Ok(PathEnumerator::restricted(
-                &self.sta, e, vcd,
-            )?
-            .take(candidates.max(1))
-            .collect()),
+            DtaMode::RestrictedSearch { candidates } => {
+                Ok(PathEnumerator::restricted(&self.sta, e, vcd)?
+                    .take(candidates.max(1))
+                    .collect())
+            }
             DtaMode::ActivatedSubgraph => Ok(longest_activated_path(&self.sta, e, vcd)?
                 .into_iter()
                 .collect()),
         }
+    }
+
+    /// The Section 3 two-pass percentile ranking for one endpoint: evaluate
+    /// the slack of every activated candidate path in parallel, then keep
+    /// the candidates most critical at the 1st and 99th percentiles.
+    ///
+    /// Returns an empty set for endpoints with no activated path.
+    fn endpoint_ap_slacks(
+        &self,
+        e: terse_netlist::GateId,
+        vcd: &BitSet,
+        dp: Option<&ActivatedDp>,
+    ) -> Result<Vec<CanonicalRv>> {
+        let cands = match dp {
+            Some(dp) => dp.path_to(&self.sta, e)?.into_iter().collect(),
+            None => self.activated_candidates(e, vcd)?,
+        };
+        if cands.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Candidate slack evaluation (canonical-form arithmetic over every
+        // variation variable) dominates the ranking; fan it out.
+        let slacks: Vec<CanonicalRv> = cands
+            .par_iter()
+            .map(|p| p.slack_rv(&self.model, self.lib.clk_to_q, self.lib.setup, self.t_clk))
+            .collect();
+        // Two-pass percentile ranking (Section 3): keep the candidate
+        // most critical at the 1st percentile and at the 99th.
+        let pick = |pct: f64| -> usize {
+            slacks
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.percentile(pct).total_cmp(&b.percentile(pct)))
+                .map(|(i, _)| i)
+                .expect("non-empty")
+        };
+        let lo = pick(0.01);
+        let hi = pick(0.99);
+        let mut out = vec![slacks[lo].clone()];
+        if hi != lo {
+            out.push(slacks[hi].clone());
+        }
+        Ok(out)
     }
 
     /// **Algorithm 1 (SSTA form)** — `DTS(N, s, t)`: the statistical
@@ -201,6 +241,10 @@ impl<'n> DtsEngine<'n> {
     /// paper the candidate set `AP` is assembled from both a worst-case
     /// (1st-percentile) and a best-case (99th-percentile) ranking before
     /// the statistical min.
+    ///
+    /// Endpoints are analyzed in parallel; the candidate set is assembled
+    /// in endpoint order and reduced by a serial statistical min, so the
+    /// result is identical for every thread count.
     ///
     /// # Errors
     ///
@@ -220,43 +264,22 @@ impl<'n> DtsEngine<'n> {
             DtaMode::ActivatedSubgraph => Some(ActivatedDp::new(&self.sta, vcd)),
             _ => None,
         };
-        let mut ap_slacks: Vec<CanonicalRv> = Vec::new();
-        for &e in endpoints {
-            let class = self
-                .netlist
-                .endpoint_class(e)
-                .expect("stage endpoints are flip-flops");
-            if !filter.accepts(class) {
-                continue;
-            }
-            let cands = match &dp {
-                Some(dp) => dp.path_to(&self.sta, e)?.into_iter().collect(),
-                None => self.activated_candidates(e, vcd)?,
-            };
-            if cands.is_empty() {
-                continue;
-            }
-            let slacks: Vec<CanonicalRv> = cands
-                .iter()
-                .map(|p| p.slack_rv(&self.model, self.lib.clk_to_q, self.lib.setup, self.t_clk))
-                .collect();
-            // Two-pass percentile ranking (Section 3): keep the candidate
-            // most critical at the 1st percentile and at the 99th.
-            let pick = |pct: f64| -> usize {
-                slacks
-                    .iter()
-                    .enumerate()
-                    .min_by(|(_, a), (_, b)| a.percentile(pct).total_cmp(&b.percentile(pct)))
-                    .map(|(i, _)| i)
-                    .expect("non-empty")
-            };
-            let lo = pick(0.01);
-            let hi = pick(0.99);
-            ap_slacks.push(slacks[lo].clone());
-            if hi != lo {
-                ap_slacks.push(slacks[hi].clone());
-            }
-        }
+        let admitted: Vec<terse_netlist::GateId> = endpoints
+            .iter()
+            .copied()
+            .filter(|&e| {
+                let class = self
+                    .netlist
+                    .endpoint_class(e)
+                    .expect("stage endpoints are flip-flops");
+                filter.accepts(class)
+            })
+            .collect();
+        let per_endpoint: Vec<Vec<CanonicalRv>> = admitted
+            .par_iter()
+            .map(|&e| self.endpoint_ap_slacks(e, vcd, dp.as_ref()))
+            .collect::<Result<_>>()?;
+        let ap_slacks: Vec<CanonicalRv> = per_endpoint.into_iter().flatten().collect();
         if ap_slacks.is_empty() {
             return Ok(None);
         }
@@ -348,7 +371,10 @@ mod tests {
     #[test]
     fn modes_agree_on_most_critical_path() {
         let p = pipeline();
-        let t = trace(&p, "li r1, 0xFFFFFF\nadd r2, r1, r1\nmul r3, r1, r1\nhalt\n");
+        let t = trace(
+            &p,
+            "li r1, 0xFFFFFF\nadd r2, r1, r1\nmul r3, r1, r1\nhalt\n",
+        );
         let modes = [
             DtaMode::FaithfulPeeling { max_pops: 50_000 },
             DtaMode::RestrictedSearch { candidates: 1 },
@@ -432,7 +458,9 @@ mod tests {
         // EX is datapath-dominated; its control endpoints may be entirely
         // idle (None) or, when active, must be no tighter than the overall
         // stage DTS.
-        if let Some(ctl) = eng.stage_dts(3, vcd, EndpointFilter::Control).unwrap() { assert!(ctl.mean() >= all.mean() - 1e-9) }
+        if let Some(ctl) = eng.stage_dts(3, vcd, EndpointFilter::Control).unwrap() {
+            assert!(ctl.mean() >= all.mean() - 1e-9)
+        }
     }
 
     #[test]

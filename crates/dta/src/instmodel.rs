@@ -104,12 +104,7 @@ impl InstructionErrorModel {
     /// Unconditional error probability (over process variation) of a
     /// dynamic instance — the paper's Section 4.1 quantity whose
     /// distribution over inputs forms `p^c` / `p^e`.
-    pub fn error_probability_rv(
-        &self,
-        edge: Option<BlockId>,
-        index: u32,
-        f: &InstFeatures,
-    ) -> f64 {
+    pub fn error_probability_rv(&self, edge: Option<BlockId>, index: u32, f: &InstFeatures) -> f64 {
         self.slack_rv(edge, index, f)
             .map(|s| s.prob_negative())
             .unwrap_or(0.0)
@@ -131,8 +126,7 @@ impl InstErrorModel for InstructionErrorModel {
         // was in a different block, it is the edge's tail; otherwise the
         // model falls back to any characterized context for the block.
         let edge = prev_index.map(|p| self.block_of[p as usize]).filter(|&pb| {
-            pb != self.block_of[index as usize]
-                || self.block_start[index as usize] == index
+            pb != self.block_of[index as usize] || self.block_start[index as usize] == index
         });
         match self.slack_rv(edge, index, features) {
             Some(slack) => slack.prob_negative_given(chip.shared_draw()),
@@ -147,8 +141,7 @@ impl InstErrorModel for InstructionErrorModel {
         features: &InstFeatures,
     ) -> f64 {
         let edge = prev_index.map(|p| self.block_of[p as usize]).filter(|&pb| {
-            pb != self.block_of[index as usize]
-                || self.block_start[index as usize] == index
+            pb != self.block_of[index as usize] || self.block_start[index as usize] == index
         });
         self.error_probability_rv(edge, index, features)
     }
@@ -196,11 +189,9 @@ mod tests {
         let b1 = cfg.block_containing(1);
         let b2 = cfg.block_containing(4);
         let edges = characterization_edges(&cfg, vec![(b0, b1), (b1, b1), (b1, b2)]);
-        let control =
-            characterize_control(&p, &prog, &cfg, &eng, &edges, &|_| (3, 1)).unwrap();
+        let control = characterize_control(&p, &prog, &cfg, &eng, &edges, &|_| (3, 1)).unwrap();
         let datapath = DatapathModel::train(&p, &eng).unwrap();
-        let model =
-            InstructionErrorModel::new(&cfg, control, datapath, MinOrdering::AscendingMean);
+        let model = InstructionErrorModel::new(&cfg, control, datapath, MinOrdering::AscendingMean);
         (model, cfg, p, t)
     }
 
@@ -303,7 +294,8 @@ mod tests {
         // The halt (no datapath unit, control covered though) — if control
         // has a slot it may still be Some; exercise the API contract only.
         let b2 = cfg.block_containing(4);
-        let p = model.error_probability_rv(Some(cfg.block_containing(1)), 4, &feat(Opcode::Halt, 0));
+        let p =
+            model.error_probability_rv(Some(cfg.block_containing(1)), 4, &feat(Opcode::Halt, 0));
         assert!((0.0..=1.0).contains(&p));
         let _ = b2;
     }

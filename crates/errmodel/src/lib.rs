@@ -69,12 +69,18 @@ impl fmt::Display for ErrModelError {
                 context,
                 expected,
                 got,
-            } => write!(f, "dimension mismatch in {context}: expected {expected}, got {got}"),
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {got}"
+            ),
             ErrModelError::InvalidProbability { value } => {
                 write!(f, "probability {value} outside [0, 1]")
             }
             ErrModelError::SingularSystem { component } => {
-                write!(f, "singular linear system in SCC containing block {component}")
+                write!(
+                    f,
+                    "singular linear system in SCC containing block {component}"
+                )
             }
             ErrModelError::Stats(m) => write!(f, "statistics substrate failed: {m}"),
         }

@@ -61,12 +61,7 @@ impl MarginalProblem {
                 got: self.block_counts.len(),
             });
         }
-        let samples = self
-            .block_counts
-            .first()
-            .map(Vec::len)
-            .unwrap_or(0)
-            .max(1);
+        let samples = self.block_counts.first().map(Vec::len).unwrap_or(0).max(1);
         for (i, (cc, ce)) in self.cond_correct.iter().zip(&self.cond_error).enumerate() {
             if cc.len() != ce.len() {
                 return Err(ErrModelError::DimensionMismatch {

@@ -91,10 +91,7 @@ pub fn strongly_connected_components(
 /// Strongly connected components of a block graph, in *topological order*
 /// (predecessors before successors) — the processing order of the paper's
 /// per-SCC linear systems.
-pub fn condensation_order(
-    n: usize,
-    successors: impl Fn(usize) -> Vec<usize>,
-) -> Vec<Vec<BlockId>> {
+pub fn condensation_order(n: usize, successors: impl Fn(usize) -> Vec<usize>) -> Vec<Vec<BlockId>> {
     let mut comps = strongly_connected_components(n, successors);
     comps.reverse(); // reverse topological → topological
     comps

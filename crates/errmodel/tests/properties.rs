@@ -12,8 +12,8 @@ fn random_problem(seed: u64, m: usize, samples: usize) -> MarginalProblem {
     let mut rng = terse_stats::rng::Xoshiro256::seed_from_u64(seed);
     let mut edge_counts: HashMap<(BlockId, BlockId), Vec<f64>> = HashMap::new();
     let mut block_counts = vec![vec![0.0f64; samples]; m];
-    for s in 0..samples {
-        block_counts[0][s] = 1.0;
+    for c in &mut block_counts[0] {
+        *c = 1.0;
     }
     for _ in 0..(2 * m) {
         let a = rng.next_below(m as u64) as u32;

@@ -54,7 +54,11 @@ pub fn assemble(source: &str) -> Result<Program> {
             } else {
                 &mut data_labels
             };
-            let addr = if line.section == Section::Text { pc } else { daddr };
+            let addr = if line.section == Section::Text {
+                pc
+            } else {
+                daddr
+            };
             if table.insert(label.clone(), addr).is_some() {
                 return Err(IsaError::DuplicateLabel {
                     label: label.clone(),
@@ -278,7 +282,10 @@ fn parse_imm_or_label(
     text_labels: &HashMap<String, u32>,
     data_labels: &HashMap<String, u32>,
 ) -> Result<i64> {
-    if t.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-') {
+    if t.chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_digit() || c == '-')
+    {
         return parse_int(t, line);
     }
     if let Some(&a) = text_labels.get(t) {
@@ -348,7 +355,12 @@ fn emit(
         }
         "mv" => {
             expect_operands(ops, 2, line, mn)?;
-            out.push(Instruction::rtype(Opcode::Or, reg(&ops[0])?, reg(&ops[1])?, 0));
+            out.push(Instruction::rtype(
+                Opcode::Or,
+                reg(&ops[0])?,
+                reg(&ops[1])?,
+                0,
+            ));
             Ok(())
         }
         "j" => {
@@ -420,12 +432,7 @@ fn emit(
                     } else {
                         check_imm16
                     };
-                    Instruction::itype(
-                        o,
-                        reg(&ops[0])?,
-                        reg(&ops[1])?,
-                        check(imm(&ops[2])?, line)?,
-                    )
+                    Instruction::itype(o, reg(&ops[0])?, reg(&ops[1])?, check(imm(&ops[2])?, line)?)
                 }
                 Opcode::St => {
                     expect_operands(ops, 3, line, mn)?;

@@ -114,10 +114,9 @@ impl Cfg {
                         leader[i + 1] = true;
                     }
                 }
-                Opcode::Jr | Opcode::Halt
-                    if i + 1 < n => {
-                        leader[i + 1] = true;
-                    }
+                Opcode::Jr | Opcode::Halt if i + 1 < n => {
+                    leader[i + 1] = true;
+                }
                 _ => {}
             }
         }
@@ -154,9 +153,7 @@ impl Cfg {
         let mut succs: Vec<Vec<BlockId>> = vec![Vec::new(); m];
         let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); m];
         let mut indirect = Vec::new();
-        let block_at = |idx: usize| -> Option<BlockId> {
-            block_of.get(idx).copied()
-        };
+        let block_at = |idx: usize| -> Option<BlockId> { block_of.get(idx).copied() };
         for b in &blocks {
             let last = &insts[(b.end - 1) as usize];
             let add = |succ: Option<BlockId>, succs: &mut Vec<Vec<BlockId>>| {

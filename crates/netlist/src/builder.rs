@@ -68,7 +68,9 @@ impl NetlistBuilder {
     fn next_pos(&mut self) -> Point {
         // SplitMix-style step, two outputs for x and y jitter.
         let step = |s: &mut u64| {
-            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((*s >> 33) as f32) / (u32::MAX >> 1) as f32
         };
         let (lo, hi) = self.region;
@@ -341,11 +343,7 @@ impl NetlistBuilder {
                 }
             }
         }
-        let comb_count = self
-            .gates
-            .iter()
-            .filter(|g| !g.kind.is_endpoint())
-            .count();
+        let comb_count = self.gates.iter().filter(|g| !g.kind.is_endpoint()).count();
         if topo.len() != comb_count {
             return Err(NetlistError::CombinationalCycle);
         }

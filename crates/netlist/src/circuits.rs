@@ -186,7 +186,11 @@ pub fn barrel_shifter(
         let dist = 1usize << layer;
         let mut next = Vec::with_capacity(w);
         for i in 0..w {
-            let shifted = if i + dist < w { cur[i + dist] } else { fill_eff };
+            let shifted = if i + dist < w {
+                cur[i + dist]
+            } else {
+                fill_eff
+            };
             next.push(b.gate(GateKind::Mux, &[abit, cur[i], shifted], stage)?);
         }
         cur = next;
@@ -241,7 +245,11 @@ pub fn reduce_tree(
     kind: GateKind,
 ) -> Result<GateId> {
     assert!(!xs.is_empty(), "reduction of empty bus");
-    assert_eq!(kind.fanin_count(), Some(2), "reduction needs a 2-input gate");
+    assert_eq!(
+        kind.fanin_count(),
+        Some(2),
+        "reduction needs a 2-input gate"
+    );
     let mut level: Vec<GateId> = xs.to_vec();
     while level.len() > 1 {
         let mut next = Vec::with_capacity(level.len().div_ceil(2));
@@ -347,7 +355,13 @@ pub fn decoder(b: &mut NetlistBuilder, stage: usize, sel: &[GateId]) -> Result<V
     let mut outs = Vec::with_capacity(n);
     for code in 0..n {
         let terms: Vec<GateId> = (0..sel.len())
-            .map(|bit| if code >> bit & 1 == 1 { sel[bit] } else { nsel[bit] })
+            .map(|bit| {
+                if code >> bit & 1 == 1 {
+                    sel[bit]
+                } else {
+                    nsel[bit]
+                }
+            })
             .collect();
         outs.push(reduce_tree(b, stage, &terms, GateKind::And)?);
     }
@@ -577,8 +591,7 @@ mod tests {
         let n = harness(
             &[("v", 16), ("amt", 4), ("right", 1), ("arith", 1)],
             |b, ins| {
-                let out =
-                    barrel_shifter(b, 0, &ins[0], &ins[1], ins[2][0], ins[3][0]).unwrap();
+                let out = barrel_shifter(b, 0, &ins[0], &ins[1], ins[2][0], ins[3][0]).unwrap();
                 vec![("out".into(), out)]
             },
         );
@@ -586,20 +599,32 @@ mod tests {
         for amt in 0..16u64 {
             // Logical left.
             assert_eq!(
-                eval(&n, &[("v", v), ("amt", amt), ("right", 0), ("arith", 0)], "out"),
+                eval(
+                    &n,
+                    &[("v", v), ("amt", amt), ("right", 0), ("arith", 0)],
+                    "out"
+                ),
                 (v << amt) & 0xFFFF,
                 "sll amt={amt}"
             );
             // Logical right.
             assert_eq!(
-                eval(&n, &[("v", v), ("amt", amt), ("right", 1), ("arith", 0)], "out"),
+                eval(
+                    &n,
+                    &[("v", v), ("amt", amt), ("right", 1), ("arith", 0)],
+                    "out"
+                ),
                 v >> amt,
                 "srl amt={amt}"
             );
             // Arithmetic right (v has MSB set at width 16).
             let sign_ext = ((v as i64 | !0xFFFFi64) >> amt) as u64 & 0xFFFF;
             assert_eq!(
-                eval(&n, &[("v", v), ("amt", amt), ("right", 1), ("arith", 1)], "out"),
+                eval(
+                    &n,
+                    &[("v", v), ("amt", amt), ("right", 1), ("arith", 1)],
+                    "out"
+                ),
                 sign_ext,
                 "sra amt={amt}"
             );
@@ -632,16 +657,24 @@ mod tests {
 
     #[test]
     fn mux_tree_selects() {
-        let n = harness(&[("s", 2), ("i0", 4), ("i1", 4), ("i2", 4), ("i3", 4)], |b, ins| {
-            let out = mux_tree(
-                b,
-                0,
-                &ins[0],
-                &[ins[1].clone(), ins[2].clone(), ins[3].clone(), ins[4].clone()],
-            )
-            .unwrap();
-            vec![("out".into(), out)]
-        });
+        let n = harness(
+            &[("s", 2), ("i0", 4), ("i1", 4), ("i2", 4), ("i3", 4)],
+            |b, ins| {
+                let out = mux_tree(
+                    b,
+                    0,
+                    &ins[0],
+                    &[
+                        ins[1].clone(),
+                        ins[2].clone(),
+                        ins[3].clone(),
+                        ins[4].clone(),
+                    ],
+                )
+                .unwrap();
+                vec![("out".into(), out)]
+            },
+        );
         let vals = [("i0", 1u64), ("i1", 5), ("i2", 9), ("i3", 14)];
         for s in 0..4u64 {
             let mut inputs = vals.to_vec();
@@ -656,7 +689,14 @@ mod tests {
             let p = array_multiplier_low(b, 0, &ins[0], &ins[1]).unwrap();
             vec![("p".into(), p)]
         });
-        for (a, bb) in [(0u64, 0u64), (1, 255), (255, 255), (12, 13), (100, 3), (17, 15)] {
+        for (a, bb) in [
+            (0u64, 0u64),
+            (1, 255),
+            (255, 255),
+            (12, 13),
+            (100, 3),
+            (17, 15),
+        ] {
             assert_eq!(
                 eval(&n, &[("a", a), ("b", bb)], "p"),
                 (a * bb) & 0xFF,

@@ -84,7 +84,10 @@ impl GateKind {
     /// Whether this kind is a sequential element or port (i.e. a path
     /// *endpoint* in the paper's Definition 3.1 sense).
     pub fn is_endpoint(self) -> bool {
-        matches!(self, GateKind::Input | GateKind::FlipFlop | GateKind::Tie(_))
+        matches!(
+            self,
+            GateKind::Input | GateKind::FlipFlop | GateKind::Tie(_)
+        )
     }
 
     /// Evaluates the boolean function on the input values.

@@ -146,7 +146,14 @@ impl PipelineNetlist {
         // Fetch control cloud over PC and redirect bits.
         let mut fetch_ins = b0_pc.clone();
         fetch_ins.push(redirect_taken);
-        let fctl = random_cloud(&mut b, 0, &fetch_ins, config.cloud_gates / 2, 8, seed ^ 0xF0)?;
+        let fctl = random_cloud(
+            &mut b,
+            0,
+            &fetch_ins,
+            config.cloud_gates / 2,
+            8,
+            seed ^ 0xF0,
+        )?;
         // Instruction path: gated by a fetch-valid qualifier.
         let valid = fctl[0];
         let instr_gated: Vec<GateId> = imem
@@ -183,7 +190,11 @@ impl PipelineNetlist {
         let idx_w = 5.min(w);
         let rs1: Vec<GateId> = buf_bus(&mut b, 1, &b1_instr[..idx_w])?;
         let rs2: Vec<GateId> = buf_bus(&mut b, 1, &b1_instr[w - idx_w..])?;
-        let rd: Vec<GateId> = buf_bus(&mut b, 1, &b1_instr[(w / 2).saturating_sub(idx_w)..][..idx_w])?;
+        let rd: Vec<GateId> = buf_bus(
+            &mut b,
+            1,
+            &b1_instr[(w / 2).saturating_sub(idx_w)..][..idx_w],
+        )?;
         let pc_fwd = buf_bus(&mut b, 1, &b1_pc)?;
         // Serial decode-qualifier chain (priority/parity style) — the long
         // control-network path real decoders have. Its *activated* depth is
@@ -245,14 +256,24 @@ impl PipelineNetlist {
             &mut b,
             2,
             &[m_ex1, m_me1],
-            &[rf_rs1.clone(), byp_ex.clone(), byp_me.clone(), rf_rs1.clone()],
+            &[
+                rf_rs1.clone(),
+                byp_ex.clone(),
+                byp_me.clone(),
+                rf_rs1.clone(),
+            ],
         )?;
         // Operand B: (rf/bypass as A) then imm-select on a decode control.
         let op_b_fwd = mux_tree(
             &mut b,
             2,
             &[m_ex2, m_me2],
-            &[rf_rs2.clone(), byp_ex.clone(), byp_me.clone(), rf_rs2.clone()],
+            &[
+                rf_rs2.clone(),
+                byp_ex.clone(),
+                byp_me.clone(),
+                rf_rs2.clone(),
+            ],
         )?;
         let use_imm = b2_ctl[0];
         let op_b = mux2_bus(&mut b, 2, use_imm, &op_b_fwd, &b2_imm)?;

@@ -324,7 +324,9 @@ mod tests {
         assert_eq!(sim.cycle(), 8);
         // q0 toggles every cycle from cycle 1 onward.
         let q0 = n.bus("q0").unwrap()[0];
-        let toggles = (1..8).filter(|&t| trace.cycle(t).contains(q0.index())).count();
+        let toggles = (1..8)
+            .filter(|&t| trace.cycle(t).contains(q0.index()))
+            .count();
         assert_eq!(toggles, 7);
     }
 

@@ -311,10 +311,8 @@ mod tests {
         // Same instruction sequence, different operand values: the long
         // carry case must activate more adder gates in the EX window.
         let run = |a: i64, b: i64| {
-            let prog = assemble(&format!(
-                "li r1, {a}\nli r2, {b}\nadd r3, r1, r2\nhalt\n"
-            ))
-            .unwrap();
+            let prog =
+                assemble(&format!("li r1, {a}\nli r2, {b}\nadd r3, r1, r2\nhalt\n")).unwrap();
             let mut m = Machine::new(&prog, 16);
             let trace = CoSim::run_program(&p, &prog, &mut m, 100).unwrap();
             // The add is fed at cycle 4 (after 2×2 li instructions) and is

@@ -19,7 +19,11 @@ use crate::machine::Retired;
 use terse_isa::Opcode;
 
 /// The feature vector of one dynamic instruction instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash`/`Eq` let the estimation pipeline memoize per-feature model
+/// evaluations (identical feature vectors recur heavily across samples and
+/// edge contexts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InstFeatures {
     /// The operation (selects the functional unit).
     pub opcode: Opcode,
@@ -109,17 +113,19 @@ pub fn extract(r: &Retired, bus: BusState) -> InstFeatures {
     // actually flip: a carry that ripples high but produces identical sum
     // bits (e.g. `x − x`, or `0xFFFFFFFF + 1` wrapping to 0) activates no
     // data-endpoint path beyond the last changing sum position.
-    let sum_cap = |raw: u8, result: u32| -> u8 {
-        raw.min((32 - result.leading_zeros()) as u8)
-    };
+    let sum_cap = |raw: u8, result: u32| -> u8 { raw.min((32 - result.leading_zeros()) as u8) };
     let carry_chain = match r.inst.opcode {
         Opcode::Add | Opcode::Addi | Opcode::Ld | Opcode::St | Opcode::Jal => {
             sum_cap(carry_chain_length(a, b, false), a.wrapping_add(b))
         }
-        Opcode::Sub | Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge
-        | Opcode::Slt | Opcode::Sltu | Opcode::Slti => {
-            sum_cap(carry_chain_length(a, !b, true), a.wrapping_sub(b))
-        }
+        Opcode::Sub
+        | Opcode::Beq
+        | Opcode::Bne
+        | Opcode::Blt
+        | Opcode::Bge
+        | Opcode::Slt
+        | Opcode::Sltu
+        | Opcode::Slti => sum_cap(carry_chain_length(a, !b, true), a.wrapping_sub(b)),
         _ => 0,
     };
     let shift_amount = match r.inst.opcode {
@@ -191,7 +197,10 @@ mod tests {
     #[test]
     fn immediate_operand_used_for_itype() {
         let addi = Instruction::itype(Opcode::Addi, 3, 1, 0x7F);
-        let f = extract(&retired(addi, 0, 999 /* ignored rs2 */), BusState::flushed());
+        let f = extract(
+            &retired(addi, 0, 999 /* ignored rs2 */),
+            BusState::flushed(),
+        );
         assert_eq!(f.toggle_b, 7); // imm 0x7F has 7 bits
     }
 

@@ -9,10 +9,22 @@
 //! execute, draw per-instruction timing errors from the instruction error
 //! model, apply the correction scheme's dynamic effect, and count.
 
+//! # Parallel execution & determinism
+//!
+//! The `(chip, input)` grid is embarrassingly parallel, so both entry points
+//! fan out over it with `rayon`. Each cell draws its Bernoulli variates from
+//! a private counter-based RNG stream derived from `(cfg.seed, chip index,
+//! input index)` via [`Xoshiro256::seed_stream`], so the count matrix is
+//! **bitwise identical for every thread count** (including 1) and for
+//! repeated runs — the schedule never touches the random stream. The
+//! thread count is whatever `rayon` pool is installed by the caller
+//! (`FrameworkBuilder::threads` upstream, or the machine default).
+
 use crate::correction::CorrectionScheme;
 use crate::features::{extract, BusState, InstFeatures};
 use crate::machine::Machine;
 use crate::Result;
+use rayon::prelude::*;
 use terse_isa::Program;
 use terse_sta::variation::ChipSample;
 use terse_stats::rng::Xoshiro256;
@@ -69,63 +81,93 @@ impl Default for MonteCarloConfig {
     }
 }
 
-/// Runs the program once per `(chip, input)` pair and returns the error
-/// count matrix `counts[chip][input]`.
+/// Encodes a grid cell as an RNG stream index (chip-major, stable across
+/// grid shapes that share a chip count).
+fn cell_stream(chip: usize, input: usize) -> u64 {
+    ((chip as u64) << 32) | input as u64
+}
+
+/// Executes the program once, drawing per-instruction error indicators from
+/// `prob` with `rng` — the inner loop shared by both grid variants.
+fn run_cell<F, P>(
+    program: &Program,
+    cfg: MonteCarloConfig,
+    scheme: CorrectionScheme,
+    input: usize,
+    init: &F,
+    rng: &mut Xoshiro256,
+    prob: P,
+) -> Result<u64>
+where
+    F: Fn(usize, &mut Machine),
+    P: Fn(Option<u32>, u32, &InstFeatures) -> f64,
+{
+    let mut machine = Machine::new(program, cfg.dmem_words);
+    init(input, &mut machine);
+    let mut errors = 0u64;
+    // Program starts from a flushed processor state (the paper's
+    // `p^in = 1` convention).
+    let mut bus = BusState::flushed();
+    let mut executed = 0u64;
+    let mut prev_index: Option<u32> = None;
+    while !machine.halted() {
+        if executed >= cfg.budget {
+            return Err(crate::SimError::InstructionBudgetExhausted { budget: cfg.budget });
+        }
+        let r = machine.step(program)?;
+        executed += 1;
+        let f = extract(&r, bus);
+        let p = prob(prev_index, r.index, &f);
+        prev_index = Some(r.index);
+        if rng.next_f64() < p {
+            errors += 1;
+            bus = scheme.post_error_bus_state();
+        } else {
+            bus.advance(&r);
+        }
+    }
+    Ok(errors)
+}
+
+/// Runs the program once per `(chip, input)` pair — in parallel across the
+/// grid — and returns the error count matrix `counts[chip][input]`.
 ///
-/// `init(input_index, machine)` prepares the input dataset.
+/// `init(input_index, machine)` prepares the input dataset; it must be
+/// callable concurrently (`Fn + Sync`), which every pure dataset writer is.
+/// Cell `(c, i)` draws from the RNG stream `(cfg.seed, c, i)`, so the result
+/// is bitwise identical regardless of thread count (see the module docs).
 ///
 /// # Errors
 ///
-/// Propagates machine errors.
+/// Propagates machine errors (the lowest-indexed failing cell wins,
+/// deterministically).
 pub fn error_counts<M, F>(
     program: &Program,
     model: &M,
     chips: &[ChipSample],
     inputs: usize,
     scheme: CorrectionScheme,
-    mut init: F,
+    init: F,
     cfg: MonteCarloConfig,
 ) -> Result<Vec<Vec<u64>>>
 where
-    M: InstErrorModel,
-    F: FnMut(usize, &mut Machine),
+    M: InstErrorModel + Sync,
+    F: Fn(usize, &mut Machine) + Sync,
 {
-    let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
-    let mut counts = Vec::with_capacity(chips.len());
-    for chip in chips {
-        let mut per_input = Vec::with_capacity(inputs);
-        for input in 0..inputs {
-            let mut machine = Machine::new(program, cfg.dmem_words);
-            init(input, &mut machine);
-            let mut errors = 0u64;
-            // Program starts from a flushed processor state (the paper's
-            // `p^in = 1` convention).
-            let mut bus = BusState::flushed();
-            let mut executed = 0u64;
-            let mut prev_index: Option<u32> = None;
-            while !machine.halted() {
-                if executed >= cfg.budget {
-                    return Err(crate::SimError::InstructionBudgetExhausted {
-                        budget: cfg.budget,
-                    });
-                }
-                let r = machine.step(program)?;
-                executed += 1;
-                let f = extract(&r, bus);
-                let p = model.error_probability(prev_index, r.index, &f, chip);
-                prev_index = Some(r.index);
-                if rng.next_f64() < p {
-                    errors += 1;
-                    bus = scheme.post_error_bus_state();
-                } else {
-                    bus.advance(&r);
-                }
-            }
-            per_input.push(errors);
-        }
-        counts.push(per_input);
+    if inputs == 0 {
+        return Ok(vec![Vec::new(); chips.len()]);
     }
-    Ok(counts)
+    let flat: Vec<u64> = (0..chips.len() * inputs)
+        .into_par_iter()
+        .map(|cell| {
+            let (c, i) = (cell / inputs, cell % inputs);
+            let mut rng = Xoshiro256::seed_stream(cfg.seed, cell_stream(c, i));
+            run_cell(program, cfg, scheme, i, &init, &mut rng, |prev, idx, f| {
+                model.error_probability(prev, idx, f, &chips[c])
+            })
+        })
+        .collect::<Result<_>>()?;
+    Ok(flat.chunks(inputs).map(<[u64]>::to_vec).collect())
 }
 
 /// Like [`error_counts`] but with process variation *marginalized* per
@@ -146,45 +188,29 @@ pub fn error_counts_marginalized<M, F>(
     reps: usize,
     inputs: usize,
     scheme: CorrectionScheme,
-    mut init: F,
+    init: F,
     cfg: MonteCarloConfig,
 ) -> Result<Vec<u64>>
 where
-    M: InstErrorModel,
-    F: FnMut(usize, &mut Machine),
+    M: InstErrorModel + Sync,
+    F: Fn(usize, &mut Machine) + Sync,
 {
-    let mut rng = Xoshiro256::seed_from_u64(cfg.seed ^ 0x4D41_5247);
-    let mut counts = Vec::with_capacity(reps * inputs);
-    for _ in 0..reps {
-        for input in 0..inputs {
-            let mut machine = Machine::new(program, cfg.dmem_words);
-            init(input, &mut machine);
-            let mut errors = 0u64;
-            let mut bus = BusState::flushed();
-            let mut executed = 0u64;
-            let mut prev_index: Option<u32> = None;
-            while !machine.halted() {
-                if executed >= cfg.budget {
-                    return Err(crate::SimError::InstructionBudgetExhausted {
-                        budget: cfg.budget,
-                    });
-                }
-                let r = machine.step(program)?;
-                executed += 1;
-                let f = extract(&r, bus);
-                let p = model.marginal_probability(prev_index, r.index, &f);
-                prev_index = Some(r.index);
-                if rng.next_f64() < p {
-                    errors += 1;
-                    bus = scheme.post_error_bus_state();
-                } else {
-                    bus.advance(&r);
-                }
-            }
-            counts.push(errors);
-        }
+    if inputs == 0 {
+        return Ok(Vec::new());
     }
-    Ok(counts)
+    // A distinct master seed keeps the marginalized streams disjoint from
+    // the per-chip grid's even when rep/input indices coincide.
+    let master = cfg.seed ^ 0x4D41_5247;
+    (0..reps * inputs)
+        .into_par_iter()
+        .map(|cell| {
+            let (r, i) = (cell / inputs, cell % inputs);
+            let mut rng = Xoshiro256::seed_stream(master, cell_stream(r, i));
+            run_cell(program, cfg, scheme, i, &init, &mut rng, |prev, idx, f| {
+                model.marginal_probability(prev, idx, f)
+            })
+        })
+        .collect()
 }
 
 /// Summarizes a count matrix into the empirical error-count distribution
@@ -213,12 +239,7 @@ mod tests {
         ) -> f64 {
             f.carry_chain as f64 / 64.0
         }
-        fn marginal_probability(
-            &self,
-            _prev: Option<u32>,
-            _index: u32,
-            f: &InstFeatures,
-        ) -> f64 {
+        fn marginal_probability(&self, _prev: Option<u32>, _index: u32, f: &InstFeatures) -> f64 {
             f.carry_chain as f64 / 64.0
         }
     }
@@ -252,12 +273,7 @@ mod tests {
             ) -> f64 {
                 0.0
             }
-            fn marginal_probability(
-                &self,
-                _: Option<u32>,
-                _: u32,
-                _: &InstFeatures,
-            ) -> f64 {
+            fn marginal_probability(&self, _: Option<u32>, _: u32, _: &InstFeatures) -> f64 {
                 0.0
             }
         }

@@ -237,8 +237,8 @@ mod tests {
                 .filter(|((_, to), _)| *to == b.id)
                 .map(|(_, &c)| c)
                 .sum();
-            let expected = prof.block_counts[b.id.index()]
-                - u64::from(b.id == cfg.block_containing(0));
+            let expected =
+                prof.block_counts[b.id.index()] - u64::from(b.id == cfg.block_containing(0));
             assert_eq!(incoming, expected, "block {}", b.id);
         }
     }

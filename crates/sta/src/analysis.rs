@@ -91,7 +91,9 @@ impl<'n> Sta<'n> {
         let d = self
             .netlist
             .ff_input(e)
-            .map_err(|_| StaError::NotAnEndpoint { id: e.index() as u32 })?;
+            .map_err(|_| StaError::NotAnEndpoint {
+                id: e.index() as u32,
+            })?;
         Ok(self.arrival[d.index()] + self.setup)
     }
 
@@ -157,9 +159,8 @@ impl<'n> StatisticalSta<'n> {
     /// Runs SSTA using a variation model (which embeds the delay library's
     /// nominal values).
     pub fn new(netlist: &'n Netlist, lib: &DelayLibrary, model: &VariationModel) -> Self {
-        let mut arrival: Vec<CanonicalRv> = (0..netlist.gate_count())
-            .map(|_| model.zero())
-            .collect();
+        let mut arrival: Vec<CanonicalRv> =
+            (0..netlist.gate_count()).map(|_| model.zero()).collect();
         for g in netlist.gate_ids() {
             match netlist.kind(g) {
                 GateKind::FlipFlop | GateKind::Input => {
@@ -204,7 +205,9 @@ impl<'n> StatisticalSta<'n> {
         let d = self
             .netlist
             .ff_input(e)
-            .map_err(|_| StaError::NotAnEndpoint { id: e.index() as u32 })?;
+            .map_err(|_| StaError::NotAnEndpoint {
+                id: e.index() as u32,
+            })?;
         Ok(self.arrival[d.index()].add_scalar(self.setup))
     }
 
@@ -254,10 +257,10 @@ impl<'n> StatisticalSta<'n> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::variation::VariationConfig;
     use terse_netlist::builder::NetlistBuilder;
     use terse_netlist::netlist::EndpointClass;
     use terse_netlist::pipeline::{PipelineConfig, PipelineNetlist};
-    use crate::variation::VariationConfig;
 
     /// src_ff -> inv -> and(inv, src_ff) -> dst_ff  (2 levels of logic)
     fn chain() -> terse_netlist::Netlist {
@@ -330,8 +333,7 @@ mod tests {
         let p = PipelineNetlist::build(PipelineConfig::small()).unwrap();
         let lib = DelayLibrary::normalized_45nm();
         let sta = Sta::new(p.netlist(), &lib);
-        let model =
-            VariationModel::new(p.netlist(), &lib, VariationConfig::default()).unwrap();
+        let model = VariationModel::new(p.netlist(), &lib, VariationConfig::default()).unwrap();
         let ssta = StatisticalSta::new(p.netlist(), &lib, &model);
         let det = sta.stage_critical_delay(3);
         let stat = ssta.stage_critical_delay(3);
@@ -350,8 +352,7 @@ mod tests {
         let p = PipelineNetlist::build(PipelineConfig::small()).unwrap();
         let lib = DelayLibrary::normalized_45nm();
         let sta = Sta::new(p.netlist(), &lib);
-        let model =
-            VariationModel::new(p.netlist(), &lib, VariationConfig::disabled()).unwrap();
+        let model = VariationModel::new(p.netlist(), &lib, VariationConfig::disabled()).unwrap();
         let ssta = StatisticalSta::new(p.netlist(), &lib, &model);
         for s in 0..6 {
             let det = sta.stage_critical_delay(s);

@@ -304,12 +304,7 @@ mod tests {
     use super::*;
     use terse_stats::rng::Xoshiro256;
 
-    fn mc_max(
-        a: &CanonicalRv,
-        b: &CanonicalRv,
-        n: usize,
-        seed: u64,
-    ) -> (f64, f64) {
+    fn mc_max(a: &CanonicalRv, b: &CanonicalRv, n: usize, seed: u64) -> (f64, f64) {
         let mut rng = Xoshiro256::seed_from_u64(seed);
         let k = a.var_count();
         let mut sum = 0.0;
@@ -369,7 +364,11 @@ mod tests {
         let b = CanonicalRv::with_sensitivities(10.5, vec![1.0, 1.5], 0.7);
         let (m, _) = a.stat_max(&b);
         let (mc_mean, mc_var) = mc_max(&a, &b, 200_000, 7);
-        assert!((m.mean() - mc_mean).abs() < 0.02, "{} vs {mc_mean}", m.mean());
+        assert!(
+            (m.mean() - mc_mean).abs() < 0.02,
+            "{} vs {mc_mean}",
+            m.mean()
+        );
         assert!(
             (m.variance() - mc_var).abs() < 0.1,
             "{} vs {mc_var}",

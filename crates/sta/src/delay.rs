@@ -85,7 +85,10 @@ impl DelayLibrary {
 
     /// Nominal delays for every gate, indexed by gate id.
     pub fn annotate(&self, netlist: &Netlist) -> Vec<f64> {
-        netlist.gate_ids().map(|g| self.nominal(netlist, g)).collect()
+        netlist
+            .gate_ids()
+            .map(|g| self.nominal(netlist, g))
+            .collect()
     }
 }
 

@@ -50,9 +50,7 @@ impl Path {
 
     /// Nominal path delay: clock-to-Q + Σ gate delays + setup.
     pub fn delay_nominal(&self, sta: &Sta<'_>) -> f64 {
-        sta.clk_to_q()
-            + self.gates.iter().map(|&g| sta.delay(g)).sum::<f64>()
-            + sta.setup()
+        sta.clk_to_q() + self.gates.iter().map(|&g| sta.delay(g)).sum::<f64>() + sta.setup()
     }
 
     /// Nominal slack under clock period `t_clk` (the paper's `SL`).
@@ -72,7 +70,13 @@ impl Path {
     }
 
     /// Statistical slack under period `t_clk`: `t_clk − delay`.
-    pub fn slack_rv(&self, model: &VariationModel, clk_to_q: f64, setup: f64, t_clk: f64) -> CanonicalRv {
+    pub fn slack_rv(
+        &self,
+        model: &VariationModel,
+        clk_to_q: f64,
+        setup: f64,
+        t_clk: f64,
+    ) -> CanonicalRv {
         self.delay_rv(model, clk_to_q, setup)
             .negate()
             .add_scalar(t_clk)
@@ -191,9 +195,7 @@ impl<'s, 'n> PathEnumerator<'s, 'n> {
     }
 
     fn allowed(&self, g: GateId) -> bool {
-        self.restrict
-            .as_ref()
-            .is_none_or(|r| r.contains(g.index()))
+        self.restrict.as_ref().is_none_or(|r| r.contains(g.index()))
     }
 
     /// Pushes the suffix obtained by prepending `head` (with `suffix_delay`
@@ -209,11 +211,7 @@ impl<'s, 'n> PathEnumerator<'s, 'n> {
         // + delay of the recorded tail (which excludes head's own delay only
         // for endpoint heads — arrival already includes gate delays).
         let bound = self.sta.arrival(head) + tail_delay;
-        self.heap.push(Suffix {
-            bound,
-            head,
-            node,
-        });
+        self.heap.push(Suffix { bound, head, node });
     }
 
     /// Reconstructs the gate list from a node chain (head exclusive).
@@ -354,8 +352,7 @@ impl ActivatedDp {
                 }));
             }
             gates.push(cur);
-            cur = self.pred[cur.index()]
-                .expect("activated arrival implies a predecessor chain");
+            cur = self.pred[cur.index()].expect("activated arrival implies a predecessor chain");
         }
     }
 }
@@ -440,9 +437,7 @@ mod tests {
             let a = pool[(rnd() % pool.len() as u64) as usize];
             let c = pool[(rnd() % pool.len() as u64) as usize];
             let kinds = [GateKind::And, GateKind::Or, GateKind::Xor, GateKind::Nand];
-            let g = b
-                .gate(kinds[(rnd() % 4) as usize], &[a, c], 0)
-                .unwrap();
+            let g = b.gate(kinds[(rnd() % 4) as usize], &[a, c], 0).unwrap();
             pool.push(g);
         }
         let last = *pool.last().unwrap();
@@ -477,11 +472,7 @@ mod tests {
         dfs(&n, n.ff_input(dst).unwrap(), &mut Vec::new(), &mut all);
         let mut brute: Vec<f64> = all
             .iter()
-            .map(|gs| {
-                sta.clk_to_q()
-                    + gs.iter().map(|&g| sta.delay(g)).sum::<f64>()
-                    + sta.setup()
-            })
+            .map(|gs| sta.clk_to_q() + gs.iter().map(|&g| sta.delay(g)).sum::<f64>() + sta.setup())
             .collect();
         brute.sort_by(|a, b| b.total_cmp(a));
 
@@ -532,9 +523,7 @@ mod tests {
             .unwrap()
             .next()
             .unwrap();
-        assert!(
-            (fast.delay_nominal(&sta) - slow.delay_nominal(&sta)).abs() < 1e-9
-        );
+        assert!((fast.delay_nominal(&sta) - slow.delay_nominal(&sta)).abs() < 1e-9);
         // Nothing activated → no path.
         let empty = BitSet::new(n.gate_count());
         assert!(longest_activated_path(&sta, dst, &empty).unwrap().is_none());

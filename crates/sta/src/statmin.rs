@@ -12,6 +12,7 @@
 
 use crate::canonical::CanonicalRv;
 use crate::{Result, StaError};
+use rayon::prelude::*;
 
 /// Order in which pairwise Clark minimums are applied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -84,15 +85,37 @@ pub fn statistical_min(slacks: &[CanonicalRv], ordering: MinOrdering) -> Result<
             }
             let mut pool: Vec<CanonicalRv> = slacks.to_vec();
             while pool.len() > 1 {
-                let (mut bi, mut bj, mut best) = (0usize, 1usize, f64::NEG_INFINITY);
-                for i in 0..pool.len() {
+                // Each round scans every pair for the most correlated one.
+                // Rows (fixed `i`) are independent, so evaluate them in
+                // parallel; each row keeps its best `j` under a strict `>`,
+                // and a serial fold over rows in ascending `i` (also strict
+                // `>`) then reproduces exactly the pair the serial
+                // double-loop would pick, ties and all. Small pools (the
+                // per-instruction two-operand mins on the simulator's hot
+                // path) stay serial — fan-out would cost more than the scan.
+                let rows = pool.len() - 1;
+                let row_fn = |i: usize| {
+                    let (mut best, mut bj) = (f64::NEG_INFINITY, i + 1);
                     for j in i + 1..pool.len() {
                         let c = pool[i].corr(&pool[j]);
                         if c > best {
                             best = c;
-                            bi = i;
                             bj = j;
                         }
+                    }
+                    (best, bj)
+                };
+                let row_best: Vec<(f64, usize)> = if rows < 32 {
+                    (0..rows).map(row_fn).collect()
+                } else {
+                    (0..rows).into_par_iter().map(row_fn).collect()
+                };
+                let (mut bi, mut bj, mut best) = (0usize, 1usize, f64::NEG_INFINITY);
+                for (i, &(c, j)) in row_best.iter().enumerate() {
+                    if c > best {
+                        best = c;
+                        bi = i;
+                        bj = j;
                     }
                 }
                 let b = pool.swap_remove(bj);
@@ -107,11 +130,7 @@ pub fn statistical_min(slacks: &[CanonicalRv], ordering: MinOrdering) -> Result<
 /// Monte Carlo reference for the minimum of canonical forms (shared draw per
 /// scenario, independent residual per operand) — used by tests and the
 /// ordering ablation to measure each ordering's approximation error.
-pub fn monte_carlo_min(
-    slacks: &[CanonicalRv],
-    samples: usize,
-    seed: u64,
-) -> Result<(f64, f64)> {
+pub fn monte_carlo_min(slacks: &[CanonicalRv], samples: usize, seed: u64) -> Result<(f64, f64)> {
     if slacks.is_empty() {
         return Err(StaError::MalformedPath {
             reason: "monte carlo min of an empty slack set",
@@ -217,13 +236,7 @@ mod tests {
     #[test]
     fn large_set_falls_back_gracefully() {
         let slacks: Vec<CanonicalRv> = (0..100)
-            .map(|i| {
-                CanonicalRv::with_sensitivities(
-                    10.0 + i as f64 * 0.01,
-                    vec![1.0, 0.5],
-                    0.2,
-                )
-            })
+            .map(|i| CanonicalRv::with_sensitivities(10.0 + i as f64 * 0.01, vec![1.0, 0.5], 0.2))
             .collect();
         let m = statistical_min(&slacks, MinOrdering::MaxCorrelationFirst).unwrap();
         assert!(m.mean() <= 10.0 + 1e-9);

@@ -277,7 +277,10 @@ mod tests {
     use terse_netlist::netlist::EndpointClass;
     use terse_netlist::GateKind;
 
-    fn two_gate_netlist(p1: (f32, f32), p2: (f32, f32)) -> (terse_netlist::Netlist, GateId, GateId) {
+    fn two_gate_netlist(
+        p1: (f32, f32),
+        p2: (f32, f32),
+    ) -> (terse_netlist::Netlist, GateId, GateId) {
         let mut b = NetlistBuilder::new(1);
         let x = b.input("x", 0).unwrap();
         b.set_region(p1.0, p1.1, p1.0 + 1e-4, p1.1 + 1e-4);

@@ -33,9 +33,7 @@ fn random_dag(seed: u64, gates: usize) -> Netlist {
     for _ in 0..gates {
         let a = pool[(rnd() % pool.len() as u64) as usize];
         let c = pool[(rnd() % pool.len() as u64) as usize];
-        let g = b
-            .gate(KINDS[(rnd() % 5) as usize], &[a, c], 0)
-            .unwrap();
+        let g = b.gate(KINDS[(rnd() % 5) as usize], &[a, c], 0).unwrap();
         pool.push(g);
     }
     let last = *pool.last().unwrap();

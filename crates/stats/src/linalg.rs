@@ -324,7 +324,10 @@ mod tests {
     #[test]
     fn singular_matrix_detected() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
-        assert_eq!(a.solve(&[1.0, 2.0]).unwrap_err(), StatsError::SingularMatrix);
+        assert_eq!(
+            a.solve(&[1.0, 2.0]).unwrap_err(),
+            StatsError::SingularMatrix
+        );
     }
 
     #[test]

@@ -112,14 +112,10 @@ mod tests {
         // d_K ≤ d_TV (Gibbs & Su) — spot-check on several random pairs.
         let mut rng = crate::rng::Xoshiro256::seed_from_u64(17);
         for _ in 0..20 {
-            let a = DiscreteRv::new(
-                (0..5).map(|i| (i as f64, rng.next_f64() + 0.01)).collect(),
-            )
-            .unwrap();
-            let b = DiscreteRv::new(
-                (0..5).map(|i| (i as f64, rng.next_f64() + 0.01)).collect(),
-            )
-            .unwrap();
+            let a = DiscreteRv::new((0..5).map(|i| (i as f64, rng.next_f64() + 0.01)).collect())
+                .unwrap();
+            let b = DiscreteRv::new((0..5).map(|i| (i as f64, rng.next_f64() + 0.01)).collect())
+                .unwrap();
             let dk = kolmogorov_distance_discrete(&a, &b);
             let tv = tv_distance_discrete(&a, &b);
             assert!(dk <= tv + 1e-12, "dk={dk} tv={tv}");
@@ -136,11 +132,7 @@ mod tests {
 
     #[test]
     fn real_probe_variant() {
-        let d = kolmogorov_distance_real(
-            &[0.0, 0.5, 1.0],
-            |x| x,
-            |x| x * x,
-        );
+        let d = kolmogorov_distance_real(&[0.0, 0.5, 1.0], |x| x, |x| x * x);
         assert!((d - 0.25).abs() < 1e-15);
     }
 }

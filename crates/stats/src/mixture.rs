@@ -285,10 +285,7 @@ mod tests {
         }
         let mc = counts_le_40 as f64 / n as f64;
         let analytic = m.cdf(40.0).unwrap();
-        assert!(
-            (mc - analytic).abs() < 0.01,
-            "mc={mc} analytic={analytic}"
-        );
+        assert!((mc - analytic).abs() < 0.01, "mc={mc} analytic={analytic}");
     }
 
     #[test]

@@ -157,9 +157,7 @@ mod tests {
         let d = PoissonBinomial::new(vec![0.3; 6]).unwrap();
         let choose = [1.0, 6.0, 15.0, 20.0, 15.0, 6.0, 1.0];
         for k in 0..=6u64 {
-            let want = choose[k as usize]
-                * 0.3f64.powi(k as i32)
-                * 0.7f64.powi(6 - k as i32);
+            let want = choose[k as usize] * 0.3f64.powi(k as i32) * 0.7f64.powi(6 - k as i32);
             assert!(
                 (d.pmf(k) - want).abs() < 1e-14,
                 "k={k} got {} want {want}",

@@ -90,8 +90,7 @@ impl Poisson {
             return 1.0;
         }
         let kfl = k.floor();
-        reg_gamma_q(kfl + 1.0, self.lambda)
-            .expect("incomplete gamma converges for finite lambda")
+        reg_gamma_q(kfl + 1.0, self.lambda).expect("incomplete gamma converges for finite lambda")
     }
 
     /// Survival function `Pr(X > k)`.
@@ -124,8 +123,8 @@ impl Poisson {
             return Ok(0);
         }
         // Bracket using the normal approximation then bisect.
-        let guess = self.lambda
-            + crate::special::std_normal_quantile_clamped(p) * self.lambda.sqrt();
+        let guess =
+            self.lambda + crate::special::std_normal_quantile_clamped(p) * self.lambda.sqrt();
         let mut lo = 0u64;
         let mut hi = (guess.max(self.lambda) * 2.0 + 20.0) as u64;
         while self.cdf(hi as f64) < p {

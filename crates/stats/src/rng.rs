@@ -49,10 +49,7 @@ impl Xoshiro256 {
 
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -130,6 +127,23 @@ impl Xoshiro256 {
     /// Derives an independent child generator (for per-subsystem streams).
     pub fn fork(&mut self) -> Xoshiro256 {
         Xoshiro256::seed_from_u64(self.next_u64())
+    }
+
+    /// Counter-based stream derivation: an independent generator for
+    /// sub-stream `stream` of master seed `seed`.
+    ///
+    /// Unlike [`fork`](Self::fork), the result depends only on
+    /// `(seed, stream)` — not on how many draws any other stream has made —
+    /// which is what makes parallel fan-out deterministic: worker `(i, j)`
+    /// seeds `seed_stream(seed, encode(i, j))` and gets the same variates no
+    /// matter how many threads run or in which order cells are scheduled.
+    /// The stream index is whitened through SplitMix64 before being mixed
+    /// into the master seed, so numerically adjacent streams are
+    /// uncorrelated.
+    pub fn seed_stream(seed: u64, stream: u64) -> Xoshiro256 {
+        let mut sm = stream;
+        let h = splitmix64(&mut sm);
+        Xoshiro256::seed_from_u64(seed ^ h)
     }
 }
 
@@ -212,6 +226,22 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
         assert_ne!(xs, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seed_stream_depends_only_on_seed_and_stream() {
+        let mut a = Xoshiro256::seed_stream(42, 7);
+        let mut b = Xoshiro256::seed_stream(42, 7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Xoshiro256::seed_stream(42, 8);
+        let mut d = Xoshiro256::seed_stream(43, 7);
+        let mut a = Xoshiro256::seed_stream(42, 7);
+        let same_c = (0..64).filter(|_| a.next_u64() == c.next_u64()).count();
+        let mut a = Xoshiro256::seed_stream(42, 7);
+        let same_d = (0..64).filter(|_| a.next_u64() == d.next_u64()).count();
+        assert_eq!(same_c + same_d, 0);
     }
 
     #[test]

@@ -155,7 +155,11 @@ impl SampleRv {
     /// Central moment `E[(X − μ)^k]`.
     pub fn central_moment(&self, k: u32) -> f64 {
         let m = self.mean();
-        let s: KahanSum = self.samples.iter().map(|&x| (x - m).powi(k as i32)).collect();
+        let s: KahanSum = self
+            .samples
+            .iter()
+            .map(|&x| (x - m).powi(k as i32))
+            .collect();
         s.value() / self.len() as f64
     }
 
@@ -359,11 +363,14 @@ mod tests {
     fn moments_match_definitions() {
         let a = rv(&[-1.0, 0.0, 1.0, 2.0]);
         let m = a.mean();
-        let want3: f64 =
-            a.samples().iter().map(|x| (x - m).powi(3)).sum::<f64>() / 4.0;
+        let want3: f64 = a.samples().iter().map(|x| (x - m).powi(3)).sum::<f64>() / 4.0;
         assert!((a.central_moment(3) - want3).abs() < 1e-15);
-        let want_abs3: f64 =
-            a.samples().iter().map(|x| (x - m).abs().powi(3)).sum::<f64>() / 4.0;
+        let want_abs3: f64 = a
+            .samples()
+            .iter()
+            .map(|x| (x - m).abs().powi(3))
+            .sum::<f64>()
+            / 4.0;
         assert!((a.abs_central_moment(3) - want_abs3).abs() < 1e-15);
         assert!((a.raw_moment(2) - 6.0 / 4.0).abs() < 1e-15);
     }

@@ -550,7 +550,10 @@ mod tests {
         // For large a, P(a, a) → 1/2 (median of Gamma(a) ≈ a - 1/3).
         for a in [1e3, 1e5, 1e7] {
             let p = reg_gamma_p(a, a).unwrap();
-            assert!((p - 0.5).abs() < 0.2 / a.sqrt().min(100.0), "P({a},{a}) = {p}");
+            assert!(
+                (p - 0.5).abs() < 0.2 / a.sqrt().min(100.0),
+                "P({a},{a}) = {p}"
+            );
             // Tighter: P(a, a - 1/3) ≈ 1/2 within O(1/a).
             let pm = reg_gamma_p(a, a - 1.0 / 3.0).unwrap();
             assert!((pm - 0.5).abs() < 1e-2, "P(a, a-1/3) = {pm}");

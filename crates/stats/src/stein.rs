@@ -239,11 +239,7 @@ pub struct SteinBound {
 /// Returns [`StatsError::Empty`] with no variables,
 /// [`StatsError::InvalidParameter`] if `sigma ≤ 0`, `d == 0`, or any moment
 /// is negative.
-pub fn stein_normal_bound(
-    moments: &[CentralMoments],
-    sigma: f64,
-    d: usize,
-) -> Result<SteinBound> {
+pub fn stein_normal_bound(moments: &[CentralMoments], sigma: f64, d: usize) -> Result<SteinBound> {
     if moments.is_empty() {
         return Err(StatsError::Empty { what: "moments" });
     }

@@ -94,9 +94,7 @@ fn fill(m: &mut Machine, p: &Program, seed: u64, size: DatasetSize) {
     };
     let mag_bits = 16 + rng.next_below(14) as u32; // 16..30 significant bits
     let mask = (1u32 << mag_bits).wrapping_sub(1).max(0xFFFF);
-    let values: Vec<u32> = (0..n)
-        .map(|_| (rng.next_u64() as u32) & mask)
-        .collect();
+    let values: Vec<u32> = (0..n).map(|_| (rng.next_u64() as u32) & mask).collect();
     write_at(m, p, "n", &[n]);
     write_at(m, p, "arr", &values);
 }

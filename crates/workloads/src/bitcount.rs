@@ -207,11 +207,7 @@ mod tests {
         let totals = p.data_label("totals").unwrap() as usize;
         let want: u32 = (0..n).map(|i| m.dmem()[arr + i].count_ones()).sum();
         for method in 0..5 {
-            assert_eq!(
-                m.dmem()[totals + method],
-                want,
-                "method {method} disagrees"
-            );
+            assert_eq!(m.dmem()[totals + method], want, "method {method} disagrees");
         }
         // The program's own agreement flag.
         assert_eq!(m.dmem()[totals + 5], 1);

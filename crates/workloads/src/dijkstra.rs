@@ -172,11 +172,7 @@ mod tests {
             let adj: Vec<u32> = m.dmem()[adj_base..adj_base + n * n].to_vec();
             let want = reference(&adj, n);
             for v in 0..n {
-                assert_eq!(
-                    m.dmem()[dist_base + v],
-                    want[v],
-                    "seed {seed}, node {v}"
-                );
+                assert_eq!(m.dmem()[dist_base + v], want[v], "seed {seed}, node {v}");
             }
             // Ring guarantees connectivity: everything reachable.
             assert!(want.iter().all(|&d| d < INF));

@@ -236,7 +236,10 @@ fn fill(m: &mut Machine, p: &Program, seed: u64, size: DatasetSize) {
     let mut rng = rng_for(seed ^ 0x9505);
     let (iters, body) = match size {
         DatasetSize::Small => (4 + rng.next_below(5) as u32, 5 + rng.next_below(3) as usize),
-        DatasetSize::Large => (40 + rng.next_below(40) as u32, 8 + rng.next_below(5) as usize),
+        DatasetSize::Large => (
+            40 + rng.next_below(40) as u32,
+            8 + rng.next_below(5) as usize,
+        ),
     };
     let code = generate_page(seed, iters, body);
     write_at(m, p, "code", &code);

@@ -189,9 +189,9 @@ mod tests {
     #[test]
     fn every_benchmark_assembles() {
         for spec in all() {
-            let p = spec.program().unwrap_or_else(|e| {
-                panic!("{} failed to assemble: {e}", spec.name)
-            });
+            let p = spec
+                .program()
+                .unwrap_or_else(|e| panic!("{} failed to assemble: {e}", spec.name));
             assert!(p.len() > 20, "{} suspiciously small", spec.name);
         }
     }

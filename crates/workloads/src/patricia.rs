@@ -115,7 +115,11 @@ fn fill(m: &mut Machine, p: &Program, seed: u64, size: DatasetSize) {
     let keys: Vec<u32> = (0..nk)
         .map(|_| {
             let k = (rng.next_u64() as u32) & 0xFFFF;
-            if clustered { prefix | (k & 0x0FFF) } else { k }
+            if clustered {
+                prefix | (k & 0x0FFF)
+            } else {
+                k
+            }
         })
         .collect();
     // Half the queries are inserted keys (hits), half random (likely miss).
@@ -158,8 +162,10 @@ mod tests {
             let nk = m.dmem()[p.data_label("nk").unwrap() as usize] as usize;
             let keys_base = p.data_label("keys").unwrap() as usize;
             let q_base = p.data_label("queries").unwrap() as usize;
-            let keys: HashSet<u32> =
-                m.dmem()[keys_base..keys_base + nk].iter().copied().collect();
+            let keys: HashSet<u32> = m.dmem()[keys_base..keys_base + nk]
+                .iter()
+                .copied()
+                .collect();
             let want = m.dmem()[q_base..q_base + nk]
                 .iter()
                 .filter(|q| keys.contains(q))

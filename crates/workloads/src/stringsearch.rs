@@ -123,8 +123,12 @@ fn fill(m: &mut Machine, p: &Program, seed: u64, size: DatasetSize) {
         ),
     };
     let mlen = 4 + rng.next_below(4) as usize;
-    let pattern: Vec<u32> = (0..mlen).map(|_| rng.next_below(SIGMA as u64) as u32).collect();
-    let mut text: Vec<u32> = (0..n).map(|_| rng.next_below(SIGMA as u64) as u32).collect();
+    let pattern: Vec<u32> = (0..mlen)
+        .map(|_| rng.next_below(SIGMA as u64) as u32)
+        .collect();
+    let mut text: Vec<u32> = (0..n)
+        .map(|_| rng.next_below(SIGMA as u64) as u32)
+        .collect();
     // Plant some occurrences so hits are guaranteed.
     for _ in 0..plant {
         let pos = rng.next_below((n - mlen) as u64) as usize;

@@ -63,7 +63,9 @@ done:
         report.estimate.lambda.mean(),
         report.dynamic_instructions
     );
-    let median = report.estimate.rate_cdf(report.estimate.mean_error_rate())?;
+    let median = report
+        .estimate
+        .rate_cdf(report.estimate.mean_error_rate())?;
     println!(
         "P(rate <= mean) = {:.3} (bounds [{:.3}, {:.3}])",
         median.nominal, median.lower, median.upper

@@ -12,7 +12,9 @@ use terse::{CorrectionScheme, Framework, OperatingConfig, TsPerformanceModel};
 use terse_workloads::DatasetSize;
 
 fn main() -> Result<(), terse::TerseError> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "gsm.encode".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "gsm.encode".into());
     let spec = terse_workloads::by_name(&name)
         .unwrap_or_else(|| panic!("unknown benchmark `{name}` — see terse_workloads::all()"));
     let samples = 3;

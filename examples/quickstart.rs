@@ -66,7 +66,10 @@ fn main() -> Result<(), terse::TerseError> {
     // 4. The error-rate CDF with its certified envelope (Figure 3 style),
     //    and what the rate means for TS-processor performance.
     let perf = TsPerformanceModel::paper_default();
-    println!("\n{:>10} {:>8} {:>8} {:>8} {:>10}", "rate%", "lower", "nominal", "upper", "perf%");
+    println!(
+        "\n{:>10} {:>8} {:>8} {:>8} {:>10}",
+        "rate%", "lower", "nominal", "upper", "perf%"
+    );
     for pt in est.rate_cdf_series(9, 3.0, perf)? {
         println!(
             "{:>10.4} {:>8.3} {:>8.3} {:>8.3} {:>+10.2}",

@@ -30,14 +30,21 @@ fn kernel() -> Workload {
 #[test]
 fn analytic_lambda_matches_monte_carlo_mean() {
     let samples = 2;
-    let fw = Framework::builder().samples(samples).build().expect("framework");
+    let fw = Framework::builder()
+        .samples(samples)
+        .build()
+        .expect("framework");
     let w = kernel();
     let cfg = Cfg::from_program(w.program());
     let profiles = fw.profile_workload(&w, &cfg).expect("profiles");
     let model = fw.train_model(&w, &cfg, &profiles).expect("model");
     let estimate = fw.estimate(&w, &cfg, &profiles, &model).expect("estimate");
 
-    let chips = fw.sample_chips(48, 0xBEEF).expect("chips");
+    // Chip error counts are extremely bimodal at this operating point (a
+    // chip errs on ~every loop iteration or never), so the MC mean only
+    // concentrates with a decent chip population — 512 keeps the expected
+    // number of erring chips around ten, well clear of the tolerance.
+    let chips = fw.sample_chips(512, 0xBEEF).expect("chips");
     let counts = monte_carlo::error_counts(
         w.program(),
         &model,
@@ -61,20 +68,29 @@ fn analytic_lambda_matches_monte_carlo_mean() {
         (analytic - mc_mean).abs() < tol,
         "analytic λ {analytic} vs MC mean {mc_mean} (tolerance {tol})"
     );
-    assert!(mc_mean > 0.0, "the kernel must actually err at this operating point");
+    assert!(
+        mc_mean > 0.0,
+        "the kernel must actually err at this operating point"
+    );
 }
 
 #[test]
 fn estimate_cdf_brackets_monte_carlo_cdf() {
     let samples = 2;
-    let fw = Framework::builder().samples(samples).build().expect("framework");
+    let fw = Framework::builder()
+        .samples(samples)
+        .build()
+        .expect("framework");
     let w = kernel();
     let cfg = Cfg::from_program(w.program());
     let profiles = fw.profile_workload(&w, &cfg).expect("profiles");
     let model = fw.train_model(&w, &cfg, &profiles).expect("model");
     let estimate = fw.estimate(&w, &cfg, &profiles, &model).expect("estimate");
 
-    let chips = fw.sample_chips(64, 0xF00D).expect("chips");
+    // 512 chips for the same reason as in the λ test: the count
+    // distribution is bimodal across chips and needs population size to
+    // concentrate.
+    let chips = fw.sample_chips(512, 0xF00D).expect("chips");
     let counts = monte_carlo::error_counts(
         w.program(),
         &model,
@@ -97,7 +113,7 @@ fn estimate_cdf_brackets_monte_carlo_cdf() {
         let b = estimate
             .rate_cdf(k as f64 / estimate.total_instructions)
             .expect("cdf");
-        // MC sampling noise at 128 cells is ~±0.09 (95%).
+        // Margin for MC sampling noise in the empirical CDF.
         if b.lower - 0.12 <= mc_cdf && mc_cdf <= b.upper + 0.12 {
             inside += 1;
         }

@@ -1,0 +1,134 @@
+//! The parallel layer's core contract: thread count is a performance knob,
+//! never a semantic one. Every result here must be **bitwise identical**
+//! across thread counts and across repeated runs.
+
+use terse::{Framework, Workload};
+use terse_isa::Cfg;
+use terse_sim::monte_carlo::{self, MonteCarloConfig};
+
+fn kernel() -> Workload {
+    Workload::from_asm(
+        "det-kernel",
+        r"
+            ld   r1, r0, 0
+            li   r6, 0x00FFFFFF
+        loop:
+            add  r2, r2, r6
+            mul  r3, r1, r2
+            sub  r4, r3, r2
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            halt
+        ",
+    )
+    .expect("assembles")
+    .with_input(|m| m.store(0, 12).expect("store"))
+    .with_input(|m| m.store(0, 23).expect("store"))
+}
+
+/// Builds the model once and returns everything the MC grid needs.
+fn setup(fw: &Framework) -> (Workload, terse_dta::instmodel::InstructionErrorModel) {
+    let w = kernel();
+    let cfg = Cfg::from_program(w.program());
+    let profiles = fw.profile_workload(&w, &cfg).expect("profiles");
+    let model = fw.train_model(&w, &cfg, &profiles).expect("model");
+    (w, model)
+}
+
+#[test]
+fn error_counts_identical_across_thread_counts() {
+    let fw = Framework::builder().samples(2).build().expect("framework");
+    let (w, model) = setup(&fw);
+    let chips = fw.sample_chips(6, 0xDE7).expect("chips");
+    let grid = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            monte_carlo::error_counts(
+                w.program(),
+                &model,
+                &chips,
+                2,
+                fw.correction(),
+                |idx, m| w.init_input(idx, m),
+                MonteCarloConfig::default(),
+            )
+            .expect("monte carlo")
+        })
+    };
+    let serial = grid(1);
+    assert_eq!(serial, grid(4), "4 threads changed the count matrix");
+    assert_eq!(serial, grid(7), "7 threads changed the count matrix");
+    // Repeated runs under the same seed are identical too.
+    assert_eq!(serial, grid(1));
+    assert_eq!(serial, grid(4));
+}
+
+#[test]
+fn error_counts_marginalized_identical_across_thread_counts() {
+    let fw = Framework::builder().samples(2).build().expect("framework");
+    let (w, model) = setup(&fw);
+    let grid = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            monte_carlo::error_counts_marginalized(
+                w.program(),
+                &model,
+                5,
+                2,
+                fw.correction(),
+                |idx, m| w.init_input(idx, m),
+                MonteCarloConfig::default(),
+            )
+            .expect("monte carlo")
+        })
+    };
+    let serial = grid(1);
+    assert_eq!(serial, grid(3), "3 threads changed the marginalized counts");
+    assert_eq!(serial, grid(1), "repeat run diverged");
+}
+
+#[test]
+fn sample_chips_identical_across_thread_counts() {
+    let one = Framework::builder().threads(1).build().expect("framework");
+    let many = Framework::builder().threads(5).build().expect("framework");
+    let a = one.sample_chips(16, 0xABCD).expect("chips");
+    let b = many.sample_chips(16, 0xABCD).expect("chips");
+    assert_eq!(a, b, "thread count changed the sampled chip population");
+    // And a repeated draw under the same seed is the same population.
+    assert_eq!(a, one.sample_chips(16, 0xABCD).expect("chips"));
+}
+
+#[test]
+fn full_flow_estimate_bitwise_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let fw = Framework::builder()
+            .samples(2)
+            .threads(threads)
+            .build()
+            .expect("framework");
+        fw.run(&kernel()).expect("run")
+    };
+    let a = run(1);
+    let b = run(6);
+    assert_eq!(
+        a.estimate.lambda.mean().to_bits(),
+        b.estimate.lambda.mean().to_bits(),
+        "λ mean differs across thread counts"
+    );
+    assert_eq!(
+        a.estimate.lambda.sd().to_bits(),
+        b.estimate.lambda.sd().to_bits(),
+        "λ sd differs across thread counts"
+    );
+    assert_eq!(
+        a.estimate.mean_error_rate().to_bits(),
+        b.estimate.mean_error_rate().to_bits(),
+        "mean error rate differs across thread counts"
+    );
+}

@@ -1,0 +1,237 @@
+//! A minimal, API-compatible subset of
+//! [criterion](https://docs.rs/criterion), vendored in-tree because the
+//! build environment is fully offline.
+//!
+//! The shim keeps the `criterion_group!`/`criterion_main!`/`bench_function`
+//! surface so every bench target compiles and runs unchanged, but replaces
+//! the statistical machinery with a fixed-budget timer: each routine is
+//! warmed up briefly, then iterated until a wall-clock budget is spent, and
+//! the mean/min iteration time is printed to stdout. That is enough to track
+//! relative regressions in CI logs; swap the manifest back to the real crate
+//! for publication-grade statistics.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a value or the computation behind it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup; accepted for compatibility, the shim
+/// always runs setup once per measured batch element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Measurement settings shared by a [`Criterion`] run.
+#[derive(Debug, Clone, Copy)]
+struct Budget {
+    warmup: Duration,
+    measure: Duration,
+    max_iters: u64,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            warmup: Duration::from_millis(80),
+            measure: Duration::from_millis(400),
+            max_iters: 1_000_000,
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    budget: Budget,
+    group_prefix: Option<String>,
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = match &self.group_prefix {
+            Some(g) => format!("{g}/{id}"),
+            None => id.to_string(),
+        };
+        let mut b = Bencher {
+            budget: self.budget,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&name);
+        self
+    }
+
+    /// Starts a named benchmark group (names are joined with `/`).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    parent: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let prev = self.parent.group_prefix.replace(self.name.clone());
+        self.parent.bench_function(id, f);
+        self.parent.group_prefix = prev;
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; drives the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Budget,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up.
+        let start = Instant::now();
+        while start.elapsed() < self.budget.warmup {
+            black_box(routine());
+        }
+        // Measurement.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.budget.measure && iters < self.budget.max_iters {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed().as_secs_f64());
+            iters += 1;
+        }
+    }
+
+    /// Measures `routine` with a fresh `setup()` input per iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        while start.elapsed() < self.budget.warmup {
+            black_box(routine(setup()));
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.budget.measure && iters < self.budget.max_iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed().as_secs_f64());
+            iters += 1;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<48} (no samples)");
+            return;
+        }
+        let n = self.samples.len() as f64;
+        let mean = self.samples.iter().sum::<f64>() / n;
+        let min = self.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        println!(
+            "{name:<48} mean {:>12} min {:>12} ({} iters)",
+            format_time(mean),
+            format_time(min),
+            self.samples.len()
+        );
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (`--bench`,
+            // `--test`); a shim has no CLI, so they are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion {
+            budget: Budget {
+                warmup: Duration::from_millis(1),
+                measure: Duration::from_millis(5),
+                max_iters: 1000,
+            },
+            group_prefix: None,
+        };
+        let mut hits = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| hits += 1));
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn format_time_scales() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

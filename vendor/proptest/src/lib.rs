@@ -1,0 +1,161 @@
+//! A minimal, API-compatible subset of
+//! [proptest](https://docs.rs/proptest), vendored in-tree because the build
+//! environment is fully offline.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the panic
+//!   message of the underlying `assert!`) but is not minimised.
+//! * **Deterministic case generation.** Each test's RNG is seeded from a
+//!   hash of its fully-qualified name, so failures reproduce exactly across
+//!   runs and machines — the same reproducibility contract the rest of the
+//!   workspace follows.
+//! * **Eager strategies.** A [`strategy::Strategy`] is just a sampler; there
+//!   is no value tree.
+//!
+//! The supported surface is exactly what the workspace's property tests use:
+//! integer/float range strategies, `any::<T>()` for primitives, tuples,
+//! `prop::collection::vec`, `prop::sample::select`, `prop_oneof!`,
+//! `Strategy::prop_map`, `proptest!` with an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`, and the
+//! `prop_assert*` macros.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property-test module needs in scope, mirroring
+/// `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` module path used by prelude importers
+    /// (`prop::collection::vec`, `prop::sample::select`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests.
+///
+/// ```text
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in any::<u16>()) {
+///         prop_assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -5i32..5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(xs in prop::collection::vec(0u8..10, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn select_only_yields_members(v in prop::sample::select(vec![2u32, 3, 5, 7])) {
+            prop_assert!([2, 3, 5, 7].contains(&v));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0u32..10).prop_map(|x| x * 2),
+            (100u32..110).prop_map(|x| x + 1),
+        ]) {
+            prop_assert!(v % 2 == 0 && v < 20 || (101..111).contains(&v));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_test("same-name");
+        let mut b = crate::test_runner::TestRng::for_test("same-name");
+        let s = 0u64..1_000_000;
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Indexed parallel iterators: the `ParallelIterator` trait, adapters, and
+//! `IntoParallelIterator` conversions for ranges, slices and vectors.
+//!
+//! Every iterator in the shim is *indexed*: it knows its length and can
+//! produce the item at any index independently. That restriction (rayon's
+//! `IndexedParallelIterator`) is what makes deterministic output trivial —
+//! and it covers every use in this workspace.
+
+use crate::pool::run_indexed;
+use std::marker::PhantomData;
+
+/// An indexed parallel iterator.
+///
+/// `produce(i)` must be callable concurrently from many threads; each index
+/// in `0..len()` is produced exactly once per terminal operation.
+pub trait ParallelIterator: Sized + Sync {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the iterator is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces the item at `index` (`0 <= index < len`).
+    fn produce(&self, index: usize) -> Self::Item;
+
+    /// Maps each item through `f` in parallel.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Granularity hint — accepted for rayon compatibility, ignored (the
+    /// shim chunks adaptively).
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Runs `f` on every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        run_indexed(self.len(), &|i| f(self.produce(i)));
+    }
+
+    /// Collects into `C` (Vec, or `Result<Vec, E>` with the first error by
+    /// index order winning).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sums the items.
+    ///
+    /// The parallel map is followed by a *serial* fold in index order, so
+    /// floating-point sums are bitwise identical across thread counts.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        run_indexed(self.len(), &|i| self.produce(i))
+            .into_iter()
+            .sum()
+    }
+
+    /// Folds with `identity`/`op` — parallel map, serial index-order reduce
+    /// (determinism over maximal tree-shaped speedup).
+    fn reduce<Id, Op>(self, identity: Id, op: Op) -> Self::Item
+    where
+        Id: Fn() -> Self::Item + Sync,
+        Op: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        run_indexed(self.len(), &|i| self.produce(i))
+            .into_iter()
+            .fold(identity(), op)
+    }
+}
+
+/// Conversion into a parallel iterator (rayon's entry point for owned
+/// collections and ranges).
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` on `&self` (rayon's by-reference entry point).
+pub trait IntoParallelRefIterator<'data> {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (a reference).
+    type Item: Send + 'data;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = SliceParIter<'data, T>;
+    type Item = &'data T;
+    fn par_iter(&'data self) -> SliceParIter<'data, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = SliceParIter<'data, T>;
+    type Item = &'data T;
+    fn par_iter(&'data self) -> SliceParIter<'data, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+#[derive(Debug)]
+pub struct SliceParIter<'data, T> {
+    pub(crate) slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for SliceParIter<'data, T> {
+    type Item = &'data T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn produce(&self, index: usize) -> &'data T {
+        &self.slice[index]
+    }
+}
+
+/// Parallel iterator over an integer range.
+#[derive(Debug)]
+pub struct RangeParIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = RangeParIter<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> RangeParIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeParIter { start: self.start, len }
+            }
+        }
+        impl ParallelIterator for RangeParIter<$t> {
+            type Item = $t;
+            fn len(&self) -> usize {
+                self.len
+            }
+            fn produce(&self, index: usize) -> $t {
+                self.start + index as $t
+            }
+        }
+    )*};
+}
+impl_range_par_iter!(usize, u32, u64, i32, i64);
+
+/// Owning parallel iterator over a `Vec<T>` (items are cloned out of the
+/// buffer on demand — the workspace only uses this for cheap `Clone` types).
+#[derive(Debug)]
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + Send + Sync> IntoParallelIterator for Vec<T> {
+    type Iter = VecParIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+impl<T: Clone + Send + Sync> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+    fn produce(&self, index: usize) -> T {
+        self.items[index].clone()
+    }
+}
+
+/// The [`ParallelIterator::map`] adapter.
+#[derive(Debug)]
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, U, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    U: Send,
+    F: Fn(B::Item) -> U + Sync,
+{
+    type Item = U;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn produce(&self, index: usize) -> U {
+        (self.f)(self.base.produce(index))
+    }
+}
+
+/// The [`ParallelIterator::enumerate`] adapter.
+#[derive(Debug)]
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B: ParallelIterator> ParallelIterator for Enumerate<B> {
+    type Item = (usize, B::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn produce(&self, index: usize) -> (usize, B::Item) {
+        (index, self.base.produce(index))
+    }
+}
+
+/// Collection from a parallel iterator (rayon's `FromParallelIterator`).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds `Self` by draining `iter` in parallel.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Vec<T> {
+        run_indexed(iter.len(), &|i| iter.produce(i))
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+{
+    /// All items are evaluated; the error at the lowest index wins, so the
+    /// outcome does not depend on scheduling.
+    fn from_par_iter<I: ParallelIterator<Item = Result<T, E>>>(iter: I) -> Result<Vec<T>, E> {
+        run_indexed(iter.len(), &|i| iter.produce(i))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Zero-sized marker kept so `use rayon::iter::*;` call sites matching real
+/// rayon's exports keep compiling.
+#[derive(Debug)]
+pub struct IndexedParallelIteratorMarker<T>(PhantomData<T>);

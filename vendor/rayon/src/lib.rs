@@ -1,0 +1,116 @@
+//! A minimal, API-compatible subset of [rayon](https://docs.rs/rayon),
+//! vendored in-tree because the build environment is fully offline.
+//!
+//! The workspace only needs indexed data-parallel maps over slices, vectors
+//! and ranges, plus scoped thread pools with a configurable thread count —
+//! so that is exactly what this shim provides, implemented on
+//! `std::thread::scope`. Two properties the workspace relies on:
+//!
+//! * **Deterministic output order.** Every combinator is *indexed*: item `i`
+//!   of the input produces slot `i` of the output no matter which worker
+//!   thread computed it or in which order workers finished. Reductions
+//!   (`sum`, `collect`ing into `Result`) are folded serially in index order
+//!   after the parallel map, so floating-point results are bitwise identical
+//!   across thread counts.
+//! * **No global state beyond a thread-local override.** `ThreadPool::install`
+//!   sets the effective worker count for parallel calls made by the closure
+//!   on the current thread; there is no lazily-initialised global pool.
+//!   Worker threads are spawned per call and joined before the call returns,
+//!   which keeps panics propagating and borrows sound.
+//!
+//! Replacing this shim with the real rayon crate is a one-line change in the
+//! workspace manifest; every call site uses the real crate's names.
+
+mod pool;
+
+pub mod iter;
+pub mod prelude;
+pub mod slice;
+
+pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
+
+/// Joins two closures, potentially running them on different threads.
+///
+/// Returns both results in argument order (deterministic regardless of which
+/// finishes first).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        };
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * x).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * x).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let xs: Vec<f64> = (0..257).map(|i| (i as f64).sqrt()).collect();
+        let serial: f64 = ThreadPool::new_with_threads(1).install(|| xs.par_iter().sum());
+        let par4: f64 = ThreadPool::new_with_threads(4).install(|| xs.par_iter().sum());
+        let par7: f64 = ThreadPool::new_with_threads(7).install(|| xs.par_iter().sum());
+        assert!(serial.to_bits() == par4.to_bits() && par4.to_bits() == par7.to_bits());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let v: Vec<usize> = (0..17usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(v, (1..18).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn result_collect_reports_first_error_by_index() {
+        let r: Result<Vec<usize>, usize> = (0..100usize)
+            .into_par_iter()
+            .map(|i| if i % 30 == 29 { Err(i) } else { Ok(i) })
+            .collect();
+        assert_eq!(r, Err(29));
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn join_returns_in_argument_order() {
+        let (a, b) = join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        (0..513usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 513);
+    }
+}

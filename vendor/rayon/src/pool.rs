@@ -1,0 +1,173 @@
+//! Scoped worker execution and the thread-count override.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`];
+    /// `0` means "use the machine's available parallelism".
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Machine parallelism, resolved once — `available_parallelism` is a
+/// syscall, and parallel entry points can sit inside per-instruction loops.
+fn machine_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// The number of worker threads parallel calls on this thread will use.
+pub fn current_num_threads() -> usize {
+    let n = CURRENT_THREADS.with(Cell::get);
+    if n != 0 {
+        n
+    } else {
+        machine_threads()
+    }
+}
+
+/// Error type kept for API compatibility; the shim's build never fails.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`], mirroring rayon's.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (machine) thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count; `0` means the machine's available parallelism.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the shim; the `Result` mirrors rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A logical thread pool: in the shim, a worker-count policy applied while a
+/// closure runs (workers themselves are scoped per parallel call).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool with an explicit worker count (`0` = machine default).
+    pub fn new_with_threads(n: usize) -> Self {
+        ThreadPool { num_threads: n }
+    }
+
+    /// The pool's effective worker count.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads != 0 {
+            self.num_threads
+        } else {
+            machine_threads()
+        }
+    }
+
+    /// Runs `op` with this pool's worker count governing every parallel call
+    /// the closure makes on the current thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let prev = CURRENT_THREADS.with(Cell::get);
+        CURRENT_THREADS.with(|c| c.set(self.num_threads));
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
+/// Evaluates `f(0..len)` with up to `current_num_threads()` workers and
+/// returns the results in index order.
+///
+/// Work is handed out in contiguous chunks through a shared atomic cursor
+/// (dynamic load balancing); each worker tags results with their index so the
+/// merged output is identical no matter how the schedule interleaves.
+pub(crate) fn run_indexed<U, F>(len: usize, f: &F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = current_num_threads().min(len).max(1);
+    if threads == 1 {
+        return (0..len).map(f).collect();
+    }
+    // Chunked dynamic scheduling: fine enough to balance skewed items,
+    // coarse enough to keep the atomic off the critical path.
+    let chunk = (len / (threads * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, U)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    // Nested parallel calls made from inside a worker run
+                    // serially (the outer fan-out already owns the cores) —
+                    // the shim's stand-in for rayon's shared work queue.
+                    CURRENT_THREADS.with(|c| c.set(1));
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= len {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(len) {
+                            local.push((i, f(i)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<U>> = (0..len).map(|_| None).collect();
+    for (i, v) in buckets.into_iter().flatten() {
+        debug_assert!(slots[i].is_none());
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index scheduled exactly once"))
+        .collect()
+}

@@ -1,0 +1,6 @@
+//! The traits a caller needs in scope, mirroring `rayon::prelude`.
+
+pub use crate::iter::{
+    FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+};
+pub use crate::slice::ParallelSlice;

@@ -1,0 +1,39 @@
+//! Slice-specific parallel extensions (`par_chunks`).
+
+use crate::iter::ParallelIterator;
+
+/// Parallel chunk iteration over slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous chunks of `chunk_size` items (the
+    /// last chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParChunks {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// See [`ParallelSlice::par_chunks`].
+#[derive(Debug)]
+pub struct ParChunks<'data, T> {
+    slice: &'data [T],
+    chunk_size: usize,
+}
+
+impl<'data, T: Sync> ParallelIterator for ParChunks<'data, T> {
+    type Item = &'data [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+    fn produce(&self, index: usize) -> &'data [T] {
+        let start = index * self.chunk_size;
+        let end = (start + self.chunk_size).min(self.slice.len());
+        &self.slice[start..end]
+    }
+}
