@@ -152,4 +152,159 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn every_non_entry_block_has_a_predecessor(
+        insts in prop::collection::vec(prop_oneof![arb_rtype(), arb_itype()], 1..30),
+        branch_positions in prop::collection::vec((0usize..30, 0usize..30, 0u8..4), 0..6),
+    ) {
+        // With only conditional branches (never `beq r0,r0`), no indirect
+        // jumps, and a single trailing halt, every block except the entry
+        // starts at a branch target or falls through from its predecessor —
+        // so it must have at least one incoming static edge.
+        let program = branchy_program(insts, &branch_positions);
+        let cfg = Cfg::from_program(&program);
+        for b in cfg.blocks().iter().skip(1) {
+            prop_assert!(
+                !cfg.predecessors(b.id).is_empty(),
+                "block {} ({}..{}) has no incoming edge",
+                b.id,
+                b.start,
+                b.end
+            );
+        }
+        prop_assert_eq!(cfg.blocks()[0].start, 0);
+    }
+
+    #[test]
+    fn edge_lists_are_duplicate_free_and_consistent(
+        insts in prop::collection::vec(prop_oneof![arb_rtype(), arb_itype()], 1..30),
+        branch_positions in prop::collection::vec((0usize..30, 0usize..30, 0u8..4), 0..6),
+    ) {
+        let program = branchy_program(insts, &branch_positions);
+        let cfg = Cfg::from_program(&program);
+        for b in cfg.blocks() {
+            let succs = cfg.successors(b.id);
+            let preds = cfg.predecessors(b.id);
+            for (i, s) in succs.iter().enumerate() {
+                prop_assert!(!succs[..i].contains(s), "duplicate successor {s} of {}", b.id);
+            }
+            for (i, p) in preds.iter().enumerate() {
+                prop_assert!(!preds[..i].contains(p), "duplicate predecessor {p} of {}", b.id);
+            }
+            // succs/preds are transposes of each other.
+            for s in succs {
+                prop_assert!(cfg.predecessors(*s).contains(&b.id));
+            }
+            for p in preds {
+                prop_assert!(cfg.successors(*p).contains(&b.id));
+            }
+        }
+    }
+
+    #[test]
+    fn branch_targets_start_blocks(
+        insts in prop::collection::vec(prop_oneof![arb_rtype(), arb_itype()], 1..30),
+        branch_positions in prop::collection::vec((0usize..30, 0usize..30, 0u8..4), 0..6),
+    ) {
+        // Block boundaries respect branch targets: every in-range target is
+        // a leader, i.e. the first instruction of its block.
+        let program = branchy_program(insts, &branch_positions);
+        let cfg = Cfg::from_program(&program);
+        for inst in program.instructions() {
+            if inst.opcode.is_branch() {
+                let t = inst.imm as usize;
+                if t < program.len() {
+                    let blk = cfg.blocks()[cfg.block_containing(t).index()];
+                    prop_assert_eq!(blk.start as usize, t, "target {} is mid-block", t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn control_flow_only_terminates_blocks(
+        insts in prop::collection::vec(prop_oneof![arb_rtype(), arb_itype()], 1..30),
+        branch_positions in prop::collection::vec((0usize..30, 0usize..30, 0u8..4), 0..6),
+    ) {
+        // A branch, jump, or halt can only be a block's final instruction —
+        // anything else would put a leader mid-block.
+        let program = branchy_program(insts, &branch_positions);
+        let cfg = Cfg::from_program(&program);
+        for b in cfg.blocks() {
+            for i in b.range() {
+                let inst = &program.instructions()[i];
+                let terminator = inst.opcode.is_branch()
+                    || matches!(inst.opcode, Opcode::Jal | Opcode::Jr | Opcode::Halt);
+                if terminator {
+                    prop_assert_eq!(
+                        i + 1,
+                        b.end as usize,
+                        "control flow mid-block at {} in {}",
+                        i,
+                        b.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pseudo_jump_has_no_fall_through_edge(
+        pad in 1usize..10,
+        insts in prop::collection::vec(arb_rtype(), 2..20),
+    ) {
+        // `beq r0, r0, t` is the assembler's unconditional jump: its block
+        // gets exactly one successor (the target), never the fall-through.
+        let mut all = insts;
+        let pad = pad.min(all.len() - 1);
+        let target = all.len(); // the trailing halt
+        all.insert(pad, Instruction {
+            opcode: Opcode::Beq,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: target as i32 + 1, // +1: the insert shifts the tail
+        });
+        all.push(Instruction::halt());
+        let program = terse_isa::Program::new(
+            all,
+            vec![],
+            Default::default(),
+            Default::default(),
+        ).unwrap();
+        let cfg = Cfg::from_program(&program);
+        let jump_block = cfg.block_containing(pad);
+        let succs = cfg.successors(jump_block);
+        prop_assert_eq!(succs.len(), 1, "pseudo-jump block has {} successors", succs.len());
+        prop_assert_eq!(succs[0], cfg.block_containing(target + 1));
+    }
+}
+
+/// A program of ALU instructions with conditional branches (never the
+/// `beq r0,r0` pseudo-jump) inserted at arbitrary in-range positions, ending
+/// in a single halt — the shape the CFG edge invariants quantify over.
+fn branchy_program(
+    mut insts: Vec<Instruction>,
+    branch_positions: &[(usize, usize, u8)],
+) -> terse_isa::Program {
+    const BRANCH: [Opcode; 4] = [Opcode::Beq, Opcode::Bne, Opcode::Blt, Opcode::Bge];
+    let n0 = insts.len();
+    for &(pos, target, op) in branch_positions {
+        insts.insert(
+            pos % insts.len(),
+            Instruction {
+                opcode: BRANCH[op as usize],
+                rd: 0,
+                // rs1 ≥ 1 keeps `beq` conditional (r0 ≠ r0 is impossible,
+                // but `beq r0,r0` is the special-cased pseudo-jump).
+                rs1: 1 + (target % 31) as u8,
+                rs2: 0,
+                imm: (target % n0) as i32,
+            },
+        );
+    }
+    insts.push(Instruction::halt());
+    terse_isa::Program::new(insts, vec![], Default::default(), Default::default())
+        .expect("generated instructions are well-formed")
 }

@@ -1,0 +1,259 @@
+//! Seeded random generators shared by the differential test suites.
+//!
+//! Everything here is a pure function of its `seed` argument (the generators
+//! draw from `terse-stats`' xoshiro256** just like the rest of the
+//! workspace), so a failing property case is reproducible from the one seed
+//! the proptest shim persists.
+
+use terse_isa::{Instruction, Opcode, Program};
+use terse_netlist::builder::NetlistBuilder;
+use terse_netlist::netlist::EndpointClass;
+use terse_netlist::sim::Simulator;
+use terse_netlist::{BitSet, GateKind, Netlist};
+use terse_sta::variation::VariationConfig;
+use terse_sta::CanonicalRv;
+use terse_stats::rng::Xoshiro256;
+
+/// A random single-stage netlist small enough for exhaustive path
+/// enumeration: two launching flip-flops (one per endpoint class), `gates`
+/// random combinational gates with random placement (so spatial variation
+/// coefficients differ per gate), and two capturing flip-flops, again one
+/// per class. Every flip-flop's D input is connected, so all four are
+/// endpoints of stage 0.
+///
+/// # Panics
+///
+/// Panics if `gates == 0` (a netlist with no combinational logic has no
+/// paths worth enumerating) or on internal builder misuse (a bug).
+pub fn random_netlist(seed: u64, gates: usize) -> Netlist {
+    assert!(gates > 0, "random_netlist needs at least one gate");
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new(1);
+    let s0 = b.flip_flop("src0", EndpointClass::Data, 0).expect("src0");
+    let s1 = b
+        .flip_flop("src1", EndpointClass::Control, 0)
+        .expect("src1");
+    let mut pool = vec![s0, s1];
+    const UNARY: [GateKind; 2] = [GateKind::Buf, GateKind::Not];
+    const BINARY: [GateKind; 5] = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Xor,
+        GateKind::Nand,
+        GateKind::Nor,
+    ];
+    for _ in 0..gates {
+        let x = rng.next_range(0.0, 0.95) as f32;
+        let y = rng.next_range(0.0, 0.95) as f32;
+        b.set_region(x, y, x + 0.05, y + 0.05);
+        let a = pool[rng.next_below(pool.len() as u64) as usize];
+        let g = if rng.next_below(4) == 0 {
+            let kind = UNARY[rng.next_below(2) as usize];
+            b.gate(kind, &[a], 0).expect("unary gate")
+        } else {
+            let c = pool[rng.next_below(pool.len() as u64) as usize];
+            let kind = BINARY[rng.next_below(5) as usize];
+            b.gate(kind, &[a, c], 0).expect("binary gate")
+        };
+        pool.push(g);
+    }
+    // Capture endpoints hang off late gates so most of the logic is on some
+    // path; the launch endpoints' own D inputs close the state loop.
+    let last = *pool.last().expect("non-empty pool");
+    let near_last = pool[pool.len() - 1 - rng.next_below(pool.len().min(4) as u64) as usize];
+    let d0 = b.flip_flop("cap_d", EndpointClass::Data, 0).expect("cap_d");
+    let d1 = b
+        .flip_flop("cap_c", EndpointClass::Control, 0)
+        .expect("cap_c");
+    b.connect_ff_input(d0, last).expect("connect cap_d");
+    b.connect_ff_input(d1, near_last).expect("connect cap_c");
+    b.connect_ff_input(s0, last).expect("connect src0");
+    b.connect_ff_input(s1, near_last).expect("connect src1");
+    b.finish().expect("random netlist is a DAG by construction")
+}
+
+/// A random activation set: each gate is independently activated with
+/// probability `density`. Unrealizable activation patterns are *on purpose*
+/// — the DTA engine must handle any `VCD(t)` bit set, and arbitrary subsets
+/// stress the activated-path search harder than simulator traces.
+pub fn random_vcd(n: &Netlist, seed: u64, density: f64) -> BitSet {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut v = BitSet::new(n.gate_count());
+    for g in n.gate_ids() {
+        if rng.next_f64() < density {
+            v.insert(g.index());
+        }
+    }
+    v
+}
+
+/// A *realizable* activation set: force every flip-flop to a random state,
+/// clock once, re-force, and clock again — the second edge's toggle set is
+/// what a co-simulation trace would record for this cycle.
+pub fn simulated_vcd(n: &Netlist, seed: u64) -> BitSet {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut sim = Simulator::new(n);
+    for round in 0..2 {
+        for g in n.gate_ids() {
+            match n.kind(g) {
+                GateKind::FlipFlop => sim.force_ff(g, rng.next_u64() & 1 == 1),
+                GateKind::Input => sim.set_input(g, rng.next_u64() & 1 == 1),
+                _ => {}
+            }
+        }
+        if round == 0 {
+            let _ = sim.step();
+        }
+    }
+    sim.step()
+}
+
+/// A random set of canonical slack RVs over `var_count` shared variables:
+/// means in `[lo_mean, hi_mean]`, sparse random sensitivities, and a random
+/// independent residual. Distinct means (jittered per index) keep
+/// mean-sorting orders unambiguous for the metamorphic properties.
+pub fn random_slacks(seed: u64, n: usize, var_count: usize) -> Vec<CanonicalRv> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let mean = rng.next_range(20.0, 120.0) + i as f64 * 1e-3;
+            let coeffs: Vec<f64> = (0..var_count)
+                .map(|_| {
+                    if rng.next_below(2) == 0 {
+                        rng.next_range(-1.5, 1.5)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            CanonicalRv::with_sensitivities(mean, coeffs, rng.next_range(0.01, 1.0))
+        })
+        .collect()
+}
+
+/// A random valid [`VariationConfig`]: random sigma, 1–3 quad-tree levels,
+/// and random variance shares normalized to sum to one.
+pub fn random_variation_config(seed: u64) -> VariationConfig {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let g = rng.next_range(0.05, 1.0);
+    let s = rng.next_range(0.05, 1.0);
+    let i = rng.next_range(0.05, 1.0);
+    let t = g + s + i;
+    let share_global = g / t;
+    let share_spatial = s / t;
+    VariationConfig {
+        sigma_rel: rng.next_range(0.01, 0.08),
+        levels: 1 + rng.next_below(3) as usize,
+        share_global,
+        share_spatial,
+        share_indep: 1.0 - share_global - share_spatial,
+    }
+}
+
+/// A random straight-line + branches program suitable for CFG-invariant
+/// checks: `body` ALU instructions, `branches` conditional branches with
+/// in-range targets, and a final `halt`. No indirect jumps and no interior
+/// `halt`, so every non-entry block stays reachable through a static edge
+/// (fall-through or branch target).
+///
+/// # Panics
+///
+/// Panics if `body == 0` or on an internal program-construction error.
+pub fn random_program(seed: u64, body: usize, branches: usize) -> Program {
+    assert!(body > 0, "random_program needs a non-empty body");
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    const RTYPE: [Opcode; 6] = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Mul,
+    ];
+    const BRANCH: [Opcode; 4] = [Opcode::Beq, Opcode::Bne, Opcode::Blt, Opcode::Bge];
+    let mut insts: Vec<Instruction> = (0..body)
+        .map(|_| {
+            if rng.next_below(3) == 0 {
+                Instruction::itype(
+                    Opcode::Addi,
+                    rng.next_below(32) as u8,
+                    rng.next_below(32) as u8,
+                    rng.next_range(-64.0, 64.0) as i32,
+                )
+            } else {
+                Instruction::rtype(
+                    RTYPE[rng.next_below(6) as usize],
+                    rng.next_below(32) as u8,
+                    rng.next_below(32) as u8,
+                    rng.next_below(32) as u8,
+                )
+            }
+        })
+        .collect();
+    for _ in 0..branches {
+        let pos = rng.next_below(insts.len() as u64 + 1) as usize;
+        let target = rng.next_below(insts.len() as u64 + 1) as i32;
+        insts.insert(
+            pos,
+            Instruction {
+                opcode: BRANCH[rng.next_below(4) as usize],
+                rd: 0,
+                rs1: rng.next_below(32) as u8,
+                rs2: rng.next_below(32) as u8,
+                imm: target,
+            },
+        );
+    }
+    insts.push(Instruction::halt());
+    Program::new(insts, vec![], Default::default(), Default::default())
+        .expect("generated instructions are well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netlists_are_reproducible() {
+        let a = random_netlist(42, 10);
+        let b = random_netlist(42, 10);
+        assert_eq!(a.gate_count(), b.gate_count());
+        for g in a.gate_ids() {
+            assert_eq!(a.kind(g), b.kind(g));
+            assert_eq!(a.fanin(g), b.fanin(g));
+        }
+        // All four named flip-flops are endpoints of stage 0.
+        assert_eq!(a.endpoints(0).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn variation_configs_are_valid() {
+        for seed in 0..200 {
+            let cfg = random_variation_config(seed);
+            let n = random_netlist(seed + 1, 5);
+            let lib = terse_sta::delay::DelayLibrary::normalized_45nm();
+            assert!(
+                terse_sta::variation::VariationModel::new(&n, &lib, cfg).is_ok(),
+                "seed {seed}: {cfg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn simulated_vcd_is_subset_of_gates() {
+        let n = random_netlist(7, 12);
+        let v = simulated_vcd(&n, 99);
+        assert!(v.iter().all(|i| i < n.gate_count()));
+    }
+
+    #[test]
+    fn random_programs_assemble_into_cfgs() {
+        for seed in 0..50 {
+            let p = random_program(seed, 8, 3);
+            let cfg = terse_isa::Cfg::from_program(&p);
+            assert!(!cfg.is_empty());
+            let total: usize = cfg.blocks().iter().map(|b| b.len()).sum();
+            assert_eq!(total, p.len());
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Probability-chain oracles for the marginal solver (`errmodel`).
+//!
+//! `solve_marginals` answers a steady-state question: given per-instruction
+//! conditional probabilities `p^c`/`p^e` and *aggregate* edge/block counts,
+//! what is each instruction's marginal error probability? This module
+//! answers the same question two independent ways from a *concrete* block
+//! trace:
+//!
+//! 1. [`ChainSpec::exact_dynamic_marginals`] propagates the error
+//!    probability exactly, visit by visit, through the trace (the per-step
+//!    recurrence is linear in the probability, so this is the true expected
+//!    marginal of every dynamic instruction — no sampling noise).
+//! 2. [`ChainSpec::mc_marginals`] replays the trace as an actual Bernoulli
+//!    error chain many times and reports empirical frequencies.
+//!
+//! The solver sees only the aggregated counts of the same trace, so the
+//! three computations bracket each other: MC ≈ exact-dynamic (binomial
+//! noise only), and exact-dynamic ≈ solver (the fixed-point approximation
+//! the paper's Eqs. 1–2 make, which vanishes as traces grow).
+
+use std::collections::HashMap;
+use terse_errmodel::MarginalProblem;
+use terse_isa::BlockId;
+use terse_stats::rng::Xoshiro256;
+use terse_stats::SampleRv;
+
+/// A concrete error-chain instance: block structure, conditional
+/// probabilities, and one execution trace.
+#[derive(Debug, Clone)]
+pub struct ChainSpec {
+    /// Per block, per instruction: `p^c`.
+    pub pc: Vec<Vec<f64>>,
+    /// Per block, per instruction: `p^e`.
+    pub pe: Vec<Vec<f64>>,
+    /// The visited block sequence (starts at block 0, the flushed entry).
+    pub trace: Vec<usize>,
+}
+
+impl ChainSpec {
+    /// A random chain: 2–4 blocks of 1–3 instructions, conditional
+    /// probabilities with `|p^e − p^c| ≤ 0.5` (keeps the fixed-point
+    /// transient small relative to trace length), and a random-walk trace of
+    /// `steps` visits starting at block 0.
+    pub fn random(seed: u64, steps: usize) -> Self {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let m = 2 + rng.next_below(3) as usize;
+        let mut pc = Vec::with_capacity(m);
+        let mut pe = Vec::with_capacity(m);
+        for _ in 0..m {
+            let n_i = 1 + rng.next_below(3) as usize;
+            let mut pcs = Vec::with_capacity(n_i);
+            let mut pes = Vec::with_capacity(n_i);
+            for _ in 0..n_i {
+                let c = rng.next_range(0.0, 0.3);
+                pcs.push(c);
+                pes.push(c + rng.next_range(0.0, 0.5));
+            }
+            pc.push(pcs);
+            pe.push(pes);
+        }
+        let mut trace = vec![0usize];
+        for _ in 1..steps.max(1) {
+            trace.push(rng.next_below(m as u64) as usize);
+        }
+        ChainSpec { pc, pe, trace }
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.pc.len()
+    }
+
+    /// Number of visits of block `i` in the trace.
+    pub fn visits(&self, i: usize) -> usize {
+        self.trace.iter().filter(|&&b| b == i).count()
+    }
+
+    /// The aggregated [`MarginalProblem`] the solver under test sees:
+    /// single-sample edge and block counts derived from the trace.
+    pub fn to_problem(&self) -> MarginalProblem {
+        let m = self.block_count();
+        let mut edge_counts: HashMap<(BlockId, BlockId), Vec<f64>> = HashMap::new();
+        for w in self.trace.windows(2) {
+            edge_counts
+                .entry((BlockId(w[0] as u32), BlockId(w[1] as u32)))
+                .or_insert_with(|| vec![0.0])[0] += 1.0;
+        }
+        let block_counts: Vec<Vec<f64>> = (0..m).map(|i| vec![self.visits(i) as f64]).collect();
+        MarginalProblem {
+            cond_correct: self
+                .pc
+                .iter()
+                .map(|b| b.iter().map(|&p| SampleRv::constant(p, 1)).collect())
+                .collect(),
+            cond_error: self
+                .pe
+                .iter()
+                .map(|b| b.iter().map(|&p| SampleRv::constant(p, 1)).collect())
+                .collect(),
+            edge_counts,
+            block_counts,
+        }
+    }
+
+    /// The exact expected marginal of every static instruction, averaged
+    /// over its dynamic instances: propagate the error probability through
+    /// the trace with the linear per-instruction recurrence
+    /// `p ← p^e·p + p^c·(1 − p)`, starting from the flushed state `p = 1`.
+    ///
+    /// Unvisited blocks report 0 (matching the solver's convention).
+    pub fn exact_dynamic_marginals(&self) -> Vec<Vec<f64>> {
+        let mut acc: Vec<Vec<f64>> = self.pc.iter().map(|b| vec![0.0; b.len()]).collect();
+        let mut p = 1.0f64; // flushed start
+        for &b in &self.trace {
+            let probs = self.pe[b].iter().zip(&self.pc[b]);
+            for (slot, (&pe, &pc)) in acc[b].iter_mut().zip(probs) {
+                p = pe * p + pc * (1.0 - p);
+                *slot += p;
+            }
+        }
+        for (i, blk) in acc.iter_mut().enumerate() {
+            let v = self.visits(i);
+            if v > 0 {
+                for x in blk.iter_mut() {
+                    *x /= v as f64;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Empirical marginals from `trials` Bernoulli replays of the trace.
+    pub fn mc_marginals(&self, trials: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut hits: Vec<Vec<u64>> = self.pc.iter().map(|b| vec![0u64; b.len()]).collect();
+        for _ in 0..trials {
+            let mut prev_err = true; // flushed start
+            for &b in &self.trace {
+                let probs = self.pe[b].iter().zip(&self.pc[b]);
+                for (slot, (&pe, &pc)) in hits[b].iter_mut().zip(probs) {
+                    let p = if prev_err { pe } else { pc };
+                    prev_err = rng.next_f64() < p;
+                    if prev_err {
+                        *slot += 1;
+                    }
+                }
+            }
+        }
+        hits.iter()
+            .enumerate()
+            .map(|(i, blk)| {
+                let v = self.visits(i);
+                blk.iter()
+                    .map(|&h| {
+                        if v > 0 {
+                            h as f64 / (trials as f64 * v as f64)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_dynamic_matches_hand_computation() {
+        // One block [pc=0.1, pe=0.5], visited twice: flushed start p0 = 1.
+        let spec = ChainSpec {
+            pc: vec![vec![0.1]],
+            pe: vec![vec![0.5]],
+            trace: vec![0, 0],
+        };
+        let m = spec.exact_dynamic_marginals();
+        // Visit 1: p = 0.5·1 + 0.1·0 = 0.5.
+        // Visit 2: p = 0.5·0.5 + 0.1·0.5 = 0.30. Average = 0.40.
+        assert!((m[0][0] - 0.40).abs() < 1e-12, "got {}", m[0][0]);
+    }
+
+    #[test]
+    fn mc_converges_to_exact_dynamic() {
+        let spec = ChainSpec::random(17, 40);
+        let exact = spec.exact_dynamic_marginals();
+        let mc = spec.mc_marginals(40_000, 5);
+        for i in 0..spec.block_count() {
+            let v = spec.visits(i);
+            if v == 0 {
+                continue;
+            }
+            for k in 0..spec.pc[i].len() {
+                let p = exact[i][k];
+                let se = (p * (1.0 - p) / (40_000.0 * v as f64)).sqrt();
+                assert!(
+                    (mc[i][k] - p).abs() < 5.0 * se + 1e-3,
+                    "block {i} inst {k}: mc {} vs exact {p} (se {se})",
+                    mc[i][k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn problem_counts_are_consistent() {
+        let spec = ChainSpec::random(3, 30);
+        let prob = spec.to_problem();
+        // Edge counts out of each block + trace end equal block counts.
+        let total_edges: f64 = prob.edge_counts.values().map(|v| v[0]).sum();
+        assert!((total_edges - (spec.trace.len() - 1) as f64).abs() < 1e-12);
+        let total_blocks: f64 = prob.block_counts.iter().map(|v| v[0]).sum();
+        assert!((total_blocks - spec.trace.len() as f64).abs() < 1e-12);
+    }
+}

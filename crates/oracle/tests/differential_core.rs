@@ -1,0 +1,224 @@
+//! End-to-end differential checks on `terse-core`'s estimation pipeline:
+//! dense Monte Carlo over sampled chips against the analytic estimate, plus
+//! the chip-conditional/marginal mixture identity of the instruction error
+//! model.
+//!
+//! These complement the repository-level `monte_carlo_validation` test: that
+//! one validates λ at a fixed operating point; these diff the *model layer*
+//! (per-instruction probabilities, where the identity is exact up to
+//! sampling noise) and the estimate's distributional structure.
+
+use terse::{Framework, Workload};
+use terse_isa::Cfg;
+use terse_sim::monte_carlo::{self, InstErrorModel, MonteCarloConfig};
+
+/// The same loop kernel the tier-1 validation uses: enough timing exposure
+/// for a measurable error rate, two input samples.
+fn kernel() -> Workload {
+    Workload::from_asm(
+        "oracle-kernel",
+        r"
+            ld   r1, r0, 0
+            li   r6, 0x00FFFFFF
+        loop:
+            add  r2, r2, r6
+            mul  r3, r1, r2
+            sub  r4, r3, r2
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            halt
+        ",
+    )
+    .expect("assembles")
+    .with_input(|m| m.store(0, 40).expect("store"))
+    .with_input(|m| m.store(0, 55).expect("store"))
+}
+
+/// The mixture identity: a dynamic instance's marginal error probability is
+/// the expectation of its chip-conditional probability over the chip
+/// population. `Pr(err) = E_chip[Pr(err | chip)]` holds exactly, so the
+/// chip-average must converge on `marginal_probability` at the Monte Carlo
+/// rate — per instruction, not just in aggregate.
+#[test]
+fn conditional_probabilities_average_to_marginal() {
+    let fw = Framework::builder().samples(2).build().expect("framework");
+    let w = kernel();
+    let cfg = Cfg::from_program(w.program());
+    let profiles = fw.profile_workload(&w, &cfg).expect("profiles");
+    let model = fw.train_model(&w, &cfg, &profiles).expect("model");
+
+    const CHIPS: usize = 512;
+    let chips = fw.sample_chips(CHIPS, 0x0C0FFEE).expect("chips");
+    let mut checked = 0usize;
+    for (idx, instances) in profiles[0].features_normal.iter().enumerate() {
+        let Some(features) = instances.first() else {
+            continue; // never executed
+        };
+        let prev = if idx == 0 { None } else { Some(idx as u32 - 1) };
+        let marginal = model.marginal_probability(prev, idx as u32, features);
+        let cond: Vec<f64> = chips
+            .iter()
+            .map(|chip| model.error_probability(prev, idx as u32, features, chip))
+            .collect();
+        let mean = cond.iter().sum::<f64>() / CHIPS as f64;
+        let var = cond.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / CHIPS as f64;
+        let se = (var / CHIPS as f64).sqrt();
+        assert!(
+            (mean - marginal).abs() < 5.0 * se + 0.02,
+            "inst {idx}: chip-average {mean} vs marginal {marginal} (se {se})"
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 5,
+        "kernel must exercise several instructions: {checked}"
+    );
+}
+
+/// λ against a 256-chip Monte Carlo population: agreement within MC noise
+/// (3σ of the pooled mean) plus the datapath model's feature-binning
+/// coarseness — the acceptance band the paper's Fig. 6 comparison implies.
+#[test]
+fn analytic_lambda_tracks_chip_population() {
+    let samples = 2;
+    let fw = Framework::builder()
+        .samples(samples)
+        .build()
+        .expect("framework");
+    let w = kernel();
+    let cfg = Cfg::from_program(w.program());
+    let profiles = fw.profile_workload(&w, &cfg).expect("profiles");
+    let model = fw.train_model(&w, &cfg, &profiles).expect("model");
+    let estimate = fw.estimate(&w, &cfg, &profiles, &model).expect("estimate");
+
+    const CHIPS: usize = 256;
+    let chips = fw.sample_chips(CHIPS, 0xD1CE).expect("chips");
+    let counts = monte_carlo::error_counts(
+        w.program(),
+        &model,
+        &chips,
+        samples,
+        fw.correction(),
+        |idx, m| {
+            m.store(0, if idx == 0 { 40 } else { 55 }).expect("store");
+        },
+        MonteCarloConfig::default(),
+    )
+    .expect("monte carlo");
+    let pooled = monte_carlo::pooled_counts(&counts);
+    let n = pooled.len() as f64;
+    let mc_mean = pooled.iter().sum::<u64>() as f64 / n;
+    let mc_var = pooled
+        .iter()
+        .map(|&c| (c as f64 - mc_mean).powi(2))
+        .sum::<f64>()
+        / n;
+    let mc_se = (mc_var / n).sqrt();
+    let analytic = estimate.lambda.mean();
+    // 3σ MC noise + 35% model coarseness (feature binning vs exact replay),
+    // floored for the near-zero-rate regime.
+    let tol = (3.0 * mc_se + 0.35 * analytic.max(mc_mean)).max(1.5);
+    assert!(
+        (analytic - mc_mean).abs() < tol,
+        "analytic λ {analytic} vs MC mean {mc_mean} over {CHIPS} chips (tol {tol})"
+    );
+    assert!(mc_mean > 0.0, "kernel must err at this operating point");
+}
+
+/// The reported count distribution is a genuine CDF: bounds in [0, 1],
+/// lower ≤ upper, and both envelopes monotone in the rate.
+#[test]
+fn rate_cdf_is_monotone_and_bounded() {
+    let fw = Framework::builder().samples(2).build().expect("framework");
+    let w = kernel();
+    let cfg = Cfg::from_program(w.program());
+    let profiles = fw.profile_workload(&w, &cfg).expect("profiles");
+    let model = fw.train_model(&w, &cfg, &profiles).expect("model");
+    let estimate = fw.estimate(&w, &cfg, &profiles, &model).expect("estimate");
+
+    let mut prev_lower = 0.0f64;
+    let mut prev_upper = 0.0f64;
+    for step in 0..=40 {
+        let rate = step as f64 * 1e-3;
+        let b = estimate.rate_cdf(rate).expect("cdf");
+        assert!(
+            (0.0..=1.0).contains(&b.lower) && (0.0..=1.0).contains(&b.upper),
+            "rate {rate}: bounds [{}, {}]",
+            b.lower,
+            b.upper
+        );
+        assert!(b.lower <= b.upper + 1e-12, "rate {rate}: crossed bounds");
+        assert!(
+            b.lower >= prev_lower - 1e-9 && b.upper >= prev_upper - 1e-9,
+            "rate {rate}: CDF not monotone"
+        );
+        prev_lower = b.lower;
+        prev_upper = b.upper;
+    }
+}
+
+/// The heavyweight population: 1024 chips, where the MC mean concentrates
+/// enough to halve the agreement band. Scheduled CI only.
+#[test]
+#[ignore = "slow exhaustive suite: cargo test -p oracle -- --ignored"]
+fn analytic_lambda_tracks_large_chip_population_exhaustive() {
+    let samples = 2;
+    let fw = Framework::builder()
+        .samples(samples)
+        .build()
+        .expect("framework");
+    let w = kernel();
+    let cfg = Cfg::from_program(w.program());
+    let profiles = fw.profile_workload(&w, &cfg).expect("profiles");
+    let model = fw.train_model(&w, &cfg, &profiles).expect("model");
+    let estimate = fw.estimate(&w, &cfg, &profiles, &model).expect("estimate");
+
+    const CHIPS: usize = 1024;
+    let chips = fw.sample_chips(CHIPS, 0xFEED).expect("chips");
+    let counts = monte_carlo::error_counts(
+        w.program(),
+        &model,
+        &chips,
+        samples,
+        fw.correction(),
+        |idx, m| {
+            m.store(0, if idx == 0 { 40 } else { 55 }).expect("store");
+        },
+        MonteCarloConfig::default(),
+    )
+    .expect("monte carlo");
+    let pooled = monte_carlo::pooled_counts(&counts);
+    let n = pooled.len() as f64;
+    let mc_mean = pooled.iter().sum::<u64>() as f64 / n;
+    let mc_var = pooled
+        .iter()
+        .map(|&c| (c as f64 - mc_mean).powi(2))
+        .sum::<f64>()
+        / n;
+    let mc_se = (mc_var / n).sqrt();
+    let analytic = estimate.lambda.mean();
+    let tol = (3.0 * mc_se + 0.2 * analytic.max(mc_mean)).max(1.0);
+    assert!(
+        (analytic - mc_mean).abs() < tol,
+        "analytic λ {analytic} vs MC mean {mc_mean} over {CHIPS} chips (tol {tol})"
+    );
+
+    // The CDF envelope must bracket the empirical distribution.
+    let max_k = pooled.iter().copied().max().unwrap_or(1);
+    let mut inside = 0usize;
+    let mut total = 0usize;
+    for k in 0..=max_k {
+        let mc_cdf = pooled.iter().filter(|&&c| c <= k).count() as f64 / n;
+        let b = estimate
+            .rate_cdf(k as f64 / estimate.total_instructions)
+            .expect("cdf");
+        if b.lower - 0.1 <= mc_cdf && mc_cdf <= b.upper + 0.1 {
+            inside += 1;
+        }
+        total += 1;
+    }
+    assert!(
+        inside * 10 >= total * 7,
+        "envelope must bracket >=70% of the MC CDF: {inside}/{total}"
+    );
+}

@@ -1,0 +1,154 @@
+//! Differential suite: `terse-errmodel`'s marginal fixed-point solver
+//! against the probability-chain oracles in [`oracle::mc`].
+//!
+//! The solver collapses a concrete execution into aggregate edge/block
+//! counts and solves for steady-state marginals; the oracles keep the trace
+//! and propagate the error chain through it exactly (and by Bernoulli Monte
+//! Carlo). Three pairwise comparisons triangulate the solver:
+//!
+//! * MC vs exact-dynamic — pure binomial statistics, tight σ-scaled bound;
+//! * solver vs exact-dynamic — the paper's Eqs. 1–2 aggregation error,
+//!   which shrinks as traces grow (checked at a trace-length-aware band);
+//! * solver internal consistency — outputs are probabilities, and each
+//!   block's output equals its last instruction's marginal.
+
+// Every check walks four parallel (block, instruction)-shaped tables at
+// once; shared indices are clearer than nested iterator zips here.
+#![allow(clippy::needless_range_loop)]
+
+use oracle::mc::ChainSpec;
+use proptest::prelude::*;
+use terse_errmodel::solve_marginals;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The Bernoulli replay converges on the exact dynamic propagation — the
+    /// two oracles agree within binomial sampling noise, which validates the
+    /// exact recurrence before it's used to judge the solver.
+    #[test]
+    fn bernoulli_replay_matches_exact_dynamics(seed in 0u64..1_000_000, steps in 20usize..80) {
+        const TRIALS: usize = 20_000;
+        let spec = ChainSpec::random(seed, steps);
+        let exact = spec.exact_dynamic_marginals();
+        let mc = spec.mc_marginals(TRIALS, seed ^ 0xB0B);
+        for i in 0..spec.block_count() {
+            let visits = spec.visits(i);
+            if visits == 0 {
+                continue;
+            }
+            for k in 0..spec.pc[i].len() {
+                let p = exact[i][k];
+                let se = (p * (1.0 - p) / (TRIALS as f64 * visits as f64)).sqrt();
+                prop_assert!(
+                    (mc[i][k] - p).abs() < 5.0 * se + 1e-3,
+                    "block {i} inst {k}: mc {} vs exact {p} (se {se})",
+                    mc[i][k]
+                );
+            }
+        }
+    }
+
+    /// The solver's steady-state marginals track the exact per-trace answer.
+    /// The solver replaces each visit's true predecessor-specific incoming
+    /// probability with the visit-weighted average, so the residual shrinks
+    /// with trace length; long random walks with `|p^e − p^c| ≤ 0.5` keep it
+    /// inside a small absolute band.
+    #[test]
+    fn solver_tracks_exact_dynamics(seed in 0u64..1_000_000, steps in 40usize..120) {
+        let spec = ChainSpec::random(seed, steps);
+        let exact = spec.exact_dynamic_marginals();
+        let sol = solve_marginals(&spec.to_problem()).unwrap();
+        for i in 0..spec.block_count() {
+            if spec.visits(i) == 0 {
+                continue;
+            }
+            for k in 0..spec.pc[i].len() {
+                let s = sol.marginal[i][k].mean();
+                prop_assert!(
+                    (s - exact[i][k]).abs() < 0.06,
+                    "block {i} inst {k}: solver {s} vs exact {}",
+                    exact[i][k]
+                );
+            }
+        }
+    }
+
+    /// Structural invariants of the solution: every marginal is a
+    /// probability, bracketed by the conditional extremes, and each block's
+    /// output equals its last instruction's marginal.
+    #[test]
+    fn solution_is_structurally_sound(seed in 0u64..1_000_000, steps in 10usize..80) {
+        let spec = ChainSpec::random(seed, steps);
+        let sol = solve_marginals(&spec.to_problem()).unwrap();
+        for i in 0..spec.block_count() {
+            if spec.visits(i) == 0 {
+                continue;
+            }
+            let n_i = spec.pc[i].len();
+            for k in 0..n_i {
+                let p = sol.marginal[i][k].mean();
+                prop_assert!((0.0..=1.0).contains(&p), "block {i} inst {k}: {p}");
+                // p is a convex combination of p^c and p^e.
+                let lo = spec.pc[i][k].min(spec.pe[i][k]) - 1e-9;
+                let hi = spec.pc[i][k].max(spec.pe[i][k]) + 1e-9;
+                prop_assert!((lo..=hi).contains(&p), "block {i} inst {k}: {p} outside [{lo}, {hi}]");
+            }
+            let out = sol.output[i].mean();
+            let last = sol.marginal[i][n_i - 1].mean();
+            prop_assert!((out - last).abs() < 1e-12, "block {i}: output {out} vs last marginal {last}");
+            let inp = sol.input[i].mean();
+            prop_assert!((0.0..=1.0).contains(&inp), "block {i}: input {inp}");
+        }
+    }
+
+    /// Degenerate chain: when `p^e = p^c` everywhere the predecessor state
+    /// is irrelevant and solver, exact dynamics, and the closed form all
+    /// coincide exactly.
+    #[test]
+    fn context_free_chain_is_exact(seed in 0u64..1_000_000, steps in 10usize..60) {
+        let mut spec = ChainSpec::random(seed, steps);
+        spec.pe = spec.pc.clone();
+        let exact = spec.exact_dynamic_marginals();
+        let sol = solve_marginals(&spec.to_problem()).unwrap();
+        for i in 0..spec.block_count() {
+            if spec.visits(i) == 0 {
+                continue;
+            }
+            for k in 0..spec.pc[i].len() {
+                prop_assert!(
+                    (sol.marginal[i][k].mean() - exact[i][k]).abs() < 1e-9,
+                    "block {i} inst {k}: {} vs {}",
+                    sol.marginal[i][k].mean(),
+                    exact[i][k]
+                );
+                prop_assert!((exact[i][k] - spec.pc[i][k]).abs() < 1e-12);
+            }
+        }
+    }
+}
+
+/// The heavyweight version: long traces, where the solver's aggregation
+/// residual must vanish — tight band, many seeds. Scheduled CI only.
+#[test]
+#[ignore = "slow exhaustive suite: cargo test -p oracle -- --ignored"]
+fn solver_converges_on_long_traces_exhaustive() {
+    for seed in 0..256 {
+        let spec = ChainSpec::random(seed, 4000);
+        let exact = spec.exact_dynamic_marginals();
+        let sol = solve_marginals(&spec.to_problem()).unwrap();
+        for i in 0..spec.block_count() {
+            if spec.visits(i) == 0 {
+                continue;
+            }
+            for k in 0..spec.pc[i].len() {
+                let s = sol.marginal[i][k].mean();
+                assert!(
+                    (s - exact[i][k]).abs() < 0.02,
+                    "seed {seed} block {i} inst {k}: solver {s} vs exact {}",
+                    exact[i][k]
+                );
+            }
+        }
+    }
+}

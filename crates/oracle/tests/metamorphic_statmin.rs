@@ -1,0 +1,239 @@
+//! Metamorphic property suite for `terse-sta`'s statistical minimum.
+//!
+//! Clark's pairwise min has no simple closed form for general operand sets,
+//! so instead of one oracle value these properties check *relations* the true
+//! minimum must satisfy — shift equivariance, permutation invariance,
+//! monotonicity, and the two correlation limits (ρ → 1 and ρ → 0) where the
+//! exact answer *is* known in closed form (Sinha et al.'s correlation-limit
+//! analysis). A final differential property diffs every ordering against the
+//! crate's own dense Monte Carlo estimator.
+
+use oracle::gen;
+use proptest::prelude::*;
+use terse_sta::statmin::{monte_carlo_min, statistical_min, MinOrdering};
+use terse_sta::CanonicalRv;
+use terse_stats::rng::Xoshiro256;
+
+const ORDERINGS: [MinOrdering; 3] = [
+    MinOrdering::InputOrder,
+    MinOrdering::AscendingMean,
+    MinOrdering::MaxCorrelationFirst,
+];
+
+/// A deterministic Fisher–Yates shuffle.
+fn shuffled(slacks: &[CanonicalRv], seed: u64) -> Vec<CanonicalRv> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut out = slacks.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// min(sᵢ + c) = min(sᵢ) + c — exact for Clark, every ordering: adding a
+    /// constant shifts every operand mean, leaves θ and the tightness
+    /// unchanged, and so shifts the folded result by exactly c.
+    #[test]
+    fn shift_equivariance(seed in 0u64..1_000_000, n in 2usize..10, c in -40.0f64..40.0) {
+        let slacks = gen::random_slacks(seed, n, 4);
+        let shifted: Vec<CanonicalRv> = slacks.iter().map(|s| s.add_scalar(c)).collect();
+        for ordering in ORDERINGS {
+            let base = statistical_min(&slacks, ordering).unwrap();
+            let moved = statistical_min(&shifted, ordering).unwrap();
+            prop_assert!((moved.mean() - base.mean() - c).abs() < 1e-9, "{ordering:?}");
+            prop_assert!((moved.sd() - base.sd()).abs() < 1e-9, "{ordering:?}");
+        }
+    }
+
+    /// ρ → 1 limit: operands with identical sensitivities and no independent
+    /// residual are perfectly correlated, so the minimum IS the operand with
+    /// the smallest mean — exactly, not approximately.
+    #[test]
+    fn perfect_correlation_selects_smallest_mean(
+        seed in 0u64..1_000_000,
+        n in 2usize..8,
+        base_mean in 20.0f64..100.0,
+    ) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let coeffs: Vec<f64> = (0..3).map(|_| rng.next_range(-1.5, 1.5)).collect();
+        // Distinct means at least 0.1 apart keep the winner unambiguous.
+        let slacks: Vec<CanonicalRv> = (0..n)
+            .map(|i| {
+                let m = base_mean + i as f64 * rng.next_range(0.1, 5.0);
+                CanonicalRv::with_sensitivities(m, coeffs.clone(), 0.0)
+            })
+            .collect();
+        let lowest = slacks
+            .iter()
+            .map(CanonicalRv::mean)
+            .fold(f64::INFINITY, f64::min);
+        for ordering in ORDERINGS {
+            let m = statistical_min(&slacks, ordering).unwrap();
+            prop_assert!((m.mean() - lowest).abs() < 1e-9, "{ordering:?}");
+            prop_assert!((m.sd() - slacks[0].sd()).abs() < 1e-9, "{ordering:?}");
+        }
+    }
+
+    /// ρ → 0 limit: for two iid N(m, σ²) independent operands the exact
+    /// answer is E[min] = m − σ/√π, and Clark is exact for a single pairwise
+    /// step — every ordering must hit the closed form.
+    #[test]
+    fn independent_iid_pair_closed_form(m in -50.0f64..120.0, sigma in 0.05f64..4.0) {
+        let a = CanonicalRv::with_sensitivities(m, vec![0.0, 0.0], sigma);
+        let b = CanonicalRv::with_sensitivities(m, vec![0.0, 0.0], sigma);
+        let expect = m - sigma / std::f64::consts::PI.sqrt();
+        for ordering in ORDERINGS {
+            let got = statistical_min(&[a.clone(), b.clone()], ordering).unwrap();
+            prop_assert!(
+                (got.mean() - expect).abs() < 1e-9,
+                "{ordering:?}: {} vs {expect}",
+                got.mean()
+            );
+        }
+    }
+
+    /// Pairwise monotonicity: raising one operand's mean can only raise (or
+    /// keep) the mean of the pairwise minimum — ∂E[min]/∂m₁ = Φ(·) ≥ 0.
+    #[test]
+    fn pairwise_min_is_monotone_in_operand_mean(
+        seed in 0u64..1_000_000,
+        delta in 0.0f64..30.0,
+    ) {
+        let slacks = gen::random_slacks(seed, 2, 4);
+        let raised = vec![slacks[0].add_scalar(delta), slacks[1].clone()];
+        for ordering in ORDERINGS {
+            let lo = statistical_min(&slacks, ordering).unwrap();
+            let hi = statistical_min(&raised, ordering).unwrap();
+            prop_assert!(hi.mean() >= lo.mean() - 1e-9, "{ordering:?}");
+        }
+    }
+
+    /// Commutativity for the mean-sorted ordering: `AscendingMean` folds in
+    /// sorted order regardless of input order, so any permutation of a
+    /// distinct-mean operand set gives the identical result.
+    #[test]
+    fn ascending_mean_is_permutation_invariant(
+        seed in 0u64..1_000_000,
+        n in 2usize..12,
+        shuffle_seed in 0u64..1_000_000,
+    ) {
+        let slacks = gen::random_slacks(seed, n, 4);
+        let perm = shuffled(&slacks, shuffle_seed);
+        let a = statistical_min(&slacks, MinOrdering::AscendingMean).unwrap();
+        let b = statistical_min(&perm, MinOrdering::AscendingMean).unwrap();
+        prop_assert!((a.mean() - b.mean()).abs() < 1e-9);
+        prop_assert!((a.sd() - b.sd()).abs() < 1e-9);
+    }
+
+    /// The greedy correlation-first ordering re-derives its fold order from
+    /// the operand set itself, so permutations *mostly* agree — but when two
+    /// candidate pairs have near-tied correlations, different input orders
+    /// legitimately pick different folds and the results drift apart by the
+    /// per-step re-canonicalization error. The bound is therefore a small
+    /// scale-relative band, not floating-point noise.
+    #[test]
+    fn max_correlation_first_is_permutation_stable(
+        seed in 0u64..1_000_000,
+        n in 2usize..12,
+        shuffle_seed in 0u64..1_000_000,
+    ) {
+        let slacks = gen::random_slacks(seed, n, 4);
+        let perm = shuffled(&slacks, shuffle_seed);
+        let a = statistical_min(&slacks, MinOrdering::MaxCorrelationFirst).unwrap();
+        let b = statistical_min(&perm, MinOrdering::MaxCorrelationFirst).unwrap();
+        let scale = slacks.iter().map(CanonicalRv::sd).fold(1.0, f64::max);
+        prop_assert!(
+            (a.mean() - b.mean()).abs() < 0.02 * scale,
+            "{} vs {} (scale {scale})",
+            a.mean(),
+            b.mean()
+        );
+        prop_assert!(
+            (a.sd() - b.sd()).abs() < 0.03 * scale,
+            "{} vs {} (scale {scale})",
+            a.sd(),
+            b.sd()
+        );
+    }
+
+    /// Associativity within tolerance: folding a prefix first, then folding
+    /// the partial result with the rest, stays close to the flat fold. The
+    /// re-canonicalization after each Clark step is lossy, so this is a
+    /// bounded-drift property, not an exact one.
+    #[test]
+    fn grouped_fold_stays_close_to_flat_fold(
+        seed in 0u64..1_000_000,
+        n in 3usize..9,
+        split in 2usize..8,
+    ) {
+        let slacks = gen::random_slacks(seed, n, 4);
+        let split = split.min(n - 1);
+        let flat = statistical_min(&slacks, MinOrdering::InputOrder).unwrap();
+        let head = statistical_min(&slacks[..split], MinOrdering::InputOrder).unwrap();
+        let mut regrouped = vec![head];
+        regrouped.extend_from_slice(&slacks[split..]);
+        let grouped = statistical_min(&regrouped, MinOrdering::InputOrder).unwrap();
+        let scale = slacks.iter().map(CanonicalRv::sd).fold(1.0, f64::max);
+        prop_assert!(
+            (flat.mean() - grouped.mean()).abs() < 0.05 * scale,
+            "flat {} vs grouped {} (scale {scale})",
+            flat.mean(),
+            grouped.mean()
+        );
+    }
+
+    /// Differential check against dense Monte Carlo: every ordering's mean
+    /// and spread must track the sampled distribution of min(sᵢ) within the
+    /// Clark approximation error plus sampling noise.
+    #[test]
+    fn orderings_track_monte_carlo(seed in 0u64..1_000_000, n in 2usize..10) {
+        const SAMPLES: usize = 60_000;
+        let slacks = gen::random_slacks(seed, n, 4);
+        let (mc_mean, mc_var) = monte_carlo_min(&slacks, SAMPLES, seed ^ 0xD1F).unwrap();
+        let mc_var = mc_var.max(0.0); // sample-variance cancellation on deterministic sets
+        let scale = slacks.iter().map(CanonicalRv::sd).fold(1.0, f64::max);
+        let se = scale / (SAMPLES as f64).sqrt();
+        for ordering in ORDERINGS {
+            let m = statistical_min(&slacks, ordering).unwrap();
+            prop_assert!(
+                (m.mean() - mc_mean).abs() < 0.15 * scale + 5.0 * se,
+                "{ordering:?}: analytic {} vs mc {mc_mean} (scale {scale})",
+                m.mean()
+            );
+            prop_assert!(
+                (m.sd() - mc_var.sqrt()).abs() < 0.25 * scale + 5.0 * se,
+                "{ordering:?}: analytic sd {} vs mc {} (scale {scale})",
+                m.sd(),
+                mc_var.sqrt()
+            );
+        }
+    }
+}
+
+/// The heavyweight version of the Monte Carlo diff: larger operand sets,
+/// more samples, tighter tolerance. Scheduled CI only.
+#[test]
+#[ignore = "slow exhaustive suite: cargo test -p oracle -- --ignored"]
+fn orderings_track_monte_carlo_exhaustive() {
+    const SAMPLES: usize = 400_000;
+    for seed in 0..64 {
+        for n in [2usize, 5, 12, 24, 48] {
+            let slacks = gen::random_slacks(seed * 131 + n as u64, n, 6);
+            let (mc_mean, _) = monte_carlo_min(&slacks, SAMPLES, seed ^ 0xABC).unwrap();
+            let scale = slacks.iter().map(CanonicalRv::sd).fold(1.0, f64::max);
+            let se = scale / (SAMPLES as f64).sqrt();
+            for ordering in ORDERINGS {
+                let m = statistical_min(&slacks, ordering).unwrap();
+                assert!(
+                    (m.mean() - mc_mean).abs() < 0.15 * scale + 5.0 * se,
+                    "seed {seed} n {n} {ordering:?}: analytic {} vs mc {mc_mean}",
+                    m.mean()
+                );
+            }
+        }
+    }
+}

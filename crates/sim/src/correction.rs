@@ -124,4 +124,95 @@ mod tests {
     fn display_nonempty() {
         assert!(!CorrectionScheme::paper_default().to_string().is_empty());
     }
+
+    /// Every scheme variant reports exactly its configured penalty — the
+    /// accounting `TsPerformanceModel` builds on (`1 + penalty · rate`
+    /// cycles per instruction).
+    #[test]
+    fn penalty_accounting_per_scheme() {
+        let schemes = [
+            CorrectionScheme::ReplayAtHalfFrequency { penalty: 24 },
+            CorrectionScheme::PipelineFlush { depth: 6 },
+            CorrectionScheme::BubbleInsertion { bubbles: 2 },
+        ];
+        for s in schemes {
+            let per_error = s.penalty_cycles() as u64;
+            // Accounting over a synthetic run: `n` instructions, `e` errors,
+            // one issue cycle each plus the correction penalty per error.
+            for (n, e) in [(100u64, 0u64), (100, 7), (1, 1), (1_000_000, 999)] {
+                let total = n + e * per_error;
+                assert_eq!(total, n + e * s.penalty_cycles() as u64, "{s}");
+                assert!(total >= n, "{s}: penalties cannot reduce cycles");
+            }
+        }
+    }
+
+    /// Degenerate zero-penalty configurations are representable (an ideal
+    /// correction mechanism) and cost nothing per error.
+    #[test]
+    fn zero_penalty_schemes_are_free() {
+        for s in [
+            CorrectionScheme::ReplayAtHalfFrequency { penalty: 0 },
+            CorrectionScheme::PipelineFlush { depth: 0 },
+            CorrectionScheme::BubbleInsertion { bubbles: 0 },
+        ] {
+            assert_eq!(s.penalty_cycles(), 0);
+            // Even a free correction still leaves the flushed bus state —
+            // the p^e/p^c distinction is about state, not cycles.
+            assert_eq!(s.post_error_bus_state(), BusState::flushed());
+        }
+    }
+
+    /// The penalty scales are ordered as the paper describes: replay at
+    /// half frequency (full flush + reissue at half clock) costs more than
+    /// a plain pipeline flush, which costs more than Razor-II bubbles, for
+    /// a 6-stage pipeline.
+    #[test]
+    fn paper_scheme_ordering_for_six_stage_pipeline() {
+        let replay = CorrectionScheme::paper_default().penalty_cycles();
+        let flush = CorrectionScheme::PipelineFlush { depth: 6 }.penalty_cycles();
+        let bubble = CorrectionScheme::BubbleInsertion { bubbles: 1 }.penalty_cycles();
+        assert!(replay > flush && flush > bubble);
+    }
+
+    /// Every variant's Display names the mechanism and its cycle count.
+    #[test]
+    fn display_reports_cycle_count_per_variant() {
+        let cases = [
+            (
+                CorrectionScheme::ReplayAtHalfFrequency { penalty: 24 },
+                "replay-at-half-frequency",
+                "24",
+            ),
+            (
+                CorrectionScheme::PipelineFlush { depth: 6 },
+                "pipeline-flush",
+                "6",
+            ),
+            (
+                CorrectionScheme::BubbleInsertion { bubbles: 2 },
+                "bubble-insertion",
+                "2",
+            ),
+        ];
+        for (s, name, cycles) in cases {
+            let text = s.to_string();
+            assert!(text.contains(name), "{text}");
+            assert!(text.contains(cycles), "{text}");
+        }
+    }
+
+    /// The instrumentation prefix is exactly one `nop` for every scheme —
+    /// the paper's emulation trick is scheme-independent.
+    #[test]
+    fn emulation_prefix_is_single_nop_for_all_schemes() {
+        for s in [
+            CorrectionScheme::ReplayAtHalfFrequency { penalty: 24 },
+            CorrectionScheme::PipelineFlush { depth: 6 },
+            CorrectionScheme::BubbleInsertion { bubbles: 1 },
+        ] {
+            let prefix = s.emulation_prefix();
+            assert_eq!(prefix, vec![Instruction::nop()], "{s}");
+        }
+    }
 }

@@ -1,4 +1,7 @@
-//! Test configuration and the deterministic case RNG.
+//! Test configuration, the deterministic case RNG, and failure persistence.
+
+use std::io::Write as _;
+use std::path::PathBuf;
 
 /// Per-test configuration (the subset of proptest's the workspace uses).
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +36,84 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// FNV-1a hash of a test's fully-qualified name — the base seed from which
+/// every case seed of that test is derived.
+pub fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The seed of one generated case: mixing the test's name hash with the case
+/// index gives each case an independent, *individually replayable* RNG
+/// stream. A failing case is therefore fully identified by one `u64`, which
+/// is what the persistence files store.
+pub fn case_seed(base: u64, case: u32) -> u64 {
+    let mut s = base ^ (u64::from(case)).wrapping_mul(0xA24B_AED4_963E_E407);
+    // Two splitmix rounds decorrelate adjacent case indices.
+    splitmix64(&mut s);
+    splitmix64(&mut s)
+}
+
+/// Path of the regression-corpus file for one test: `proptests/<name>.txt`
+/// under the consuming crate's manifest directory, with `::` flattened so
+/// the test path stays a single file name.
+fn persistence_path(manifest_dir: &str, test_path: &str) -> PathBuf {
+    let file = test_path.replace("::", "__");
+    PathBuf::from(manifest_dir)
+        .join("proptests")
+        .join(format!("{file}.txt"))
+}
+
+/// Loads the persisted counterexample seeds for a test (empty if the test
+/// has no regression file). Lines starting with `#` are comments; every
+/// other non-empty line is one lowercase-hex seed.
+pub fn load_persisted(manifest_dir: &str, test_path: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(persistence_path(manifest_dir, test_path)) else {
+        return Vec::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| u64::from_str_radix(l.trim_start_matches("0x"), 16).ok())
+        .collect()
+}
+
+/// Records a failing case's seed in the test's regression file so the next
+/// run (and CI) replays it before generating fresh cases. Appends only if
+/// the seed is not already present; IO errors are swallowed — persistence
+/// must never mask the original test failure.
+pub fn persist_failure(manifest_dir: &str, test_path: &str, seed: u64) {
+    if load_persisted(manifest_dir, test_path).contains(&seed) {
+        return;
+    }
+    let path = persistence_path(manifest_dir, test_path);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let fresh = !path.exists();
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    else {
+        return;
+    };
+    if fresh {
+        let _ = writeln!(
+            f,
+            "# Proptest regression corpus for `{test_path}`.\n\
+             # Each line is the hex seed of a case that failed once; the\n\
+             # proptest shim replays every seed here before fresh cases.\n\
+             # Commit this file so CI replays the counterexamples."
+        );
+    }
+    let _ = writeln!(f, "{seed:016x}");
+}
+
 /// The deterministic generator behind every strategy sample.
 #[derive(Debug, Clone)]
 pub struct TestRng {
@@ -40,15 +121,10 @@ pub struct TestRng {
 }
 
 impl TestRng {
-    /// Seeds from a test's fully-qualified name (FNV-1a over the bytes), so
-    /// each test gets a fixed, independent stream.
+    /// Seeds from a test's fully-qualified name, so each test gets a fixed,
+    /// independent stream.
     pub fn for_test(name: &str) -> Self {
-        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-        for &b in name.as_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        TestRng::seed_from_u64(h)
+        TestRng::seed_from_u64(name_hash(name))
     }
 
     /// Seeds deterministically from a single `u64`.
