@@ -1,0 +1,356 @@
+//! Hand-rolled binary checkpointing of [`Framework::estimate`]'s per-block
+//! conditional-probability sweep.
+//!
+//! [`Framework::estimate`] computes one unit of work per basic block (the
+//! `p^c`/`p^e` [`SampleRv`] tables of Eq. 2). Each unit is a pure function
+//! of the CFG, the profiles, the trained model, and the operating point —
+//! no RNG is consumed — so a sweep can be interrupted after any prefix of
+//! blocks and resumed *bitwise identically*: the remaining blocks produce
+//! exactly the values they would have produced in an uninterrupted run.
+//!
+//! The on-disk format is deliberately tiny and serde-free (the workspace is
+//! fully offline):
+//!
+//! ```text
+//! magic      8 bytes  b"TERSECP1"
+//! context    u64 LE   FNV-1a hash of the run context (see below)
+//! blocks     u64 LE   total basic blocks in the sweep
+//! s_count    u64 LE   data-variation samples per SampleRv
+//! entries    u64 LE   number of completed block entries that follow
+//! entry*     u64 LE   block index
+//!            u64 LE   instructions in the block (n_inst)
+//!            u64 LE × n_inst·s_count   p^c samples (f64 bit patterns)
+//!            u64 LE × n_inst·s_count   p^e samples (f64 bit patterns)
+//! ```
+//!
+//! The context hash covers the CFG shape, the per-profile execution counts,
+//! and the operating-point periods; a checkpoint written by a different run
+//! is rejected with [`TerseError::Checkpoint`] rather than silently mixed
+//! in. Writes are atomic (temp file + rename), so a crash mid-write leaves
+//! the previous checkpoint intact. `f64` values round-trip through their
+//! IEEE-754 bit patterns, preserving bitwise identity across save/resume.
+//!
+//! [`Framework::estimate`]: crate::Framework::estimate
+//! [`SampleRv`]: terse_stats::SampleRv
+
+use crate::{Result, TerseError};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use terse_isa::Cfg;
+use terse_sim::{ProfileResult, Profiler};
+use terse_stats::SampleRv;
+
+/// Checkpoint configuration for [`Framework::estimate`]'s per-block sweep
+/// (set via [`FrameworkBuilder::checkpoint`]).
+///
+/// [`Framework::estimate`]: crate::Framework::estimate
+/// [`FrameworkBuilder::checkpoint`]: crate::FrameworkBuilder::checkpoint
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EstimateCheckpoint {
+    path: PathBuf,
+    every_n: usize,
+}
+
+impl EstimateCheckpoint {
+    /// A checkpoint at `path`, flushed after every `every_n` completed
+    /// blocks (`0` is treated as `1`).
+    pub fn new(path: impl Into<PathBuf>, every_n: usize) -> Self {
+        EstimateCheckpoint {
+            path: path.into(),
+            every_n: every_n.max(1),
+        }
+    }
+
+    /// The checkpoint file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Blocks per checkpoint flush.
+    pub fn every_n(&self) -> usize {
+        self.every_n
+    }
+}
+
+/// One completed block's conditional-probability tables:
+/// (`p^c` per instruction, `p^e` per instruction).
+pub(crate) type BlockProbs = (Vec<SampleRv>, Vec<SampleRv>);
+
+const MAGIC: &[u8; 8] = b"TERSECP1";
+
+fn fnv_mix(hash: &mut u64, value: u64) {
+    for b in value.to_le_bytes() {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+}
+
+/// FNV-1a hash of everything the per-block sweep's output depends on: the
+/// CFG shape, the profiled execution counts, the profiler configuration
+/// (its reservoir seed selects the sampled feature vectors), and the
+/// operating-point periods (which pin the trained model's timing regime).
+pub(crate) fn context_hash(
+    cfg: &Cfg,
+    profiles: &[ProfileResult],
+    profiler: &Profiler,
+    signoff_period: f64,
+    working_period: f64,
+) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv_mix(&mut h, cfg.len() as u64);
+    for blk in cfg.blocks() {
+        fnv_mix(&mut h, u64::from(blk.start));
+        fnv_mix(&mut h, u64::from(blk.end));
+    }
+    fnv_mix(&mut h, profiles.len() as u64);
+    for p in profiles {
+        fnv_mix(&mut h, p.total_instructions);
+        for &c in &p.block_counts {
+            fnv_mix(&mut h, c);
+        }
+    }
+    fnv_mix(&mut h, profiler.seed);
+    fnv_mix(&mut h, profiler.budget);
+    fnv_mix(&mut h, profiler.dmem_words as u64);
+    fnv_mix(&mut h, profiler.max_feature_samples as u64);
+    fnv_mix(&mut h, signoff_period.to_bits());
+    fnv_mix(&mut h, working_period.to_bits());
+    h
+}
+
+fn ck_err(message: impl Into<String>) -> TerseError {
+    TerseError::Checkpoint(message.into())
+}
+
+/// Loads a checkpoint into per-block slots (`None` = not yet computed).
+///
+/// A missing file is a fresh start; a present-but-mismatched file is a
+/// typed error — a checkpoint from a different run is never mixed in.
+pub(crate) fn load(
+    path: &Path,
+    context: u64,
+    total_blocks: usize,
+    s_count: usize,
+) -> Result<Vec<Option<BlockProbs>>> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(vec![None; total_blocks]);
+        }
+        Err(e) => return Err(ck_err(format!("read {}: {e}", path.display()))),
+    };
+    let mut pos = 0usize;
+    let mut take8 = |what: &str| -> Result<[u8; 8]> {
+        let end = pos
+            .checked_add(8)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| ck_err(format!("truncated checkpoint while reading {what}")))?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&bytes[pos..end]);
+        pos = end;
+        Ok(buf)
+    };
+    if take8("magic")? != *MAGIC {
+        return Err(ck_err("not a TERSE estimate checkpoint (bad magic)"));
+    }
+    let file_ctx = u64::from_le_bytes(take8("context hash")?);
+    if file_ctx != context {
+        return Err(ck_err(format!(
+            "checkpoint context {file_ctx:#018x} does not match this run \
+             ({context:#018x}); delete the file or restore the original \
+             configuration"
+        )));
+    }
+    let file_blocks = u64::from_le_bytes(take8("block count")?);
+    if file_blocks != total_blocks as u64 {
+        return Err(ck_err(format!(
+            "checkpoint covers {file_blocks} blocks, run has {total_blocks}"
+        )));
+    }
+    let file_s = u64::from_le_bytes(take8("sample count")?);
+    if file_s != s_count as u64 {
+        return Err(ck_err(format!(
+            "checkpoint has {file_s} samples per rv, run has {s_count}"
+        )));
+    }
+    let entries = u64::from_le_bytes(take8("entry count")?);
+    if entries > total_blocks as u64 {
+        return Err(ck_err(format!(
+            "checkpoint claims {entries} entries for {total_blocks} blocks"
+        )));
+    }
+    let mut slots: Vec<Option<BlockProbs>> = vec![None; total_blocks];
+    for _ in 0..entries {
+        let idx = u64::from_le_bytes(take8("block index")?) as usize;
+        if idx >= total_blocks {
+            return Err(ck_err(format!("block index {idx} out of range")));
+        }
+        let n_inst = u64::from_le_bytes(take8("instruction count")?) as usize;
+        let mut read_table = |what: &str| -> Result<Vec<SampleRv>> {
+            let mut table = Vec::with_capacity(n_inst);
+            for _ in 0..n_inst {
+                let mut samples = Vec::with_capacity(s_count);
+                for _ in 0..s_count {
+                    samples.push(f64::from_bits(u64::from_le_bytes(take8(what)?)));
+                }
+                table.push(
+                    SampleRv::new(samples)
+                        .map_err(|e| ck_err(format!("corrupt {what} samples: {e}")))?,
+                );
+            }
+            Ok(table)
+        };
+        let cc = read_table("p^c")?;
+        let ce = read_table("p^e")?;
+        if slots[idx].is_some() {
+            return Err(ck_err(format!("duplicate entry for block {idx}")));
+        }
+        slots[idx] = Some((cc, ce));
+    }
+    Ok(slots)
+}
+
+/// Atomically writes the completed slots to `path` (temp file + rename).
+pub(crate) fn store(
+    path: &Path,
+    context: u64,
+    slots: &[Option<BlockProbs>],
+    s_count: usize,
+) -> Result<()> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&context.to_le_bytes());
+    out.extend_from_slice(&(slots.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(s_count as u64).to_le_bytes());
+    let entries = slots.iter().filter(|s| s.is_some()).count() as u64;
+    out.extend_from_slice(&entries.to_le_bytes());
+    for (idx, slot) in slots.iter().enumerate() {
+        let Some((cc, ce)) = slot else { continue };
+        out.extend_from_slice(&(idx as u64).to_le_bytes());
+        out.extend_from_slice(&(cc.len() as u64).to_le_bytes());
+        for table in [cc, ce] {
+            for rv in table {
+                for &v in rv.samples() {
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    let mut f =
+        fs::File::create(&tmp).map_err(|e| ck_err(format!("create {}: {e}", tmp.display())))?;
+    f.write_all(&out)
+        .map_err(|e| ck_err(format!("write {}: {e}", tmp.display())))?;
+    f.sync_all()
+        .map_err(|e| ck_err(format!("sync {}: {e}", tmp.display())))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(|e| {
+        ck_err(format!(
+            "rename {} -> {}: {e}",
+            tmp.display(),
+            path.display()
+        ))
+    })?;
+    Ok(())
+}
+
+/// Removes a completed checkpoint (a missing file is fine — e.g. the run
+/// never flushed before finishing).
+pub(crate) fn finish(path: &Path) -> Result<()> {
+    match fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(ck_err(format!("remove {}: {e}", path.display()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("terse-ckpt-{tag}-{}.bin", std::process::id()))
+    }
+
+    fn rv(samples: &[f64]) -> SampleRv {
+        SampleRv::new(samples.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_bits_exactly() {
+        let path = tmp_path("roundtrip");
+        let slots = vec![
+            Some((
+                vec![rv(&[0.1, 0.2]), rv(&[1.0 / 3.0, f64::MIN_POSITIVE])],
+                vec![rv(&[0.9, 0.25]), rv(&[0.0, 1.0])],
+            )),
+            None,
+            Some((vec![rv(&[0.5, 0.5])], vec![rv(&[0.125, 2.5e-17])])),
+        ];
+        store(&path, 42, &slots, 2).unwrap();
+        let loaded = load(&path, 42, 3, 2).unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert!(loaded[1].is_none());
+        for (a, b) in slots.iter().zip(&loaded) {
+            match (a, b) {
+                (None, None) => {}
+                (Some((ac, ae)), Some((bc, be))) => {
+                    for (x, y) in ac.iter().zip(bc).chain(ae.iter().zip(be)) {
+                        for (u, v) in x.samples().iter().zip(y.samples()) {
+                            assert_eq!(u.to_bits(), v.to_bits());
+                        }
+                    }
+                }
+                _ => panic!("slot presence mismatch"),
+            }
+        }
+        finish(&path).unwrap();
+        assert!(!path.exists());
+        // Removing again is fine.
+        finish(&path).unwrap();
+    }
+
+    #[test]
+    fn mismatches_are_typed_errors() {
+        let path = tmp_path("mismatch");
+        let slots = vec![Some((vec![rv(&[0.5])], vec![rv(&[0.25])]))];
+        store(&path, 7, &slots, 1).unwrap();
+        // Wrong context hash.
+        assert!(matches!(
+            load(&path, 8, 1, 1),
+            Err(TerseError::Checkpoint(_))
+        ));
+        // Wrong grid shape.
+        assert!(matches!(
+            load(&path, 7, 2, 1),
+            Err(TerseError::Checkpoint(_))
+        ));
+        assert!(matches!(
+            load(&path, 7, 1, 3),
+            Err(TerseError::Checkpoint(_))
+        ));
+        // Garbage bytes.
+        fs::write(&path, b"not a checkpoint at all").unwrap();
+        assert!(matches!(
+            load(&path, 7, 1, 1),
+            Err(TerseError::Checkpoint(_))
+        ));
+        // Truncation mid-entry.
+        store(&path, 7, &slots, 1).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(matches!(
+            load(&path, 7, 1, 1),
+            Err(TerseError::Checkpoint(_))
+        ));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_a_fresh_start() {
+        let path = tmp_path("missing");
+        let slots = load(&path, 1, 4, 2).unwrap();
+        assert_eq!(slots, vec![None, None, None, None]);
+    }
+}

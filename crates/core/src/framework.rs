@@ -25,20 +25,22 @@
 //! outputs are placed by index, and floating-point reductions fold in index
 //! order.
 
+use crate::checkpoint::{self, BlockProbs, EstimateCheckpoint};
 use crate::operating::{OperatingConfig, OperatingPoint};
 use crate::perf::TsPerformanceModel;
 use crate::report::{ErrorRateEstimate, Report, RunTimings};
 use crate::{Result, TerseError};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::OnceLock;
 use std::time::Instant;
 use terse_dta::control::{characterization_edges, characterize_control};
 use terse_dta::datapath::DatapathModel;
 use terse_dta::engine::{DtaMode, DtsEngine};
 use terse_dta::instmodel::InstructionErrorModel;
-use terse_errmodel::marginal::{solve_marginals, MarginalProblem};
-use terse_isa::{assemble, BlockId, Cfg, Program};
+use terse_errmodel::marginal::{solve_marginals_with, MarginalProblem};
+use terse_isa::{assemble, BasicBlock, BlockId, Cfg, Program};
 use terse_netlist::pipeline::{PipelineConfig, PipelineNetlist};
 use terse_sim::correction::CorrectionScheme;
 use terse_sim::features::InstFeatures;
@@ -51,7 +53,7 @@ use terse_stats::kahan::KahanSum;
 use terse_stats::stein::{
     chen_stein_program_bound, stein_normal_bound, BlockChain, CentralMoments,
 };
-use terse_stats::{Normal, PoissonNormalMixture, SampleRv};
+use terse_stats::{DegradationPolicy, Normal, PoissonNormalMixture, SampleRv};
 
 /// A program plus its input datasets (the data-variation dimension).
 /// An input-dataset initializer (runs before execution, typically writing
@@ -158,6 +160,9 @@ pub struct FrameworkBuilder {
     samples: usize,
     profiler: Profiler,
     threads: usize,
+    checkpoint: Option<EstimateCheckpoint>,
+    block_budget: Option<usize>,
+    degradation: DegradationPolicy,
 }
 
 impl Default for FrameworkBuilder {
@@ -175,6 +180,9 @@ impl Default for FrameworkBuilder {
             samples: 8,
             profiler: Profiler::default(),
             threads: 0,
+            checkpoint: None,
+            block_budget: None,
+            degradation: DegradationPolicy::Strict,
         }
     }
 }
@@ -236,6 +244,36 @@ impl FrameworkBuilder {
         self
     }
 
+    /// Checkpoints [`Framework::estimate`]'s per-block sweep to `path`,
+    /// flushing after every `every_n` completed blocks. A later run with
+    /// the same configuration resumes from the file and produces a result
+    /// bitwise identical to an uninterrupted run; the file is removed once
+    /// the sweep completes. A checkpoint written by a *different*
+    /// configuration is rejected with [`TerseError::Checkpoint`].
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>, every_n: usize) -> Self {
+        self.checkpoint = Some(EstimateCheckpoint::new(path, every_n));
+        self
+    }
+
+    /// Caps the number of per-block units one [`Framework::estimate`] call
+    /// may compute. When the cap is hit mid-sweep the completed prefix is
+    /// flushed to the checkpoint (if one is configured) and the call
+    /// returns [`TerseError::Interrupted`] — the supported way to exercise
+    /// and test kill/resume behaviour deterministically.
+    pub fn block_budget(mut self, n: usize) -> Self {
+        self.block_budget = Some(n);
+        self
+    }
+
+    /// Selects the numerical-degradation policy threaded through the
+    /// statistical pipeline ([`DegradationPolicy::Strict`] fails fast and
+    /// is the default; [`DegradationPolicy::Repair`] applies bounded,
+    /// deterministic fallbacks — see `terse_stats::guard`).
+    pub fn degradation(mut self, policy: DegradationPolicy) -> Self {
+        self.degradation = policy;
+        self
+    }
+
     /// Builds the framework (constructs the pipeline netlist and derives
     /// the operating point).
     ///
@@ -262,6 +300,9 @@ impl FrameworkBuilder {
             samples: self.samples,
             profiler: self.profiler,
             threads: self.threads,
+            checkpoint: self.checkpoint,
+            block_budget: self.block_budget,
+            degradation: self.degradation,
             pool,
             datapath_cache: OnceLock::new(),
         })
@@ -281,6 +322,9 @@ pub struct Framework {
     samples: usize,
     profiler: Profiler,
     threads: usize,
+    checkpoint: Option<EstimateCheckpoint>,
+    block_budget: Option<usize>,
+    degradation: DegradationPolicy,
     pool: rayon::ThreadPool,
     datapath_cache: OnceLock<DatapathModel>,
 }
@@ -314,6 +358,16 @@ impl Framework {
     /// The configured worker-thread count (`0` = machine default).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The numerical-degradation policy in effect.
+    pub fn degradation(&self) -> DegradationPolicy {
+        self.degradation
+    }
+
+    /// The configured estimate checkpoint, if any.
+    pub fn estimate_checkpoint(&self) -> Option<&EstimateCheckpoint> {
+        self.checkpoint.as_ref()
     }
 
     /// The TS performance model at this operating point.
@@ -439,9 +493,16 @@ impl Framework {
     /// Computes the error-rate estimate from profiles and a trained model
     /// (the Section 5 statistical pipeline).
     ///
+    /// With [`FrameworkBuilder::checkpoint`] configured, the per-block
+    /// sweep periodically flushes completed blocks to disk and a re-run
+    /// resumes from the file, bitwise identical to an uninterrupted run
+    /// (each block's unit is a pure function of its inputs).
+    ///
     /// # Errors
     ///
-    /// Propagates marginal-solver and bound errors.
+    /// Propagates marginal-solver and bound errors; returns
+    /// [`TerseError::Interrupted`] when a configured
+    /// [`FrameworkBuilder::block_budget`] runs out mid-sweep.
     pub fn estimate(
         &self,
         w: &Workload,
@@ -449,6 +510,9 @@ impl Framework {
         profiles: &[ProfileResult],
         model: &InstructionErrorModel,
     ) -> Result<ErrorRateEstimate> {
+        failpoints::fail_point!("terse::estimate", |_| Err(TerseError::Config(
+            "injected estimation fault".into()
+        )));
         let s_count = profiles.len().max(1);
         let m = cfg.len();
         // --- Conditional probabilities p^c / p^e per instruction/sample ---
@@ -457,42 +521,97 @@ impl Framework {
         // static instruction, feature vector): identical feature vectors
         // recur across samples and across the normal/post-correction
         // states, and every hit skips a canonical-form evaluation.
-        let per_block: Vec<(Vec<SampleRv>, Vec<SampleRv>)> = self.pool.install(|| {
-            cfg.blocks()
-                .par_iter()
-                .map(|blk| -> Result<(Vec<SampleRv>, Vec<SampleRv>)> {
-                    let contexts: Vec<Vec<(Option<BlockId>, f64)>> =
-                        profiles.iter().map(|p| edge_contexts(p, blk.id)).collect();
-                    let mut memo: HashMap<(Option<BlockId>, u32, InstFeatures), f64> =
-                        HashMap::new();
-                    let mut cc_blk = Vec::with_capacity(blk.len());
-                    let mut ce_blk = Vec::with_capacity(blk.len());
-                    for idx in blk.range() {
-                        let mut cc = vec![0.0f64; s_count];
-                        let mut ce = vec![0.0f64; s_count];
-                        for (s, prof) in profiles.iter().enumerate() {
-                            cc[s] = memoized_mean_prob(
-                                model,
-                                &mut memo,
-                                &contexts[s],
-                                idx as u32,
-                                &prof.features_normal[idx],
-                            );
-                            ce[s] = memoized_mean_prob(
-                                model,
-                                &mut memo,
-                                &contexts[s],
-                                idx as u32,
-                                &prof.features_corrected[idx],
-                            );
-                        }
-                        cc_blk.push(SampleRv::new(cc).map_err(TerseError::Stats)?);
-                        ce_blk.push(SampleRv::new(ce).map_err(TerseError::Stats)?);
-                    }
-                    Ok((cc_blk, ce_blk))
-                })
-                .collect::<Result<_>>()
-        })?;
+        let block_probs = |blk: &BasicBlock| -> Result<BlockProbs> {
+            let contexts: Vec<Vec<(Option<BlockId>, f64)>> =
+                profiles.iter().map(|p| edge_contexts(p, blk.id)).collect();
+            let mut memo: HashMap<(Option<BlockId>, u32, InstFeatures), f64> = HashMap::new();
+            let mut cc_blk = Vec::with_capacity(blk.len());
+            let mut ce_blk = Vec::with_capacity(blk.len());
+            for idx in blk.range() {
+                let mut cc = vec![0.0f64; s_count];
+                let mut ce = vec![0.0f64; s_count];
+                for (s, prof) in profiles.iter().enumerate() {
+                    cc[s] = memoized_mean_prob(
+                        model,
+                        &mut memo,
+                        &contexts[s],
+                        idx as u32,
+                        &prof.features_normal[idx],
+                    );
+                    ce[s] = memoized_mean_prob(
+                        model,
+                        &mut memo,
+                        &contexts[s],
+                        idx as u32,
+                        &prof.features_corrected[idx],
+                    );
+                }
+                cc_blk.push(SampleRv::new(cc).map_err(TerseError::Stats)?);
+                ce_blk.push(SampleRv::new(ce).map_err(TerseError::Stats)?);
+            }
+            Ok((cc_blk, ce_blk))
+        };
+        let per_block: Vec<BlockProbs> = if self.checkpoint.is_none() && self.block_budget.is_none()
+        {
+            self.pool.install(|| {
+                cfg.blocks()
+                    .par_iter()
+                    .map(block_probs)
+                    .collect::<Result<_>>()
+            })?
+        } else {
+            // Batched sweep: resume from the checkpoint (if any),
+            // compute pending blocks `every_n` at a time (parallel
+            // within a batch), flush after each batch, and honour the
+            // unit budget. Block results are order-independent pure
+            // functions, so batching never changes the values.
+            let ctx = checkpoint::context_hash(
+                cfg,
+                profiles,
+                &self.profiler,
+                self.operating.signoff_period,
+                self.operating.working_period,
+            );
+            let mut slots: Vec<Option<BlockProbs>> = match &self.checkpoint {
+                Some(ck) => checkpoint::load(ck.path(), ctx, m, s_count)?,
+                None => vec![None; m],
+            };
+            let pending: Vec<usize> = (0..m).filter(|&i| slots[i].is_none()).collect();
+            let budget = self.block_budget.unwrap_or(usize::MAX);
+            let every = self.checkpoint.as_ref().map_or(usize::MAX, |c| c.every_n());
+            let blocks = cfg.blocks();
+            let mut computed = 0usize;
+            let mut next = 0usize;
+            while next < pending.len() && computed < budget {
+                let take = (pending.len() - next).min(every).min(budget - computed);
+                let batch = &pending[next..next + take];
+                let results: Vec<(usize, BlockProbs)> = self.pool.install(|| {
+                    batch
+                        .par_iter()
+                        .map(|&i| block_probs(&blocks[i]).map(|r| (i, r)))
+                        .collect::<Result<_>>()
+                })?;
+                for (i, r) in results {
+                    slots[i] = Some(r);
+                }
+                computed += take;
+                next += take;
+                if let Some(ck) = &self.checkpoint {
+                    checkpoint::store(ck.path(), ctx, &slots, s_count)?;
+                }
+            }
+            let completed = slots.iter().filter(|s| s.is_some()).count();
+            if completed < m {
+                return Err(TerseError::Interrupted {
+                    completed,
+                    total: m,
+                });
+            }
+            if let Some(ck) = &self.checkpoint {
+                checkpoint::finish(ck.path())?;
+            }
+            slots.into_iter().flatten().collect()
+        };
         let (cond_correct, cond_error): (Vec<_>, Vec<_>) = per_block.into_iter().unzip();
         // --- Marginals (Eqs. 1–2, Tarjan, per-SCC systems) ----------------
         let mut edge_counts: HashMap<(BlockId, BlockId), Vec<f64>> = HashMap::new();
@@ -512,7 +631,7 @@ impl Framework {
             edge_counts,
             block_counts,
         };
-        let sol = solve_marginals(&problem)?;
+        let sol = solve_marginals_with(&problem, self.degradation)?;
         let (cond_error, block_counts) = (&problem.cond_error, &problem.block_counts);
         // --- λ (Eq. 10) and the Stein moments ----------------------------
         let scale: Vec<f64> = profiles
@@ -795,6 +914,167 @@ mod tests {
         assert!(report.estimate.lambda.sd() >= 0.0);
         let cdf = report.estimate.rate_cdf(report.estimate.mean_error_rate());
         assert!(cdf.is_ok());
+    }
+
+    fn ckpt_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("terse-est-{tag}-{}.ckpt", std::process::id()))
+    }
+
+    fn loop_workload() -> Workload {
+        Workload::from_asm(
+            "ckpt",
+            r"
+                addi r1, r0, 5
+                li   r2, 0x1234
+            loop:
+                add  r3, r3, r2
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                halt
+        ",
+        )
+        .unwrap()
+    }
+
+    fn assert_estimates_bitwise_equal(
+        a: &crate::report::ErrorRateEstimate,
+        b: &crate::report::ErrorRateEstimate,
+    ) {
+        assert_eq!(
+            a.lambda
+                .samples()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            b.lambda
+                .samples()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(a.dk_lambda.to_bits(), b.dk_lambda.to_bits());
+        assert_eq!(a.dk_count.to_bits(), b.dk_count.to_bits());
+        assert_eq!(
+            a.total_instructions.to_bits(),
+            b.total_instructions.to_bits()
+        );
+        assert_eq!(
+            a.chen_stein_b12_worst.to_bits(),
+            b.chen_stein_b12_worst.to_bits()
+        );
+    }
+
+    #[test]
+    fn checkpointed_estimate_matches_plain_and_cleans_up() {
+        let w = loop_workload();
+        let plain = small_framework().run(&w).unwrap();
+        let path = ckpt_path("match");
+        let f = Framework::builder()
+            .samples(2)
+            .profiler(Profiler {
+                max_feature_samples: 8,
+                budget: 100_000,
+                dmem_words: 4096,
+                seed: 1,
+            })
+            .checkpoint(&path, 1)
+            .build()
+            .unwrap();
+        let ck = f.run(&w).unwrap();
+        assert_estimates_bitwise_equal(&plain.estimate, &ck.estimate);
+        assert!(!path.exists(), "checkpoint removed on completion");
+    }
+
+    #[test]
+    fn interrupted_estimate_resumes_bitwise_identically() {
+        let w = loop_workload();
+        let plain = small_framework().run(&w).unwrap();
+        let path = ckpt_path("resume");
+        let prof = Profiler {
+            max_feature_samples: 8,
+            budget: 100_000,
+            dmem_words: 4096,
+            seed: 1,
+        };
+        // First run: budget of 2 blocks → flush + Interrupted.
+        let f1 = Framework::builder()
+            .samples(2)
+            .profiler(prof)
+            .checkpoint(&path, 1)
+            .block_budget(2)
+            .build()
+            .unwrap();
+        let err = f1.run(&w).unwrap_err();
+        match err {
+            TerseError::Interrupted { completed, total } => {
+                assert_eq!(completed, 2);
+                assert!(total > completed);
+            }
+            other => panic!("expected Interrupted, got {other}"),
+        }
+        assert!(path.exists(), "partial checkpoint persisted");
+        // Second run with a different thread count: resumes and matches
+        // the uninterrupted result bitwise.
+        let f2 = Framework::builder()
+            .samples(2)
+            .profiler(prof)
+            .checkpoint(&path, 1)
+            .threads(1)
+            .build()
+            .unwrap();
+        let resumed = f2.run(&w).unwrap();
+        assert_estimates_bitwise_equal(&plain.estimate, &resumed.estimate);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn stale_checkpoint_is_rejected() {
+        let w = loop_workload();
+        let path = ckpt_path("stale");
+        let prof = Profiler {
+            max_feature_samples: 8,
+            budget: 100_000,
+            dmem_words: 4096,
+            seed: 1,
+        };
+        // Interrupt a run to leave a checkpoint behind.
+        let f1 = Framework::builder()
+            .samples(2)
+            .profiler(prof)
+            .checkpoint(&path, 1)
+            .block_budget(1)
+            .build()
+            .unwrap();
+        assert!(matches!(f1.run(&w), Err(TerseError::Interrupted { .. })));
+        // A differently-configured run (different profiler seed → different
+        // profiles) must refuse the file rather than mix results.
+        let f2 = Framework::builder()
+            .samples(2)
+            .profiler(Profiler { seed: 99, ..prof })
+            .checkpoint(&path, 1)
+            .build()
+            .unwrap();
+        assert!(matches!(f2.run(&w), Err(TerseError::Checkpoint(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn repair_policy_matches_strict_on_well_posed_runs() {
+        let w = loop_workload();
+        let strict = small_framework().run(&w).unwrap();
+        let f = Framework::builder()
+            .samples(2)
+            .profiler(Profiler {
+                max_feature_samples: 8,
+                budget: 100_000,
+                dmem_words: 4096,
+                seed: 1,
+            })
+            .degradation(DegradationPolicy::Repair)
+            .build()
+            .unwrap();
+        let repair = f.run(&w).unwrap();
+        assert_estimates_bitwise_equal(&strict.estimate, &repair.estimate);
     }
 
     #[test]

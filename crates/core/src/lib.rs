@@ -48,11 +48,13 @@
 // several parallel arrays at once.
 #![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
 #![warn(missing_docs)]
+pub mod checkpoint;
 pub mod framework;
 pub mod operating;
 pub mod perf;
 pub mod report;
 
+pub use checkpoint::EstimateCheckpoint;
 pub use framework::{Framework, FrameworkBuilder, Workload};
 pub use operating::{OperatingConfig, OperatingPoint};
 pub use perf::TsPerformanceModel;
@@ -64,6 +66,7 @@ pub use terse_netlist::pipeline::PipelineConfig;
 pub use terse_sim::correction::CorrectionScheme;
 pub use terse_sta::statmin::MinOrdering;
 pub use terse_sta::variation::VariationConfig;
+pub use terse_stats::DegradationPolicy;
 
 use std::fmt;
 
@@ -86,6 +89,21 @@ pub enum TerseError {
     Stats(terse_stats::StatsError),
     /// A configuration problem detected by the builder.
     Config(String),
+    /// A derived operating point violated the timing-speculative ordering
+    /// (positive periods with `working_period < signoff_period`).
+    InvalidOperatingPoint(String),
+    /// An estimate checkpoint could not be read, written, or did not match
+    /// the run it was resumed into.
+    Checkpoint(String),
+    /// An estimate sweep ran out of its configured unit budget; the
+    /// checkpoint (if any) holds the completed prefix and a re-run resumes
+    /// from it.
+    Interrupted {
+        /// Per-block units already completed (and checkpointed).
+        completed: usize,
+        /// Total units in the sweep.
+        total: usize,
+    },
 }
 
 impl fmt::Display for TerseError {
@@ -99,6 +117,15 @@ impl fmt::Display for TerseError {
             TerseError::ErrModel(e) => write!(f, "error model: {e}"),
             TerseError::Stats(e) => write!(f, "statistics: {e}"),
             TerseError::Config(m) => write!(f, "configuration: {m}"),
+            TerseError::InvalidOperatingPoint(m) => {
+                write!(f, "invalid operating point: {m}")
+            }
+            TerseError::Checkpoint(m) => write!(f, "estimate checkpoint failed: {m}"),
+            TerseError::Interrupted { completed, total } => write!(
+                f,
+                "estimation interrupted after {completed}/{total} blocks \
+                 (checkpointed; re-run to resume)"
+            ),
         }
     }
 }

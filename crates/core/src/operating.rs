@@ -107,13 +107,45 @@ impl OperatingPoint {
         let sta = Sta::new(netlist, lib);
         let first_failure_period = ssta.period_at_yield(config.yield_target);
         let signoff_period = first_failure_period * (1.0 + config.droop_guardband);
-        Ok(OperatingPoint {
+        let point = OperatingPoint {
             signoff_period,
             first_failure_period,
             working_period: signoff_period / config.overclock,
             mean_critical_delay: sta.min_period(),
             config,
-        })
+        };
+        point.validate()?;
+        Ok(point)
+    }
+
+    /// Checks the timing-speculative invariants: every period is positive
+    /// and finite, and the working period undercuts the sign-off period
+    /// (otherwise the "speculative" point is not actually overclocked and
+    /// the error model's premises do not hold).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TerseError::InvalidOperatingPoint`] on violation.
+    pub fn validate(&self) -> Result<()> {
+        let bad = |m: String| Err(TerseError::InvalidOperatingPoint(m));
+        for (name, p) in [
+            ("signoff_period", self.signoff_period),
+            ("first_failure_period", self.first_failure_period),
+            ("working_period", self.working_period),
+        ] {
+            // `!(p > 0.0)` also rejects NaN.
+            if !(p > 0.0) || !p.is_finite() {
+                return bad(format!("{name} must be positive and finite, got {p}"));
+            }
+        }
+        if !(self.working_period < self.signoff_period) {
+            return bad(format!(
+                "working period {} must be shorter than sign-off period {} \
+                 (overclock factor must exceed 1)",
+                self.working_period, self.signoff_period
+            ));
+        }
+        Ok(())
     }
 
     /// Sign-off frequency (the paper's 718 MHz analogue).
@@ -214,5 +246,41 @@ mod tests {
                 OperatingPoint::derive(p.netlist(), &lib, VariationConfig::default(), bad).is_err()
             );
         }
+    }
+
+    #[test]
+    fn non_speculative_overclock_is_an_invalid_operating_point() {
+        let p = PipelineNetlist::build(PipelineConfig::small()).unwrap();
+        let lib = DelayLibrary::normalized_45nm();
+        // overclock ≤ 1 means the "working" point is no faster than
+        // sign-off — structurally valid numbers, semantically not a
+        // timing-speculative operating point.
+        for oc in [1.0, 0.9] {
+            let err = OperatingPoint::derive(
+                p.netlist(),
+                &lib,
+                VariationConfig::default(),
+                OperatingConfig {
+                    overclock: oc,
+                    ..OperatingConfig::default()
+                },
+            )
+            .unwrap_err();
+            assert!(matches!(err, TerseError::InvalidOperatingPoint(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_points() {
+        let mut op = derive_default();
+        assert!(op.validate().is_ok());
+        op.working_period = f64::NAN;
+        assert!(matches!(
+            op.validate(),
+            Err(TerseError::InvalidOperatingPoint(_))
+        ));
+        let mut op = derive_default();
+        op.signoff_period = -1.0;
+        assert!(op.validate().is_err());
     }
 }

@@ -215,12 +215,14 @@ impl<'n> DtsEngine<'n> {
         // Two-pass percentile ranking (Section 3): keep the candidate
         // most critical at the 1st percentile and at the 99th.
         let pick = |pct: f64| -> usize {
+            // `cands` (hence `slacks`) is non-empty — the empty case returned
+            // above — so `min_by` is always `Some`; 0 is never actually used.
             slacks
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| a.percentile(pct).total_cmp(&b.percentile(pct)))
                 .map(|(i, _)| i)
-                .expect("non-empty")
+                .unwrap_or(0)
         };
         let lo = pick(0.01);
         let hi = pick(0.99);
@@ -264,17 +266,15 @@ impl<'n> DtsEngine<'n> {
             DtaMode::ActivatedSubgraph => Some(ActivatedDp::new(&self.sta, vcd)),
             _ => None,
         };
-        let admitted: Vec<terse_netlist::GateId> = endpoints
-            .iter()
-            .copied()
-            .filter(|&e| {
-                let class = self
-                    .netlist
-                    .endpoint_class(e)
-                    .expect("stage endpoints are flip-flops");
-                filter.accepts(class)
-            })
-            .collect();
+        let mut admitted: Vec<terse_netlist::GateId> = Vec::with_capacity(endpoints.len());
+        for &e in endpoints {
+            let class = self.netlist.endpoint_class(e).ok_or_else(|| {
+                DtaError::Sim(format!("stage endpoint {} is not a flip-flop", e.index()))
+            })?;
+            if filter.accepts(class) {
+                admitted.push(e);
+            }
+        }
         let per_endpoint: Vec<Vec<CanonicalRv>> = admitted
             .par_iter()
             .map(|&e| self.endpoint_ap_slacks(e, vcd, dp.as_ref()))

@@ -66,8 +66,10 @@ pub fn strongly_connected_components(
                 // Post-visit.
                 if lowlink[v] == index[v] {
                     let mut comp = Vec::new();
-                    loop {
-                        let w = stack.pop().expect("tarjan stack underflow");
+                    // Tarjan invariant: `v` was pushed when first visited and
+                    // is still on the stack here, so popping until `w == v`
+                    // terminates before the stack empties.
+                    while let Some(w) = stack.pop() {
                         on_stack[w] = false;
                         comp.push(w);
                         if w == v {

@@ -41,6 +41,10 @@ use std::collections::HashMap;
 /// [`IsaError::DuplicateLabel`], [`IsaError::ImmediateOverflow`] or
 /// [`IsaError::EmptyProgram`] as appropriate — all with line numbers.
 pub fn assemble(source: &str) -> Result<Program> {
+    failpoints::fail_point!("isa::assemble", |_| Err(IsaError::Syntax {
+        line: 0,
+        message: "injected assembly fault".into(),
+    }));
     let lines = tokenize(source)?;
     // Pass 1: assign label addresses (pseudo sizes are deterministic).
     let mut text_labels: HashMap<String, u32> = HashMap::new();

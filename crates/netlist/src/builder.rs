@@ -295,6 +295,7 @@ impl NetlistBuilder {
     /// Returns [`NetlistError::UnconnectedFlipFlop`] or
     /// [`NetlistError::CombinationalCycle`].
     pub fn finish(self) -> Result<Netlist> {
+        failpoints::fail_point!("netlist::finish", |_| Err(NetlistError::CombinationalCycle));
         let n = self.gates.len();
         // Every FF must have a D driver.
         for (i, g) in self.gates.iter().enumerate() {

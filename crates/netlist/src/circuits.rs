@@ -168,8 +168,8 @@ pub fn barrel_shifter(
         "amount bus wider than meaningful for width {w}"
     );
     let zero = b.tie(false, stage)?;
-    let msb = *value.last().expect("non-empty");
-    // Fill bit for right shifts: sign if arithmetic, else 0.
+    let msb = value[w - 1]; // w > 0 asserted above
+                            // Fill bit for right shifts: sign if arithmetic, else 0.
     let fill = b.gate(GateKind::Mux, &[arith, zero, msb], stage)?;
     // To share one shifter for both directions we reverse the bus for left
     // shifts, do a right shift, and reverse back.
@@ -311,6 +311,9 @@ pub fn mux2_bus(
 /// # Panics
 ///
 /// Panics unless `inputs.len() == 2^sels.len()` and all widths match.
+// Invariant: the assert fixes `inputs.len() = 2^sels ≥ 1`; each round halves
+// the level, so exactly one bus remains at the end.
+#[allow(clippy::expect_used)]
 pub fn mux_tree(
     b: &mut NetlistBuilder,
     stage: usize,

@@ -335,7 +335,7 @@ impl PipelineNetlist {
         // set of data endpoints includes endpoints that hold the operands
         // and results of instructions, including condition codes").
         let is_zero = zero_detect(&mut b, 3, &addsub)?;
-        let neg = *addsub.last().expect("non-empty datapath");
+        let neg = addsub[addsub.len() - 1]; // datapath width is fixed and > 0
         let brctl = [is_zero, neg, cout];
         let addr = buf_bus(&mut b, 3, &addsub)?;
         let store_fwd = buf_bus(&mut b, 3, &b3_store)?;

@@ -173,6 +173,9 @@ impl<'n> Simulator<'n> {
 
     /// Advances one clock cycle and returns the activation set `VCD(t)`:
     /// every gate (including endpoints) whose output changed this cycle.
+    // Invariant: `Netlist::validate` rejects unconnected flip-flops, and the
+    // simulator only wraps validated netlists, so `ff_input` cannot fail.
+    #[allow(clippy::expect_used)]
     pub fn step(&mut self) -> BitSet {
         let n = self.netlist.gate_count();
         let mut activated = BitSet::new(n);

@@ -127,6 +127,9 @@ impl<'n> CoSim<'n> {
     /// Returns [`crate::SimError::Netlist`] on bank mismatches (impossible
     /// for pipelines built by `PipelineNetlist::build`).
     pub fn feed(&mut self, r: Option<Retired>) -> Result<terse_netlist::BitSet> {
+        failpoints::fail_point!("sim::cosim", |_| Err(crate::SimError::Netlist(
+            "injected co-simulation fault".into()
+        )));
         self.window.pop_back();
         self.window.push_front(r);
         self.force_banks()?;

@@ -54,6 +54,7 @@ pub use correction::CorrectionScheme;
 pub use cosim::CoSim;
 pub use features::InstFeatures;
 pub use machine::{Machine, Retired};
+pub use monte_carlo::McCheckpoint;
 pub use profile::{ProfileResult, Profiler};
 
 use std::fmt;
@@ -80,6 +81,9 @@ pub enum SimError {
     },
     /// A netlist interaction failed (bus name mismatch etc.).
     Netlist(String),
+    /// A Monte Carlo checkpoint file could not be read, written, or did not
+    /// match the run it was resumed into.
+    Checkpoint(String),
 }
 
 impl fmt::Display for SimError {
@@ -93,6 +97,7 @@ impl fmt::Display for SimError {
                 write!(f, "instruction budget {budget} exhausted before halt")
             }
             SimError::Netlist(m) => write!(f, "netlist interaction failed: {m}"),
+            SimError::Checkpoint(m) => write!(f, "monte carlo checkpoint failed: {m}"),
         }
     }
 }

@@ -102,6 +102,9 @@ where
     F: Fn(usize, &mut Machine),
     P: Fn(Option<u32>, u32, &InstFeatures) -> f64,
 {
+    failpoints::fail_point!("sim::mc_cell", |_| Err(
+        crate::SimError::InstructionBudgetExhausted { budget: 0 }
+    ));
     let mut machine = Machine::new(program, cfg.dmem_words);
     init(input, &mut machine);
     let mut errors = 0u64;
@@ -219,6 +222,199 @@ pub fn pooled_counts(counts: &[Vec<u64>]) -> Vec<u64> {
     counts.iter().flatten().copied().collect()
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint / resume for the (chip, input) grid
+// ---------------------------------------------------------------------------
+
+/// Periodic checkpointing of the Monte Carlo grid.
+///
+/// Because every cell draws from its own counter-based RNG stream (see the
+/// module docs), a cell's count depends only on `(cfg.seed, chip, input)` —
+/// never on which cells ran before it or on the thread schedule. A resumed
+/// run therefore reproduces the uninterrupted count matrix **bitwise**: it
+/// simply skips the cells already on disk and recomputes the rest from
+/// their own streams.
+///
+/// The on-disk format is a small hand-rolled binary file (the build is
+/// offline — no serde): a magic tag, a context fingerprint binding the file
+/// to one `(seed, grid shape, program)` combination, and `(cell, count)`
+/// pairs, all little-endian `u64`s. Writes go to a sibling `.tmp` file and
+/// are renamed into place, so a kill mid-flush leaves the previous
+/// checkpoint intact.
+#[derive(Debug, Clone)]
+pub struct McCheckpoint {
+    path: std::path::PathBuf,
+    every_n: usize,
+}
+
+impl McCheckpoint {
+    /// Checkpoint to `path`, flushing after every `every_n` newly computed
+    /// cells (`every_n == 0` is treated as 1).
+    pub fn new(path: impl Into<std::path::PathBuf>, every_n: usize) -> Self {
+        McCheckpoint {
+            path: path.into(),
+            every_n: every_n.max(1),
+        }
+    }
+
+    /// The checkpoint file path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+const MC_MAGIC: &[u8; 8] = b"TERSEMC1";
+
+/// FNV-1a over the run parameters that determine every cell count. A resumed
+/// checkpoint must match, or the stored counts belong to a different run.
+fn mc_context_hash(cfg: MonteCarloConfig, chips: usize, inputs: usize, program_len: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in [
+        cfg.seed,
+        cfg.budget,
+        cfg.dmem_words as u64,
+        chips as u64,
+        inputs as u64,
+        program_len as u64,
+    ] {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+fn ck_err(e: impl std::fmt::Display) -> crate::SimError {
+    crate::SimError::Checkpoint(e.to_string())
+}
+
+/// Loads a checkpoint: `done[cell] = Some(count)` for stored cells.
+///
+/// A missing file is a fresh start; a present file with the wrong magic,
+/// context hash, or cell range is an error (silently mixing two runs'
+/// counts would corrupt the statistics).
+fn mc_load(ckpt: &McCheckpoint, context: u64, total: usize) -> Result<Vec<Option<u64>>> {
+    let mut done = vec![None; total];
+    let bytes = match std::fs::read(&ckpt.path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(done),
+        Err(e) => return Err(ck_err(e)),
+    };
+    let word = |i: usize| -> Result<u64> {
+        let at = 8 + 8 * i;
+        bytes
+            .get(at..at + 8)
+            .and_then(|s| <[u8; 8]>::try_from(s).ok())
+            .map(u64::from_le_bytes)
+            .ok_or_else(|| ck_err("truncated checkpoint file"))
+    };
+    if bytes.len() < 8 || &bytes[..8] != MC_MAGIC {
+        return Err(ck_err("bad checkpoint magic"));
+    }
+    if word(0)? != context {
+        return Err(ck_err("checkpoint belongs to a different run"));
+    }
+    if word(1)? != total as u64 {
+        return Err(ck_err("checkpoint grid size mismatch"));
+    }
+    let entries = word(2)? as usize;
+    for k in 0..entries {
+        let cell = word(3 + 2 * k)? as usize;
+        let count = word(4 + 2 * k)?;
+        if cell >= total {
+            return Err(ck_err("checkpoint cell index out of range"));
+        }
+        done[cell] = Some(count);
+    }
+    Ok(done)
+}
+
+/// Atomically writes the checkpoint (tmp + rename).
+fn mc_store(ckpt: &McCheckpoint, context: u64, done: &[Option<u64>]) -> Result<()> {
+    let mut buf = Vec::with_capacity(32 + 16 * done.len());
+    buf.extend_from_slice(MC_MAGIC);
+    buf.extend_from_slice(&context.to_le_bytes());
+    buf.extend_from_slice(&(done.len() as u64).to_le_bytes());
+    let entries = done.iter().filter(|d| d.is_some()).count() as u64;
+    buf.extend_from_slice(&entries.to_le_bytes());
+    for (cell, d) in done.iter().enumerate() {
+        if let Some(count) = d {
+            buf.extend_from_slice(&(cell as u64).to_le_bytes());
+            buf.extend_from_slice(&count.to_le_bytes());
+        }
+    }
+    let tmp = ckpt.path.with_extension("tmp");
+    std::fs::write(&tmp, &buf).map_err(ck_err)?;
+    std::fs::rename(&tmp, &ckpt.path).map_err(ck_err)
+}
+
+/// [`error_counts`] with periodic checkpointing: cells already present in
+/// the checkpoint file are skipped, the rest are computed (in parallel,
+/// batch by batch) with a flush after every `every_n` new cells, and the
+/// file is removed once the full grid is done.
+///
+/// The returned matrix is bitwise identical to an uninterrupted
+/// [`error_counts`] call with the same arguments (see [`McCheckpoint`]).
+///
+/// # Errors
+///
+/// Propagates machine errors and [`crate::SimError::Checkpoint`] for
+/// unreadable or mismatched checkpoint files.
+// Mirrors `error_counts`' signature exactly, plus the checkpoint handle —
+// splitting a config struct out here would break the side-by-side symmetry
+// the determinism tests rely on.
+#[allow(clippy::too_many_arguments)]
+pub fn error_counts_checkpointed<M, F>(
+    program: &Program,
+    model: &M,
+    chips: &[ChipSample],
+    inputs: usize,
+    scheme: CorrectionScheme,
+    init: F,
+    cfg: MonteCarloConfig,
+    ckpt: &McCheckpoint,
+) -> Result<Vec<Vec<u64>>>
+where
+    M: InstErrorModel + Sync,
+    F: Fn(usize, &mut Machine) + Sync,
+{
+    if inputs == 0 {
+        return Ok(vec![Vec::new(); chips.len()]);
+    }
+    let total = chips.len() * inputs;
+    let context = mc_context_hash(cfg, chips.len(), inputs, program.len());
+    let mut done = mc_load(ckpt, context, total)?;
+    let pending: Vec<usize> = (0..total).filter(|&c| done[c].is_none()).collect();
+    for batch in pending.chunks(ckpt.every_n) {
+        let results: Vec<u64> = batch
+            .par_iter()
+            .map(|&cell| {
+                let (c, i) = (cell / inputs, cell % inputs);
+                let mut rng = Xoshiro256::seed_stream(cfg.seed, cell_stream(c, i));
+                run_cell(program, cfg, scheme, i, &init, &mut rng, |prev, idx, f| {
+                    model.error_probability(prev, idx, f, &chips[c])
+                })
+            })
+            .collect::<Result<_>>()?;
+        for (&cell, count) in batch.iter().zip(results) {
+            done[cell] = Some(count);
+        }
+        mc_store(ckpt, context, &done)?;
+    }
+    let counts: Vec<Vec<u64>> = done
+        .chunks(inputs)
+        .map(|row| row.iter().map(|d| d.unwrap_or(0)).collect())
+        .collect();
+    // The grid is complete — the checkpoint has served its purpose.
+    if let Err(e) = std::fs::remove_file(&ckpt.path) {
+        if e.kind() != std::io::ErrorKind::NotFound {
+            return Err(ck_err(e));
+        }
+    }
+    Ok(counts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +519,129 @@ mod tests {
         // Errors happen (the adds carry) but not on every instruction.
         assert!(mean > 1.0, "mean = {mean}");
         assert!(mean < 600.0);
+    }
+
+    /// Unique checkpoint path per test (avoids collisions under the
+    /// parallel test harness).
+    fn ckpt_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("terse_mc_ckpt_{tag}_{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn checkpointed_matches_plain_and_cleans_up() {
+        let p = assemble("li r1, 0xFFFF\nadd r2, r1, r1\nadd r3, r2, r1\nhalt\n").unwrap();
+        let cs = chips(3);
+        let cfg = MonteCarloConfig::default();
+        let plain = error_counts(
+            &p,
+            &ToyModel,
+            &cs,
+            4,
+            CorrectionScheme::paper_default(),
+            |_, _| {},
+            cfg,
+        )
+        .unwrap();
+        let ck = McCheckpoint::new(ckpt_path("fresh"), 5);
+        let resumed = error_counts_checkpointed(
+            &p,
+            &ToyModel,
+            &cs,
+            4,
+            CorrectionScheme::paper_default(),
+            |_, _| {},
+            cfg,
+            &ck,
+        )
+        .unwrap();
+        assert_eq!(plain, resumed, "checkpointed run must be bitwise identical");
+        assert!(!ck.path().exists(), "finished run removes its checkpoint");
+    }
+
+    #[test]
+    fn resume_from_partial_checkpoint_is_bitwise_identical() {
+        let p = assemble("li r1, 0xFFFF\nadd r2, r1, r1\nhalt\n").unwrap();
+        let cs = chips(4);
+        let (inputs, cfg) = (3, MonteCarloConfig::default());
+        let plain = error_counts(
+            &p,
+            &ToyModel,
+            &cs,
+            inputs,
+            CorrectionScheme::paper_default(),
+            |_, _| {},
+            cfg,
+        )
+        .unwrap();
+        // Simulate a killed run: persist only the first half of the grid.
+        let total = cs.len() * inputs;
+        let context = mc_context_hash(cfg, cs.len(), inputs, p.len());
+        let mut done: Vec<Option<u64>> = vec![None; total];
+        for cell in 0..total / 2 {
+            done[cell] = Some(plain[cell / inputs][cell % inputs]);
+        }
+        let ck = McCheckpoint::new(ckpt_path("partial"), 2);
+        mc_store(&ck, context, &done).unwrap();
+        let resumed = error_counts_checkpointed(
+            &p,
+            &ToyModel,
+            &cs,
+            inputs,
+            CorrectionScheme::paper_default(),
+            |_, _| {},
+            cfg,
+            &ck,
+        )
+        .unwrap();
+        assert_eq!(plain, resumed, "resume must reproduce the full run");
+        assert!(!ck.path().exists());
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_a_typed_error() {
+        let p = assemble("li r1, 1\nhalt\n").unwrap();
+        let cs = chips(2);
+        let cfg = MonteCarloConfig::default();
+        let ck = McCheckpoint::new(ckpt_path("mismatch"), 4);
+        // A checkpoint written under a different seed must be rejected.
+        let other = MonteCarloConfig {
+            seed: cfg.seed ^ 1,
+            ..cfg
+        };
+        let context = mc_context_hash(other, cs.len(), 2, p.len());
+        mc_store(&ck, context, &[None; 4]).unwrap();
+        let err = error_counts_checkpointed(
+            &p,
+            &ToyModel,
+            &cs,
+            2,
+            CorrectionScheme::paper_default(),
+            |_, _| {},
+            cfg,
+            &ck,
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::SimError::Checkpoint(_)), "{err}");
+        let _ = std::fs::remove_file(ck.path());
+        // Garbage bytes are rejected too, not deserialized into nonsense.
+        let ck2 = McCheckpoint::new(ckpt_path("garbage"), 4);
+        std::fs::write(ck2.path(), b"not a checkpoint").unwrap();
+        let err = error_counts_checkpointed(
+            &p,
+            &ToyModel,
+            &cs,
+            2,
+            CorrectionScheme::paper_default(),
+            |_, _| {},
+            cfg,
+            &ck2,
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::SimError::Checkpoint(_)), "{err}");
+        let _ = std::fs::remove_file(ck2.path());
     }
 
     #[test]

@@ -115,6 +115,9 @@ impl Profiler {
         cfg: &Cfg,
         init: impl FnOnce(&mut Machine),
     ) -> Result<ProfileResult> {
+        failpoints::fail_point!("sim::profile", |_| Err(
+            crate::SimError::InstructionBudgetExhausted { budget: 0 }
+        ));
         let n_static = program.len();
         let mut machine = Machine::new(program, self.dmem_words);
         init(&mut machine);

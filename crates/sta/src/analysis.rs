@@ -113,6 +113,9 @@ impl<'n> Sta<'n> {
     ///
     /// Panics if the stage has no endpoints (valid pipeline netlists always
     /// have some).
+    // Invariant: `Netlist::validate` guarantees in-range stages have
+    // flip-flop endpoints, so both expects are unreachable post-validation.
+    #[allow(clippy::expect_used)]
     pub fn stage_critical_delay(&self, stage: usize) -> f64 {
         self.netlist
             .endpoints(stage)
@@ -123,6 +126,8 @@ impl<'n> Sta<'n> {
     }
 
     /// Index of the stage with the largest critical-path delay.
+    // Invariant: validated netlists have ≥ 1 stage, so `max_by` is `Some`.
+    #[allow(clippy::expect_used)]
     pub fn critical_stage(&self) -> usize {
         (0..self.netlist.stage_count())
             .max_by(|&a, &b| {
@@ -226,6 +231,9 @@ impl<'n> StatisticalSta<'n> {
     /// # Panics
     ///
     /// Panics if the stage has no endpoints.
+    // Invariant: `Netlist::validate` guarantees in-range stages have
+    // flip-flop endpoints, so the accumulator is always populated.
+    #[allow(clippy::expect_used)]
     pub fn stage_critical_delay(&self, stage: usize) -> CanonicalRv {
         let mut acc: Option<CanonicalRv> = None;
         for &e in self.netlist.endpoints(stage).expect("stage in range") {
@@ -241,6 +249,9 @@ impl<'n> StatisticalSta<'n> {
     /// The period at which the whole design meets timing with probability
     /// `yield_target` — the SSTA sign-off period (the paper signs off at
     /// the 0.99-ish percentile with guardbands).
+    // Invariant: validated netlists have ≥ 1 stage, so the accumulator is
+    // always populated.
+    #[allow(clippy::expect_used)]
     pub fn period_at_yield(&self, yield_target: f64) -> f64 {
         let mut acc: Option<CanonicalRv> = None;
         for s in 0..self.netlist.stage_count() {

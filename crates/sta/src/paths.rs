@@ -325,6 +325,10 @@ impl ActivatedDp {
     /// # Errors
     ///
     /// Returns [`StaError::NotAnEndpoint`] if `endpoint` is not a flip-flop.
+    // Invariant: the DP stores a predecessor for every gate it assigns an
+    // activated arrival to, so walking back from an activated endpoint
+    // always reaches a source before `pred` runs out.
+    #[allow(clippy::expect_used)]
     pub fn path_to(&self, sta: &Sta<'_>, endpoint: GateId) -> Result<Option<Path>> {
         let netlist = sta.netlist();
         if netlist.kind(endpoint) != GateKind::FlipFlop {

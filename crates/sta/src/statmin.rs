@@ -52,6 +52,9 @@ pub enum MinOrdering {
 /// # }
 /// ```
 pub fn statistical_min(slacks: &[CanonicalRv], ordering: MinOrdering) -> Result<CanonicalRv> {
+    failpoints::fail_point!("sta::statmin", |_| Err(StaError::MalformedPath {
+        reason: "injected statistical-min fault",
+    }));
     if slacks.is_empty() {
         return Err(StaError::MalformedPath {
             reason: "statistical min of an empty slack set",
@@ -122,7 +125,11 @@ pub fn statistical_min(slacks: &[CanonicalRv], ordering: MinOrdering) -> Result<
                 let a = pool.swap_remove(if bi > bj { bi - 1 } else { bi });
                 pool.push(a.stat_min(&b).0);
             }
-            Ok(pool.pop().expect("pool reduced to one"))
+            // The loop above maintains `pool.len() ≥ 1` (each round removes
+            // two and pushes one, and only runs while len > 1).
+            pool.pop().ok_or(StaError::MalformedPath {
+                reason: "statistical min pool emptied",
+            })
         }
     }
 }

@@ -175,6 +175,8 @@ impl DiscreteRv {
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 1]`.
+    // Invariant: construction guarantees a non-empty support.
+    #[allow(clippy::expect_used)]
     pub fn quantile(&self, p: f64) -> f64 {
         assert!((0.0..=1.0).contains(&p), "quantile level must be in [0,1]");
         let mut cum = 0.0;
@@ -192,6 +194,9 @@ impl DiscreteRv {
     /// # Panics
     ///
     /// Panics if `f` produces non-finite values.
+    // Invariant: mapping a valid support by a finite function yields a
+    // valid support (same weights, finite values).
+    #[allow(clippy::expect_used)]
     pub fn map(&self, f: impl Fn(f64) -> f64) -> DiscreteRv {
         DiscreteRv::new(self.points.iter().map(|&(x, w)| (f(x), w)).collect())
             .expect("mapping a valid support stays valid for finite f")
@@ -199,6 +204,9 @@ impl DiscreteRv {
 
     /// The distribution of `X + Y` for **independent** `X`, `Y` (full
     /// support convolution, O(|X|·|Y|)).
+    // Invariant: the product of two valid supports is non-empty with
+    // finite values and positive weights.
+    #[allow(clippy::expect_used)]
     pub fn convolve(&self, other: &DiscreteRv) -> DiscreteRv {
         let mut pts = Vec::with_capacity(self.len() * other.len());
         for &(x, wx) in &self.points {
@@ -211,6 +219,9 @@ impl DiscreteRv {
 
     /// Reduces the support to at most `max_points` by merging adjacent
     /// points, preserving total mass and (approximately) the mean.
+    // Invariant: compression merges adjacent points of a valid support,
+    // preserving total mass, so the result is a valid support.
+    #[allow(clippy::expect_used)]
     pub fn compress(&self, max_points: usize) -> DiscreteRv {
         if self.len() <= max_points || max_points == 0 {
             return self.clone();

@@ -1,0 +1,284 @@
+//! Numerical-degradation guards for long-running estimation campaigns.
+//!
+//! The pipeline's failure modes are statistical, not logical: a NaN escaping
+//! a quadrature, a correlation matrix pushed off the PSD cone by rounding, a
+//! fixed-point iteration that circles instead of contracting. On a
+//! multi-hour Monte Carlo sweep any of these used to cost the whole run.
+//! This module centralizes the three defenses:
+//!
+//! 1. **Detection** — [`ensure_all_finite`] / [`sanitize_probability`] turn
+//!    silent NaN/Inf propagation into typed [`StatsError`]s at the point of
+//!    first contact.
+//! 2. **Repair** — [`nearest_psd_correlation`] projects an almost-PSD
+//!    correlation matrix back onto the cone by shrinking toward the
+//!    identity (Ledoit–Wolf-style `(1−α)·Σ + α·I`), reporting how much
+//!    shrinkage was needed so callers can log the degradation.
+//! 3. **Policy** — [`DegradationPolicy`] selects between failing fast
+//!    ([`DegradationPolicy::Strict`], the default: any anomaly is an error)
+//!    and bounded, documented fallbacks ([`DegradationPolicy::Repair`]).
+//!    The policy is threaded from `terse::FrameworkBuilder` down to the
+//!    marginal solver; every repair is *bounded* (clamping, capped
+//!    iteration counts, capped shrinkage) so Repair mode can degrade
+//!    accuracy but never diverge or fabricate probabilities outside
+//!    `[0, 1]`.
+
+use crate::{Matrix, Result, StatsError};
+
+/// How the pipeline responds to numerical anomalies.
+///
+/// Threaded from `terse::FrameworkBuilder::degradation` through the marginal
+/// solver and correlation handling. `Strict` is the default and preserves
+/// the historical fail-fast behavior bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradationPolicy {
+    /// Fail fast: any NaN/Inf, non-PSD matrix, or non-convergent iteration
+    /// surfaces as a typed error immediately.
+    #[default]
+    Strict,
+    /// Degrade gracefully: apply bounded, documented fallbacks (clamping to
+    /// `[0, 1]`, nearest-PSD shrinkage, damped capped iteration) and only
+    /// error when no bounded repair exists (e.g. NaN, which carries no
+    /// information to repair from).
+    Repair,
+}
+
+impl DegradationPolicy {
+    /// Whether bounded fallbacks are allowed.
+    pub fn is_repair(self) -> bool {
+        matches!(self, DegradationPolicy::Repair)
+    }
+}
+
+/// Verifies every value is finite.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NonFinite`] naming `context` at the first NaN/±∞.
+pub fn ensure_all_finite(context: &'static str, values: &[f64]) -> Result<()> {
+    for &v in values {
+        if !v.is_finite() {
+            return Err(StatsError::NonFinite { context, value: v });
+        }
+    }
+    Ok(())
+}
+
+/// Slack beyond `[0, 1]` accepted as pure floating-point noise in `Strict`
+/// mode (matches the marginal solver's historical validation tolerance).
+pub const PROB_TOLERANCE: f64 = 1e-9;
+
+/// Validates (and under [`DegradationPolicy::Repair`], clamps) a
+/// probability.
+///
+/// * Non-finite values are an error under **both** policies — NaN carries no
+///   information to repair from, so "repairing" it would fabricate data.
+/// * `Strict`: values outside `[−PROB_TOLERANCE, 1 + PROB_TOLERANCE]` are an
+///   error; values within the tolerance band are clamped to `[0, 1]`.
+/// * `Repair`: any finite value is clamped to `[0, 1]`.
+///
+/// # Errors
+///
+/// [`StatsError::NonFinite`] or [`StatsError::InvalidParameter`] as above.
+pub fn sanitize_probability(
+    policy: DegradationPolicy,
+    context: &'static str,
+    p: f64,
+) -> Result<f64> {
+    if !p.is_finite() {
+        return Err(StatsError::NonFinite { context, value: p });
+    }
+    if !policy.is_repair() && !(-PROB_TOLERANCE..=1.0 + PROB_TOLERANCE).contains(&p) {
+        return Err(StatsError::InvalidParameter {
+            name: "probability",
+            value: p,
+            requirement: "within [0, 1] (Strict degradation policy)",
+        });
+    }
+    Ok(p.clamp(0.0, 1.0))
+}
+
+/// Outcome of a nearest-PSD repair.
+#[derive(Debug, Clone)]
+pub struct PsdRepair {
+    /// The repaired (positive-definite) correlation matrix.
+    pub matrix: Matrix,
+    /// Shrinkage intensity applied: `0` means the input was already usable,
+    /// `α` means the result is `(1−α)·Σ + α·I`.
+    pub alpha: f64,
+}
+
+/// Smallest diagonal loading accepted by the repair — keeps the repaired
+/// matrix comfortably factorizable instead of sitting on the cone boundary.
+const MIN_JITTER: f64 = 1e-12;
+
+/// Projects a symmetric correlation-like matrix onto the positive-definite
+/// cone by shrinking toward the identity.
+///
+/// Finds (by 64-step bisection on the shrinkage intensity `α ∈ [0, 1]`,
+/// using Cholesky as the feasibility oracle) a near-minimal `α` such that
+/// `(1−α)·Σ + α·I` factorizes, then returns that matrix. Shrinking toward
+/// `I` preserves the unit diagonal and symmetry, never increases any
+/// |off-diagonal| entry, and always succeeds for `α = 1`, so the repair is
+/// total over finite symmetric inputs with unit diagonal. The returned
+/// [`PsdRepair::alpha`] quantifies the information lost — callers in
+/// `Repair` mode should surface it in diagnostics.
+///
+/// # Errors
+///
+/// * [`StatsError::DimensionMismatch`] — non-square input.
+/// * [`StatsError::NonFinite`] — any NaN/±∞ entry (no bounded repair).
+/// * [`StatsError::InvalidParameter`] — diagonal entries that are not 1
+///   within `1e-9`, or asymmetry beyond `1e-9` (the input is then not a
+///   correlation matrix at all, which is a logic bug upstream, not noise).
+pub fn nearest_psd_correlation(sigma: &Matrix) -> Result<PsdRepair> {
+    let n = sigma.rows();
+    if n != sigma.cols() {
+        return Err(StatsError::DimensionMismatch {
+            context: "guard::nearest_psd_correlation",
+            left: n,
+            right: sigma.cols(),
+        });
+    }
+    for i in 0..n {
+        for j in 0..n {
+            let v = sigma[(i, j)];
+            if !v.is_finite() {
+                return Err(StatsError::NonFinite {
+                    context: "guard::nearest_psd_correlation",
+                    value: v,
+                });
+            }
+            if i == j && (v - 1.0).abs() > 1e-9 {
+                return Err(StatsError::InvalidParameter {
+                    name: "diagonal",
+                    value: v,
+                    requirement: "correlation diagonal must be 1",
+                });
+            }
+            if (v - sigma[(j, i)]).abs() > 1e-9 {
+                return Err(StatsError::InvalidParameter {
+                    name: "asymmetry",
+                    value: v - sigma[(j, i)],
+                    requirement: "correlation matrix must be symmetric",
+                });
+            }
+        }
+    }
+    let shrunk = |alpha: f64| -> Result<Matrix> {
+        let mut m = Matrix::zeros(n, n)?;
+        for i in 0..n {
+            for j in 0..n {
+                let id = if i == j { 1.0 } else { 0.0 };
+                m[(i, j)] = (1.0 - alpha) * sigma[(i, j)] + alpha * id;
+            }
+        }
+        Ok(m)
+    };
+    // Fast path: already comfortably positive definite.
+    if shrunk(MIN_JITTER)?.cholesky().is_ok() {
+        return Ok(PsdRepair {
+            matrix: sigma.clone(),
+            alpha: 0.0,
+        });
+    }
+    // Bisect the smallest feasible shrinkage. α = 1 gives the identity,
+    // which always factorizes, so `hi` is a valid upper bound throughout.
+    let (mut lo, mut hi) = (MIN_JITTER, 1.0);
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if shrunk(mid)?.cholesky().is_ok() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    // Step slightly inside the feasible region so downstream Cholesky calls
+    // are not at the mercy of their own rounding.
+    let alpha = (hi * (1.0 + 1e-6) + MIN_JITTER).min(1.0);
+    Ok(PsdRepair {
+        matrix: shrunk(alpha)?,
+        alpha,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_default_is_strict() {
+        assert_eq!(DegradationPolicy::default(), DegradationPolicy::Strict);
+        assert!(!DegradationPolicy::Strict.is_repair());
+        assert!(DegradationPolicy::Repair.is_repair());
+    }
+
+    #[test]
+    fn finite_checks() {
+        assert!(ensure_all_finite("t", &[0.0, 1.0, -3.5]).is_ok());
+        assert!(matches!(
+            ensure_all_finite("t", &[0.0, f64::NAN]),
+            Err(StatsError::NonFinite { context: "t", .. })
+        ));
+        assert!(ensure_all_finite("t", &[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn sanitize_probability_policies() {
+        use DegradationPolicy::{Repair, Strict};
+        // In-range values pass untouched under both policies.
+        assert_eq!(sanitize_probability(Strict, "t", 0.25).unwrap(), 0.25);
+        assert_eq!(sanitize_probability(Repair, "t", 0.25).unwrap(), 0.25);
+        // Noise within tolerance is clamped even under Strict.
+        assert_eq!(sanitize_probability(Strict, "t", -1e-12).unwrap(), 0.0);
+        assert_eq!(sanitize_probability(Strict, "t", 1.0 + 1e-12).unwrap(), 1.0);
+        // Gross violations: Strict errors, Repair clamps.
+        assert!(sanitize_probability(Strict, "t", 1.5).is_err());
+        assert_eq!(sanitize_probability(Repair, "t", 1.5).unwrap(), 1.0);
+        assert_eq!(sanitize_probability(Repair, "t", -7.0).unwrap(), 0.0);
+        // NaN is unrepairable under both.
+        assert!(sanitize_probability(Repair, "t", f64::NAN).is_err());
+        assert!(sanitize_probability(Strict, "t", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn psd_repair_leaves_valid_matrix_untouched() {
+        let m = Matrix::from_rows(&[&[1.0, 0.3], &[0.3, 1.0]]).unwrap();
+        let r = nearest_psd_correlation(&m).unwrap();
+        assert_eq!(r.alpha, 0.0);
+        assert_eq!(r.matrix, m);
+    }
+
+    #[test]
+    fn psd_repair_fixes_non_psd_correlation() {
+        // Pairwise ρ = −0.9 among three variables cannot be jointly
+        // realized: eigenvalues are {1.9, 1.9, −0.8}.
+        let m = Matrix::from_rows(&[&[1.0, -0.9, -0.9], &[-0.9, 1.0, -0.9], &[-0.9, -0.9, 1.0]])
+            .unwrap();
+        assert!(m.cholesky().is_err());
+        let r = nearest_psd_correlation(&m).unwrap();
+        assert!(r.matrix.cholesky().is_ok(), "repair must be factorizable");
+        assert!(r.alpha > 0.0 && r.alpha < 1.0, "alpha = {}", r.alpha);
+        // Minimal shrinkage: α* = 1 − 1/|λmin-scaled|… for this matrix the
+        // feasibility boundary is at α = 1 − 1/1.8 ≈ 0.4444.
+        assert!((r.alpha - (1.0 - 1.0 / 1.8)).abs() < 1e-3, "{}", r.alpha);
+        for i in 0..3 {
+            assert!((r.matrix[(i, i)] - 1.0).abs() < 1e-12, "unit diagonal");
+        }
+        assert!(r.matrix[(0, 1)].abs() < 0.9, "shrinkage reduces |ρ|");
+    }
+
+    #[test]
+    fn psd_repair_rejects_garbage() {
+        let nan = Matrix::from_rows(&[&[1.0, f64::NAN], &[f64::NAN, 1.0]]).unwrap();
+        assert!(matches!(
+            nearest_psd_correlation(&nan),
+            Err(StatsError::NonFinite { .. })
+        ));
+        let bad_diag = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 1.0]]).unwrap();
+        assert!(nearest_psd_correlation(&bad_diag).is_err());
+        let asym = Matrix::from_rows(&[&[1.0, 0.5], &[-0.5, 1.0]]).unwrap();
+        assert!(nearest_psd_correlation(&asym).is_err());
+        let rect = Matrix::from_rows(&[&[1.0, 0.0]]).unwrap();
+        assert!(nearest_psd_correlation(&rect).is_err());
+    }
+}

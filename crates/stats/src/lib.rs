@@ -29,8 +29,11 @@
 //!   itself normally distributed, with Kolmogorov-shifted lower/upper bound
 //!   variants.
 //! * [`metrics`] — Kolmogorov and total-variation distances.
-//! * [`linalg`] — dense LU linear algebra for the per-SCC marginal
+//! * [`linalg`] — dense LU/Cholesky linear algebra for the per-SCC marginal
 //!   probability systems of Section 4.2.
+//! * [`guard`] — numerical-degradation guards: NaN/Inf detection, nearest-PSD
+//!   repair of correlation matrices, and the [`DegradationPolicy`] selector
+//!   threaded through the estimation pipeline.
 //! * [`quadrature`] — Gauss–Hermite and Gauss–Legendre rules for the Eq. 14
 //!   integrals.
 //! * [`rng`] — a small deterministic RNG (SplitMix64 / xoshiro256**) so every
@@ -64,6 +67,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
 #![warn(missing_docs)]
 pub mod discrete;
+pub mod guard;
 pub mod kahan;
 pub mod linalg;
 pub mod metrics;
@@ -78,6 +82,7 @@ pub mod special;
 pub mod stein;
 
 pub use discrete::DiscreteRv;
+pub use guard::DegradationPolicy;
 pub use linalg::Matrix;
 pub use mixture::PoissonNormalMixture;
 pub use normal::Normal;
@@ -124,6 +129,19 @@ pub enum StatsError {
         /// What was empty.
         what: &'static str,
     },
+    /// A value that must be finite was NaN or ±∞.
+    NonFinite {
+        /// Where the non-finite value was observed.
+        context: &'static str,
+        /// The offending value (NaN or ±∞).
+        value: f64,
+    },
+    /// A symmetric matrix expected to be positive definite was not (Cholesky
+    /// found a non-positive pivot).
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
 }
 
 impl fmt::Display for StatsError {
@@ -144,6 +162,12 @@ impl fmt::Display for StatsError {
             }
             StatsError::SingularMatrix => write!(f, "matrix is singular to working precision"),
             StatsError::Empty { what } => write!(f, "{what} must not be empty"),
+            StatsError::NonFinite { context, value } => {
+                write!(f, "non-finite value {value} in {context}")
+            }
+            StatsError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
         }
     }
 }

@@ -218,6 +218,9 @@ pub struct CdfBounds {
 
 /// Poisson CDF that tolerates non-positive λ (point mass at zero) — the
 /// truncation convention for the normal λ in Eq. 14.
+// Invariant: the non-positive-λ branch returns first, so the constructor
+// only ever sees a positive finite λ.
+#[allow(clippy::expect_used)]
 fn poisson_cdf_safe(k: f64, lambda: f64) -> f64 {
     if lambda <= 0.0 {
         return if k >= 0.0 { 1.0 } else { 0.0 };

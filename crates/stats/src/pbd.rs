@@ -133,6 +133,9 @@ impl PoissonBinomial {
     /// Panics if the internal Poisson construction fails, which cannot
     /// happen since the mean of a Poisson binomial is finite and
     /// non-negative.
+    // Invariant: the mean of a Poisson binomial is finite and
+    // non-negative, so the Poisson constructor cannot fail.
+    #[allow(clippy::expect_used)]
     pub fn tv_distance_to_poisson(&self) -> f64 {
         let lam = self.mean();
         let poi = crate::Poisson::new(lam).expect("mean is finite and non-negative");

@@ -225,6 +225,9 @@ impl SampleRv {
     ///
     /// Panics only if the internal `DiscreteRv` construction fails, which is
     /// impossible for a non-empty finite sample set.
+    // Invariant: `SampleRv` construction guarantees non-empty finite
+    // samples, for which `DiscreteRv::from_samples` cannot fail.
+    #[allow(clippy::expect_used)]
     pub fn to_discrete(&self) -> DiscreteRv {
         DiscreteRv::from_samples(&self.samples)
             .expect("non-empty finite samples always form a valid discrete rv")

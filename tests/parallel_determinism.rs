@@ -105,6 +105,118 @@ fn sample_chips_identical_across_thread_counts() {
 }
 
 #[test]
+fn kill_at_checkpoint_then_resume_is_bitwise_identical_across_thread_counts() {
+    // The uninterrupted reference run (machine-default thread count).
+    let reference = Framework::builder()
+        .samples(2)
+        .build()
+        .expect("framework")
+        .run(&kernel())
+        .expect("reference run");
+    // For each resume thread count: "kill" a run mid-estimate (the block
+    // budget flushes the completed prefix and aborts, exactly like a kill
+    // arriving right after a checkpoint write), then resume from the file
+    // and demand the uninterrupted result, bit for bit.
+    for threads in [1usize, 4] {
+        let path = std::env::temp_dir().join(format!(
+            "terse-det-resume-{threads}-{}.ckpt",
+            std::process::id()
+        ));
+        let killed = Framework::builder()
+            .samples(2)
+            .checkpoint(&path, 1)
+            .block_budget(2)
+            .build()
+            .expect("framework")
+            .run(&kernel());
+        assert!(
+            matches!(killed, Err(terse::TerseError::Interrupted { .. })),
+            "expected an interrupted run"
+        );
+        assert!(path.exists(), "partial checkpoint persisted");
+        let resumed = Framework::builder()
+            .samples(2)
+            .checkpoint(&path, 1)
+            .threads(threads)
+            .build()
+            .expect("framework")
+            .run(&kernel())
+            .expect("resumed run");
+        assert!(!path.exists(), "checkpoint removed after completion");
+        assert_eq!(
+            reference
+                .estimate
+                .lambda
+                .samples()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            resumed
+                .estimate
+                .lambda
+                .samples()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            "λ samples differ after resume with {threads} threads"
+        );
+        assert_eq!(
+            reference.estimate.mean_error_rate().to_bits(),
+            resumed.estimate.mean_error_rate().to_bits(),
+            "mean error rate differs after resume with {threads} threads"
+        );
+        assert_eq!(
+            reference.estimate.dk_lambda.to_bits(),
+            resumed.estimate.dk_lambda.to_bits(),
+            "Stein bound differs after resume with {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn mc_checkpointed_grid_matches_plain_across_thread_counts() {
+    let fw = Framework::builder().samples(2).build().expect("framework");
+    let (w, model) = setup(&fw);
+    let chips = fw.sample_chips(4, 0xDE7).expect("chips");
+    let plain = monte_carlo::error_counts(
+        w.program(),
+        &model,
+        &chips,
+        2,
+        fw.correction(),
+        |idx, m| w.init_input(idx, m),
+        MonteCarloConfig::default(),
+    )
+    .expect("plain grid");
+    for threads in [1usize, 3] {
+        let path = std::env::temp_dir().join(format!(
+            "terse-det-mc-{threads}-{}.ckpt",
+            std::process::id()
+        ));
+        let ckpt = monte_carlo::McCheckpoint::new(&path, 3);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let checkpointed = pool.install(|| {
+            monte_carlo::error_counts_checkpointed(
+                w.program(),
+                &model,
+                &chips,
+                2,
+                fw.correction(),
+                |idx, m| w.init_input(idx, m),
+                MonteCarloConfig::default(),
+                &ckpt,
+            )
+            .expect("checkpointed grid")
+        });
+        assert_eq!(plain, checkpointed, "{threads} threads changed the grid");
+        assert!(!path.exists(), "checkpoint removed after completion");
+    }
+}
+
+#[test]
 fn full_flow_estimate_bitwise_identical_across_thread_counts() {
     let run = |threads: usize| {
         let fw = Framework::builder()

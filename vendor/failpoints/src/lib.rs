@@ -1,0 +1,256 @@
+//! A minimal, in-tree fail-point shim — the offline analogue of the
+//! [`fail`](https://docs.rs/fail) crate, in the same zero-registry style as
+//! the workspace's `rayon`/`proptest` shims (see `vendor/README.md`).
+//!
+//! A *fail point* is a named hook compiled into library code:
+//!
+//! ```ignore
+//! fn solve(&self) -> Result<X, MyError> {
+//!     failpoints::fail_point!("mycrate::solve", |_| Err(MyError::Injected));
+//!     // ... real work ...
+//! }
+//! ```
+//!
+//! In a normal build (`enabled` feature off) the macro expands to a branch
+//! on a `const false`, so the optimizer removes it entirely — production
+//! binaries carry **zero** overhead and no registry. With the `enabled`
+//! feature (the workspace exposes it as the `failpoints` feature on
+//! `terse`), tests configure faults by name at runtime:
+//!
+//! ```ignore
+//! let scenario = failpoints::FailScenario::setup(); // global lock + clean slate
+//! failpoints::cfg("mycrate::solve", "return").unwrap();
+//! assert!(matches!(solve(), Err(MyError::Injected)));
+//! drop(scenario); // clears every configured point
+//! ```
+//!
+//! Supported actions (a deliberate subset of the real crate's DSL):
+//!
+//! * `"off"` — the point is inert.
+//! * `"return"` — trigger with an empty payload.
+//! * `"return(payload)"` — trigger with a string payload the closure can
+//!   branch on (e.g. to choose *which* fault to inject at a shared site).
+//! * `"N*return"` / `"N*return(payload)"` — trigger only the first `N`
+//!   evaluations, then go inert (for testing recovery after transient
+//!   faults).
+//!
+//! Deliberately omitted: `panic`/`sleep`/`delay`/`print` actions,
+//! probability prefixes, the `FAILPOINTS` environment variable, and
+//! callback registration. Restoring the genuine crate is a one-line
+//! manifest change; call sites use the same `fail_point!` name and shape.
+
+// Vendored shim: excluded from the workspace no-panic clippy gate
+// (internal invariants are documented at each site).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#[cfg(feature = "enabled")]
+mod registry {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+    /// A configured action for one fail point.
+    #[derive(Debug, Clone)]
+    struct Entry {
+        payload: Option<String>,
+        /// Remaining triggers; `u64::MAX` = unlimited.
+        remaining: u64,
+    }
+
+    struct Registry {
+        points: Mutex<HashMap<String, Entry>>,
+        /// Counts every triggered evaluation (test diagnostics).
+        hits: AtomicU64,
+    }
+
+    fn registry() -> &'static Registry {
+        static REGISTRY: OnceLock<Registry> = OnceLock::new();
+        REGISTRY.get_or_init(|| Registry {
+            points: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+        })
+    }
+
+    fn lock_points<'a>() -> MutexGuard<'a, HashMap<String, Entry>> {
+        // The registry holds plain data; a panic while holding the lock
+        // cannot leave it logically corrupt, so poisoning is ignored.
+        registry()
+            .points
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Configures a fail point. See the crate docs for the action grammar.
+    pub fn cfg(name: impl Into<String>, action: &str) -> Result<(), String> {
+        let action = action.trim();
+        if action == "off" {
+            lock_points().remove(&name.into());
+            return Ok(());
+        }
+        let (count, rest) = match action.split_once('*') {
+            Some((n, rest)) => (
+                n.parse::<u64>()
+                    .map_err(|_| format!("bad repeat count in `{action}`"))?,
+                rest,
+            ),
+            None => (u64::MAX, action),
+        };
+        let payload = if rest == "return" {
+            None
+        } else if let Some(p) = rest
+            .strip_prefix("return(")
+            .and_then(|p| p.strip_suffix(')'))
+        {
+            Some(p.to_owned())
+        } else {
+            return Err(format!("unsupported fail-point action `{action}`"));
+        };
+        lock_points().insert(
+            name.into(),
+            Entry {
+                payload,
+                remaining: count,
+            },
+        );
+        Ok(())
+    }
+
+    /// Removes one fail point.
+    pub fn remove(name: &str) {
+        lock_points().remove(name);
+    }
+
+    /// Removes every configured fail point.
+    pub fn teardown() {
+        lock_points().clear();
+    }
+
+    /// Evaluates a fail point: `Some(payload)` iff it should trigger now.
+    pub fn eval(name: &str) -> Option<String> {
+        let mut points = lock_points();
+        let entry = points.get_mut(name)?;
+        if entry.remaining == 0 {
+            return None;
+        }
+        if entry.remaining != u64::MAX {
+            entry.remaining -= 1;
+        }
+        let payload = entry.payload.clone().unwrap_or_default();
+        drop(points);
+        registry().hits.fetch_add(1, Ordering::Relaxed);
+        Some(payload)
+    }
+
+    /// Total triggered evaluations since process start.
+    pub fn hit_count() -> u64 {
+        registry().hits.load(Ordering::Relaxed)
+    }
+
+    /// Serializes fail-point scenarios across test threads: holds a global
+    /// mutex for its lifetime and clears the registry on setup and drop.
+    pub struct FailScenario {
+        _guard: MutexGuard<'static, ()>,
+    }
+
+    impl FailScenario {
+        /// Acquires the scenario lock and starts from a clean registry.
+        pub fn setup() -> Self {
+            static SCENARIO: Mutex<()> = Mutex::new(());
+            let guard = SCENARIO.lock().unwrap_or_else(PoisonError::into_inner);
+            teardown();
+            FailScenario { _guard: guard }
+        }
+    }
+
+    impl Drop for FailScenario {
+        fn drop(&mut self) {
+            teardown();
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+pub use registry::{cfg, eval, hit_count, remove, teardown, FailScenario};
+
+/// Whether fail points are compiled into this build.
+#[cfg(feature = "enabled")]
+pub const ENABLED: bool = true;
+
+/// Whether fail points are compiled into this build.
+#[cfg(not(feature = "enabled"))]
+pub const ENABLED: bool = false;
+
+/// Disabled stub: never triggers; the `const false` branch in
+/// [`fail_point!`] keeps even this call from being emitted.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn eval(_name: &str) -> Option<String> {
+    None
+}
+
+/// Declares a fail point.
+///
+/// * `fail_point!("name")` — a pure marker (useful to observe via
+///   [`hit_count`](fn@hit_count) that a code path ran).
+/// * `fail_point!("name", |payload: String| expr)` — when triggered, the
+///   enclosing function **returns** `expr` (so `expr` must have the
+///   function's return type; for fallible functions that is an `Err(...)`).
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {
+        if $crate::ENABLED {
+            let _ = $crate::eval($name);
+        }
+    };
+    ($name:expr, $closure:expr) => {
+        if $crate::ENABLED {
+            if let ::std::option::Option::Some(__payload) = $crate::eval($name) {
+                #[allow(clippy::redundant_closure_call)]
+                return ($closure)(__payload);
+            }
+        }
+    };
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    fn faulty(limit: u32) -> Result<u32, String> {
+        fail_point!("shim::faulty", |p: String| Err(format!("injected:{p}")));
+        Ok(limit + 1)
+    }
+
+    #[test]
+    fn actions_and_lifecycle() {
+        let _scenario = FailScenario::setup();
+        // Inert by default.
+        assert_eq!(faulty(1), Ok(2));
+        // Unlimited trigger with payload.
+        cfg("shim::faulty", "return(nan)").unwrap();
+        assert_eq!(faulty(1), Err("injected:nan".into()));
+        assert_eq!(faulty(1), Err("injected:nan".into()));
+        // Bounded trigger: exactly two, then inert.
+        cfg("shim::faulty", "2*return").unwrap();
+        assert_eq!(faulty(5), Err("injected:".into()));
+        assert_eq!(faulty(5), Err("injected:".into()));
+        assert_eq!(faulty(5), Ok(6));
+        // Off and remove are equivalent.
+        cfg("shim::faulty", "return").unwrap();
+        cfg("shim::faulty", "off").unwrap();
+        assert_eq!(faulty(7), Ok(8));
+        // Bad actions are rejected.
+        assert!(cfg("shim::faulty", "sleep(100)").is_err());
+        assert!(cfg("shim::faulty", "x*return").is_err());
+    }
+
+    #[test]
+    fn scenario_clears_registry() {
+        {
+            let _scenario = FailScenario::setup();
+            cfg("shim::faulty", "return").unwrap();
+            assert!(faulty(0).is_err());
+        }
+        let _scenario = FailScenario::setup();
+        assert_eq!(faulty(0), Ok(1));
+    }
+}
