@@ -9,7 +9,14 @@
 //! ```
 //!
 //! Writes `results/BENCH_parallel.json` (relative to the working directory)
-//! and prints the same numbers to stdout.
+//! and prints the same numbers to stdout. Both variants record the thread
+//! count they actually ran with — on a single-core host the parallel run
+//! degenerates to one worker and the speedup is necessarily ~1.0; the JSON
+//! makes that visible instead of looking like a broken harness. The
+//! framework run also records its per-phase wall-clock split
+//! (simulation / training / estimation), since the phases parallelize
+//! differently (the profiling and estimation sweeps fan out per
+//! sample/block; training is dominated by gate-level DTA).
 
 use std::time::Instant;
 use terse_bench::{default_framework, workload_of, HarnessConfig};
@@ -41,7 +48,7 @@ fn main() {
         ..HarnessConfig::default()
     };
 
-    // --- Monte Carlo grid: serial vs default-thread error_counts ---------
+    // --- Monte Carlo grid: serial vs all-cores error_counts --------------
     let fw = default_framework(&cfg).expect("framework");
     let spec = terse_workloads::by_name("typeset").expect("typeset exists");
     let w = workload_of(spec, &cfg).expect("workload");
@@ -50,12 +57,14 @@ fn main() {
     let model = fw.train_model(&w, &isa_cfg, &profiles).expect("model");
     let chips = fw.sample_chips(CHIPS, 0xC0FFEE).expect("chips");
 
+    // `num_threads(0)` asks rayon for the machine default, i.e. all cores.
     let mc = |threads: usize| {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
             .expect("pool");
-        pool.install(|| {
+        let used = pool.current_num_threads();
+        let counts = pool.install(|| {
             monte_carlo::error_counts(
                 w.program(),
                 &model,
@@ -66,14 +75,15 @@ fn main() {
                 MonteCarloConfig::default(),
             )
             .expect("monte carlo")
-        })
+        });
+        (counts, used)
     };
-    let (mc_serial_s, counts_serial) = time_min(REPS, || mc(1));
-    let (mc_par_s, counts_par) = time_min(REPS, || mc(0));
+    let (mc_serial_s, (counts_serial, mc_serial_threads)) = time_min(REPS, || mc(1));
+    let (mc_par_s, (counts_par, mc_par_threads)) = time_min(REPS, || mc(0));
     let mc_identical = counts_serial == counts_par;
     assert!(mc_identical, "thread count changed the MC count matrix");
 
-    // --- Full analytic flow: Framework::run at 1 thread vs default -------
+    // --- Full analytic flow: Framework::run at 1 thread vs all cores -----
     let run_with = |threads: usize| {
         let fw = terse::Framework::builder()
             .samples(cfg.samples)
@@ -90,12 +100,20 @@ fn main() {
             == report_par.estimate.lambda.sd().to_bits();
     assert!(run_identical, "thread count changed the analytic estimate");
 
+    let phases = |r: &terse::Report| {
+        format!(
+            "{{\n        \"simulation_s\": {:.6},\n        \"training_s\": {:.6},\n        \"estimation_s\": {:.6}\n      }}",
+            r.timings.simulation_s, r.timings.training_s, r.timings.estimation_s
+        )
+    };
     let json = format!(
-        "{{\n  \"host_threads\": {host},\n  \"mc_grid\": {{\n    \"workload\": \"{name}\",\n    \"chips\": {CHIPS},\n    \"inputs\": {INPUTS},\n    \"serial_s\": {mc_serial_s:.6},\n    \"parallel_s\": {mc_par_s:.6},\n    \"speedup\": {mc_speedup:.3},\n    \"bitwise_identical\": {mc_identical}\n  }},\n  \"framework_run\": {{\n    \"workload\": \"{name}\",\n    \"samples\": {samples},\n    \"serial_s\": {run_serial_s:.6},\n    \"parallel_s\": {run_par_s:.6},\n    \"speedup\": {run_speedup:.3},\n    \"bitwise_identical\": {run_identical}\n  }}\n}}\n",
+        "{{\n  \"host_threads\": {host},\n  \"mc_grid\": {{\n    \"workload\": \"{name}\",\n    \"chips\": {CHIPS},\n    \"inputs\": {INPUTS},\n    \"serial\": {{ \"threads\": {mc_serial_threads}, \"wall_s\": {mc_serial_s:.6} }},\n    \"parallel\": {{ \"threads\": {mc_par_threads}, \"wall_s\": {mc_par_s:.6} }},\n    \"speedup\": {mc_speedup:.3},\n    \"bitwise_identical\": {mc_identical}\n  }},\n  \"framework_run\": {{\n    \"workload\": \"{name}\",\n    \"samples\": {samples},\n    \"serial\": {{\n      \"threads\": 1,\n      \"wall_s\": {run_serial_s:.6},\n      \"phases\": {serial_phases}\n    }},\n    \"parallel\": {{\n      \"threads\": {host},\n      \"wall_s\": {run_par_s:.6},\n      \"phases\": {par_phases}\n    }},\n    \"speedup\": {run_speedup:.3},\n    \"bitwise_identical\": {run_identical}\n  }}\n}}\n",
         name = w.name(),
         samples = cfg.samples,
         mc_speedup = mc_serial_s / mc_par_s,
         run_speedup = run_serial_s / run_par_s,
+        serial_phases = phases(&report_serial),
+        par_phases = phases(&report_par),
     );
     print!("{json}");
     if let Err(e) = std::fs::create_dir_all("results")

@@ -33,8 +33,9 @@ use crate::{Result, TerseError};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+use terse_dta::cache::{DtsCache, DtsCacheStats};
 use terse_dta::control::{characterization_edges, characterize_control};
 use terse_dta::datapath::DatapathModel;
 use terse_dta::engine::{DtaMode, DtsEngine};
@@ -163,6 +164,7 @@ pub struct FrameworkBuilder {
     checkpoint: Option<EstimateCheckpoint>,
     block_budget: Option<usize>,
     degradation: DegradationPolicy,
+    dta_cache_entries: usize,
 }
 
 impl Default for FrameworkBuilder {
@@ -183,6 +185,9 @@ impl Default for FrameworkBuilder {
             checkpoint: None,
             block_budget: None,
             degradation: DegradationPolicy::Strict,
+            // The stage-DTS memo is exact (bit-verified toggle sets), so it
+            // is on by default; see `FrameworkBuilder::dta_cache`.
+            dta_cache_entries: 1024,
         }
     }
 }
@@ -265,6 +270,18 @@ impl FrameworkBuilder {
         self
     }
 
+    /// Sets the capacity (entries) of the shared stage-DTS memo cache
+    /// attached to every [`Framework::engine`] — `0` disables caching.
+    ///
+    /// The cache memoizes Algorithm 1's per-stage result keyed on the
+    /// stage's *masked activation signature* and verifies hits bit-for-bit
+    /// against the stored toggle set, so results are bitwise identical with
+    /// the cache on or off at any capacity; only wall-clock changes.
+    pub fn dta_cache(mut self, entries: usize) -> Self {
+        self.dta_cache_entries = entries;
+        self
+    }
+
     /// Selects the numerical-degradation policy threaded through the
     /// statistical pipeline ([`DegradationPolicy::Strict`] fails fast and
     /// is the default; [`DegradationPolicy::Repair`] applies bounded,
@@ -303,6 +320,8 @@ impl FrameworkBuilder {
             checkpoint: self.checkpoint,
             block_budget: self.block_budget,
             degradation: self.degradation,
+            dts_cache: (self.dta_cache_entries > 0)
+                .then(|| Arc::new(DtsCache::new(self.dta_cache_entries))),
             pool,
             datapath_cache: OnceLock::new(),
         })
@@ -325,6 +344,9 @@ pub struct Framework {
     checkpoint: Option<EstimateCheckpoint>,
     block_budget: Option<usize>,
     degradation: DegradationPolicy,
+    /// Shared stage-DTS memo, attached to every engine this framework
+    /// hands out (`None` = caching disabled).
+    dts_cache: Option<Arc<DtsCache>>,
     pool: rayon::ThreadPool,
     datapath_cache: OnceLock<DatapathModel>,
 }
@@ -378,20 +400,33 @@ impl Framework {
         }
     }
 
-    /// A fresh DTA engine at the working period (cheap: one STA pass).
+    /// A fresh DTA engine at the working period (cheap: one STA pass), with
+    /// the framework's shared stage-DTS memo cache attached (if enabled).
     ///
     /// # Errors
     ///
     /// Propagates variation-model errors.
     pub fn engine(&self) -> Result<DtsEngine<'_>> {
-        Ok(DtsEngine::new(
+        let mut engine = DtsEngine::new(
             self.pipeline.netlist(),
             self.lib.clone(),
             self.variation,
             TimingConstraints::with_period(self.operating.working_period),
             self.dta_mode,
             self.ordering,
-        )?)
+        )?;
+        if let Some(cache) = &self.dts_cache {
+            engine.set_cache(Arc::clone(cache));
+        }
+        Ok(engine)
+    }
+
+    /// Snapshot of the shared stage-DTS cache counters (hits, misses,
+    /// evictions, collisions, interner size), or `None` when caching is
+    /// disabled. Counters accumulate across every engine the framework has
+    /// handed out.
+    pub fn dta_cache_stats(&self) -> Option<DtsCacheStats> {
+        self.dts_cache.as_ref().map(|c| c.stats())
     }
 
     /// Draws manufactured-chip samples (for Monte Carlo validation).
@@ -758,6 +793,7 @@ impl Framework {
             static_instructions: w.program().len(),
             basic_blocks: cfg.len(),
             perf: self.performance_model(),
+            dta_cache: self.dta_cache_stats(),
         })
     }
 }
@@ -1027,6 +1063,57 @@ mod tests {
         assert!(!path.exists());
     }
 
+    /// Kill a *cached* run mid-sweep, resume it in a fresh process-alike
+    /// framework whose memo cache starts cold, and demand bit equality with
+    /// an uninterrupted *uncached* reference: checkpoint contents must never
+    /// depend on cache state, and a cold resume must not re-derive different
+    /// numbers.
+    #[test]
+    fn cached_interrupted_run_resumes_bitwise_identical_to_uncached() {
+        let w = loop_workload();
+        let prof = Profiler {
+            max_feature_samples: 8,
+            budget: 100_000,
+            dmem_words: 4096,
+            seed: 1,
+        };
+        let plain = Framework::builder()
+            .samples(2)
+            .profiler(prof)
+            .dta_cache(0)
+            .build()
+            .unwrap()
+            .run(&w)
+            .unwrap();
+        let path = ckpt_path("cache-resume");
+        let f1 = Framework::builder()
+            .samples(2)
+            .profiler(prof)
+            .checkpoint(&path, 1)
+            .block_budget(2)
+            .dta_cache(256)
+            .build()
+            .unwrap();
+        assert!(matches!(f1.run(&w), Err(TerseError::Interrupted { .. })));
+        assert!(path.exists(), "partial checkpoint persisted");
+        let f2 = Framework::builder()
+            .samples(2)
+            .profiler(prof)
+            .checkpoint(&path, 1)
+            .dta_cache(256)
+            .build()
+            .unwrap();
+        let fresh = f2.dta_cache_stats().expect("cache enabled");
+        assert_eq!(
+            (fresh.hits, fresh.misses, fresh.entries),
+            (0, 0, 0),
+            "resume must start from a cold cache"
+        );
+        let resumed = f2.run(&w).unwrap();
+        assert_estimates_bitwise_equal(&plain.estimate, &resumed.estimate);
+        assert!(!path.exists(), "checkpoint removed on completion");
+    }
+
     #[test]
     fn stale_checkpoint_is_rejected() {
         let w = loop_workload();
@@ -1056,6 +1143,55 @@ mod tests {
             .unwrap();
         assert!(matches!(f2.run(&w), Err(TerseError::Checkpoint(_))));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dta_cache_counters_surface_in_report() {
+        let f = small_framework();
+        let report = f.run(&loop_workload()).unwrap();
+        let stats = report.dta_cache.expect("cache on by default");
+        // Training sweeps repeated activation sets, so the memo must both
+        // miss (first sight) and hit (repeats).
+        assert!(stats.misses > 0, "stats = {stats:?}");
+        assert!(stats.hits > 0, "stats = {stats:?}");
+        assert!(stats.entries > 0 && stats.entries <= stats.capacity);
+        assert!(stats.hit_rate() > 0.0);
+        let summary = report.perf_summary();
+        assert!(summary.contains("hits"), "{summary}");
+        assert!(summary.contains("evictions"), "{summary}");
+        // Framework-level snapshot agrees with the report.
+        assert_eq!(f.dta_cache_stats(), Some(stats));
+    }
+
+    #[test]
+    fn cached_run_is_bitwise_identical_to_uncached() {
+        let prof = Profiler {
+            max_feature_samples: 8,
+            budget: 100_000,
+            dmem_words: 4096,
+            seed: 1,
+        };
+        let w = loop_workload();
+        let cached = small_framework().run(&w).unwrap();
+        let uncached_f = Framework::builder()
+            .samples(2)
+            .profiler(prof)
+            .dta_cache(0)
+            .build()
+            .unwrap();
+        let uncached = uncached_f.run(&w).unwrap();
+        assert!(uncached.dta_cache.is_none());
+        assert_estimates_bitwise_equal(&cached.estimate, &uncached.estimate);
+        // A thrashing single-entry cache must not change results either.
+        let tiny_f = Framework::builder()
+            .samples(2)
+            .profiler(prof)
+            .dta_cache(1)
+            .build()
+            .unwrap();
+        let tiny = tiny_f.run(&w).unwrap();
+        assert_estimates_bitwise_equal(&cached.estimate, &tiny.estimate);
+        assert!(tiny.dta_cache.unwrap().evictions > 0);
     }
 
     #[test]

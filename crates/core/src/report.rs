@@ -3,6 +3,7 @@
 
 use crate::perf::TsPerformanceModel;
 use crate::Result;
+use terse_dta::cache::DtsCacheStats;
 use terse_stats::mixture::CdfBounds;
 use terse_stats::{Normal, PoissonNormalMixture, SampleRv};
 
@@ -157,6 +158,9 @@ pub struct Report {
     pub basic_blocks: usize,
     /// The performance model at the report's operating point.
     pub perf: TsPerformanceModel,
+    /// Stage-DTS memo-cache counters at the end of the run (`None` when
+    /// caching was disabled via `FrameworkBuilder::dta_cache(0)`).
+    pub dta_cache: Option<DtsCacheStats>,
 }
 
 impl Report {
@@ -192,6 +196,38 @@ impl Report {
             self.estimate.dk_lambda,
             self.estimate.dk_count,
         )
+    }
+
+    /// A multi-line performance summary: the per-phase wall-clock split plus
+    /// the stage-DTS cache counters (when caching was enabled).
+    pub fn perf_summary(&self) -> String {
+        let mut s = format!(
+            "phases: simulation {:.3}s, training {:.3}s, estimation {:.3}s (total {:.3}s)",
+            self.timings.simulation_s,
+            self.timings.training_s,
+            self.timings.estimation_s,
+            self.timings.total_s(),
+        );
+        match &self.dta_cache {
+            Some(c) => {
+                s.push_str(&format!(
+                    "\ndta-cache: {} hits, {} misses ({:.1}% hit rate), \
+                     {} evictions, {} collisions, {}/{} entries, \
+                     {} interned vectors ({} interner hits)",
+                    c.hits,
+                    c.misses,
+                    c.hit_rate() * 100.0,
+                    c.evictions,
+                    c.collisions,
+                    c.entries,
+                    c.capacity,
+                    c.interned_vectors,
+                    c.interner_hits,
+                ));
+            }
+            None => s.push_str("\ndta-cache: disabled"),
+        }
+        s
     }
 }
 
@@ -278,6 +314,7 @@ mod tests {
             dynamic_instructions: 5e8,
             basic_blocks: 7,
             perf: TsPerformanceModel::paper_default(),
+            dta_cache: None,
         };
         let header = Report::table2_header();
         let row = r.table2_row();
@@ -285,6 +322,40 @@ mod tests {
         assert!(row.contains("demo"));
         assert!(row.contains("500.000M"));
         assert!((r.timings.total_s() - 3.5).abs() < 1e-12);
+        // Without a cache, the perf summary says so.
+        let summary = r.perf_summary();
+        assert!(summary.contains("phases:"));
+        assert!(summary.contains("dta-cache: disabled"));
+    }
+
+    #[test]
+    fn perf_summary_includes_cache_counters() {
+        let e = estimate(1000.0, 0.05, 5e8);
+        let r = Report {
+            name: "demo".into(),
+            estimate: e,
+            timings: RunTimings::default(),
+            static_instructions: 1,
+            dynamic_instructions: 1.0,
+            basic_blocks: 1,
+            perf: TsPerformanceModel::paper_default(),
+            dta_cache: Some(DtsCacheStats {
+                hits: 30,
+                misses: 10,
+                evictions: 2,
+                collisions: 1,
+                entries: 8,
+                capacity: 16,
+                interned_vectors: 4,
+                interner_hits: 12,
+            }),
+        };
+        let summary = r.perf_summary();
+        assert!(summary.contains("30 hits"));
+        assert!(summary.contains("10 misses"));
+        assert!(summary.contains("2 evictions"));
+        assert!(summary.contains("1 collisions"));
+        assert!(summary.contains("75.0% hit rate"));
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Algorithms 1 and 2: stage and instruction dynamic timing slack.
 
+use crate::cache::{CacheKey, DtsCache};
 use crate::{DtaError, Result};
 use rayon::prelude::*;
+use std::sync::Arc;
 use terse_netlist::{BitSet, EndpointClass, Netlist};
 use terse_sim::cosim::CoSimTrace;
 use terse_sta::analysis::Sta;
@@ -14,7 +16,7 @@ use terse_sta::CanonicalRv;
 /// Which endpoints Algorithm 1 considers (the paper splits the analysis:
 /// gate-level characterization on control endpoints, the trained model on
 /// data endpoints).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EndpointFilter {
     /// Every flip-flop endpoint.
     #[default]
@@ -36,7 +38,7 @@ impl EndpointFilter {
 }
 
 /// How the most-critical activated path of an endpoint is found.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DtaMode {
     /// The paper's literal Algorithm 1 loop: pop paths of `P(e_i)` in
     /// decreasing criticality, test activation of every gate, stop at the
@@ -76,6 +78,14 @@ pub struct DtsEngine<'n> {
     t_clk: f64,
     mode: DtaMode,
     ordering: MinOrdering,
+    cache: Option<CacheBinding>,
+}
+
+/// A memo cache attached to an engine, with the per-stage fan-in cone masks
+/// that restrict activation signatures to the bits a stage can observe.
+struct CacheBinding {
+    cache: Arc<DtsCache>,
+    cones: Vec<BitSet>,
 }
 
 impl std::fmt::Debug for DtsEngine<'_> {
@@ -112,7 +122,28 @@ impl<'n> DtsEngine<'n> {
             t_clk: constraints.clock_period,
             mode,
             ordering,
+            cache: None,
         })
+    }
+
+    /// Attaches a stage-DTS memo cache. The cache may be shared across
+    /// engines over the *same* netlist (results are keyed on everything an
+    /// engine instance can vary: stage, masked activation set, mode,
+    /// ordering and clock period); per-stage fan-in cone masks are computed
+    /// once here.
+    pub fn set_cache(&mut self, cache: Arc<DtsCache>) {
+        let cones = self.netlist.stage_cones();
+        self.cache = Some(CacheBinding { cache, cones });
+    }
+
+    /// Detaches the memo cache.
+    pub fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+
+    /// The attached memo cache, if any.
+    pub fn cache(&self) -> Option<&Arc<DtsCache>> {
+        self.cache.as_ref().map(|b| &b.cache)
     }
 
     /// The netlist under analysis.
@@ -140,8 +171,9 @@ impl<'n> DtsEngine<'n> {
         self.t_clk
     }
 
-    /// Changes the operating point (slacks shift by the period delta; all
-    /// queries recompute, nothing is cached against the period).
+    /// Changes the operating point (slacks shift by the period delta; the
+    /// memo cache keys on the period, so entries for other periods are
+    /// neither reused nor invalidated).
     pub fn set_clock_period(&mut self, t_clk: f64) -> Result<()> {
         if !(t_clk > 0.0) {
             return Err(DtaError::InvalidParameter {
@@ -257,6 +289,41 @@ impl<'n> DtsEngine<'n> {
         vcd: &BitSet,
         filter: EndpointFilter,
     ) -> Result<Option<CanonicalRv>> {
+        // Memoized front door: a stage's DTS depends on the activation set
+        // only through `vcd ∧ cone(s)`, so the masked set (exact) plus its
+        // signature (fast) form a sound cache identity.
+        if let Some(binding) = &self.cache {
+            if let Some(cone) = binding.cones.get(s) {
+                if cone.capacity() == vcd.capacity() {
+                    let masked = vcd.masked(cone);
+                    let key = CacheKey {
+                        stage: s,
+                        filter,
+                        mode: self.mode,
+                        ordering: self.ordering,
+                        t_clk_bits: self.t_clk.to_bits(),
+                        signature: binding.cache.signature(&masked),
+                    };
+                    if let Some(dts) = binding.cache.lookup(&key, &masked) {
+                        return Ok(dts);
+                    }
+                    let (ap, dts) = self.stage_dts_uncached(s, vcd, filter)?;
+                    binding.cache.store(key, masked, &ap, dts.clone());
+                    return Ok(dts);
+                }
+            }
+        }
+        Ok(self.stage_dts_uncached(s, vcd, filter)?.1)
+    }
+
+    /// The uncached Algorithm 1 body; returns the candidate set `AP` along
+    /// with its statistical minimum so the cache can retain both.
+    fn stage_dts_uncached(
+        &self,
+        s: usize,
+        vcd: &BitSet,
+        filter: EndpointFilter,
+    ) -> Result<(Vec<CanonicalRv>, Option<CanonicalRv>)> {
         let endpoints = self
             .netlist
             .endpoints(s)
@@ -281,9 +348,10 @@ impl<'n> DtsEngine<'n> {
             .collect::<Result<_>>()?;
         let ap_slacks: Vec<CanonicalRv> = per_endpoint.into_iter().flatten().collect();
         if ap_slacks.is_empty() {
-            return Ok(None);
+            return Ok((ap_slacks, None));
         }
-        Ok(Some(statistical_min(&ap_slacks, self.ordering)?))
+        let dts = statistical_min(&ap_slacks, self.ordering)?;
+        Ok((ap_slacks, Some(dts)))
     }
 
     /// **Algorithm 2** — `InstDTS(N, t)`: the DTS of the instruction fed at
@@ -461,6 +529,97 @@ mod tests {
         if let Some(ctl) = eng.stage_dts(3, vcd, EndpointFilter::Control).unwrap() {
             assert!(ctl.mean() >= all.mean() - 1e-9)
         }
+    }
+
+    fn assert_rv_bitwise_eq(a: &Option<CanonicalRv>, b: &Option<CanonicalRv>, ctx: &str) {
+        match (a, b) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.mean().to_bits(), b.mean().to_bits(), "mean {ctx}");
+                assert_eq!(a.indep().to_bits(), b.indep().to_bits(), "indep {ctx}");
+                let (ca, cb) = (a.coeffs(), b.coeffs());
+                assert_eq!(ca.len(), cb.len(), "coeff len {ctx}");
+                for (x, y) in ca.iter().zip(cb) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "coeff {ctx}");
+                }
+            }
+            _ => panic!("presence mismatch {ctx}: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn cached_stage_dts_is_bitwise_identical() {
+        let p = pipeline();
+        let t = trace(
+            &p,
+            "li r1, 0xF0F0\nli r2, 0x0F0F\nadd r3, r1, r2\nxor r4, r3, r1\nhalt\n",
+        );
+        for mode in [
+            DtaMode::FaithfulPeeling { max_pops: 2000 },
+            DtaMode::RestrictedSearch { candidates: 4 },
+            DtaMode::ActivatedSubgraph,
+        ] {
+            let plain = engine(&p, mode);
+            let mut cached = engine(&p, mode);
+            cached.set_cache(Arc::new(crate::cache::DtsCache::new(64)));
+            // Sweep twice so the second pass is all warm hits.
+            for pass in 0..2 {
+                for k in 0..t.activity.len().min(12) {
+                    for s in 0..p.netlist().stage_count() {
+                        let vcd = t.activity.cycle(k);
+                        let a = plain.stage_dts(s, vcd, EndpointFilter::All).unwrap();
+                        let b = cached.stage_dts(s, vcd, EndpointFilter::All).unwrap();
+                        assert_rv_bitwise_eq(&a, &b, &format!("{mode:?} pass {pass} k{k} s{s}"));
+                    }
+                }
+            }
+            let stats = cached.cache().unwrap().stats();
+            assert!(stats.hits > 0, "{mode:?}: second pass must hit");
+            assert!(stats.misses > 0);
+        }
+    }
+
+    #[test]
+    fn cache_counters_track_hits_and_misses() {
+        let p = pipeline();
+        let t = trace(&p, "li r1, 3\nadd r2, r1, r1\nhalt\n");
+        let mut eng = engine(&p, DtaMode::default());
+        eng.set_cache(Arc::new(crate::cache::DtsCache::new(16)));
+        let vcd = t.activity.cycle(3);
+        eng.stage_dts(2, vcd, EndpointFilter::All).unwrap();
+        let after_first = eng.cache().unwrap().stats();
+        assert_eq!((after_first.hits, after_first.misses), (0, 1));
+        eng.stage_dts(2, vcd, EndpointFilter::All).unwrap();
+        let after_second = eng.cache().unwrap().stats();
+        assert_eq!((after_second.hits, after_second.misses), (1, 1));
+        assert_eq!(after_second.entries, 1);
+        // A different filter is a different key: miss, new entry.
+        eng.stage_dts(2, vcd, EndpointFilter::Control).unwrap();
+        assert_eq!(eng.cache().unwrap().stats().entries, 2);
+    }
+
+    #[test]
+    fn cache_keys_on_clock_period() {
+        let p = pipeline();
+        let t = trace(&p, "li r1, 0xFFFF\nadd r2, r1, r1\nhalt\n");
+        let mut eng = engine(&p, DtaMode::default());
+        eng.set_cache(Arc::new(crate::cache::DtsCache::new(16)));
+        let vcd = t.activity.cycle(3);
+        let base = eng.stage_dts(2, vcd, EndpointFilter::All).unwrap();
+        let period = eng.clock_period();
+        eng.set_clock_period(period * 0.9).unwrap();
+        let faster = eng.stage_dts(2, vcd, EndpointFilter::All).unwrap();
+        if let (Some(b), Some(f)) = (&base, &faster) {
+            assert!(
+                f.mean() < b.mean(),
+                "stale cache entry served across periods"
+            );
+        }
+        // Returning to the original period must hit the original entry.
+        eng.set_clock_period(period).unwrap();
+        let again = eng.stage_dts(2, vcd, EndpointFilter::All).unwrap();
+        assert_rv_bitwise_eq(&base, &again, "period round-trip");
+        assert!(eng.cache().unwrap().stats().hits >= 1);
     }
 
     #[test]

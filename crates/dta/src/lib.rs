@@ -24,17 +24,22 @@
 //!   instruction's DTS is the statistical min of its control and datapath
 //!   slacks; its error probability is `Pr(DTS < 0)` (Section 4.1), with
 //!   chip-conditional evaluation for the Monte Carlo baseline.
+//! * [`cache`] — **activation-signature memoization** of stage DTS: an
+//!   exact (bit-verified) bounded LRU keyed on the per-stage masked toggle
+//!   set, exploiting the tight-loop repetition of real programs.
 
 // Numeric-kernel idioms used intentionally throughout this crate:
 // `!(x >= 0.0)` rejects NaN along with negatives, and index loops run over
 // several parallel arrays at once.
 #![allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
 #![warn(missing_docs)]
+pub mod cache;
 pub mod control;
 pub mod datapath;
 pub mod engine;
 pub mod instmodel;
 
+pub use cache::{DtsCache, DtsCacheStats};
 pub use control::{characterize_control, ControlDtsTable};
 pub use datapath::{DatapathModel, FuncUnit};
 pub use engine::{DtaMode, DtsEngine, EndpointFilter};

@@ -21,6 +21,14 @@ pub struct BitSet {
     capacity: usize,
 }
 
+/// `splitmix64` finalizer — the word mixer behind [`BitSet::fingerprint`].
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 impl BitSet {
     /// Creates an empty set with room for `capacity` elements `0..capacity`.
     pub fn new(capacity: usize) -> Self {
@@ -105,6 +113,50 @@ impl BitSet {
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= b;
         }
+    }
+
+    /// Returns `self ∧ mask` as a new set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn masked(&self, mask: &BitSet) -> BitSet {
+        let mut s = self.clone();
+        s.intersect_with(mask);
+        s
+    }
+
+    /// A 64-bit activation signature: a content hash of the set, stable
+    /// across runs and platforms. Equal sets always hash equal; unequal sets
+    /// collide only with ~2⁻⁶⁴ probability, so callers that need *proof* of
+    /// equality (the DTA memo cache does) must still compare the stored set
+    /// bit-for-bit.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = mix(self.capacity as u64 ^ 0x9e37_79b9_7f4a_7c15);
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                h ^= mix(w ^ mix(i as u64));
+            }
+        }
+        h
+    }
+
+    /// [`BitSet::fingerprint`] of `self ∧ mask`, without allocating the
+    /// intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn masked_fingerprint(&self, mask: &BitSet) -> u64 {
+        assert_eq!(self.capacity, mask.capacity, "bitset capacity mismatch");
+        let mut h = mix(self.capacity as u64 ^ 0x9e37_79b9_7f4a_7c15);
+        for (i, (&a, &b)) in self.words.iter().zip(&mask.words).enumerate() {
+            let w = a & b;
+            if w != 0 {
+                h ^= mix(w ^ mix(i as u64));
+            }
+        }
+        h
     }
 
     /// Iterates over the elements in increasing order.
@@ -231,6 +283,37 @@ mod tests {
     fn out_of_range_insert_panics() {
         let mut s = BitSet::new(4);
         s.insert(4);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_history() {
+        let mut a = BitSet::new(300);
+        let mut b = BitSet::new(300);
+        for i in [7usize, 64, 130, 299] {
+            a.insert(i);
+        }
+        for i in [299usize, 130, 64, 7] {
+            b.insert(i); // different insertion order
+        }
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.remove(64);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Capacity participates: an empty 10-set and empty 11-set differ.
+        assert_ne!(BitSet::new(10).fingerprint(), BitSet::new(11).fingerprint());
+    }
+
+    #[test]
+    fn masked_fingerprint_matches_materialized_intersection() {
+        let mut s = BitSet::new(200);
+        let mut m = BitSet::new(200);
+        for i in (0..200).step_by(3) {
+            s.insert(i);
+        }
+        for i in (0..200).step_by(5) {
+            m.insert(i);
+        }
+        assert_eq!(s.masked_fingerprint(&m), s.masked(&m).fingerprint());
+        assert_eq!(s.masked(&m).iter().count(), (0..200).step_by(15).count());
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub use builder::NetlistBuilder;
 pub use gate::{GateId, GateKind};
 pub use netlist::{EndpointClass, Netlist};
 pub use pipeline::{PipelineConfig, PipelineNetlist};
-pub use sim::Simulator;
+pub use sim::{SimStrategy, Simulator};
 
 use std::fmt;
 

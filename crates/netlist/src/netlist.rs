@@ -1,6 +1,7 @@
 //! The netlist graph `N`: gates, nets (fanin/fanout edges), endpoints and
 //! pipeline stages — the object the paper's Algorithm 1 analyzes.
 
+use crate::bitset::BitSet;
 use crate::gate::{GateId, GateKind};
 use crate::{NetlistError, Result};
 use std::collections::HashMap;
@@ -203,6 +204,47 @@ impl Netlist {
         h
     }
 
+    /// For each stage `s`, the *fan-in cone* of its endpoints: the D-input
+    /// drivers of every endpoint in `E(N, s)` plus their transitive
+    /// combinational fanin, including the sequential sources (flip-flops,
+    /// inputs, ties) that launch into the stage. Capture endpoints themselves
+    /// are only members if they also source logic of the same stage.
+    ///
+    /// Every path Algorithm 1 can enumerate for stage `s` consists solely of
+    /// cone gates, so the stage-`s` DTS depends on a cycle's activation set
+    /// `VCD(t)` only through `VCD(t) ∧ cone(s)` — this is what makes masked
+    /// activation signatures an exact memoization key for stage DTS.
+    pub fn stage_cones(&self) -> Vec<BitSet> {
+        let n = self.gates.len();
+        (0..self.stage_count)
+            .map(|s| {
+                let mut cone = BitSet::new(n);
+                let mut stack: Vec<GateId> = Vec::new();
+                for &e in &self.endpoints_by_stage[s] {
+                    if let Some(d) = self.ff_input[e.index()] {
+                        stack.push(d);
+                    }
+                }
+                while let Some(g) = stack.pop() {
+                    let gi = g.index();
+                    if cone.contains(gi) {
+                        continue;
+                    }
+                    cone.insert(gi);
+                    // Sequential elements and ports launch paths; do not
+                    // traverse through them into earlier stages.
+                    if !matches!(
+                        self.kind(g),
+                        GateKind::FlipFlop | GateKind::Input | GateKind::Tie(_)
+                    ) {
+                        stack.extend_from_slice(self.fanin(g));
+                    }
+                }
+                cone
+            })
+            .collect()
+    }
+
     /// Logic depth (maximum number of combinational gates on any
     /// source-to-endpoint path), per stage.
     pub fn logic_depth_by_stage(&self) -> Vec<usize> {
@@ -281,6 +323,22 @@ mod tests {
     fn topo_contains_only_comb() {
         let n = tiny();
         assert_eq!(n.topo_order().len(), 1); // just the AND
+    }
+
+    #[test]
+    fn stage_cones_cover_drivers_and_sources() {
+        let n = tiny();
+        let cones = n.stage_cones();
+        assert_eq!(cones.len(), 1);
+        let input = n.bus("in").unwrap()[0];
+        let ff = n.bus("state").unwrap()[0];
+        let and = n.ff_input(ff).unwrap();
+        // Cone = the endpoint's D driver plus its sources — here the AND,
+        // the primary input, and the FF itself (it sources the AND).
+        assert!(cones[0].contains(and.index()));
+        assert!(cones[0].contains(input.index()));
+        assert!(cones[0].contains(ff.index()));
+        assert_eq!(cones[0].count(), 3);
     }
 
     #[test]

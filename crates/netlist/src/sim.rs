@@ -13,6 +13,21 @@ use crate::bitset::BitSet;
 use crate::gate::{GateId, GateKind};
 use crate::netlist::Netlist;
 
+/// How [`Simulator::step`] propagates values through combinational logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimStrategy {
+    /// Dirty-set worklist propagation: only gates whose fan-in toggled this
+    /// cycle are re-evaluated, in topological order. Produces bit-identical
+    /// activation sets to [`SimStrategy::FullScan`] (a gate whose inputs did
+    /// not change cannot change output), at a fraction of the per-cycle work
+    /// on real programs, whose toggle activity is sparse.
+    #[default]
+    EventDriven,
+    /// Re-evaluate every combinational gate every cycle — the reference
+    /// semantics. Kept for differential testing and benchmarking.
+    FullScan,
+}
+
 /// A cycle-accurate simulator over a [`Netlist`].
 ///
 /// Primary inputs are driven with [`Simulator::set_input`]; flip-flops
@@ -52,18 +67,63 @@ pub struct Simulator<'n> {
     /// Pending forced Q overrides (consumed at the next edge).
     forced: Vec<Option<bool>>,
     cycle: u64,
+    strategy: SimStrategy,
+    /// Topological position of each combinational gate (`u32::MAX` for
+    /// sources and flip-flops, which never appear on the worklist).
+    topo_pos: Vec<u32>,
+    /// Dirty bitmap over topological positions — the event worklist. Bits
+    /// are drained in ascending position order (lowest set bit first), and
+    /// event insertions always land at strictly larger positions, so each
+    /// gate is evaluated at most once per cycle.
+    dirty_pos: Vec<u64>,
+    /// Sequential elements updated at the clock edge (flip-flops and
+    /// primary inputs), precomputed so the edge does not scan every gate.
+    seq: Vec<GateId>,
+    /// Flip-flops only, for D-pin recapture.
+    ffs: Vec<GateId>,
+    /// Whether a full combinational propagation has run at least once, so
+    /// `values`/`ff_next` are consistent and incremental steps are sound.
+    settled: bool,
+    /// Cumulative number of combinational gate evaluations performed.
+    evaluated: u64,
 }
 
 impl<'n> Simulator<'n> {
-    /// Creates a simulator with all nets initially low.
+    /// Creates a simulator with all nets initially low, using the default
+    /// [`SimStrategy::EventDriven`] propagation.
     pub fn new(netlist: &'n Netlist) -> Self {
+        Self::with_strategy(netlist, SimStrategy::default())
+    }
+
+    /// Creates a simulator with an explicit propagation strategy.
+    pub fn with_strategy(netlist: &'n Netlist, strategy: SimStrategy) -> Self {
         let n = netlist.gate_count();
+        let mut topo_pos = vec![u32::MAX; n];
+        for (pos, &g) in netlist.topo_order().iter().enumerate() {
+            topo_pos[g.index()] = pos as u32;
+        }
+        let seq: Vec<GateId> = netlist
+            .gate_ids()
+            .filter(|&g| matches!(netlist.kind(g), GateKind::FlipFlop | GateKind::Input))
+            .collect();
+        let ffs: Vec<GateId> = seq
+            .iter()
+            .copied()
+            .filter(|&g| netlist.kind(g) == GateKind::FlipFlop)
+            .collect();
         let mut sim = Simulator {
             netlist,
             values: vec![false; n],
             ff_next: vec![false; n],
             forced: vec![None; n],
             cycle: 0,
+            strategy,
+            topo_pos,
+            dirty_pos: vec![0u64; netlist.topo_order().len().div_ceil(64)],
+            seq,
+            ffs,
+            settled: false,
+            evaluated: 0,
         };
         // Constants drive their value from time zero.
         for id in netlist.gate_ids() {
@@ -72,6 +132,25 @@ impl<'n> Simulator<'n> {
             }
         }
         sim
+    }
+
+    /// The propagation strategy in use.
+    pub fn strategy(&self) -> SimStrategy {
+        self.strategy
+    }
+
+    /// Switches the propagation strategy. Safe at any cycle boundary: the
+    /// first event-driven step after construction performs one full sweep to
+    /// settle initial values, after which both strategies maintain the same
+    /// state invariants.
+    pub fn set_strategy(&mut self, strategy: SimStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// Cumulative number of combinational gate evaluations across all steps —
+    /// the work metric the event-driven strategy reduces.
+    pub fn gates_evaluated(&self) -> u64 {
+        self.evaluated
     }
 
     /// The netlist under simulation.
@@ -173,36 +252,60 @@ impl<'n> Simulator<'n> {
 
     /// Advances one clock cycle and returns the activation set `VCD(t)`:
     /// every gate (including endpoints) whose output changed this cycle.
-    // Invariant: `Netlist::validate` rejects unconnected flip-flops, and the
-    // simulator only wraps validated netlists, so `ff_input` cannot fail.
-    #[allow(clippy::expect_used)]
+    ///
+    /// Both strategies produce bit-identical activation sets; see
+    /// [`SimStrategy`].
     pub fn step(&mut self) -> BitSet {
-        let n = self.netlist.gate_count();
-        let mut activated = BitSet::new(n);
-        // 1. Clock edge: flip-flop Q outputs update (captured D or forced),
-        //    primary inputs take their driven values.
-        for id in self.netlist.gate_ids() {
+        match self.strategy {
+            SimStrategy::FullScan => self.step_full(),
+            SimStrategy::EventDriven => self.step_event(),
+        }
+    }
+
+    /// Clock edge: flip-flop Q outputs update (captured D or forced), primary
+    /// inputs take their driven values. Toggled sources are recorded in
+    /// `activated` and returned for dirty-marking.
+    fn clock_edge(&mut self, activated: &mut BitSet) -> Vec<GateId> {
+        let mut toggled = Vec::new();
+        for k in 0..self.seq.len() {
+            let id = self.seq[k];
             let i = id.index();
-            match self.netlist.kind(id) {
-                GateKind::FlipFlop => {
-                    let new = self.forced[i].take().unwrap_or(self.ff_next[i]);
-                    if new != self.values[i] {
-                        activated.insert(i);
-                    }
-                    self.values[i] = new;
+            let new = if self.netlist.kind(id) == GateKind::FlipFlop {
+                self.forced[i].take().unwrap_or(self.ff_next[i])
+            } else {
+                match self.forced[i].take() {
+                    Some(v) => v,
+                    None => continue,
                 }
-                GateKind::Input => {
-                    if let Some(new) = self.forced[i].take() {
-                        if new != self.values[i] {
-                            activated.insert(i);
-                        }
-                        self.values[i] = new;
-                    }
-                }
-                _ => {}
+            };
+            if new != self.values[i] {
+                activated.insert(i);
+                toggled.push(id);
+            }
+            self.values[i] = new;
+        }
+        toggled
+    }
+
+    /// Re-captures every flip-flop's D pin — the reference phase-3 semantics.
+    /// (`Netlist::validate` rejects unconnected flip-flops, so every entry in
+    /// `ffs` has a driver.)
+    fn capture_all(&mut self) {
+        for k in 0..self.ffs.len() {
+            let i = self.ffs[k].index();
+            if let Some(d) = self.netlist.ff_input[i] {
+                self.ff_next[i] = self.values[d.index()];
             }
         }
-        // 2. Combinational propagation in topological order.
+    }
+
+    /// Reference full-scan step: evaluate every combinational gate in
+    /// topological order, then re-capture every D pin.
+    fn step_full(&mut self) -> BitSet {
+        let n = self.netlist.gate_count();
+        let mut activated = BitSet::new(n);
+        self.clock_edge(&mut activated);
+        // Combinational propagation in topological order.
         let mut inbuf = [false; 3];
         for &g in self.netlist.topo_order() {
             let gi = g.index();
@@ -210,21 +313,99 @@ impl<'n> Simulator<'n> {
             for (slot, f) in inbuf.iter_mut().zip(fanin) {
                 *slot = self.values[f.index()];
             }
+            self.evaluated += 1;
             let new = self.netlist.kind(g).eval(&inbuf[..fanin.len()]);
             if new != self.values[gi] {
                 activated.insert(gi);
                 self.values[gi] = new;
             }
         }
-        // 3. Capture D pins for the next edge.
-        for id in self.netlist.gate_ids() {
-            if self.netlist.kind(id) == GateKind::FlipFlop {
-                let d = self
-                    .netlist
-                    .ff_input(id)
-                    .expect("validated netlist has connected flip-flops");
-                self.ff_next[id.index()] = self.values[d.index()];
+        self.capture_all();
+        self.settled = true;
+        self.cycle += 1;
+        activated
+    }
+
+    /// Marks the combinational fanout of a toggled gate dirty and forwards
+    /// the new value to any flip-flop D pin the gate drives. This is the
+    /// event propagation rule: value changes travel only along real edges.
+    fn touch_fanout(&mut self, g: GateId) {
+        let nl = self.netlist;
+        let v = self.values[g.index()];
+        for &f in nl.fanout(g) {
+            let fi = f.index();
+            let pos = self.topo_pos[fi];
+            if pos != u32::MAX {
+                self.dirty_pos[(pos >> 6) as usize] |= 1 << (pos & 63);
+            } else if nl.ff_input[fi] == Some(g) {
+                // D-input edge: maintain the captured value incrementally.
+                self.ff_next[fi] = v;
             }
+        }
+    }
+
+    /// Event-driven step. The very first step performs one full sweep (the
+    /// all-low initial state is not a fixed point of the netlist functions —
+    /// e.g. `NAND(0,0) = 1` — and the reference records that settlement as
+    /// cycle-1 activity); afterwards only gates downstream of an actual
+    /// toggle are re-evaluated, which provably yields the same activation
+    /// sets: a gate none of whose fan-ins changed cannot change output.
+    fn step_event(&mut self) -> BitSet {
+        let n = self.netlist.gate_count();
+        let mut activated = BitSet::new(n);
+        let toggled = self.clock_edge(&mut activated);
+        let first = !self.settled;
+        let topo_len = self.netlist.topo_order().len();
+        if first {
+            for w in &mut self.dirty_pos {
+                *w = u64::MAX;
+            }
+            let tail = topo_len % 64;
+            if tail != 0 {
+                if let Some(last) = self.dirty_pos.last_mut() {
+                    *last = (1u64 << tail) - 1;
+                }
+            }
+        } else {
+            for g in toggled {
+                self.touch_fanout(g);
+            }
+        }
+        // Drain the dirty bitmap in increasing topological position (lowest
+        // set bit of the lowest non-zero word). Event insertions land at
+        // strictly larger positions than the gate being evaluated — same
+        // word, higher bit, or a later word — so re-reading the current word
+        // after each evaluation sees them and each gate runs at most once per
+        // cycle, after all its fan-ins settled.
+        let mut inbuf = [false; 3];
+        let mut wi = 0;
+        while wi < self.dirty_pos.len() {
+            let w = self.dirty_pos[wi];
+            if w == 0 {
+                wi += 1;
+                continue;
+            }
+            self.dirty_pos[wi] = w & (w - 1); // clear the lowest set bit
+            let pos = (wi << 6) + w.trailing_zeros() as usize;
+            let g = self.netlist.topo_order()[pos];
+            let gi = g.index();
+            let fanin = self.netlist.fanin(g);
+            for (slot, f) in inbuf.iter_mut().zip(fanin) {
+                *slot = self.values[f.index()];
+            }
+            self.evaluated += 1;
+            let new = self.netlist.kind(g).eval(&inbuf[..fanin.len()]);
+            if new != self.values[gi] {
+                activated.insert(gi);
+                self.values[gi] = new;
+                self.touch_fanout(g);
+            }
+        }
+        if first {
+            // Establish the `ff_next == values[D]` invariant that incremental
+            // D-edge forwarding maintains from now on.
+            self.capture_all();
+            self.settled = true;
         }
         self.cycle += 1;
         activated
@@ -331,6 +512,77 @@ mod tests {
             .filter(|&t| trace.cycle(t).contains(q0.index()))
             .count();
         assert_eq!(toggles, 7);
+    }
+
+    #[test]
+    fn event_driven_matches_full_scan_on_counter() {
+        let n = counter();
+        let mut full = Simulator::with_strategy(&n, SimStrategy::FullScan);
+        let mut event = Simulator::with_strategy(&n, SimStrategy::EventDriven);
+        for cycle in 0..16 {
+            let af = full.step();
+            let ae = event.step();
+            assert_eq!(af, ae, "activation sets diverged at cycle {cycle}");
+            for g in n.gate_ids() {
+                assert_eq!(full.value(g), event.value(g), "values diverged at {cycle}");
+            }
+        }
+        // Event-driven does strictly less evaluation work after settling.
+        assert!(event.gates_evaluated() <= full.gates_evaluated());
+    }
+
+    #[test]
+    fn event_driven_matches_full_scan_with_inputs_and_forcing() {
+        let mut b = NetlistBuilder::new(1);
+        let xs = b.input_bus("x", 4, 0).unwrap();
+        let ff = b.flip_flop("q", EndpointClass::Data, 0).unwrap();
+        let ctl = b.flip_flop("c", EndpointClass::Control, 0).unwrap();
+        let x01 = b.gate(GateKind::Nand, &[xs[0], xs[1]], 0).unwrap();
+        let x23 = b.gate(GateKind::Xor, &[xs[2], xs[3]], 0).unwrap();
+        let mix = b.gate(GateKind::Or, &[x01, ctl], 0).unwrap();
+        let out = b.gate(GateKind::And, &[mix, x23], 0).unwrap();
+        b.connect_ff_input(ff, out).unwrap();
+        b.connect_ff_input(ctl, x01).unwrap();
+        let n = b.finish().unwrap();
+
+        let mut full = Simulator::with_strategy(&n, SimStrategy::FullScan);
+        let mut event = Simulator::with_strategy(&n, SimStrategy::EventDriven);
+        // Deterministic pseudo-random stimulus, including forced banks.
+        let mut state = 0x1234_5678_u64;
+        for cycle in 0..64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = state >> 33;
+            full.set_input_bus("x", v & 0xF).unwrap();
+            event.set_input_bus("x", v & 0xF).unwrap();
+            if v & 0x10 != 0 {
+                full.force_ff(ff, v & 0x20 != 0);
+                event.force_ff(ff, v & 0x20 != 0);
+            }
+            let af = full.step();
+            let ae = event.step();
+            assert_eq!(af, ae, "activation sets diverged at cycle {cycle}");
+        }
+        assert!(event.gates_evaluated() < full.gates_evaluated());
+    }
+
+    #[test]
+    fn first_event_step_settles_constants() {
+        // NAND of all-low inputs is 1: the reference full scan records that
+        // settlement toggle in cycle 1, so event-driven must too.
+        let mut b = NetlistBuilder::new(1);
+        let x = b.input("x", 0).unwrap();
+        let one = b.tie(true, 0).unwrap();
+        let g = b.gate(GateKind::Nand, &[x, one], 0).unwrap();
+        let ff = b.flip_flop("q", EndpointClass::Control, 0).unwrap();
+        b.connect_ff_input(ff, g).unwrap();
+        let n = b.finish().unwrap();
+        let mut full = Simulator::with_strategy(&n, SimStrategy::FullScan);
+        let mut event = Simulator::with_strategy(&n, SimStrategy::EventDriven);
+        for _ in 0..4 {
+            assert_eq!(full.step(), event.step());
+            assert_eq!(full.value(ff), event.value(ff));
+        }
+        assert!(event.value(ff)); // captured NAND(0,1)=1 through the tie path
     }
 
     #[test]

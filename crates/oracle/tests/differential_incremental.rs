@@ -1,0 +1,237 @@
+//! Differential suite for the incremental-DTA layer: the memoized engine and
+//! the event-driven simulator against their exhaustive counterparts.
+//!
+//! The memo cache and the event-driven evaluation strategy are *exact*
+//! optimizations — not approximations — so every property here demands
+//! **bitwise** agreement (`f64::to_bits` on means, variances and every
+//! sensitivity coefficient; `BitSet` equality on toggle sets), not epsilon
+//! closeness. The suite deliberately drives the cache through its unhappy
+//! paths too: capacity-1 eviction churn and truncated-signature collisions,
+//! where correctness rests entirely on the exact toggle-set verification.
+
+use std::sync::Arc;
+
+use oracle::gen;
+use proptest::prelude::*;
+use terse_dta::{DtaMode, DtsCache, DtsEngine, EndpointFilter};
+use terse_netlist::sim::{SimStrategy, Simulator};
+use terse_netlist::{BitSet, GateKind, Netlist};
+use terse_sta::analysis::Sta;
+use terse_sta::delay::DelayLibrary;
+use terse_sta::statmin::MinOrdering;
+use terse_sta::TimingConstraints;
+use terse_stats::rng::Xoshiro256;
+
+/// The speculative clock period used throughout: 15% past the STA limit.
+fn speculative_period(sta: &Sta<'_>) -> f64 {
+    sta.min_period() / 1.15
+}
+
+fn engine<'n>(netlist: &'n Netlist, seed: u64, t_clk: f64, mode: DtaMode) -> DtsEngine<'n> {
+    DtsEngine::new(
+        netlist,
+        DelayLibrary::normalized_45nm(),
+        gen::random_variation_config(seed),
+        TimingConstraints::with_period(t_clk),
+        mode,
+        MinOrdering::AscendingMean,
+    )
+    .expect("valid engine inputs")
+}
+
+/// All three Algorithm-1 variants, with effectively unbounded budgets so the
+/// cached/uncached comparison is over the full search, not a truncation.
+const MODES: [DtaMode; 3] = [
+    DtaMode::RestrictedSearch {
+        candidates: 1 << 20,
+    },
+    DtaMode::ActivatedSubgraph,
+    DtaMode::FaithfulPeeling { max_pops: 1 << 20 },
+];
+
+const FILTERS: [EndpointFilter; 3] = [
+    EndpointFilter::All,
+    EndpointFilter::Control,
+    EndpointFilter::Data,
+];
+
+/// Bitwise fingerprint of a stage-DTS result.
+fn rv_bits(rv: &Option<terse_sta::CanonicalRv>) -> Vec<u64> {
+    match rv {
+        None => vec![u64::MAX],
+        Some(rv) => {
+            let mut v = vec![rv.mean().to_bits(), rv.variance().to_bits()];
+            v.extend(rv.coeffs().iter().map(|c| c.to_bits()));
+            v
+        }
+    }
+}
+
+/// A small pool of activation sets mixing arbitrary bit patterns with
+/// realizable simulator traces (the cache must be exact on both).
+fn vcd_pool(n: &Netlist, seed: u64, density: f64) -> Vec<BitSet> {
+    vec![
+        gen::random_vcd(n, seed ^ 0xA1, density),
+        gen::simulated_vcd(n, seed ^ 0xB2),
+        gen::random_vcd(n, seed ^ 0xC3, (density * 0.5).max(0.05)),
+    ]
+}
+
+/// Sweeps every (vcd, filter) query once and fingerprints each answer.
+fn sweep(eng: &DtsEngine<'_>, vcds: &[BitSet]) -> Vec<Vec<u64>> {
+    let mut out = Vec::with_capacity(vcds.len() * FILTERS.len());
+    for vcd in vcds {
+        for filter in FILTERS {
+            let dts = eng.stage_dts(0, vcd, filter).expect("stage_dts");
+            out.push(rv_bits(&dts));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The memoized engine is bitwise identical to the uncached engine in all
+    /// three DTA modes, on both arbitrary and realizable activation sets —
+    /// including the repeat pass where every query is served from the cache.
+    #[test]
+    fn cached_stage_dts_bitwise_matches_uncached(
+        seed in 0u64..1_000_000,
+        gates in 1usize..10,
+        density in 0.2f64..1.0,
+    ) {
+        let n = gen::random_netlist(seed, gates);
+        let t = speculative_period(&Sta::new(&n, &DelayLibrary::normalized_45nm()));
+        let vcds = vcd_pool(&n, seed, density);
+        for mode in MODES {
+            let plain = engine(&n, seed ^ 0x7E57, t, mode);
+            let mut cached = engine(&n, seed ^ 0x7E57, t, mode);
+            let cache = Arc::new(DtsCache::new(64));
+            cached.set_cache(Arc::clone(&cache));
+            let want = sweep(&plain, &vcds);
+            let cold = sweep(&cached, &vcds);
+            let warm = sweep(&cached, &vcds);
+            prop_assert_eq!(&want, &cold, "{:?}: cold pass diverged", mode);
+            prop_assert_eq!(&want, &warm, "{:?}: warm pass diverged", mode);
+            let stats = cache.stats();
+            prop_assert!(stats.misses > 0, "{mode:?}: nothing was ever computed");
+            // The warm pass re-issues every cold query, so hits are certain.
+            prop_assert!(stats.hits >= want.len() as u64, "{mode:?}: {stats:?}");
+            prop_assert_eq!(stats.collisions, 0, "{:?}: full-width signatures collided", mode);
+        }
+    }
+
+    /// A capacity-1 cache churns through eviction on every distinct
+    /// activation set yet never corrupts an answer.
+    #[test]
+    fn capacity_one_cache_evicts_and_stays_exact(
+        seed in 0u64..1_000_000,
+        gates in 1usize..10,
+        density in 0.2f64..1.0,
+    ) {
+        let n = gen::random_netlist(seed, gates);
+        let t = speculative_period(&Sta::new(&n, &DelayLibrary::normalized_45nm()));
+        let vcds = vcd_pool(&n, seed, density);
+        let mode = MODES[(seed % 3) as usize];
+        let plain = engine(&n, seed ^ 0xCA11, t, mode);
+        let mut cached = engine(&n, seed ^ 0xCA11, t, mode);
+        let cache = Arc::new(DtsCache::new(1));
+        cached.set_cache(Arc::clone(&cache));
+        let want = sweep(&plain, &vcds);
+        for pass in 0..2 {
+            let got = sweep(&cached, &vcds);
+            prop_assert_eq!(&want, &got, "{:?}: pass {} diverged", mode, pass);
+        }
+        let stats = cache.stats();
+        prop_assert!(stats.entries <= 1, "{mode:?}: {stats:?}");
+        // Distinct answers imply distinct keys, and two keys cannot share
+        // one slot without evicting.
+        let first = rv_bits(&plain.stage_dts(0, &vcds[0], EndpointFilter::All).expect("dts"));
+        let second = rv_bits(&plain.stage_dts(0, &vcds[2], EndpointFilter::All).expect("dts"));
+        if first != second {
+            prop_assert!(stats.evictions > 0, "{mode:?}: {stats:?}");
+        }
+    }
+
+    /// With the signature truncated to zero bits every activation set maps to
+    /// the same key; the exact toggle-set verification must detect each
+    /// collision, fall back to recomputation, and keep answers bitwise exact.
+    #[test]
+    fn truncated_signature_collisions_fall_back_to_exact(
+        seed in 0u64..1_000_000,
+        gates in 1usize..10,
+        density in 0.2f64..1.0,
+    ) {
+        let n = gen::random_netlist(seed, gates);
+        let t = speculative_period(&Sta::new(&n, &DelayLibrary::normalized_45nm()));
+        let vcds = vcd_pool(&n, seed, density);
+        let mode = MODES[(seed % 3) as usize];
+        let plain = engine(&n, seed ^ 0xC0DE, t, mode);
+        let mut cached = engine(&n, seed ^ 0xC0DE, t, mode);
+        let cache = Arc::new(DtsCache::with_signature_mask(64, 0));
+        cached.set_cache(Arc::clone(&cache));
+        let want = sweep(&plain, &vcds);
+        for pass in 0..2 {
+            let got = sweep(&cached, &vcds);
+            prop_assert_eq!(&want, &got, "{:?}: pass {} diverged", mode, pass);
+        }
+        // Different answers for two sets under one filter mean their masked
+        // toggle sets differ, so alternating them through one degenerate key
+        // must have tripped the collision counter.
+        let per_vcd: Vec<&[Vec<u64>]> = want.chunks(FILTERS.len()).collect();
+        if per_vcd.iter().any(|c| *c != per_vcd[0]) {
+            let stats = cache.stats();
+            prop_assert!(stats.collisions > 0, "{mode:?}: {stats:?}");
+        }
+    }
+
+    /// The event-driven simulator produces exactly the full-scan toggle sets
+    /// and gate values, cycle for cycle, on random netlists under random
+    /// input/flip-flop stimulus — while evaluating no more gates.
+    #[test]
+    fn event_driven_simulator_matches_full_scan(
+        seed in 0u64..1_000_000,
+        gates in 1usize..16,
+        cycles in 2usize..12,
+    ) {
+        let n = gen::random_netlist(seed, gates);
+        let mut full = Simulator::with_strategy(&n, SimStrategy::FullScan);
+        let mut event = Simulator::with_strategy(&n, SimStrategy::EventDriven);
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x51u64);
+        for cycle in 0..cycles {
+            for g in n.gate_ids() {
+                match n.kind(g) {
+                    // Re-force state only some cycles, so others exercise the
+                    // free-running feedback path where few gates toggle.
+                    GateKind::FlipFlop if rng.next_below(3) == 0 => {
+                        let v = rng.next_u64() & 1 == 1;
+                        full.force_ff(g, v);
+                        event.force_ff(g, v);
+                    }
+                    GateKind::Input => {
+                        let v = rng.next_u64() & 1 == 1;
+                        full.set_input(g, v);
+                        event.set_input(g, v);
+                    }
+                    _ => {}
+                }
+            }
+            let tf = full.step();
+            let te = event.step();
+            prop_assert_eq!(&tf, &te, "cycle {}: toggle sets diverged", cycle);
+            for g in n.gate_ids() {
+                prop_assert_eq!(
+                    full.value(g), event.value(g),
+                    "cycle {}: value of gate {:?} diverged", cycle, g
+                );
+            }
+        }
+        prop_assert!(
+            event.gates_evaluated() <= full.gates_evaluated(),
+            "event-driven evaluated more gates ({}) than the full scan ({})",
+            event.gates_evaluated(),
+            full.gates_evaluated()
+        );
+    }
+}

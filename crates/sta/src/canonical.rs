@@ -14,7 +14,28 @@
 //! correlations keep propagating — the standard block-based SSTA machinery
 //! the paper builds Algorithm 1 on.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use terse_stats::special::{std_normal_cdf, std_normal_pdf, std_normal_quantile_clamped};
+
+thread_local! {
+    /// Interned all-zero sensitivity vectors by length. `deterministic` is
+    /// called for every constant delay contribution, so sharing one
+    /// allocation per variable count removes the dominant small-vector
+    /// allocation of the DTA hot path.
+    static ZERO_COEFFS: RefCell<HashMap<usize, Arc<[f64]>>> = RefCell::new(HashMap::new());
+}
+
+fn zero_coeffs(var_count: usize) -> Arc<[f64]> {
+    ZERO_COEFFS.with(|z| {
+        z.borrow_mut()
+            .entry(var_count)
+            .or_insert_with(|| vec![0.0; var_count].into())
+            .clone()
+    })
+}
 
 /// A Gaussian in canonical first-order form.
 ///
@@ -30,19 +51,22 @@ use terse_stats::special::{std_normal_cdf, std_normal_pdf, std_normal_quantile_c
 #[derive(Debug, Clone, PartialEq)]
 pub struct CanonicalRv {
     mean: f64,
-    /// Sensitivities to the shared principal components (dense).
-    coeffs: Vec<f64>,
+    /// Sensitivities to the shared principal components (dense, shared
+    /// storage: clones are reference-count bumps, and identical vectors can
+    /// be interned — see [`SensitivityInterner`]).
+    coeffs: Arc<[f64]>,
     /// Independent residual sensitivity (σ of the private part).
     indep: f64,
 }
 
 impl CanonicalRv {
     /// A deterministic value (all sensitivities zero) over `var_count`
-    /// shared variables.
+    /// shared variables. The zero vector is interned per thread, so this
+    /// does not allocate after the first call for a given `var_count`.
     pub fn deterministic(mean: f64, var_count: usize) -> Self {
         CanonicalRv {
             mean,
-            coeffs: vec![0.0; var_count],
+            coeffs: zero_coeffs(var_count),
             indep: 0.0,
         }
     }
@@ -56,7 +80,7 @@ impl CanonicalRv {
         assert!(indep >= 0.0, "independent sensitivity must be non-negative");
         CanonicalRv {
             mean,
-            coeffs,
+            coeffs: coeffs.into(),
             indep,
         }
     }
@@ -105,7 +129,7 @@ impl CanonicalRv {
         );
         self.coeffs
             .iter()
-            .zip(&other.coeffs)
+            .zip(other.coeffs.iter())
             .map(|(a, b)| a * b)
             .sum()
     }
@@ -133,7 +157,7 @@ impl CanonicalRv {
             coeffs: self
                 .coeffs
                 .iter()
-                .zip(&other.coeffs)
+                .zip(other.coeffs.iter())
                 .map(|(a, b)| a + b)
                 .collect(),
             indep: (self.indep * self.indep + other.indep * other.indep).sqrt(),
@@ -148,8 +172,19 @@ impl CanonicalRv {
     pub fn add_assign(&mut self, other: &CanonicalRv) {
         assert_eq!(self.coeffs.len(), other.coeffs.len());
         self.mean += other.mean;
-        for (a, b) in self.coeffs.iter_mut().zip(&other.coeffs) {
-            *a += b;
+        // Copy-on-write: a uniquely-owned accumulator mutates in place; a
+        // shared one (e.g. the interned zero vector) is cloned first.
+        if let Some(coeffs) = Arc::get_mut(&mut self.coeffs) {
+            for (a, b) in coeffs.iter_mut().zip(other.coeffs.iter()) {
+                *a += b;
+            }
+        } else {
+            self.coeffs = self
+                .coeffs
+                .iter()
+                .zip(other.coeffs.iter())
+                .map(|(a, b)| a + b)
+                .collect();
         }
         self.indep = (self.indep * self.indep + other.indep * other.indep).sqrt();
     }
@@ -266,7 +301,7 @@ impl CanonicalRv {
         let coeffs: Vec<f64> = self
             .coeffs
             .iter()
-            .zip(&other.coeffs)
+            .zip(other.coeffs.iter())
             .map(|(a, b)| t * a + (1.0 - t) * b)
             .collect();
         let shared_var: f64 = coeffs.iter().map(|a| a * a).sum();
@@ -274,7 +309,7 @@ impl CanonicalRv {
         (
             CanonicalRv {
                 mean,
-                coeffs,
+                coeffs: coeffs.into(),
                 indep,
             },
             t,
@@ -296,6 +331,73 @@ impl CanonicalRv {
 impl std::fmt::Display for CanonicalRv {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "N({:.3}, {:.3}²)", self.mean, self.sd())
+    }
+}
+
+/// Content-addressed interner for sensitivity vectors.
+///
+/// Many canonical forms in a DTA run share byte-identical coefficient
+/// vectors — re-ranked candidate paths through the same spatial grid cells,
+/// memoized stage-DTS results across cycles with repeating activity. The
+/// interner maps the exact bit pattern of a vector to one shared
+/// [`Arc<\[f64\]>`](std::sync::Arc) allocation, so long-lived caches (the
+/// DTA memo cache keeps it alive across cycles) store each distinct vector
+/// once. Keys use `f64::to_bits`, so `-0.0`/`0.0` and NaN payloads are
+/// distinguished exactly and interning never changes a value.
+#[derive(Debug, Default)]
+pub struct SensitivityInterner {
+    map: Mutex<HashMap<Vec<u64>, Arc<[f64]>>>,
+    hits: AtomicU64,
+}
+
+impl SensitivityInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<Vec<u64>, Arc<[f64]>>> {
+        // A poisoned lock only means another thread panicked mid-insert; the
+        // map itself is always in a valid state (std HashMap is
+        // panic-safe for reads after a failed insert).
+        match self.map.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Returns a canonical form equal to `rv` whose coefficient storage is
+    /// shared with every other interned form holding the same vector.
+    pub fn intern_rv(&self, rv: &CanonicalRv) -> CanonicalRv {
+        let key: Vec<u64> = rv.coeffs.iter().map(|c| c.to_bits()).collect();
+        let mut map = self.lock();
+        let coeffs = if let Some(existing) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            existing.clone()
+        } else {
+            map.insert(key, rv.coeffs.clone());
+            rv.coeffs.clone()
+        };
+        CanonicalRv {
+            mean: rv.mean,
+            coeffs,
+            indep: rv.indep,
+        }
+    }
+
+    /// Number of distinct vectors interned so far.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no vector has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Number of times `intern_rv` found an existing vector.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
     }
 }
 
@@ -425,5 +527,57 @@ mod tests {
     fn display_shows_mean_and_sd() {
         let x = CanonicalRv::with_sensitivities(1.0, vec![1.0], 0.0);
         assert!(x.to_string().contains("N(1.000"));
+    }
+
+    #[test]
+    fn deterministic_shares_zero_storage() {
+        let a = CanonicalRv::deterministic(1.0, 8);
+        let b = CanonicalRv::deterministic(2.0, 8);
+        assert!(Arc::ptr_eq(&a.coeffs, &b.coeffs));
+        // COW: accumulating into a shared vector must not corrupt the other.
+        let mut acc = a.clone();
+        acc.add_assign(&CanonicalRv::with_sensitivities(0.0, vec![1.0; 8], 0.0));
+        assert_eq!(b.coeffs(), &[0.0; 8]);
+        assert_eq!(acc.coeffs(), &[1.0; 8]);
+    }
+
+    #[test]
+    fn add_assign_mutates_unique_storage_in_place() {
+        let mut acc = CanonicalRv::with_sensitivities(1.0, vec![1.0, 2.0], 0.0);
+        let before = Arc::as_ptr(&acc.coeffs);
+        acc.add_assign(&CanonicalRv::with_sensitivities(1.0, vec![0.5, 0.5], 1.0));
+        assert_eq!(
+            Arc::as_ptr(&acc.coeffs),
+            before,
+            "unique arc should not realloc"
+        );
+        assert_eq!(acc.coeffs(), &[1.5, 2.5]);
+        assert!((acc.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interner_dedups_identical_vectors() {
+        let interner = SensitivityInterner::new();
+        let a = CanonicalRv::with_sensitivities(1.0, vec![0.25, -0.5], 0.1);
+        let b = CanonicalRv::with_sensitivities(9.0, vec![0.25, -0.5], 0.7);
+        let c = CanonicalRv::with_sensitivities(9.0, vec![0.25, 0.5], 0.7);
+        let ia = interner.intern_rv(&a);
+        let ib = interner.intern_rv(&b);
+        let ic = interner.intern_rv(&c);
+        assert_eq!(ia, a);
+        assert_eq!(ib, b);
+        assert!(Arc::ptr_eq(&ia.coeffs, &ib.coeffs));
+        assert!(!Arc::ptr_eq(&ia.coeffs, &ic.coeffs));
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.hits(), 1);
+    }
+
+    #[test]
+    fn interner_distinguishes_zero_signs() {
+        let interner = SensitivityInterner::new();
+        let pos = interner.intern_rv(&CanonicalRv::with_sensitivities(0.0, vec![0.0], 0.0));
+        let neg = interner.intern_rv(&CanonicalRv::with_sensitivities(0.0, vec![-0.0], 0.0));
+        assert!(!Arc::ptr_eq(&pos.coeffs, &neg.coeffs));
+        assert_eq!(interner.len(), 2);
     }
 }

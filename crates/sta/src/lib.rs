@@ -53,7 +53,7 @@ pub mod statmin;
 pub mod variation;
 
 pub use analysis::Sta;
-pub use canonical::CanonicalRv;
+pub use canonical::{CanonicalRv, SensitivityInterner};
 pub use delay::{DelayLibrary, TimingConstraints};
 pub use paths::{Path, PathEnumerator};
 pub use variation::{ChipSample, VariationConfig, VariationModel};

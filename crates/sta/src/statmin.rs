@@ -15,7 +15,7 @@ use crate::{Result, StaError};
 use rayon::prelude::*;
 
 /// Order in which pairwise Clark minimums are applied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MinOrdering {
     /// Merge the most correlated pair first (greedy, O(n³) pair scans) —
     /// the Sinha-style error-minimizing heuristic.
