@@ -1,0 +1,134 @@
+//! Command-line driver for the static analyzer.
+//!
+//! ```text
+//! terse-analyze lint     [--deny] [--json] [ROOT]
+//! terse-analyze pipeline [--deny] [--json]
+//! ```
+//!
+//! * `lint` runs the codebase lints (AZ001–AZ003) over every workspace
+//!   crate's `src/` tree under `ROOT` (default: current directory).
+//! * `pipeline` builds the reference pipeline netlist and runs the
+//!   netlist structural passes plus the slack abstract-interpretation
+//!   pass over each stage's endpoint slacks at the deterministic minimum
+//!   period.
+//!
+//! Exit status: `0` clean, `1` findings at the gating severity
+//! (errors by default; warnings too with `--deny`), `2` usage or
+//! environment error. `--json` prints the structured report instead of
+//! text.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use terse_analyze::{analyze_netlist, analyze_slacks, AnalysisReport, SlackPassConfig};
+use terse_netlist::pipeline::{PipelineConfig, PipelineNetlist};
+use terse_sta::analysis::{Sta, StatisticalSta};
+use terse_sta::{DelayLibrary, VariationConfig, VariationModel};
+
+const USAGE: &str = "\
+usage: terse-analyze <command> [options]
+
+commands:
+  lint [--deny] [--json] [ROOT]   lint workspace Rust sources (AZ001-AZ003)
+  pipeline [--deny] [--json]      analyze the reference pipeline IRs
+
+options:
+  --deny   also fail on warnings (deny-by-default CI gate)
+  --json   print the report as JSON
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let deny = args.iter().any(|a| a == "--deny");
+    let json = args.iter().any(|a| a == "--json");
+    let positional: Vec<&String> = args
+        .iter()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+
+    let mut report = AnalysisReport::new();
+    let outcome = match command.as_str() {
+        "lint" => run_lint(&positional, &mut report),
+        "pipeline" => run_pipeline(&mut report),
+        _ => {
+            eprint!("unknown command `{command}`\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(msg) = outcome {
+        eprintln!("terse-analyze: {msg}");
+        return ExitCode::from(2);
+    }
+
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    let gate = report.error_count() > 0 || (deny && report.warning_count() > 0);
+    if gate {
+        eprintln!(
+            "terse-analyze: {} error(s), {} warning(s)",
+            report.error_count(),
+            report.warning_count()
+        );
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_lint(positional: &[&String], report: &mut AnalysisReport) -> Result<(), String> {
+    let root: PathBuf = positional
+        .first()
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    if !root.join("crates").is_dir() {
+        return Err(format!(
+            "`{}` does not contain a crates/ directory (pass the workspace root)",
+            root.display()
+        ));
+    }
+    let scanned = terse_analyze::lint::lint_workspace(&root, report)
+        .map_err(|e| format!("workspace scan failed: {e}"))?;
+    eprintln!("terse-analyze: linted {scanned} file(s)");
+    Ok(())
+}
+
+fn run_pipeline(report: &mut AnalysisReport) -> Result<(), String> {
+    let p = PipelineNetlist::build(PipelineConfig::default())
+        .map_err(|e| format!("pipeline build failed: {e}"))?;
+    let netlist = p.netlist();
+    analyze_netlist(netlist, report);
+
+    let lib = DelayLibrary::normalized_45nm();
+    let var_cfg = VariationConfig::default();
+    let expect_variance = var_cfg.sigma_rel > 0.0;
+    let model = VariationModel::new(netlist, &lib, var_cfg)
+        .map_err(|e| format!("variation model failed: {e}"))?;
+    let ssta = StatisticalSta::new(netlist, &lib, &model);
+    let t_clk = Sta::new(netlist, &lib).min_period();
+    let slack_cfg = SlackPassConfig {
+        expected_var_count: Some(model.var_count()),
+        expect_variance,
+        ..Default::default()
+    };
+    for s in 0..netlist.stage_count() {
+        let endpoints = netlist
+            .endpoints(s)
+            .map_err(|e| format!("stage {s} endpoints failed: {e}"))?;
+        let mut rvs = Vec::with_capacity(endpoints.len());
+        for &e in endpoints {
+            let rv = ssta
+                .endpoint_slack(e, t_clk)
+                .map_err(|err| format!("slack of {e} failed: {err}"))?;
+            rvs.push(rv);
+        }
+        analyze_slacks(&rvs, &slack_cfg, &format!("stage {s}"), report);
+    }
+    Ok(())
+}

@@ -1,0 +1,393 @@
+//! Structural verification of the CFG IR against its program.
+//!
+//! The error model (Algorithm 2) walks basic blocks and edge activation
+//! probabilities; the marginal solver builds per-SCC linear systems over
+//! the same edges. Both silently assume the `B_1 … B_m` decomposition is
+//! faithful to the instruction stream: blocks tile the program, every
+//! branch target is a leader, and the static edge set is exactly what each
+//! block's terminator justifies. This pass re-derives those facts from the
+//! program text and diffs them against the `Cfg` object, so a corrupted or
+//! hand-built CFG is diagnosed before estimation starts.
+//!
+//! Diagnostic codes:
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | CF001 | warning  | statically unreachable block (dead code) |
+//! | CF002 | error    | edge set mismatch: an edge the terminator does not justify, a missing branch/jump edge, an out-of-range target, or an inconsistent predecessor list |
+//! | CF003 | error    | fall-through inconsistency: a block without a terminator missing its fall-through edge, or falling off the end of the program |
+//! | CF004 | error    | partition mismatch: blocks do not tile the program contiguously |
+//! | CF005 | error    | leader mismatch: a branch/jump target or post-control instruction that is not a block start |
+
+use crate::{AnalysisReport, Severity};
+use terse_isa::{BlockId, Cfg, Opcode, Program};
+
+/// Runs every CFG pass, appending findings to `report`.
+///
+/// Emission order is deterministic: passes run in code order and iterate
+/// blocks in dense id order.
+pub fn analyze_cfg(program: &Program, cfg: &Cfg, report: &mut AnalysisReport) {
+    partition(program, cfg, report);
+    leaders(program, cfg, report);
+    edges(program, cfg, report);
+    reachability(program, cfg, report);
+}
+
+/// CF004 — blocks must tile the program contiguously and non-emptily.
+fn partition(program: &Program, cfg: &Cfg, report: &mut AnalysisReport) {
+    let n = program.len();
+    let mut next = 0u32;
+    for b in cfg.blocks() {
+        if b.start != next || b.is_empty() {
+            report.push(
+                "CF004",
+                Severity::Error,
+                b.id.to_string(),
+                format!(
+                    "block covers [{}, {}) but the previous block ended at {next}",
+                    b.start, b.end
+                ),
+                "blocks must partition the program contiguously in order",
+            );
+        }
+        next = next.max(b.end);
+    }
+    if next as usize != n {
+        report.push(
+            "CF004",
+            Severity::Error,
+            "cfg".to_string(),
+            format!("blocks cover {next} instruction(s) of {n}"),
+            "blocks must partition the program contiguously in order",
+        );
+    }
+}
+
+/// CF005 — every leader the program text implies must be a block start:
+/// the entry, every branch/`jal` target, and every instruction following a
+/// control-flow instruction.
+fn leaders(program: &Program, cfg: &Cfg, report: &mut AnalysisReport) {
+    let insts = program.instructions();
+    let n = insts.len();
+    let starts: std::collections::BTreeSet<u32> = cfg.blocks().iter().map(|b| b.start).collect();
+    let mut require = |idx: usize, why: String| {
+        if idx < n && !starts.contains(&(idx as u32)) {
+            report.push(
+                "CF005",
+                Severity::Error,
+                format!("inst {idx}"),
+                format!("{why}, but instruction {idx} is not a block start"),
+                "re-derive the block partition from the program's leaders",
+            );
+        }
+    };
+    require(0, "the entry instruction is a leader".to_string());
+    for (i, inst) in insts.iter().enumerate() {
+        let is_ctrl = inst.opcode.is_branch()
+            || matches!(inst.opcode, Opcode::Jal | Opcode::Jr | Opcode::Halt);
+        if inst.opcode.is_branch() || inst.opcode == Opcode::Jal {
+            require(
+                inst.imm as usize,
+                format!("instruction {i} targets a leader"),
+            );
+        }
+        if is_ctrl {
+            require(
+                i + 1,
+                format!("instruction {i} is control flow, so its successor is a leader"),
+            );
+        }
+    }
+}
+
+/// The static successor set the terminator of `b` justifies, mirroring
+/// `Cfg::from_program` exactly (including the `beq r0, r0` pseudo-jump
+/// whose fall-through edge is suppressed). `None` marks a block whose
+/// successors are discovered dynamically (indirect jump).
+fn expected_succs(program: &Program, cfg: &Cfg, b: terse_isa::BasicBlock) -> Option<Vec<BlockId>> {
+    let insts = program.instructions();
+    let n = insts.len();
+    let last = &insts[(b.end - 1) as usize];
+    let block_at = |idx: usize| -> Option<BlockId> {
+        (idx < n).then(|| {
+            cfg.blocks()
+                .iter()
+                .find(|blk| blk.range().contains(&idx))
+                .map(|blk| blk.id)
+        })?
+    };
+    let mut out: Vec<BlockId> = Vec::new();
+    let mut add = |s: Option<BlockId>| {
+        if let Some(s) = s {
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        }
+    };
+    match last.opcode {
+        op if op.is_branch() => {
+            add(block_at(last.imm as usize));
+            if !(last.rs1 == 0 && last.rs2 == 0 && last.opcode == Opcode::Beq) {
+                add(block_at(b.end as usize));
+            }
+        }
+        Opcode::Jal => add(block_at(last.imm as usize)),
+        Opcode::Jr => return None,
+        Opcode::Halt => {}
+        _ => add(block_at(b.end as usize)),
+    }
+    Some(out)
+}
+
+/// CF002 / CF003 — the CFG's stored edges must be exactly the ones each
+/// block's terminator justifies, and the predecessor lists must be the
+/// transpose of the successor lists.
+fn edges(program: &Program, cfg: &Cfg, report: &mut AnalysisReport) {
+    let insts = program.instructions();
+    let m = cfg.len();
+    for b in cfg.blocks() {
+        if b.is_empty() || b.end as usize > insts.len() {
+            continue; // already reported by CF004
+        }
+        let actual = cfg.successors(b.id);
+        for &s in actual {
+            if s.index() >= m {
+                report.push(
+                    "CF002",
+                    Severity::Error,
+                    b.id.to_string(),
+                    format!("edge {} -> {s} targets a nonexistent block", b.id),
+                    "edges must reference blocks of this CFG",
+                );
+            }
+        }
+        let last = &insts[(b.end - 1) as usize];
+        let is_terminator = last.opcode.is_branch()
+            || matches!(last.opcode, Opcode::Jal | Opcode::Jr | Opcode::Halt);
+        let Some(expected) = expected_succs(program, cfg, *b) else {
+            // Indirect terminator: static successors are discovered at
+            // profile time; the block must be flagged as indirect and
+            // carry no static edges.
+            if !cfg.indirect_blocks().contains(&b.id) {
+                report.push(
+                    "CF002",
+                    Severity::Error,
+                    b.id.to_string(),
+                    "block ends in an indirect jump but is not flagged indirect".to_string(),
+                    "indirect blocks get their successors from profiling; flag them",
+                );
+            }
+            for &s in actual {
+                report.push(
+                    "CF002",
+                    Severity::Error,
+                    b.id.to_string(),
+                    format!(
+                        "static edge {} -> {s} from an indirect-jump terminator",
+                        b.id
+                    ),
+                    "indirect successors are dynamic; remove the static edge",
+                );
+            }
+            continue;
+        };
+        for &s in actual {
+            if s.index() < m && !expected.contains(&s) {
+                report.push(
+                    "CF002",
+                    Severity::Error,
+                    b.id.to_string(),
+                    format!(
+                        "edge {} -> {s} is not justified by the terminator ({:?})",
+                        b.id, last.opcode
+                    ),
+                    "remove the dangling edge or fix the terminator",
+                );
+            }
+        }
+        for &s in &expected {
+            if !actual.contains(&s) {
+                if is_terminator {
+                    report.push(
+                        "CF002",
+                        Severity::Error,
+                        b.id.to_string(),
+                        format!(
+                            "missing edge {} -> {s} required by the terminator ({:?})",
+                            b.id, last.opcode
+                        ),
+                        "add the edge implied by the branch/jump target",
+                    );
+                } else {
+                    report.push(
+                        "CF003",
+                        Severity::Error,
+                        b.id.to_string(),
+                        format!(
+                            "block has no terminator but its fall-through edge {} -> {s} is missing",
+                            b.id
+                        ),
+                        "a non-terminated block must fall through to the next block",
+                    );
+                }
+            }
+        }
+        // A non-terminated final block runs off the end of the program.
+        if !is_terminator && b.end as usize == insts.len() {
+            report.push(
+                "CF003",
+                Severity::Error,
+                b.id.to_string(),
+                "final block lacks a terminator and falls off the end of the program".to_string(),
+                "end the program with halt (or an unconditional jump)",
+            );
+        }
+    }
+    // Predecessor lists must be the transpose of the successor lists.
+    for b in cfg.blocks() {
+        for &s in cfg.successors(b.id) {
+            if s.index() < m && !cfg.predecessors(s).contains(&b.id) {
+                report.push(
+                    "CF002",
+                    Severity::Error,
+                    s.to_string(),
+                    format!("predecessor list of {s} is missing {}", b.id),
+                    "predecessors must be the exact transpose of successors",
+                );
+            }
+        }
+        for &p in cfg.predecessors(b.id) {
+            if p.index() < m && !cfg.successors(p).contains(&b.id) {
+                report.push(
+                    "CF002",
+                    Severity::Error,
+                    b.id.to_string(),
+                    format!("predecessor {p} of {} has no matching successor edge", b.id),
+                    "predecessors must be the exact transpose of successors",
+                );
+            }
+        }
+    }
+}
+
+/// CF001 — static reachability from the entry block. When the program
+/// contains indirect jumps (function returns), every `jal` return site is
+/// treated as reachable (a called function returns through the indirect
+/// block), so well-formed call/return programs do not trip this pass.
+fn reachability(program: &Program, cfg: &Cfg, report: &mut AnalysisReport) {
+    let m = cfg.len();
+    if m == 0 {
+        return;
+    }
+    let insts = program.instructions();
+    let has_indirect = !cfg.indirect_blocks().is_empty();
+    let mut reachable = vec![false; m];
+    let mut stack = vec![BlockId(0)];
+    while let Some(b) = stack.pop() {
+        if b.index() >= m || reachable[b.index()] {
+            continue;
+        }
+        reachable[b.index()] = true;
+        for &s in cfg.successors(b) {
+            stack.push(s);
+        }
+        // Call return site: the block after a `jal` resumes when the
+        // callee returns through `jr`.
+        let blk = &cfg.blocks()[b.index()];
+        if has_indirect
+            && blk.end as usize <= insts.len()
+            && !blk.is_empty()
+            && insts[(blk.end - 1) as usize].opcode == Opcode::Jal
+            && (blk.end as usize) < insts.len()
+        {
+            if let Some(next) = cfg.blocks().iter().find(|x| x.start == blk.end) {
+                stack.push(next.id);
+            }
+        }
+    }
+    for b in cfg.blocks() {
+        if !reachable[b.id.index()] {
+            report.push(
+                "CF001",
+                Severity::Warning,
+                b.id.to_string(),
+                format!(
+                    "block (instructions {}..{}) is statically unreachable",
+                    b.start, b.end
+                ),
+                "dead code: remove it, or wire an edge if it should execute",
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terse_isa::assemble;
+
+    fn check(src: &str) -> AnalysisReport {
+        let p = assemble(src).expect("test program assembles");
+        let cfg = Cfg::from_program(&p);
+        let mut r = AnalysisReport::new();
+        analyze_cfg(&p, &cfg, &mut r);
+        r
+    }
+
+    #[test]
+    fn straight_line_is_clean() {
+        let r = check("addi r1, r0, 1\nadd r2, r1, r1\nhalt\n");
+        assert!(r.is_clean(), "{}", r.render_text());
+        assert!(r.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn loops_and_diamonds_are_clean() {
+        let r = check(
+            r"
+                addi r1, r0, 10
+            a:
+                addi r1, r1, -1
+                beq r1, r0, b
+                bne r1, r0, a
+            b:
+                st r1, r0, 0
+                halt
+        ",
+        );
+        assert!(r.is_clean(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn call_return_is_clean() {
+        // The return site (halt block) is only dynamically reachable
+        // through the callee's `ret`; the pass must not flag it.
+        let r = check(
+            r"
+            main:
+                call fn
+                halt
+            fn:
+                addi r1, r1, 1
+                ret
+        ",
+        );
+        assert!(r.is_clean(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn pseudo_jump_dead_code_is_flagged() {
+        // `j end` is `beq r0, r0` — no fall-through, so the nop block is
+        // genuinely dead code.
+        let r = check(
+            r"
+                j end
+                nop
+            end:
+                halt
+        ",
+        );
+        assert!(r.has_code("CF001"), "{}", r.render_text());
+        assert!(!r.has_errors(), "dead code is a warning");
+    }
+}

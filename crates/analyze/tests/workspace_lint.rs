@@ -1,0 +1,22 @@
+//! Dogfood: the workspace's own sources must pass the codebase lints.
+//! Every hash-iteration or panic site is either fixed or carries an
+//! audited `terse-analyze: allow(...)` marker / clippy allow attribute.
+
+use std::path::Path;
+use terse_analyze::{lint::lint_workspace, AnalysisReport};
+
+#[test]
+fn workspace_sources_are_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut report = AnalysisReport::new();
+    let scanned = lint_workspace(&root, &mut report).expect("workspace scan");
+    assert!(
+        scanned > 50,
+        "expected to scan the whole workspace, got {scanned}"
+    );
+    assert!(
+        report.is_clean(),
+        "workspace lint findings:\n{}",
+        report.render_text()
+    );
+}

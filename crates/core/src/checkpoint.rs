@@ -229,8 +229,8 @@ pub(crate) fn store(
         let Some((cc, ce)) = slot else { continue };
         out.extend_from_slice(&(idx as u64).to_le_bytes());
         out.extend_from_slice(&(cc.len() as u64).to_le_bytes());
-        for table in [cc, ce] {
-            for rv in table {
+        for rvs in [cc, ce] {
+            for rv in rvs {
                 for &v in rv.samples() {
                     out.extend_from_slice(&v.to_bits().to_le_bytes());
                 }

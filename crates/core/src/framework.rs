@@ -35,6 +35,9 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+use terse_analyze::{
+    analyze_cfg, analyze_netlist, analyze_slacks, AnalysisReport, SlackPassConfig,
+};
 use terse_dta::cache::{DtsCache, DtsCacheStats};
 use terse_dta::control::{characterization_edges, characterize_control};
 use terse_dta::datapath::DatapathModel;
@@ -47,6 +50,7 @@ use terse_sim::correction::CorrectionScheme;
 use terse_sim::features::InstFeatures;
 use terse_sim::machine::Machine;
 use terse_sim::profile::{ProfileResult, Profiler};
+use terse_sta::analysis::StatisticalSta;
 use terse_sta::delay::{DelayLibrary, TimingConstraints};
 use terse_sta::statmin::MinOrdering;
 use terse_sta::variation::{ChipSample, VariationConfig, VariationModel};
@@ -387,6 +391,66 @@ impl Framework {
         self.degradation
     }
 
+    /// Static analysis of every input IR this run would consume: the
+    /// pipeline netlist (structure), the workload's CFG (partition,
+    /// leaders, edges, reachability), and the per-stage endpoint slack
+    /// RVs at the working period (finiteness, basis, variance, and the
+    /// static DTS interval bound). Returns the full report; [`run`]
+    /// consults it and, under [`DegradationPolicy::Strict`], refuses to
+    /// start when the report contains errors.
+    ///
+    /// [`run`]: Framework::run
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures of the variation model or the
+    /// statistical timing engine (not analysis findings — those are
+    /// returned inside the report).
+    pub fn preflight(&self, w: &Workload) -> Result<AnalysisReport> {
+        let netlist = self.pipeline.netlist();
+        let mut report = AnalysisReport::new();
+        analyze_netlist(netlist, &mut report);
+        let cfg = Cfg::from_program(w.program());
+        analyze_cfg(w.program(), &cfg, &mut report);
+        let model = VariationModel::new(netlist, &self.lib, self.variation)?;
+        let ssta = StatisticalSta::new(netlist, &self.lib, &model);
+        let slack_cfg = SlackPassConfig {
+            expected_var_count: Some(model.var_count()),
+            expect_variance: self.variation.sigma_rel > 0.0,
+            ..Default::default()
+        };
+        for s in 0..netlist.stage_count() {
+            let endpoints = netlist.endpoints(s)?;
+            let mut rvs = Vec::with_capacity(endpoints.len());
+            for &e in endpoints {
+                rvs.push(ssta.endpoint_slack(e, self.operating.working_period)?);
+            }
+            analyze_slacks(&rvs, &slack_cfg, &format!("stage {s}"), &mut report);
+        }
+        Ok(report)
+    }
+
+    /// Runs the netlist structural passes over an arbitrary netlist and
+    /// applies `policy`: under [`DegradationPolicy::Strict`] a report with
+    /// errors becomes [`TerseError::Preflight`]; under
+    /// [`DegradationPolicy::Repair`] the report is returned for the caller
+    /// to act on.
+    ///
+    /// # Errors
+    ///
+    /// [`TerseError::Preflight`] as described above.
+    pub fn preflight_netlist(
+        netlist: &terse_netlist::Netlist,
+        policy: DegradationPolicy,
+    ) -> Result<AnalysisReport> {
+        let mut report = AnalysisReport::new();
+        analyze_netlist(netlist, &mut report);
+        if policy == DegradationPolicy::Strict && report.has_errors() {
+            return Err(TerseError::Preflight(preflight_message(&report)));
+        }
+        Ok(report)
+    }
+
     /// The configured estimate checkpoint, if any.
     pub fn estimate_checkpoint(&self) -> Option<&EstimateCheckpoint> {
         self.checkpoint.as_ref()
@@ -485,6 +549,7 @@ impl Framework {
         let engine = self.engine()?;
         let mut edges: Vec<(BlockId, BlockId)> = profiles
             .iter()
+            // terse-analyze: allow(AZ002): collected, sorted and deduped below.
             .flat_map(|p| p.edge_counts.keys().copied())
             .collect();
         edges.sort();
@@ -651,6 +716,7 @@ impl Framework {
         // --- Marginals (Eqs. 1–2, Tarjan, per-SCC systems) ----------------
         let mut edge_counts: HashMap<(BlockId, BlockId), Vec<f64>> = HashMap::new();
         for (s, prof) in profiles.iter().enumerate() {
+            // terse-analyze: allow(AZ002): keyed writes into a map; order-free.
             for (&e, &c) in &prof.edge_counts {
                 edge_counts.entry(e).or_insert_with(|| vec![0.0; s_count])[s] = c as f64;
             }
@@ -771,13 +837,20 @@ impl Framework {
     ///
     /// Propagates every phase's errors.
     pub fn run(&self, w: &Workload) -> Result<Report> {
+        let pre = self.preflight(w)?;
+        if self.degradation == DegradationPolicy::Strict && pre.has_errors() {
+            return Err(TerseError::Preflight(preflight_message(&pre)));
+        }
         let cfg = Cfg::from_program(w.program());
+        // terse-analyze: allow(AZ003): wall-clock telemetry only; never feeds results.
         let t0 = Instant::now();
         let profiles = self.profile_workload(w, &cfg)?;
         let simulation_s = t0.elapsed().as_secs_f64();
+        // terse-analyze: allow(AZ003): wall-clock telemetry only; never feeds results.
         let t1 = Instant::now();
         let model = self.train_model(w, &cfg, &profiles)?;
         let training_s = t1.elapsed().as_secs_f64();
+        // terse-analyze: allow(AZ003): wall-clock telemetry only; never feeds results.
         let t2 = Instant::now();
         let estimate = self.estimate(w, &cfg, &profiles, &model)?;
         let estimation_s = t2.elapsed().as_secs_f64();
@@ -834,6 +907,7 @@ fn edge_contexts(prof: &ProfileResult, block: BlockId) -> Vec<(Option<BlockId>, 
     }
     let mut out = Vec::new();
     let mut known = 0.0;
+    // terse-analyze: allow(AZ002): `out` is sorted before use below.
     for (&(from, to), &c) in &prof.edge_counts {
         if to == block && c > 0 {
             out.push((Some(from), c as f64 / denom));
@@ -846,6 +920,22 @@ fn edge_contexts(prof: &ProfileResult, block: BlockId) -> Vec<(Option<BlockId>, 
     }
     out.sort_by_key(|a| a.0);
     out
+}
+
+/// One-line summary of a gating preflight report: counts plus the first
+/// error diagnostic.
+fn preflight_message(report: &AnalysisReport) -> String {
+    let first = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.severity == terse_analyze::Severity::Error)
+        .map(|d| d.to_string())
+        .unwrap_or_default();
+    format!(
+        "{} error(s), {} warning(s); first: {first}",
+        report.error_count(),
+        report.warning_count()
+    )
 }
 
 #[cfg(test)]
@@ -863,6 +953,35 @@ mod tests {
             })
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn preflight_netlist_rejects_cycle_under_strict() {
+        use terse_netlist::builder::NetlistBuilder;
+        use terse_netlist::netlist::EndpointClass;
+        use terse_netlist::GateKind;
+        let mut b = NetlistBuilder::new(1);
+        let src = b.flip_flop("src", EndpointClass::Data, 0).unwrap();
+        let g1 = b.gate(GateKind::Buf, &[src], 0).unwrap();
+        let g2 = b.gate(GateKind::Buf, &[g1], 0).unwrap();
+        b.rewire_fanin(g1, &[g2]).unwrap();
+        b.connect_ff_input(src, g2).unwrap();
+        let n = b.finish_unchecked();
+        // Strict: the combinational loop is a typed error, not a panic.
+        let err = Framework::preflight_netlist(&n, DegradationPolicy::Strict).unwrap_err();
+        assert!(matches!(err, TerseError::Preflight(_)), "{err}");
+        assert!(err.to_string().contains("NL001"), "{err}");
+        // Repair: the report comes back for the caller to act on.
+        let rep = Framework::preflight_netlist(&n, DegradationPolicy::Repair).unwrap();
+        assert!(rep.has_code("NL001"));
+    }
+
+    #[test]
+    fn preflight_passes_valid_run_inputs() {
+        let f = small_framework();
+        let w = Workload::from_asm("p", "addi r1, r0, 1\nadd r2, r1, r1\nhalt\n").unwrap();
+        let rep = f.preflight(&w).unwrap();
+        assert!(!rep.has_errors(), "{}", rep.render_text());
     }
 
     #[test]

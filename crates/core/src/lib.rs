@@ -67,6 +67,9 @@ pub use terse_sim::correction::CorrectionScheme;
 pub use terse_sta::statmin::MinOrdering;
 pub use terse_sta::variation::VariationConfig;
 pub use terse_stats::DegradationPolicy;
+// Re-export the static-analysis report so `Framework::preflight` callers
+// can inspect diagnostics without naming the analyzer crate.
+pub use terse_analyze::{AnalysisReport, Diagnostic, Severity};
 
 use std::fmt;
 
@@ -95,6 +98,10 @@ pub enum TerseError {
     /// An estimate checkpoint could not be read, written, or did not match
     /// the run it was resumed into.
     Checkpoint(String),
+    /// Static analysis found errors in an input IR and the degradation
+    /// policy is [`DegradationPolicy::Strict`], so the run was refused
+    /// before any phase started.
+    Preflight(String),
     /// An estimate sweep ran out of its configured unit budget; the
     /// checkpoint (if any) holds the completed prefix and a re-run resumes
     /// from it.
@@ -121,6 +128,7 @@ impl fmt::Display for TerseError {
                 write!(f, "invalid operating point: {m}")
             }
             TerseError::Checkpoint(m) => write!(f, "estimate checkpoint failed: {m}"),
+            TerseError::Preflight(m) => write!(f, "preflight static analysis failed: {m}"),
             TerseError::Interrupted { completed, total } => write!(
                 f,
                 "estimation interrupted after {completed}/{total} blocks \

@@ -61,6 +61,7 @@ impl ControlDtsTable {
 
     /// All characterized keys (sorted, for deterministic reporting).
     pub fn keys(&self) -> Vec<(BlockId, Option<BlockId>)> {
+        // terse-analyze: allow(AZ002): collected then sorted immediately.
         let mut v: Vec<_> = self.entries.keys().copied().collect();
         v.sort();
         v

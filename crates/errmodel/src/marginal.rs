@@ -113,6 +113,7 @@ impl MarginalProblem {
                 }
             }
         }
+        // terse-analyze: allow(AZ002): per-item length validation; order-free.
         for counts in self.edge_counts.values() {
             if counts.len() != samples {
                 return Err(ErrModelError::DimensionMismatch {
@@ -216,6 +217,7 @@ pub fn solve_marginals_with(
     let comps = condensation_order(m, succs);
     // Incoming edges per block.
     let mut preds: Vec<Vec<(usize, &Vec<f64>)>> = vec![Vec::new(); m];
+    // terse-analyze: allow(AZ002): each preds[i] is sorted right below.
     for ((from, to), counts) in &problem.edge_counts {
         preds[to.index()].push((from.index(), counts));
     }

@@ -500,8 +500,8 @@ pub fn disassemble(program: &Program) -> String {
     }
     let mut s = String::new();
     for (i, inst) in program.instructions().iter().enumerate() {
-        if let Some(names) = by_addr.get(&(i as u32)) {
-            for n in names {
+        if let Some(labels_here) = by_addr.get(&(i as u32)) {
+            for n in labels_here {
                 s.push_str(n);
                 s.push_str(":\n");
             }

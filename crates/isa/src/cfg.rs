@@ -193,6 +193,50 @@ impl Cfg {
         }
     }
 
+    /// Assembles a CFG directly from parts, with **no** consistency
+    /// checking against any program.
+    ///
+    /// This is a fixture-injection API for the static analyzer's test
+    /// corpus: it can express deliberately broken graphs (dangling edges,
+    /// merged leaders, missing fall-throughs) that `from_program` can
+    /// never produce. `block_of` is derived from the block ranges
+    /// (in-range instructions only); `preds` is the transpose of `succs`
+    /// restricted to in-range targets, so a dangling successor edge has
+    /// no predecessor image — exactly the asymmetry the CF002 pass
+    /// reports.
+    pub fn from_raw_parts(
+        blocks: Vec<BasicBlock>,
+        mut succs: Vec<Vec<BlockId>>,
+        indirect: Vec<BlockId>,
+        program_len: usize,
+    ) -> Self {
+        let m = blocks.len();
+        succs.resize(m, Vec::new());
+        let mut block_of = vec![BlockId(0); program_len];
+        for b in &blocks {
+            for i in b.range() {
+                if let Some(slot) = block_of.get_mut(i) {
+                    *slot = b.id;
+                }
+            }
+        }
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); m];
+        for (i, ss) in succs.iter().enumerate() {
+            for s in ss {
+                if s.index() < m {
+                    preds[s.index()].push(BlockId(i as u32));
+                }
+            }
+        }
+        Cfg {
+            blocks,
+            block_of,
+            succs,
+            preds,
+            indirect,
+        }
+    }
+
     /// The basic blocks in program order.
     pub fn blocks(&self) -> &[BasicBlock] {
         &self.blocks

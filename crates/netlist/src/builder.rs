@@ -254,6 +254,51 @@ impl NetlistBuilder {
         Ok(())
     }
 
+    /// Replaces the fanin of an existing gate **without** arity or
+    /// acyclicity checks.
+    ///
+    /// This exists for one purpose: constructing intentionally ill-formed
+    /// netlists (combinational cycles, arity violations) as ground-truth
+    /// negative fixtures for `terse-analyze`. Production construction goes
+    /// through [`NetlistBuilder::gate`] / [`NetlistBuilder::finish`], which
+    /// reject these shapes. Pair with [`NetlistBuilder::finish_unchecked`];
+    /// [`NetlistBuilder::finish`] will still reject the resulting cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownGate`] on dangling ids.
+    pub fn rewire_fanin(&mut self, gate: GateId, fanin: &[GateId]) -> Result<()> {
+        self.check_ids(&[gate])?;
+        self.check_ids(fanin)?;
+        self.gates[gate.index()].fanin = fanin.to_vec();
+        Ok(())
+    }
+
+    /// Appends an *additional* D driver to a flip-flop, creating a
+    /// multi-driver conflict.
+    ///
+    /// Like [`NetlistBuilder::rewire_fanin`], this is a fixture-injection
+    /// API for `terse-analyze`: real designs have exactly one driver per
+    /// net, and [`NetlistBuilder::connect_ff_input`] enforces that by
+    /// overwriting. The first connected driver remains the one reported by
+    /// [`Netlist::ff_input`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownGate`] for dangling ids or if `ff` is
+    /// not a flip-flop.
+    pub fn add_ff_driver(&mut self, ff: GateId, driver: GateId) -> Result<()> {
+        self.check_ids(&[ff, driver])?;
+        if self.gates[ff.index()].kind != GateKind::FlipFlop {
+            return Err(NetlistError::UnknownGate { id: ff.0 });
+        }
+        self.gates[ff.index()].fanin.push(driver);
+        if self.ff_input[ff.index()].is_none() {
+            self.ff_input[ff.index()] = Some(driver);
+        }
+        Ok(())
+    }
+
     /// Registers an additional bus name for existing gates.
     ///
     /// # Errors
@@ -365,6 +410,74 @@ impl NetlistBuilder {
             ff_input: self.ff_input,
         })
     }
+
+    /// Freezes the netlist **without** validation: unconnected flip-flops
+    /// are kept, and on a combinational cycle the topological order is the
+    /// partial (acyclic-prefix) order — cycle members are simply absent
+    /// from [`Netlist::topo_order`].
+    ///
+    /// The only consumer is `terse-analyze`'s negative-fixture path: the
+    /// structural passes must be able to *hold* an ill-formed netlist to
+    /// diagnose it. Never feed the result to the simulator, STA, or DTA —
+    /// those layers assume [`NetlistBuilder::finish`]'s invariants.
+    pub fn finish_unchecked(self) -> Netlist {
+        let n = self.gates.len();
+        let mut fanout: Vec<Vec<GateId>> = vec![Vec::new(); n];
+        for (i, g) in self.gates.iter().enumerate() {
+            for f in &g.fanin {
+                fanout[f.index()].push(GateId(i as u32));
+            }
+        }
+        // Same Kahn sweep as `finish`, but a short count (cycle) is
+        // tolerated: the partial order covers the acyclic prefix only.
+        let mut indeg = vec![0usize; n];
+        for (i, g) in self.gates.iter().enumerate() {
+            if g.kind.is_endpoint() {
+                continue;
+            }
+            indeg[i] = g
+                .fanin
+                .iter()
+                .filter(|f| !self.gates[f.index()].kind.is_endpoint())
+                .count();
+        }
+        let mut queue: Vec<usize> = (0..n)
+            .filter(|&i| !self.gates[i].kind.is_endpoint() && indeg[i] == 0)
+            .collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            topo.push(GateId(u as u32));
+            for v in &fanout[u] {
+                let vi = v.index();
+                if self.gates[vi].kind.is_endpoint() {
+                    continue;
+                }
+                indeg[vi] -= 1;
+                if indeg[vi] == 0 {
+                    queue.push(vi);
+                }
+            }
+        }
+        let mut endpoints_by_stage: Vec<Vec<GateId>> = vec![Vec::new(); self.stage_count];
+        for (i, g) in self.gates.iter().enumerate() {
+            if g.kind == GateKind::FlipFlop {
+                let s = (g.stage as usize).min(self.stage_count - 1);
+                endpoints_by_stage[s].push(GateId(i as u32));
+            }
+        }
+        Netlist {
+            gates: self.gates,
+            fanout,
+            topo,
+            stage_count: self.stage_count,
+            endpoints_by_stage,
+            names: self.names,
+            ff_input: self.ff_input,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -429,6 +542,56 @@ mod tests {
         // which is itself the guarantee; assert finish succeeds.
         let _ = g3;
         assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn rewired_cycle_rejected_by_finish_but_kept_unchecked() {
+        let build = || {
+            let mut b = NetlistBuilder::new(1);
+            let a = b.input("a", 0).unwrap();
+            let g1 = b.gate(GateKind::And, &[a, a], 0).unwrap();
+            let g2 = b.gate(GateKind::Or, &[g1, g1], 0).unwrap();
+            // Close the loop g1 -> g2 -> g1 through the injection API.
+            b.rewire_fanin(g1, &[a, g2]).unwrap();
+            let ff = b.flip_flop("q", EndpointClass::Data, 0).unwrap();
+            b.connect_ff_input(ff, g2).unwrap();
+            b
+        };
+        assert!(matches!(
+            build().finish(),
+            Err(NetlistError::CombinationalCycle)
+        ));
+        let n = build().finish_unchecked();
+        assert_eq!(n.gate_count(), 4);
+        // Both cycle members are missing from the partial topo order.
+        assert!(n.topo_order().is_empty());
+        // Fanout still reflects the rewired edges.
+        let g2 = GateId::from_index(2);
+        assert!(n.fanout(g2).contains(&GateId::from_index(1)));
+    }
+
+    #[test]
+    fn add_ff_driver_creates_multidriver() {
+        let mut b = NetlistBuilder::new(1);
+        let a = b.input("a", 0).unwrap();
+        let inv = b.gate(GateKind::Not, &[a], 0).unwrap();
+        let ff = b.flip_flop("q", EndpointClass::Data, 0).unwrap();
+        b.connect_ff_input(ff, inv).unwrap();
+        b.add_ff_driver(ff, a).unwrap();
+        let n = b.finish_unchecked();
+        assert_eq!(n.fanin(ff).len(), 2);
+        // The first connected driver stays the canonical D input.
+        assert_eq!(n.ff_input(ff).unwrap(), inv);
+    }
+
+    #[test]
+    fn finish_unchecked_keeps_undriven_ff() {
+        let mut b = NetlistBuilder::new(1);
+        b.flip_flop("q", EndpointClass::Data, 0).unwrap();
+        let n = b.finish_unchecked();
+        let ff = n.bus("q").unwrap()[0];
+        assert!(n.ff_input(ff).is_err());
+        assert_eq!(n.endpoints(0).unwrap().len(), 1);
     }
 
     #[test]

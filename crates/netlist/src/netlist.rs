@@ -180,6 +180,7 @@ impl Netlist {
 
     /// All registered bus names (sorted for determinism).
     pub fn bus_names(&self) -> Vec<&str> {
+        // terse-analyze: allow(AZ002): collected then sorted immediately.
         let mut v: Vec<&str> = self.names.keys().map(String::as_str).collect();
         v.sort_unstable();
         v

@@ -477,6 +477,7 @@ trait BusIds {
 impl BusIds for NetlistBuilder {
     fn bus_ids(&self, name: &str) -> Vec<GateId> {
         self.peek_bus(name)
+            // terse-analyze: allow(AZ001): build() registers every bus before use.
             .unwrap_or_else(|| panic!("bus `{name}` must be registered before use"))
     }
 }
