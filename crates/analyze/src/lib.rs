@@ -8,9 +8,12 @@
 //!   [`netlist_pass`] (combinational loops, undriven/floating nets,
 //!   multi-driver conflicts, stage-cone consistency, unreachable
 //!   endpoints), [`cfg_pass`] (unreachable blocks, edge/leader mismatches,
-//!   fall-through consistency, missing terminators), and [`slack_pass`]
+//!   fall-through consistency, missing terminators), [`slack_pass`]
 //!   (interval + NaN/∞ abstract interpretation over `sta::canonical`
-//!   slack RVs, bounding stage DTS and flagging degenerate forms).
+//!   slack RVs, bounding stage DTS and flagging degenerate forms), and
+//!   [`tape_pass`] (compiled-op-tape write-before-read order, destination
+//!   slot aliasing, slab-range and external-slot ownership checks for the
+//!   bit-parallel kernels).
 //! * **Codebase lints** — [`lint`], an offline scanner over the
 //!   workspace's own Rust sources (no registry dependencies, consistent
 //!   with the vendored-shim policy): panicking APIs in library crates,
@@ -26,8 +29,8 @@
 //! derived facts (e.g. static stage-DTS interval bounds) and never gate.
 //!
 //! Diagnostic codes are stable identifiers (`NL0xx` netlist, `CF0xx` CFG,
-//! `SL0xx` slack RVs, `AZ0xx` codebase lints); see DESIGN.md §14 for the
-//! full table.
+//! `SL0xx` slack RVs, `TP0xx` compiled op tapes, `AZ0xx` codebase lints);
+//! see DESIGN.md §14 for the full table.
 
 // Numeric-kernel idioms used intentionally throughout this crate:
 // `!(x >= 0.0)` rejects NaN along with negatives, and index loops run over
@@ -39,10 +42,12 @@ pub mod cfg_pass;
 pub mod lint;
 pub mod netlist_pass;
 pub mod slack_pass;
+pub mod tape_pass;
 
 pub use cfg_pass::analyze_cfg;
 pub use netlist_pass::analyze_netlist;
 pub use slack_pass::{analyze_slacks, SlackPassConfig};
+pub use tape_pass::analyze_tape;
 
 use std::fmt;
 

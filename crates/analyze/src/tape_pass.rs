@@ -1,0 +1,217 @@
+//! Structural verification of the compiled op-tape IR.
+//!
+//! The bit-parallel kernels ([`terse_netlist::tape::CompiledTape`]'s
+//! `execute_full` / `execute_event` and the packed simulator on top of
+//! them) assume the tape upholds the invariants the compiler establishes
+//! by construction: every slot an op reads is either *external* (written
+//! by the clock edge — inputs, flip-flops, ties) or written by an
+//! **earlier** op; every non-external slot has exactly one writer; no op
+//! slot index escapes the slab. A tape assembled through
+//! [`terse_netlist::tape::CompiledTape::from_raw_ops`] (the fixture /
+//! importer path) can violate any of these, and the kernels would then
+//! silently propagate stale or out-of-cycle values — the single-pass
+//! dirty-span proof only holds on a well-formed tape. This pass re-derives
+//! the invariants on the finished object.
+//!
+//! Diagnostic codes:
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | TP001 | error    | read-before-write: an op reads a non-external slot no earlier op wrote |
+//! | TP002 | error    | slot aliasing: two ops write the same destination slot |
+//! | TP003 | error    | slot index out of range of the slab |
+//! | TP004 | warning  | an op writes an external (clock-edge-owned) slot |
+//!
+//! Only the live sources (`src[..kind.arity()]`) are checked — the
+//! compiler aliases unused source fields to `dst`, which the kernels never
+//! read.
+
+use crate::{AnalysisReport, Severity};
+use terse_netlist::tape::CompiledTape;
+
+/// Runs every tape structural pass, appending findings to `report`.
+///
+/// Emission order is deterministic: one forward sweep over the tape in
+/// position order, checking each op's reads against the written-set before
+/// recording its write.
+pub fn analyze_tape(tape: &CompiledTape, report: &mut AnalysisReport) {
+    let slots = tape.slot_count();
+    let entity = |pos: usize, op: &terse_netlist::tape::Op| {
+        format!("tape[{pos}] ({:?} -> slot {})", op.kind, op.dst)
+    };
+    // Slots written by some op at a strictly earlier tape position.
+    let mut written = vec![false; slots as usize];
+    // First writer position per slot, for the aliasing message.
+    let mut writer = vec![u32::MAX; slots as usize];
+    for (pos, op) in tape.ops().iter().enumerate() {
+        for &s in &op.src[..op.kind.arity()] {
+            if s >= slots {
+                report.push(
+                    "TP003",
+                    Severity::Error,
+                    entity(pos, op),
+                    format!("source slot {s} out of range (slab has {slots} slots)"),
+                    "recompile the tape from the netlist or fix the importer's slot map",
+                );
+            } else if !tape.is_external(s) && !written[s as usize] {
+                report.push(
+                    "TP001",
+                    Severity::Error,
+                    entity(pos, op),
+                    format!(
+                        "reads slot {s} before any op writes it (and the clock edge does not own it)"
+                    ),
+                    "reorder the tape to topological order or mark the slot external",
+                );
+            }
+        }
+        if op.dst >= slots {
+            report.push(
+                "TP003",
+                Severity::Error,
+                entity(pos, op),
+                format!(
+                    "destination slot {} out of range (slab has {slots} slots)",
+                    op.dst
+                ),
+                "recompile the tape from the netlist or fix the importer's slot map",
+            );
+            continue;
+        }
+        if tape.is_external(op.dst) {
+            report.push(
+                "TP004",
+                Severity::Warning,
+                entity(pos, op),
+                format!(
+                    "writes external slot {} — the clock edge owns it, so the op's value is lost at the next edge and event marking misses its consumers",
+                    op.dst
+                ),
+                "drive the value through a combinational slot instead",
+            );
+        }
+        if written[op.dst as usize] {
+            report.push(
+                "TP002",
+                Severity::Error,
+                entity(pos, op),
+                format!(
+                    "slot {} already written at tape[{}] — aliased destinations race in the packed kernels",
+                    op.dst, writer[op.dst as usize]
+                ),
+                "give each op its own destination slot",
+            );
+        } else {
+            written[op.dst as usize] = true;
+            writer[op.dst as usize] = pos as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use terse_netlist::builder::NetlistBuilder;
+    use terse_netlist::netlist::EndpointClass;
+    use terse_netlist::tape::{Op, OpKind};
+    use terse_netlist::GateKind;
+
+    fn compiled() -> CompiledTape {
+        let mut b = NetlistBuilder::new(1);
+        let a = b.input("a", 0).unwrap();
+        let x = b.input("x", 0).unwrap();
+        let g1 = b.gate(GateKind::Nand, &[a, x], 0).unwrap();
+        let g2 = b.gate(GateKind::Xor, &[g1, a], 0).unwrap();
+        let ff = b.flip_flop("q", EndpointClass::Data, 0).unwrap();
+        b.connect_ff_input(ff, g2).unwrap();
+        CompiledTape::compile(&b.finish().unwrap())
+    }
+
+    #[test]
+    fn compiled_tapes_are_clean() {
+        let mut r = AnalysisReport::new();
+        analyze_tape(&compiled(), &mut r);
+        assert!(r.is_clean(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn read_before_write_is_flagged() {
+        // Op 0 reads slot 2 which op 1 writes later.
+        let ops = vec![
+            Op {
+                kind: OpKind::Not,
+                src: [2, 3, 3],
+                dst: 3,
+            },
+            Op {
+                kind: OpKind::Buf,
+                src: [0, 2, 2],
+                dst: 2,
+            },
+        ];
+        let tape = CompiledTape::from_raw_ops(ops, 4, &[0, 1]);
+        let mut r = AnalysisReport::new();
+        analyze_tape(&tape, &mut r);
+        assert!(r.has_code("TP001"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn aliased_destinations_are_flagged() {
+        let ops = vec![
+            Op {
+                kind: OpKind::Not,
+                src: [0, 2, 2],
+                dst: 2,
+            },
+            Op {
+                kind: OpKind::Buf,
+                src: [1, 2, 2],
+                dst: 2,
+            },
+        ];
+        let tape = CompiledTape::from_raw_ops(ops, 3, &[0, 1]);
+        let mut r = AnalysisReport::new();
+        analyze_tape(&tape, &mut r);
+        assert!(r.has_code("TP002"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn out_of_range_slots_are_flagged() {
+        let ops = vec![Op {
+            kind: OpKind::And,
+            src: [0, 9, 2],
+            dst: 2,
+        }];
+        let tape = CompiledTape::from_raw_ops(ops, 3, &[0, 1]);
+        let mut r = AnalysisReport::new();
+        analyze_tape(&tape, &mut r);
+        assert!(r.has_code("TP003"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn external_clobber_is_flagged() {
+        let ops = vec![Op {
+            kind: OpKind::Not,
+            src: [0, 1, 1],
+            dst: 1,
+        }];
+        let tape = CompiledTape::from_raw_ops(ops, 2, &[0, 1]);
+        let mut r = AnalysisReport::new();
+        analyze_tape(&tape, &mut r);
+        assert!(r.has_code("TP004"), "{}", r.render_text());
+    }
+
+    #[test]
+    fn unused_aliased_sources_are_not_reads() {
+        // A unary op whose src[1..] alias dst must not self-trip TP001.
+        let ops = vec![Op {
+            kind: OpKind::Not,
+            src: [0, 1, 1],
+            dst: 1,
+        }];
+        let tape = CompiledTape::from_raw_ops(ops, 2, &[0]);
+        let mut r = AnalysisReport::new();
+        analyze_tape(&tape, &mut r);
+        assert!(r.is_clean(), "{}", r.render_text());
+    }
+}

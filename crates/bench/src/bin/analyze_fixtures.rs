@@ -6,8 +6,9 @@
 //! cargo run --release -p terse-bench --bin analyze_fixtures [valid_count] [defect_seeds]
 //! ```
 //!
-//! Three artifact families are generated from the oracle crate's seeded
-//! generators: netlists, program CFGs, and canonical slack-RV sets. For
+//! Four artifact families are generated from the oracle crate's seeded
+//! generators: netlists, program CFGs, canonical slack-RV sets, and
+//! compiled op tapes. For
 //! each family, `valid_count` (default 256) valid artifacts must produce
 //! **zero** Warning-or-above diagnostics, and each defect class must be
 //! detected (≥ 1 diagnostic of its expected code) on every one of
@@ -18,7 +19,7 @@
 
 use oracle::gen;
 use terse_analyze::{
-    analyze_cfg, analyze_netlist, analyze_slacks, AnalysisReport, SlackPassConfig,
+    analyze_cfg, analyze_netlist, analyze_slacks, analyze_tape, AnalysisReport, SlackPassConfig,
 };
 use terse_isa::Cfg;
 
@@ -62,6 +63,13 @@ fn main() {
         if !r.is_clean() {
             false_positives.push(format!("slacks seed {seed}:\n{}", r.render_text()));
         }
+
+        let tape = gen::random_tape(seed, gates_for(seed));
+        let mut r = AnalysisReport::new();
+        analyze_tape(&tape, &mut r);
+        if !r.is_clean() {
+            false_positives.push(format!("tape seed {seed}:\n{}", r.render_text()));
+        }
     }
 
     // --- Defect artifacts: every class detected, every seed -------------
@@ -98,6 +106,25 @@ fn main() {
         }
         outcomes.push(DefectOutcome {
             family: "cfg",
+            kind: format!("{defect:?}"),
+            expected_code: code,
+            seeds: defect_seeds,
+            detected,
+        });
+    }
+    for defect in gen::TapeDefect::ALL {
+        let code = defect.expected_code();
+        let mut detected = 0usize;
+        for seed in 0..defect_seeds as u64 {
+            let tape = gen::random_tape_with_defect(seed, gates_for(seed), defect);
+            let mut r = AnalysisReport::new();
+            analyze_tape(&tape, &mut r);
+            if r.has_code(code) {
+                detected += 1;
+            }
+        }
+        outcomes.push(DefectOutcome {
+            family: "tape",
             kind: format!("{defect:?}"),
             expected_code: code,
             seeds: defect_seeds,

@@ -1,8 +1,9 @@
 //! Parallel scaling of the data-parallel execution layer: serial (1 thread)
-//! vs N-thread wall time for the Monte Carlo validation grid and the full
-//! analytic flow, plus the determinism check that makes the comparison
+//! vs N-thread wall time for the Monte Carlo validation grid (both the
+//! scalar cell-per-chip backend and the 64-lane packed backend) and the
+//! full analytic flow, plus the determinism check that makes the comparison
 //! meaningful — counts and estimates must be **bitwise identical** across
-//! thread counts.
+//! thread counts *and* backends.
 //!
 //! ```text
 //! cargo run --release -p terse-bench --bin par_scaling
@@ -58,30 +59,52 @@ fn main() {
     let chips = fw.sample_chips(CHIPS, 0xC0FFEE).expect("chips");
 
     // `num_threads(0)` asks rayon for the machine default, i.e. all cores.
-    let mc = |threads: usize| {
+    // Both backends (the scalar cell-per-chip reference and the 64-lane
+    // packed grid) sweep the same thread counts; every matrix must be
+    // bitwise identical to every other.
+    let mc = |threads: usize, packed: bool| {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
             .expect("pool");
         let used = pool.current_num_threads();
         let counts = pool.install(|| {
-            monte_carlo::error_counts(
-                w.program(),
-                &model,
-                &chips,
-                INPUTS,
-                fw.correction(),
-                |idx, m| w.init_input(idx, m),
-                MonteCarloConfig::default(),
-            )
+            if packed {
+                monte_carlo::error_counts(
+                    w.program(),
+                    &model,
+                    &chips,
+                    INPUTS,
+                    fw.correction(),
+                    |idx, m| w.init_input(idx, m),
+                    MonteCarloConfig::default(),
+                )
+            } else {
+                monte_carlo::error_counts_scalar(
+                    w.program(),
+                    &model,
+                    &chips,
+                    INPUTS,
+                    fw.correction(),
+                    |idx, m| w.init_input(idx, m),
+                    MonteCarloConfig::default(),
+                )
+            }
             .expect("monte carlo")
         });
         (counts, used)
     };
-    let (mc_serial_s, (counts_serial, mc_serial_threads)) = time_min(REPS, || mc(1));
-    let (mc_par_s, (counts_par, mc_par_threads)) = time_min(REPS, || mc(0));
-    let mc_identical = counts_serial == counts_par;
-    assert!(mc_identical, "thread count changed the MC count matrix");
+    let (mc_serial_s, (counts_serial, mc_serial_threads)) = time_min(REPS, || mc(1, false));
+    let (mc_par_s, (counts_par, mc_par_threads)) = time_min(REPS, || mc(0, false));
+    let (mc_packed_serial_s, (counts_packed_serial, _)) = time_min(REPS, || mc(1, true));
+    let (mc_packed_par_s, (counts_packed_par, _)) = time_min(REPS, || mc(0, true));
+    let mc_identical = counts_serial == counts_par
+        && counts_serial == counts_packed_serial
+        && counts_serial == counts_packed_par;
+    assert!(
+        mc_identical,
+        "thread count or lane packing changed the MC count matrix"
+    );
 
     // --- Full analytic flow: Framework::run at 1 thread vs all cores -----
     let run_with = |threads: usize| {
@@ -107,10 +130,12 @@ fn main() {
         )
     };
     let json = format!(
-        "{{\n  \"host_threads\": {host},\n  \"mc_grid\": {{\n    \"workload\": \"{name}\",\n    \"chips\": {CHIPS},\n    \"inputs\": {INPUTS},\n    \"serial\": {{ \"threads\": {mc_serial_threads}, \"wall_s\": {mc_serial_s:.6} }},\n    \"parallel\": {{ \"threads\": {mc_par_threads}, \"wall_s\": {mc_par_s:.6} }},\n    \"speedup\": {mc_speedup:.3},\n    \"bitwise_identical\": {mc_identical}\n  }},\n  \"framework_run\": {{\n    \"workload\": \"{name}\",\n    \"samples\": {samples},\n    \"serial\": {{\n      \"threads\": 1,\n      \"wall_s\": {run_serial_s:.6},\n      \"phases\": {serial_phases}\n    }},\n    \"parallel\": {{\n      \"threads\": {host},\n      \"wall_s\": {run_par_s:.6},\n      \"phases\": {par_phases}\n    }},\n    \"speedup\": {run_speedup:.3},\n    \"bitwise_identical\": {run_identical}\n  }}\n}}\n",
+        "{{\n  \"host_threads\": {host},\n  \"mc_grid\": {{\n    \"workload\": \"{name}\",\n    \"chips\": {CHIPS},\n    \"inputs\": {INPUTS},\n    \"serial\": {{ \"threads\": {mc_serial_threads}, \"wall_s\": {mc_serial_s:.6} }},\n    \"parallel\": {{ \"threads\": {mc_par_threads}, \"wall_s\": {mc_par_s:.6} }},\n    \"speedup\": {mc_speedup:.3},\n    \"packed_serial\": {{ \"threads\": 1, \"wall_s\": {mc_packed_serial_s:.6} }},\n    \"packed_parallel\": {{ \"threads\": {mc_par_threads}, \"wall_s\": {mc_packed_par_s:.6} }},\n    \"packed_speedup_serial\": {packed_speedup_serial:.3},\n    \"packed_speedup_parallel\": {packed_speedup_parallel:.3},\n    \"bitwise_identical\": {mc_identical}\n  }},\n  \"framework_run\": {{\n    \"workload\": \"{name}\",\n    \"samples\": {samples},\n    \"serial\": {{\n      \"threads\": 1,\n      \"wall_s\": {run_serial_s:.6},\n      \"phases\": {serial_phases}\n    }},\n    \"parallel\": {{\n      \"threads\": {host},\n      \"wall_s\": {run_par_s:.6},\n      \"phases\": {par_phases}\n    }},\n    \"speedup\": {run_speedup:.3},\n    \"bitwise_identical\": {run_identical}\n  }}\n}}\n",
         name = w.name(),
         samples = cfg.samples,
         mc_speedup = mc_serial_s / mc_par_s,
+        packed_speedup_serial = mc_serial_s / mc_packed_serial_s,
+        packed_speedup_parallel = mc_par_s / mc_packed_par_s,
         run_speedup = run_serial_s / run_par_s,
         serial_phases = phases(&report_serial),
         par_phases = phases(&report_par),

@@ -28,25 +28,27 @@
 use crate::checkpoint::{self, BlockProbs, EstimateCheckpoint};
 use crate::operating::{OperatingConfig, OperatingPoint};
 use crate::perf::TsPerformanceModel;
-use crate::report::{ErrorRateEstimate, Report, RunTimings};
+use crate::report::{BitParallelStats, ErrorRateEstimate, Report, RunTimings};
 use crate::{Result, TerseError};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use terse_analyze::{
     analyze_cfg, analyze_netlist, analyze_slacks, AnalysisReport, SlackPassConfig,
 };
 use terse_dta::cache::{DtsCache, DtsCacheStats};
-use terse_dta::control::{characterization_edges, characterize_control};
+use terse_dta::control::{characterization_edges, characterize_control_with};
 use terse_dta::datapath::DatapathModel;
 use terse_dta::engine::{DtaMode, DtsEngine};
 use terse_dta::instmodel::InstructionErrorModel;
 use terse_errmodel::marginal::{solve_marginals_with, MarginalProblem};
 use terse_isa::{assemble, BasicBlock, BlockId, Cfg, Program};
 use terse_netlist::pipeline::{PipelineConfig, PipelineNetlist};
+use terse_netlist::{CompiledTape, SimStrategy};
 use terse_sim::correction::CorrectionScheme;
+use terse_sim::cosim::CosimStats;
 use terse_sim::features::InstFeatures;
 use terse_sim::machine::Machine;
 use terse_sim::profile::{ProfileResult, Profiler};
@@ -169,6 +171,7 @@ pub struct FrameworkBuilder {
     block_budget: Option<usize>,
     degradation: DegradationPolicy,
     dta_cache_entries: usize,
+    sim_strategy: SimStrategy,
 }
 
 impl Default for FrameworkBuilder {
@@ -192,6 +195,7 @@ impl Default for FrameworkBuilder {
             // The stage-DTS memo is exact (bit-verified toggle sets), so it
             // is on by default; see `FrameworkBuilder::dta_cache`.
             dta_cache_entries: 1024,
+            sim_strategy: SimStrategy::default(),
         }
     }
 }
@@ -286,6 +290,16 @@ impl FrameworkBuilder {
         self
     }
 
+    /// Sets the gate-evaluation strategy the model-training co-simulations
+    /// use ([`SimStrategy::Packed`] runs the compiled op tape with
+    /// dirty-span skipping). Every strategy produces bitwise-identical
+    /// models; only the simulation cost differs — the work counters land in
+    /// [`Report::perf_summary`].
+    pub fn sim_strategy(mut self, strategy: SimStrategy) -> Self {
+        self.sim_strategy = strategy;
+        self
+    }
+
     /// Selects the numerical-degradation policy threaded through the
     /// statistical pipeline ([`DegradationPolicy::Strict`] fails fast and
     /// is the default; [`DegradationPolicy::Repair`] applies bounded,
@@ -328,6 +342,8 @@ impl FrameworkBuilder {
                 .then(|| Arc::new(DtsCache::new(self.dta_cache_entries))),
             pool,
             datapath_cache: OnceLock::new(),
+            sim_strategy: self.sim_strategy,
+            cosim_stats: Mutex::new(CosimStats::default()),
         })
     }
 }
@@ -353,6 +369,11 @@ pub struct Framework {
     dts_cache: Option<Arc<DtsCache>>,
     pool: rayon::ThreadPool,
     datapath_cache: OnceLock<DatapathModel>,
+    /// Gate-evaluation strategy for the model-training co-simulations.
+    sim_strategy: SimStrategy,
+    /// Accumulated co-simulation work counters across every training run
+    /// this framework has performed.
+    cosim_stats: Mutex<CosimStats>,
 }
 
 impl Framework {
@@ -564,15 +585,22 @@ impl Framework {
             }
         }
         let hint_fn = move |i: u32| hints[i as usize];
-        let control = characterize_control(
+        let mut stats = CosimStats::default();
+        let control = characterize_control_with(
             &self.pipeline,
             w.program(),
             cfg,
             &engine,
             &char_edges,
             &hint_fn,
+            self.sim_strategy,
+            &mut stats,
         )?;
-        let datapath = self.datapath(&engine)?;
+        let datapath = self.datapath(&engine, &mut stats)?;
+        match self.cosim_stats.lock() {
+            Ok(mut g) => g.merge(stats),
+            Err(p) => p.into_inner().merge(stats),
+        }
         Ok(InstructionErrorModel::new(
             cfg,
             control,
@@ -581,13 +609,43 @@ impl Framework {
         ))
     }
 
-    fn datapath(&self, engine: &DtsEngine<'_>) -> Result<DatapathModel> {
+    fn datapath(&self, engine: &DtsEngine<'_>, stats: &mut CosimStats) -> Result<DatapathModel> {
         if let Some(m) = self.datapath_cache.get() {
             return Ok(m.clone());
         }
-        let m = DatapathModel::train(&self.pipeline, engine)?;
+        let m = DatapathModel::train_with(&self.pipeline, engine, self.sim_strategy, stats)?;
         let _ = self.datapath_cache.set(m.clone());
         Ok(m)
+    }
+
+    /// Accumulated co-simulation work counters across every
+    /// [`Framework::train_model`] call so far (cycles, gate/tape-op
+    /// evaluations, dirty-span skips).
+    pub fn cosim_stats(&self) -> CosimStats {
+        match self.cosim_stats.lock() {
+            Ok(g) => *g,
+            Err(p) => *p.into_inner(),
+        }
+    }
+
+    /// Bit-parallel backend statistics at this pipeline: the compiled-tape
+    /// shape, the lane width shared by the packed simulator and the Monte
+    /// Carlo lane groups, and the accumulated training co-simulation work
+    /// counters. `mc_chips` sizes the occupancy figure (0 = no MC grid).
+    pub fn bitparallel_stats(&self, mc_chips: usize) -> BitParallelStats {
+        let tape = CompiledTape::compile(self.pipeline.netlist());
+        let c = self.cosim_stats();
+        BitParallelStats {
+            strategy: format!("{:?}", self.sim_strategy),
+            tape_ops: tape.len(),
+            tape_slots: tape.slot_count() as usize,
+            lane_width: terse_netlist::packed::LANES,
+            cosim_cycles: c.cycles,
+            gates_evaluated: c.gates_evaluated,
+            tape_ops_skipped: c.tape_ops_skipped,
+            mc_chips,
+            mc_lane_occupancy: terse_sim::monte_carlo::lane_occupancy(mc_chips),
+        }
     }
 
     /// Computes the error-rate estimate from profiles and a trained model
@@ -867,6 +925,7 @@ impl Framework {
             basic_blocks: cfg.len(),
             perf: self.performance_model(),
             dta_cache: self.dta_cache_stats(),
+            bitparallel: Some(self.bitparallel_stats(0)),
         })
     }
 }
@@ -1311,6 +1370,41 @@ mod tests {
         let tiny = tiny_f.run(&w).unwrap();
         assert_estimates_bitwise_equal(&cached.estimate, &tiny.estimate);
         assert!(tiny.dta_cache.unwrap().evictions > 0);
+    }
+
+    #[test]
+    fn packed_strategy_run_is_bitwise_identical_and_counted() {
+        let w = loop_workload();
+        let reference = small_framework().run(&w).unwrap();
+        let f = Framework::builder()
+            .samples(2)
+            .profiler(Profiler {
+                max_feature_samples: 8,
+                budget: 100_000,
+                dmem_words: 4096,
+                seed: 1,
+            })
+            .sim_strategy(SimStrategy::Packed)
+            .build()
+            .unwrap();
+        let packed = f.run(&w).unwrap();
+        assert_estimates_bitwise_equal(&reference.estimate, &packed.estimate);
+        // The training co-simulations ran on the tape backend and skipped
+        // quiescent spans.
+        let stats = f.cosim_stats();
+        assert!(stats.cycles > 0, "stats = {stats:?}");
+        assert!(stats.gates_evaluated > 0, "stats = {stats:?}");
+        assert!(stats.tape_ops_skipped > 0, "stats = {stats:?}");
+        let bp = packed.bitparallel.as_ref().expect("run fills counters");
+        assert_eq!(bp.strategy, "Packed");
+        assert_eq!(bp.lane_width, 64);
+        assert!(bp.tape_ops > 0 && bp.tape_slots >= bp.tape_ops);
+        assert_eq!(bp.tape_ops_skipped, stats.tape_ops_skipped);
+        let summary = packed.perf_summary();
+        assert!(
+            summary.contains("bit-parallel: strategy Packed"),
+            "{summary}"
+        );
     }
 
     #[test]

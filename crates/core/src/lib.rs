@@ -58,7 +58,7 @@ pub use checkpoint::EstimateCheckpoint;
 pub use framework::{Framework, FrameworkBuilder, Workload};
 pub use operating::{OperatingConfig, OperatingPoint};
 pub use perf::TsPerformanceModel;
-pub use report::{ErrorRateEstimate, RateCdfPoint, Report, RunTimings};
+pub use report::{BitParallelStats, ErrorRateEstimate, RateCdfPoint, Report, RunTimings};
 
 // Re-export the substrate types a downstream user needs for configuration.
 pub use terse_dta::engine::DtaMode;

@@ -141,6 +141,34 @@ impl RunTimings {
     }
 }
 
+/// Bit-parallel backend statistics: the compiled op tape's shape, the lane
+/// width shared by the packed netlist simulator and the Monte Carlo lane
+/// groups, and the accumulated training co-simulation work counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitParallelStats {
+    /// Gate-evaluation strategy used by the training co-simulations
+    /// (`Debug` rendering of `SimStrategy`).
+    pub strategy: String,
+    /// Ops in the pipeline netlist's compiled tape (== combinational gate
+    /// count; each op is one branch-free slab evaluation).
+    pub tape_ops: usize,
+    /// Slots in the tape's value slab (gates + external endpoints).
+    pub tape_slots: usize,
+    /// Lanes per packed word — one chip/stimulus per bit.
+    pub lane_width: usize,
+    /// Netlist clock cycles co-simulated during model training.
+    pub cosim_cycles: u64,
+    /// Gate (or tape-op) evaluations performed during model training.
+    pub gates_evaluated: u64,
+    /// Tape ops skipped by the dirty-span bitmap (nonzero only under the
+    /// `Packed` strategy).
+    pub tape_ops_skipped: u64,
+    /// Chip population of the associated Monte Carlo grid (0 = none run).
+    pub mc_chips: usize,
+    /// Mean live-lane occupancy of that grid's lane groups.
+    pub mc_lane_occupancy: f64,
+}
+
 /// A full per-workload report — one row of the paper's Table 2.
 #[derive(Debug, Clone)]
 pub struct Report {
@@ -161,6 +189,9 @@ pub struct Report {
     /// Stage-DTS memo-cache counters at the end of the run (`None` when
     /// caching was disabled via `FrameworkBuilder::dta_cache(0)`).
     pub dta_cache: Option<DtsCacheStats>,
+    /// Bit-parallel backend counters (`None` for reports assembled outside
+    /// `Framework::run`, e.g. by hand in tests).
+    pub bitparallel: Option<BitParallelStats>,
 }
 
 impl Report {
@@ -226,6 +257,27 @@ impl Report {
                 ));
             }
             None => s.push_str("\ndta-cache: disabled"),
+        }
+        if let Some(bp) = &self.bitparallel {
+            s.push_str(&format!(
+                "\nbit-parallel: strategy {}, tape {} ops / {} slots, \
+                 {} lanes/word, cosim {} cycles, {} ops evaluated, \
+                 {} ops skipped",
+                bp.strategy,
+                bp.tape_ops,
+                bp.tape_slots,
+                bp.lane_width,
+                bp.cosim_cycles,
+                bp.gates_evaluated,
+                bp.tape_ops_skipped,
+            ));
+            if bp.mc_chips > 0 {
+                s.push_str(&format!(
+                    ", mc {} chips at {:.1}% lane occupancy",
+                    bp.mc_chips,
+                    bp.mc_lane_occupancy * 100.0,
+                ));
+            }
         }
         s
     }
@@ -315,6 +367,7 @@ mod tests {
             basic_blocks: 7,
             perf: TsPerformanceModel::paper_default(),
             dta_cache: None,
+            bitparallel: None,
         };
         let header = Report::table2_header();
         let row = r.table2_row();
@@ -349,6 +402,17 @@ mod tests {
                 interned_vectors: 4,
                 interner_hits: 12,
             }),
+            bitparallel: Some(BitParallelStats {
+                strategy: "Packed".into(),
+                tape_ops: 5000,
+                tape_slots: 6000,
+                lane_width: 64,
+                cosim_cycles: 120,
+                gates_evaluated: 40_000,
+                tape_ops_skipped: 560_000,
+                mc_chips: 70,
+                mc_lane_occupancy: 70.0 / 128.0,
+            }),
         };
         let summary = r.perf_summary();
         assert!(summary.contains("30 hits"));
@@ -356,6 +420,11 @@ mod tests {
         assert!(summary.contains("2 evictions"));
         assert!(summary.contains("1 collisions"));
         assert!(summary.contains("75.0% hit rate"));
+        assert!(summary.contains("bit-parallel: strategy Packed"));
+        assert!(summary.contains("tape 5000 ops / 6000 slots"));
+        assert!(summary.contains("64 lanes/word"));
+        assert!(summary.contains("560000 ops skipped"));
+        assert!(summary.contains("mc 70 chips at 54.7% lane occupancy"));
     }
 
     #[test]

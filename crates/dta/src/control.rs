@@ -14,7 +14,8 @@ use std::collections::HashMap;
 use terse_isa::{BlockId, Cfg, Instruction, Opcode, Program};
 use terse_netlist::pipeline::{PipelineNetlist, STAGE_COUNT};
 use terse_netlist::ActivityTrace;
-use terse_sim::cosim::{CoSim, CoSimTrace};
+use terse_netlist::SimStrategy;
+use terse_sim::cosim::{CoSim, CoSimTrace, CosimStats};
 use terse_sim::machine::Retired;
 use terse_sta::CanonicalRv;
 
@@ -125,6 +126,40 @@ pub fn characterize_control(
     edges: &[(Option<BlockId>, BlockId)],
     operand_hint: &dyn Fn(u32) -> (u32, u32),
 ) -> Result<ControlDtsTable> {
+    let mut stats = CosimStats::default();
+    characterize_control_with(
+        pipeline,
+        program,
+        cfg,
+        engine,
+        edges,
+        operand_hint,
+        SimStrategy::default(),
+        &mut stats,
+    )
+}
+
+/// [`characterize_control`] with an explicit gate-evaluation strategy; the
+/// co-simulation work counters of every characterized edge are folded into
+/// `stats`. The produced table is bitwise identical for every strategy —
+/// only the simulation cost differs.
+///
+/// # Errors
+///
+/// Propagates co-simulation and DTA errors.
+// Mirrors `characterize_control`'s argument list plus the two knobs — a
+// config struct here would obscure the side-by-side delegation.
+#[allow(clippy::too_many_arguments)]
+pub fn characterize_control_with(
+    pipeline: &PipelineNetlist,
+    program: &Program,
+    cfg: &Cfg,
+    engine: &DtsEngine<'_>,
+    edges: &[(Option<BlockId>, BlockId)],
+    operand_hint: &dyn Fn(u32) -> (u32, u32),
+    strategy: SimStrategy,
+    stats: &mut CosimStats,
+) -> Result<ControlDtsTable> {
     let mut table = ControlDtsTable::default();
     for &(pred, block) in edges {
         let blk = cfg.blocks()[block.index()];
@@ -152,7 +187,7 @@ pub fn characterize_control(
             })
             .collect();
         // Co-simulate the stream plus drain.
-        let mut cosim = CoSim::new(pipeline);
+        let mut cosim = CoSim::with_strategy(pipeline, strategy);
         let mut activity = ActivityTrace::new(pipeline.netlist().gate_count());
         let mut fed = Vec::new();
         for r in &retired {
@@ -174,6 +209,7 @@ pub fn characterize_control(
         for k in body_start..retired.len() {
             slacks.push(engine.inst_dts(&trace, k, EndpointFilter::Control)?);
         }
+        stats.absorb(&cosim);
         table.entries.insert((block, pred), slacks);
     }
     Ok(table)

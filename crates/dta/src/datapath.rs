@@ -18,7 +18,8 @@ use std::collections::HashMap;
 use terse_isa::{Instruction, Opcode};
 use terse_netlist::pipeline::{PipelineNetlist, STAGE_COUNT};
 use terse_netlist::ActivityTrace;
-use terse_sim::cosim::{CoSim, CoSimTrace};
+use terse_netlist::SimStrategy;
+use terse_sim::cosim::{CoSim, CoSimTrace, CosimStats};
 use terse_sim::features::InstFeatures;
 use terse_sim::machine::Retired;
 use terse_sta::CanonicalRv;
@@ -101,6 +102,23 @@ impl DatapathModel {
     ///
     /// Propagates co-simulation and DTA errors.
     pub fn train(pipeline: &PipelineNetlist, engine: &DtsEngine<'_>) -> Result<Self> {
+        let mut stats = CosimStats::default();
+        Self::train_with(pipeline, engine, SimStrategy::default(), &mut stats)
+    }
+
+    /// [`DatapathModel::train`] with an explicit gate-evaluation strategy;
+    /// the directed-sequence co-simulation work counters are folded into
+    /// `stats`. The trained model is bitwise identical for every strategy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates co-simulation and DTA errors.
+    pub fn train_with(
+        pipeline: &PipelineNetlist,
+        engine: &DtsEngine<'_>,
+        strategy: SimStrategy,
+        stats: &mut CosimStats,
+    ) -> Result<Self> {
         let mut table: HashMap<FuncUnit, Vec<(u8, CanonicalRv)>> = HashMap::new();
         // Top carry level is 30, not 31: the 31-chain training vector
         // (`0xFFFFFFFF + 1`) wraps to zero, so none of its sum bits toggle
@@ -117,7 +135,7 @@ impl DatapathModel {
             let mut entries = Vec::new();
             for &level in &levels {
                 let (a, b) = training_operands(unit, level);
-                let dts = measure_data_dts(pipeline, engine, opcode, a, b)?;
+                let dts = measure_data_dts(pipeline, engine, opcode, a, b, strategy, stats)?;
                 if let Some(rv) = dts {
                     entries.push((level, rv));
                 }
@@ -248,6 +266,8 @@ fn measure_data_dts(
     opcode: Opcode,
     a: u32,
     b: u32,
+    strategy: SimStrategy,
+    stats: &mut CosimStats,
 ) -> Result<Option<CanonicalRv>> {
     let target = match opcode {
         o if o.is_rtype() => Instruction::rtype(o, 3, 1, 2),
@@ -283,7 +303,7 @@ fn measure_data_dts(
     for i in 4..6u32 {
         stream.push(mk_nop(i));
     }
-    let mut cosim = CoSim::new(pipeline);
+    let mut cosim = CoSim::with_strategy(pipeline, strategy);
     let mut activity = ActivityTrace::new(pipeline.netlist().gate_count());
     let mut fed = Vec::new();
     for r in &stream {
@@ -294,6 +314,7 @@ fn measure_data_dts(
         fed.push(None);
         activity.push(cosim.feed(None)?);
     }
+    stats.absorb(&cosim);
     let trace = CoSimTrace {
         activity,
         fed,

@@ -134,6 +134,36 @@ impl InstErrorModel for InstructionErrorModel {
         }
     }
 
+    /// Batched variant for the bit-parallel Monte Carlo grid: the edge
+    /// resolution and slack distribution are chip-independent, so they are
+    /// hoisted out of the per-chip loop and only the cheap conditional
+    /// tail probability is evaluated per chip. Bitwise identical to calling
+    /// [`Self::error_probability`] per chip — the same `CanonicalRv` feeds
+    /// the same `prob_negative_given` composition.
+    fn error_probabilities_batch(
+        &self,
+        prev_index: Option<u32>,
+        index: u32,
+        features: &InstFeatures,
+        chips: &[ChipSample],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        let edge = prev_index.map(|p| self.block_of[p as usize]).filter(|&pb| {
+            pb != self.block_of[index as usize] || self.block_start[index as usize] == index
+        });
+        match self.slack_rv(edge, index, features) {
+            Some(slack) => {
+                out.extend(
+                    chips
+                        .iter()
+                        .map(|chip| slack.prob_negative_given(chip.shared_draw())),
+                );
+            }
+            None => out.resize(chips.len(), 0.0),
+        }
+    }
+
     fn marginal_probability(
         &self,
         prev_index: Option<u32>,
@@ -285,6 +315,43 @@ mod tests {
             let min = probs.iter().copied().fold(f64::INFINITY, f64::min);
             let max = probs.iter().copied().fold(0.0f64, f64::max);
             assert!(max > min, "probs should vary across chips: {probs:?}");
+        }
+    }
+
+    #[test]
+    fn batched_probabilities_match_per_chip_loop_bitwise() {
+        let (model, cfg, p, _t) = build_model();
+        let lib = DelayLibrary::normalized_45nm();
+        let vm = terse_sta::variation::VariationModel::new(
+            p.netlist(),
+            &lib,
+            VariationConfig::default(),
+        )
+        .unwrap();
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let chips: Vec<_> = (0..67).map(|_| vm.sample_chip(&mut rng)).collect();
+        let b1 = cfg.block_containing(1);
+        let _ = b1;
+        // Cover both model paths: covered slack (add) and the 0.0 fill
+        // (uncharacterized context / feature combinations), plus prev=None.
+        let cases = [
+            (None, 0u32, feat(Opcode::Addi, 3)),
+            (Some(0u32), 1, feat(Opcode::Add, 17)),
+            (Some(3), 4, feat(Opcode::Halt, 0)),
+        ];
+        for (prev, idx, f) in cases {
+            let mut batched = Vec::new();
+            model.error_probabilities_batch(prev, idx, &f, &chips, &mut batched);
+            assert_eq!(batched.len(), chips.len());
+            for (c, chip) in chips.iter().enumerate() {
+                let scalar = model.error_probability(prev, idx, &f, chip);
+                assert_eq!(
+                    scalar.to_bits(),
+                    batched[c].to_bits(),
+                    "chip {c} idx {idx}: scalar {scalar} vs batched {}",
+                    batched[c]
+                );
+            }
         }
     }
 

@@ -40,7 +40,7 @@ pub mod engine;
 pub mod instmodel;
 
 pub use cache::{DtsCache, DtsCacheStats};
-pub use control::{characterize_control, ControlDtsTable};
+pub use control::{characterize_control, characterize_control_with, ControlDtsTable};
 pub use datapath::{DatapathModel, FuncUnit};
 pub use engine::{DtaMode, DtsEngine, EndpointFilter};
 pub use instmodel::InstructionErrorModel;

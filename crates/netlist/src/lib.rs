@@ -65,16 +65,20 @@ pub mod builder;
 pub mod circuits;
 pub mod gate;
 pub mod netlist;
+pub mod packed;
 pub mod pipeline;
 pub mod sim;
+pub mod tape;
 
 pub use activity::ActivityTrace;
 pub use bitset::BitSet;
 pub use builder::NetlistBuilder;
 pub use gate::{GateId, GateKind};
 pub use netlist::{EndpointClass, Netlist};
+pub use packed::PackedSimulator;
 pub use pipeline::{PipelineConfig, PipelineNetlist};
 pub use sim::{SimStrategy, Simulator};
+pub use tape::{CompiledTape, Op, OpKind};
 
 use std::fmt;
 

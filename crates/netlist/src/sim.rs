@@ -12,8 +12,12 @@ use crate::activity::ActivityTrace;
 use crate::bitset::BitSet;
 use crate::gate::{GateId, GateKind};
 use crate::netlist::Netlist;
+use crate::packed::PackedSimulator;
 
 /// How [`Simulator::step`] propagates values through combinational logic.
+///
+/// All four strategies produce bit-identical activation sets and values;
+/// they differ only in how much work each cycle costs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SimStrategy {
     /// Dirty-set worklist propagation: only gates whose fan-in toggled this
@@ -26,6 +30,14 @@ pub enum SimStrategy {
     /// Re-evaluate every combinational gate every cycle — the reference
     /// semantics. Kept for differential testing and benchmarking.
     FullScan,
+    /// Execute the pre-compiled flat op tape end to end every cycle
+    /// ([`crate::tape::CompiledTape`]): full-scan semantics with no per-gate
+    /// `GateKind` dispatch and no fan-in `Vec` chasing.
+    CompiledTape,
+    /// The bit-parallel backend ([`PackedSimulator`], here with one live
+    /// lane): compiled tape plus event-driven dirty-span skipping — the
+    /// fastest single-instance mode.
+    Packed,
 }
 
 /// A cycle-accurate simulator over a [`Netlist`].
@@ -86,6 +98,15 @@ pub struct Simulator<'n> {
     settled: bool,
     /// Cumulative number of combinational gate evaluations performed.
     evaluated: u64,
+    /// Cumulative number of compiled-tape ops skipped by the dirty-span
+    /// bitmap (0 under scalar strategies and full tape sweeps).
+    tape_skipped: u64,
+    /// Lazily built single-lane packed core backing the
+    /// [`SimStrategy::CompiledTape`] and [`SimStrategy::Packed`] strategies.
+    /// `None` while a scalar strategy is active (or before the first tape
+    /// step); `values` is kept in sync after every tape step so `value()`
+    /// and strategy switches stay sound.
+    packed: Option<Box<PackedSimulator<'n>>>,
 }
 
 impl<'n> Simulator<'n> {
@@ -124,6 +145,8 @@ impl<'n> Simulator<'n> {
             ffs,
             settled: false,
             evaluated: 0,
+            tape_skipped: 0,
+            packed: None,
         };
         // Constants drive their value from time zero.
         for id in netlist.gate_ids() {
@@ -141,9 +164,16 @@ impl<'n> Simulator<'n> {
 
     /// Switches the propagation strategy. Safe at any cycle boundary: the
     /// first event-driven step after construction performs one full sweep to
-    /// settle initial values, after which both strategies maintain the same
-    /// state invariants.
+    /// settle initial values, after which all strategies maintain the same
+    /// state invariants. Switching between the scalar and tape-backed
+    /// strategies transfers the simulation state across representations.
     pub fn set_strategy(&mut self, strategy: SimStrategy) {
+        // If a packed core is live, fold its state back into the scalar
+        // mirror and drop it; the next tape-strategy step rebuilds it from
+        // there. (Scalar-to-scalar switches find no core — a no-op.)
+        if let Some(core) = self.packed.take() {
+            self.settled = core.to_scalar_state(&mut self.values, &mut self.ff_next);
+        }
         self.strategy = strategy;
     }
 
@@ -151,6 +181,13 @@ impl<'n> Simulator<'n> {
     /// the work metric the event-driven strategy reduces.
     pub fn gates_evaluated(&self) -> u64 {
         self.evaluated
+    }
+
+    /// Cumulative number of compiled-tape ops the dirty-span bitmap skipped
+    /// — nonzero only under [`SimStrategy::Packed`]; the full-sweep
+    /// [`SimStrategy::CompiledTape`] and the scalar strategies never skip.
+    pub fn tape_ops_skipped(&self) -> u64 {
+        self.tape_skipped
     }
 
     /// The netlist under simulation.
@@ -259,7 +296,53 @@ impl<'n> Simulator<'n> {
         match self.strategy {
             SimStrategy::FullScan => self.step_full(),
             SimStrategy::EventDriven => self.step_event(),
+            SimStrategy::CompiledTape => self.step_tape(false),
+            SimStrategy::Packed => self.step_tape(true),
         }
+    }
+
+    /// Tape-backed step: delegate to a single-lane [`PackedSimulator`]
+    /// (built lazily from the current scalar state), then mirror toggled
+    /// values back so `value()`/`bus_value()` and strategy switches stay
+    /// consistent.
+    fn step_tape(&mut self, event_driven: bool) -> BitSet {
+        if self.packed.is_none() {
+            self.packed = Some(Box::new(PackedSimulator::from_scalar_state(
+                self.netlist,
+                event_driven,
+                &self.values,
+                &self.ff_next,
+                self.settled,
+            )));
+        }
+        let mut activated = BitSet::new(self.netlist.gate_count());
+        if let Some(core) = self.packed.as_mut() {
+            // Hand pending forces/inputs to the core's lane 0.
+            for k in 0..self.seq.len() {
+                let id = self.seq[k];
+                if let Some(v) = self.forced[id.index()].take() {
+                    if self.netlist.kind(id) == GateKind::FlipFlop {
+                        core.force_ff(id, 0, v);
+                    } else {
+                        core.set_input(id, 0, v);
+                    }
+                }
+            }
+            let ops_before = core.ops_executed();
+            let skipped_before = core.ops_skipped();
+            core.step();
+            self.evaluated += core.ops_executed() - ops_before;
+            self.tape_skipped += core.ops_skipped() - skipped_before;
+            for &s in core.touched_slots() {
+                let i = s as usize;
+                if core.toggle_word(GateId::from_index(i)) & 1 == 1 {
+                    activated.insert(i);
+                    self.values[i] = core.value_word(GateId::from_index(i)) & 1 == 1;
+                }
+            }
+        }
+        self.cycle += 1;
+        activated
     }
 
     /// Clock edge: flip-flop Q outputs update (captured D or forced), primary
@@ -563,6 +646,97 @@ mod tests {
             assert_eq!(af, ae, "activation sets diverged at cycle {cycle}");
         }
         assert!(event.gates_evaluated() < full.gates_evaluated());
+    }
+
+    const ALL_STRATEGIES: [SimStrategy; 4] = [
+        SimStrategy::FullScan,
+        SimStrategy::EventDriven,
+        SimStrategy::CompiledTape,
+        SimStrategy::Packed,
+    ];
+
+    #[test]
+    fn all_strategies_agree_under_random_stimulus() {
+        let mut b = NetlistBuilder::new(1);
+        let xs = b.input_bus("x", 4, 0).unwrap();
+        let ff = b.flip_flop("q", EndpointClass::Data, 0).unwrap();
+        let ctl = b.flip_flop("c", EndpointClass::Control, 0).unwrap();
+        let x01 = b.gate(GateKind::Nand, &[xs[0], xs[1]], 0).unwrap();
+        let x23 = b.gate(GateKind::Xor, &[xs[2], xs[3]], 0).unwrap();
+        let sel = b.gate(GateKind::Mux, &[ctl, x01, x23], 0).unwrap();
+        let out = b.gate(GateKind::And, &[sel, x23], 0).unwrap();
+        b.connect_ff_input(ff, out).unwrap();
+        b.connect_ff_input(ctl, x01).unwrap();
+        let n = b.finish().unwrap();
+
+        let mut sims: Vec<Simulator> = ALL_STRATEGIES
+            .iter()
+            .map(|&s| Simulator::with_strategy(&n, s))
+            .collect();
+        let mut state = 0x0DDB_1A5E_u64;
+        for cycle in 0..64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = state >> 33;
+            for sim in &mut sims {
+                sim.set_input_bus("x", v & 0xF).unwrap();
+                if v & 0x10 != 0 {
+                    sim.force_ff(ff, v & 0x20 != 0);
+                }
+            }
+            let acts: Vec<BitSet> = sims.iter_mut().map(Simulator::step).collect();
+            for (k, a) in acts.iter().enumerate().skip(1) {
+                assert_eq!(
+                    *a, acts[0],
+                    "{:?} diverged from FullScan at cycle {cycle}",
+                    ALL_STRATEGIES[k]
+                );
+            }
+            for g in n.gate_ids() {
+                for (k, sim) in sims.iter().enumerate().skip(1) {
+                    assert_eq!(
+                        sim.value(g),
+                        sims[0].value(g),
+                        "{:?} value diverged at cycle {cycle}",
+                        ALL_STRATEGIES[k]
+                    );
+                }
+            }
+        }
+        // Tape full sweep does exactly FullScan's evaluation count; the
+        // packed event mode does no more than the tape sweep.
+        assert_eq!(sims[2].gates_evaluated(), sims[0].gates_evaluated());
+        assert!(sims[3].gates_evaluated() <= sims[2].gates_evaluated());
+    }
+
+    #[test]
+    fn strategy_switch_into_and_out_of_tape_preserves_state() {
+        let n = counter();
+        let mut reference = Simulator::with_strategy(&n, SimStrategy::FullScan);
+        let mut switching = Simulator::with_strategy(&n, SimStrategy::EventDriven);
+        let schedule = [
+            SimStrategy::EventDriven,
+            SimStrategy::Packed,
+            SimStrategy::Packed,
+            SimStrategy::CompiledTape,
+            SimStrategy::FullScan,
+            SimStrategy::Packed,
+            SimStrategy::EventDriven,
+            SimStrategy::CompiledTape,
+        ];
+        for (cycle, &s) in schedule.iter().enumerate() {
+            switching.set_strategy(s);
+            let act_ref = reference.step();
+            let act_sw = switching.step();
+            assert_eq!(
+                act_ref, act_sw,
+                "activation diverged at cycle {cycle} ({s:?})"
+            );
+            assert_eq!(
+                reference.bus_value("count").unwrap(),
+                switching.bus_value("count").unwrap(),
+                "count diverged at cycle {cycle} ({s:?})"
+            );
+        }
     }
 
     #[test]

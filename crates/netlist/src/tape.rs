@@ -1,0 +1,460 @@
+//! Compiled netlist op tape — the straight-line form of the combinational
+//! logic that the bit-parallel backends execute.
+//!
+//! [`crate::sim::Simulator`] walks the topo-sorted gate list every cycle and
+//! pays, per gate, a [`crate::gate::GateKind`] match plus a fan-in `Vec`
+//! indirection. [`CompiledTape`] lowers that walk **once** into a flat
+//! `Vec<Op>` of `(opcode, src slots, dst slot)` entries over a dense `u64`
+//! slab (one word = 64 lanes per net, slot = gate index), so execution is a
+//! tight loop of bitwise ops with no per-gate dispatch and no pointer
+//! chasing. Two execution kernels are provided:
+//!
+//! * [`CompiledTape::execute_full`] — run every op (the `FullScan`
+//!   analogue);
+//! * [`CompiledTape::execute_event`] — drain a dirty bitmap over tape
+//!   positions, skipping quiescent 64-op spans word-at-a-time (the
+//!   `EventDriven` analogue; same single-pass proof: dirty insertions land
+//!   at strictly larger topo positions).
+//!
+//! Both kernels record, per changed slot, the 64-lane toggle mask — the
+//! packed form of the activation set `VCD(t)` (Definition 3.2).
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+
+/// Opcode of one tape entry. `u8`-sized so an [`Op`] stays compact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpKind {
+    /// `dst = a`
+    Buf,
+    /// `dst = !a`
+    Not,
+    /// `dst = a & b`
+    And,
+    /// `dst = a | b`
+    Or,
+    /// `dst = !(a & b)`
+    Nand,
+    /// `dst = !(a | b)`
+    Nor,
+    /// `dst = a ^ b`
+    Xor,
+    /// `dst = !(a ^ b)`
+    Xnor,
+    /// `dst = sel ? b : a` with `src = [sel, a, b]`
+    Mux,
+}
+
+impl OpKind {
+    /// Number of source slots the op actually reads.
+    pub fn arity(self) -> usize {
+        match self {
+            OpKind::Buf | OpKind::Not => 1,
+            OpKind::Mux => 3,
+            _ => 2,
+        }
+    }
+}
+
+/// One lowered gate: opcode, up to three source slots, one destination
+/// slot. Unused source slots alias `dst` (never read by the kernel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    /// The operation.
+    pub kind: OpKind,
+    /// Source slots (`src[..kind.arity()]` are live).
+    pub src: [u32; 3],
+    /// Destination slot (the gate's own index).
+    pub dst: u32,
+}
+
+/// Work counters of one tape execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TapeRun {
+    /// Ops evaluated.
+    pub executed: u64,
+    /// Ops skipped by the dirty-span scan (quiescent tape spans).
+    pub skipped: u64,
+}
+
+/// The topo-sorted combinational logic of a [`Netlist`], lowered to a flat
+/// op tape (tape position `p` = topological position `p`; `dst` slot = gate
+/// index). Sequential elements (inputs, flip-flops, ties) own slots in the
+/// slab but no tape entry — the clock-edge driver writes them.
+#[derive(Debug, Clone)]
+pub struct CompiledTape {
+    ops: Vec<Op>,
+    slots: u32,
+    /// Slots not produced by any op (inputs, flip-flops, ties) — always
+    /// readable; everything else must be written before read.
+    external: Vec<u64>,
+    /// CSR: gate index → tape positions of the ops reading that slot.
+    consumer_index: Vec<u32>,
+    consumer_ops: Vec<u32>,
+    /// `(ff_slot, d_slot)` capture pairs for every connected flip-flop.
+    captures: Vec<(u32, u32)>,
+    /// CSR: gate index → flip-flop slots whose D pin is that gate.
+    dd_index: Vec<u32>,
+    dd_targets: Vec<u32>,
+}
+
+fn csr<T: Copy>(n: usize, pairs: &[(u32, T)]) -> (Vec<u32>, Vec<T>) {
+    let mut index = vec![0u32; n + 1];
+    for &(k, _) in pairs {
+        index[k as usize + 1] += 1;
+    }
+    for i in 0..n {
+        index[i + 1] += index[i];
+    }
+    let mut data: Vec<T> = Vec::with_capacity(pairs.len());
+    // Pairs arrive sorted by key (we build them in slot order), so a single
+    // pass appends each bucket contiguously.
+    let mut sorted: Vec<(u32, T)> = pairs.to_vec();
+    sorted.sort_by_key(|&(k, _)| k);
+    for &(_, v) in &sorted {
+        data.push(v);
+    }
+    (index, data)
+}
+
+impl CompiledTape {
+    /// Lowers a netlist's combinational topo order into an op tape.
+    pub fn compile(netlist: &Netlist) -> Self {
+        let slots = netlist.gate_count() as u32;
+        let mut ops = Vec::with_capacity(netlist.topo_order().len());
+        let mut consumers: Vec<(u32, u32)> = Vec::new();
+        for (pos, &g) in netlist.topo_order().iter().enumerate() {
+            let dst = g.index() as u32;
+            let fanin = netlist.fanin(g);
+            let mut src = [dst; 3];
+            for (s, f) in src.iter_mut().zip(fanin) {
+                *s = f.index() as u32;
+            }
+            let kind = match netlist.kind(g) {
+                GateKind::Buf => OpKind::Buf,
+                GateKind::Not => OpKind::Not,
+                GateKind::And => OpKind::And,
+                GateKind::Or => OpKind::Or,
+                GateKind::Nand => OpKind::Nand,
+                GateKind::Nor => OpKind::Nor,
+                GateKind::Xor => OpKind::Xor,
+                GateKind::Xnor => OpKind::Xnor,
+                GateKind::Mux => OpKind::Mux,
+                // `topo_order` contains combinational gates only.
+                _ => continue,
+            };
+            for f in fanin {
+                consumers.push((f.index() as u32, pos as u32));
+            }
+            ops.push(Op { kind, src, dst });
+        }
+        let mut external = vec![0u64; (slots as usize).div_ceil(64)];
+        for i in 0..slots as usize {
+            external[i >> 6] |= 1 << (i & 63);
+        }
+        for op in &ops {
+            external[(op.dst >> 6) as usize] &= !(1 << (op.dst & 63));
+        }
+        let (consumer_index, consumer_ops) = csr(slots as usize, &consumers);
+        let mut captures = Vec::new();
+        let mut dd: Vec<(u32, u32)> = Vec::new();
+        for g in netlist.gate_ids() {
+            if netlist.kind(g) == GateKind::FlipFlop {
+                if let Ok(d) = netlist.ff_input(g) {
+                    captures.push((g.index() as u32, d.index() as u32));
+                    dd.push((d.index() as u32, g.index() as u32));
+                }
+            }
+        }
+        let (dd_index, dd_targets) = csr(slots as usize, &dd);
+        CompiledTape {
+            ops,
+            slots,
+            external,
+            consumer_index,
+            consumer_ops,
+            captures,
+            dd_index,
+            dd_targets,
+        }
+    }
+
+    /// Builds a tape directly from raw ops — the *unchecked* fixture path
+    /// for static-analysis testing (the compiler path via
+    /// [`CompiledTape::compile`] upholds the write-before-read and
+    /// single-writer invariants by construction; this one does not).
+    /// `external_slots` lists the slots fed by the clock edge rather than
+    /// by the tape.
+    pub fn from_raw_ops(ops: Vec<Op>, slots: u32, external_slots: &[u32]) -> Self {
+        let mut external = vec![0u64; (slots as usize).div_ceil(64)];
+        for &s in external_slots {
+            if s < slots {
+                external[(s >> 6) as usize] |= 1 << (s & 63);
+            }
+        }
+        CompiledTape {
+            ops,
+            slots,
+            external,
+            consumer_index: vec![0; slots as usize + 1],
+            consumer_ops: Vec::new(),
+            captures: Vec::new(),
+            dd_index: vec![0; slots as usize + 1],
+            dd_targets: Vec::new(),
+        }
+    }
+
+    /// The lowered ops, in tape (= topological) order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of ops on the tape.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the tape has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Slab length (one `u64` lane word per gate).
+    pub fn slot_count(&self) -> u32 {
+        self.slots
+    }
+
+    /// Whether `slot` is written by the clock edge (input/flip-flop/tie)
+    /// rather than by a tape op.
+    pub fn is_external(&self, slot: u32) -> bool {
+        slot < self.slots && self.external[(slot >> 6) as usize] >> (slot & 63) & 1 == 1
+    }
+
+    /// Words needed for a dirty bitmap over tape positions.
+    pub fn dirty_words(&self) -> usize {
+        self.ops.len().div_ceil(64)
+    }
+
+    #[inline]
+    fn eval(op: &Op, slab: &[u64]) -> u64 {
+        let a = slab[op.src[0] as usize];
+        match op.kind {
+            OpKind::Buf => a,
+            OpKind::Not => !a,
+            OpKind::And => a & slab[op.src[1] as usize],
+            OpKind::Or => a | slab[op.src[1] as usize],
+            OpKind::Nand => !(a & slab[op.src[1] as usize]),
+            OpKind::Nor => !(a | slab[op.src[1] as usize]),
+            OpKind::Xor => a ^ slab[op.src[1] as usize],
+            OpKind::Xnor => !(a ^ slab[op.src[1] as usize]),
+            // src = [sel, a, b]: sel ? b : a, lane-wise.
+            OpKind::Mux => {
+                let sel = a;
+                (sel & slab[op.src[2] as usize]) | (!sel & slab[op.src[1] as usize])
+            }
+        }
+    }
+
+    /// Executes every op in tape order over `slab`. Changed slots are
+    /// appended to `touched` with their 64-lane toggle mask in
+    /// `toggle[slot]` (callers reset `toggle` via `touched` between
+    /// cycles).
+    pub fn execute_full(
+        &self,
+        slab: &mut [u64],
+        touched: &mut Vec<u32>,
+        toggle: &mut [u64],
+    ) -> TapeRun {
+        for op in &self.ops {
+            let new = Self::eval(op, slab);
+            let d = op.dst as usize;
+            let changed = new ^ slab[d];
+            if changed != 0 {
+                slab[d] = new;
+                toggle[d] = changed;
+                touched.push(op.dst);
+            }
+        }
+        TapeRun {
+            executed: self.ops.len() as u64,
+            skipped: 0,
+        }
+    }
+
+    /// Marks the tape consumers of `slot` dirty and forwards its slab value
+    /// to any flip-flop D pin it drives — the event propagation rule for a
+    /// toggled clock-edge source.
+    pub fn touch_source(&self, slot: u32, slab: &[u64], dirty: &mut [u64], ff_next: &mut [u64]) {
+        let s = slot as usize;
+        for &pos in
+            &self.consumer_ops[self.consumer_index[s] as usize..self.consumer_index[s + 1] as usize]
+        {
+            dirty[(pos >> 6) as usize] |= 1 << (pos & 63);
+        }
+        for &ff in &self.dd_targets[self.dd_index[s] as usize..self.dd_index[s + 1] as usize] {
+            ff_next[ff as usize] = slab[s];
+        }
+    }
+
+    /// Re-captures every flip-flop's D value into `ff_next` — the reference
+    /// end-of-cycle semantics (used by the full sweep and by the first
+    /// settling sweep of the event kernel).
+    pub fn capture_all(&self, slab: &[u64], ff_next: &mut [u64]) {
+        for &(ff, d) in &self.captures {
+            ff_next[ff as usize] = slab[d as usize];
+        }
+    }
+
+    /// Drains the dirty bitmap over tape positions in ascending order,
+    /// evaluating only marked ops; toggles mark their consumers dirty
+    /// (always at larger positions — topo order — so each op runs at most
+    /// once) and forward D-pin edges into `ff_next`. Quiescent 64-op spans
+    /// cost one word test.
+    pub fn execute_event(
+        &self,
+        slab: &mut [u64],
+        dirty: &mut [u64],
+        touched: &mut Vec<u32>,
+        toggle: &mut [u64],
+        ff_next: &mut [u64],
+    ) -> TapeRun {
+        let mut run = TapeRun::default();
+        let mut wi = 0;
+        while wi < dirty.len() {
+            let w = dirty[wi];
+            if w == 0 {
+                wi += 1;
+                continue;
+            }
+            dirty[wi] = w & (w - 1); // clear the lowest set bit
+            let pos = (wi << 6) + w.trailing_zeros() as usize;
+            let op = &self.ops[pos];
+            run.executed += 1;
+            let new = Self::eval(op, slab);
+            let d = op.dst as usize;
+            let changed = new ^ slab[d];
+            if changed != 0 {
+                slab[d] = new;
+                toggle[d] = changed;
+                touched.push(op.dst);
+                self.touch_source(op.dst, slab, dirty, ff_next);
+            }
+        }
+        run.skipped = self.ops.len() as u64 - run.executed;
+        run
+    }
+
+    /// Marks every tape position dirty (the first settling sweep of the
+    /// event kernel).
+    pub fn mark_all_dirty(&self, dirty: &mut [u64]) {
+        for w in dirty.iter_mut() {
+            *w = u64::MAX;
+        }
+        let tail = self.ops.len() % 64;
+        if tail != 0 {
+            if let Some(last) = dirty.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::netlist::EndpointClass;
+
+    #[test]
+    fn compile_covers_topo_order() {
+        let mut b = NetlistBuilder::new(1);
+        let a = b.input("a", 0).unwrap();
+        let bb = b.input("b", 0).unwrap();
+        let g1 = b.gate(GateKind::Nand, &[a, bb], 0).unwrap();
+        let g2 = b.gate(GateKind::Xor, &[g1, a], 0).unwrap();
+        let ff = b.flip_flop("q", EndpointClass::Data, 0).unwrap();
+        b.connect_ff_input(ff, g2).unwrap();
+        let n = b.finish().unwrap();
+        let tape = CompiledTape::compile(&n);
+        assert_eq!(tape.len(), n.topo_order().len());
+        assert!(tape.is_external(a.index() as u32));
+        assert!(tape.is_external(ff.index() as u32));
+        assert!(!tape.is_external(g1.index() as u32));
+    }
+
+    #[test]
+    fn full_execution_matches_gate_eval() {
+        let mut b = NetlistBuilder::new(1);
+        let a = b.input("a", 0).unwrap();
+        let s = b.input("s", 0).unwrap();
+        let inv = b.gate(GateKind::Not, &[a], 0).unwrap();
+        let mux = b.gate(GateKind::Mux, &[s, a, inv], 0).unwrap();
+        let ff = b.flip_flop("q", EndpointClass::Data, 0).unwrap();
+        b.connect_ff_input(ff, mux).unwrap();
+        let n = b.finish().unwrap();
+        let tape = CompiledTape::compile(&n);
+        let mut slab = vec![0u64; n.gate_count()];
+        let mut toggle = vec![0u64; n.gate_count()];
+        let mut touched = Vec::new();
+        // Lane 0: a=1, s=0 → mux = a = 1. Lane 1: a=1, s=1 → mux = !a = 0.
+        slab[a.index()] = 0b11;
+        slab[s.index()] = 0b10;
+        tape.execute_full(&mut slab, &mut touched, &mut toggle);
+        assert_eq!(slab[inv.index()] & 0b11, 0b00);
+        assert_eq!(slab[mux.index()] & 0b11, 0b01);
+        assert!(touched.contains(&(mux.index() as u32)));
+    }
+
+    #[test]
+    fn event_execution_skips_quiescent_spans() {
+        let mut b = NetlistBuilder::new(1);
+        let a = b.input("a", 0).unwrap();
+        let mut prev = a;
+        for _ in 0..10 {
+            prev = b.gate(GateKind::Not, &[prev], 0).unwrap();
+        }
+        let ff = b.flip_flop("q", EndpointClass::Data, 0).unwrap();
+        b.connect_ff_input(ff, prev).unwrap();
+        let n = b.finish().unwrap();
+        let tape = CompiledTape::compile(&n);
+        let mut slab = vec![0u64; n.gate_count()];
+        let mut toggle = vec![0u64; n.gate_count()];
+        let mut touched = Vec::new();
+        let mut ff_next = vec![0u64; n.gate_count()];
+        let mut dirty = vec![0u64; tape.dirty_words()];
+        tape.mark_all_dirty(&mut dirty);
+        let settle = tape.execute_event(
+            &mut slab,
+            &mut dirty,
+            &mut touched,
+            &mut toggle,
+            &mut ff_next,
+        );
+        assert_eq!(settle.executed, tape.len() as u64);
+        // Nothing toggles at the inputs: the whole tape is quiescent.
+        touched.clear();
+        let quiet = tape.execute_event(
+            &mut slab,
+            &mut dirty,
+            &mut touched,
+            &mut toggle,
+            &mut ff_next,
+        );
+        assert_eq!(quiet.executed, 0);
+        assert_eq!(quiet.skipped, tape.len() as u64);
+    }
+
+    #[test]
+    fn raw_tape_reports_externals() {
+        let ops = vec![Op {
+            kind: OpKind::And,
+            src: [0, 1, 2],
+            dst: 2,
+        }];
+        let tape = CompiledTape::from_raw_ops(ops, 3, &[0, 1]);
+        assert!(tape.is_external(0));
+        assert!(!tape.is_external(2));
+        assert_eq!(tape.len(), 1);
+    }
+}

@@ -138,6 +138,17 @@ impl<'n> CoSim<'n> {
         self.sim.gates_evaluated()
     }
 
+    /// Total compiled-tape ops skipped by the dirty-span bitmap — nonzero
+    /// only under [`SimStrategy::Packed`].
+    pub fn tape_ops_skipped(&self) -> u64 {
+        self.sim.tape_ops_skipped()
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycles_simulated(&self) -> u64 {
+        self.sim.cycle()
+    }
+
     /// Feeds one instruction (or a drain bubble) into IF and advances one
     /// clock cycle, returning the cycle's activation set.
     ///
@@ -292,6 +303,36 @@ impl<'n> CoSim<'n> {
             fed,
             retired,
         })
+    }
+}
+
+/// Aggregated co-simulation work counters, accumulated across many
+/// [`CoSim`] instances (model training spins up one per characterized
+/// edge). Cheap to copy; sums are exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CosimStats {
+    /// Netlist clock cycles simulated.
+    pub cycles: u64,
+    /// Combinational gate (or tape-op) evaluations performed.
+    pub gates_evaluated: u64,
+    /// Compiled-tape ops skipped by the dirty-span bitmap (nonzero only
+    /// under [`SimStrategy::Packed`]).
+    pub tape_ops_skipped: u64,
+}
+
+impl CosimStats {
+    /// Folds a finished co-simulator's counters into the totals.
+    pub fn absorb(&mut self, cosim: &CoSim<'_>) {
+        self.cycles += cosim.cycles_simulated();
+        self.gates_evaluated += cosim.gates_evaluated();
+        self.tape_ops_skipped += cosim.tape_ops_skipped();
+    }
+
+    /// Sums two counter sets.
+    pub fn merge(&mut self, other: CosimStats) {
+        self.cycles += other.cycles;
+        self.gates_evaluated += other.gates_evaluated;
+        self.tape_ops_skipped += other.tape_ops_skipped;
     }
 }
 

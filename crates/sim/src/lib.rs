@@ -51,7 +51,7 @@ pub mod monte_carlo;
 pub mod profile;
 
 pub use correction::CorrectionScheme;
-pub use cosim::CoSim;
+pub use cosim::{CoSim, CosimStats};
 pub use features::InstFeatures;
 pub use machine::{Machine, Retired};
 pub use monte_carlo::McCheckpoint;

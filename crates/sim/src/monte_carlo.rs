@@ -19,15 +19,42 @@
 //! repeated runs — the schedule never touches the random stream. The
 //! thread count is whatever `rayon` pool is installed by the caller
 //! (`FrameworkBuilder::threads` upstream, or the machine default).
+//!
+//! # Bit-parallel lane groups
+//!
+//! On top of the thread-level fan-out, [`error_counts`] batches the chip
+//! axis into **lane groups** of [`LANE_GROUP`] = 64 chips evaluated by a
+//! single program execution. This is exact, not approximate, because a
+//! timing-error draw never feeds back into architectural state: the
+//! [`Machine`] trajectory, and hence the retired-instruction sequence, is
+//! identical in every lane. Only two per-instruction states can differ
+//! between lanes — whether the *previous* instruction erred (bus flushed by
+//! the correction scheme) or not (bus advanced normally) — so one machine
+//! step serves all 64 lanes with at most two feature extractions, one
+//! batched per-chip probability evaluation
+//! ([`InstErrorModel::error_probabilities_batch`], memoized per recurring
+//! feature vector), and one Bernoulli draw per lane from that lane's own
+//! `(cfg.seed, chip, input)` stream. Lane `l` of group `g` draws exactly
+//! the sequence chip `64·g + l` would draw in a scalar run, so the count
+//! matrix stays bitwise identical to [`error_counts_scalar`] at any thread
+//! count, any lane occupancy (ragged final group included), and across
+//! checkpoint resumes that cut through a lane group.
 
 use crate::correction::CorrectionScheme;
 use crate::features::{extract, BusState, InstFeatures};
 use crate::machine::Machine;
 use crate::Result;
 use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::rc::Rc;
 use terse_isa::Program;
 use terse_sta::variation::ChipSample;
 use terse_stats::rng::Xoshiro256;
+
+/// Chips evaluated per packed lane group (one program execution serves one
+/// group; see the module docs).
+pub const LANE_GROUP: usize = 64;
 
 /// An instruction error model queried by the Monte Carlo engine.
 ///
@@ -58,6 +85,31 @@ pub trait InstErrorModel {
         index: u32,
         features: &InstFeatures,
     ) -> f64;
+
+    /// [`InstErrorModel::error_probability`] for a whole lane group of
+    /// chips at once, written into `out` (cleared first, then one entry per
+    /// chip in order). The default delegates chip by chip; models whose
+    /// per-instance work is dominated by a chip-independent part (slack-RV
+    /// assembly in the trained model) override this to hoist that part out
+    /// of the chip loop. Implementations **must** produce bitwise the same
+    /// `f64`s as per-chip [`InstErrorModel::error_probability`] calls — the
+    /// packed Monte Carlo grid's equivalence to the scalar grid depends on
+    /// it.
+    fn error_probabilities_batch(
+        &self,
+        prev_index: Option<u32>,
+        index: u32,
+        features: &InstFeatures,
+        chips: &[ChipSample],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend(
+            chips
+                .iter()
+                .map(|c| self.error_probability(prev_index, index, features, c)),
+        );
+    }
 }
 
 /// Configuration of a Monte Carlo run.
@@ -132,8 +184,152 @@ where
     Ok(errors)
 }
 
-/// Runs the program once per `(chip, input)` pair — in parallel across the
-/// grid — and returns the error count matrix `counts[chip][input]`.
+/// Per-group probability memo: `(prev retired index, retired index,
+/// features)` → the batched per-chip error probabilities for that triple.
+type ProbMemo = HashMap<(Option<u32>, u32, InstFeatures), Rc<[f64]>>;
+
+/// Memoized batched probability lookup: recurring `(prev, index, features)`
+/// triples (loop bodies) hit the cache and skip the model entirely. Exact —
+/// the cached `f64`s are the model's own outputs.
+fn batch_probs<M: InstErrorModel>(
+    memo: &mut ProbMemo,
+    model: &M,
+    prev: Option<u32>,
+    index: u32,
+    f: InstFeatures,
+    chips: &[ChipSample],
+) -> Rc<[f64]> {
+    if let Some(p) = memo.get(&(prev, index, f)) {
+        return Rc::clone(p);
+    }
+    // Bound the memo so adversarial feature churn cannot grow it without
+    // limit; dropping entries only costs recomputation, never exactness.
+    if memo.len() >= 1 << 16 {
+        memo.clear();
+    }
+    let mut out = Vec::with_capacity(chips.len());
+    model.error_probabilities_batch(prev, index, &f, chips, &mut out);
+    let rc: Rc<[f64]> = out.into();
+    memo.insert((prev, index, f), Rc::clone(&rc));
+    rc
+}
+
+/// Executes the program once for a whole lane group: up to [`LANE_GROUP`]
+/// chips (`group_chips`, chip indices `chip_base..`) share one machine
+/// trajectory; `live` selects the lanes actually computed (bit `l` = chip
+/// `chip_base + l`). Returns per-lane error counts (entries of dead lanes
+/// are zero).
+///
+/// Bitwise-exact replay of [`run_cell`] per lane: each live lane draws once
+/// per retired instruction from its own `(cfg.seed, chip, input)` stream,
+/// and its features differ from the shared bus state only through the
+/// did-the-previous-instruction-err bit (see the module docs).
+#[allow(clippy::too_many_arguments)]
+fn run_lane_group<M, F>(
+    program: &Program,
+    cfg: MonteCarloConfig,
+    scheme: CorrectionScheme,
+    input: usize,
+    init: &F,
+    model: &M,
+    group_chips: &[ChipSample],
+    chip_base: usize,
+    live: u64,
+) -> Result<Vec<u64>>
+where
+    M: InstErrorModel + Sync,
+    F: Fn(usize, &mut Machine) + Sync,
+{
+    failpoints::fail_point!("sim::mc_cell", |_| Err(
+        crate::SimError::InstructionBudgetExhausted { budget: 0 }
+    ));
+    let mut machine = Machine::new(program, cfg.dmem_words);
+    init(input, &mut machine);
+    let mut rngs: Vec<(usize, Xoshiro256)> = (0..group_chips.len())
+        .filter(|&l| live >> l & 1 == 1)
+        .map(|l| {
+            (
+                l,
+                Xoshiro256::seed_stream(cfg.seed, cell_stream(chip_base + l, input)),
+            )
+        })
+        .collect();
+    let mut errors = vec![0u64; group_chips.len()];
+    let mut memo = ProbMemo::new();
+    // Every lane starts from the flushed processor state (`p^in = 1`).
+    let mut bus = BusState::flushed();
+    // The bus state a correction event leaves behind — per-scheme constant,
+    // so the lanes' bus states form a two-point set at every instruction:
+    // `bus.advance` is memoryless in the prior state, hence non-erred lanes
+    // all share `advance(r_prev)` and erred lanes all share this one.
+    let err_bus = scheme.post_error_bus_state();
+    // Lanes whose previous instruction erred: their feature toggles are
+    // measured against the post-correction bus instead.
+    let mut err_mask = 0u64;
+    let mut executed = 0u64;
+    let mut prev_index: Option<u32> = None;
+    while !machine.halted() {
+        if executed >= cfg.budget {
+            return Err(crate::SimError::InstructionBudgetExhausted { budget: cfg.budget });
+        }
+        let r = machine.step(program)?;
+        executed += 1;
+        let f_n = extract(&r, bus);
+        let p_n = batch_probs(&mut memo, model, prev_index, r.index, f_n, group_chips);
+        let p_e = if err_mask != 0 {
+            let f_e = extract(&r, err_bus);
+            if f_e == f_n {
+                Rc::clone(&p_n)
+            } else {
+                batch_probs(&mut memo, model, prev_index, r.index, f_e, group_chips)
+            }
+        } else {
+            Rc::clone(&p_n)
+        };
+        let mut new_mask = 0u64;
+        for (l, rng) in &mut rngs {
+            let p = if err_mask >> *l & 1 == 1 {
+                p_e[*l]
+            } else {
+                p_n[*l]
+            };
+            if rng.next_f64() < p {
+                new_mask |= 1 << *l;
+                errors[*l] += 1;
+            }
+        }
+        err_mask = new_mask;
+        prev_index = Some(r.index);
+        bus.advance(&r);
+    }
+    Ok(errors)
+}
+
+/// The live-lane mask of a (possibly ragged) lane group of `len` chips.
+fn full_mask(len: usize) -> u64 {
+    if len >= LANE_GROUP {
+        u64::MAX
+    } else {
+        (1u64 << len) - 1
+    }
+}
+
+/// Mean live-lane occupancy of the packed grid for a given chip count: 1.0
+/// when `chips` is a multiple of [`LANE_GROUP`], lower when the final
+/// ragged group leaves lanes idle.
+pub fn lane_occupancy(chips: usize) -> f64 {
+    if chips == 0 {
+        1.0
+    } else {
+        chips as f64 / (chips.div_ceil(LANE_GROUP) * LANE_GROUP) as f64
+    }
+}
+
+/// Runs the program once per `(lane group, input)` pair — in parallel
+/// across that coarser grid, 64 chips per group evaluated bit-parallel by a
+/// single execution — and returns the error count matrix
+/// `counts[chip][input]`, bitwise identical to [`error_counts_scalar`] (see
+/// the module docs for why the lane packing is exact).
 ///
 /// `init(input_index, machine)` prepares the input dataset; it must be
 /// callable concurrently (`Fn + Sync`), which every pure dataset writer is.
@@ -142,9 +338,64 @@ where
 ///
 /// # Errors
 ///
-/// Propagates machine errors (the lowest-indexed failing cell wins,
+/// Propagates machine errors (the lowest-indexed failing lane group wins,
 /// deterministically).
 pub fn error_counts<M, F>(
+    program: &Program,
+    model: &M,
+    chips: &[ChipSample],
+    inputs: usize,
+    scheme: CorrectionScheme,
+    init: F,
+    cfg: MonteCarloConfig,
+) -> Result<Vec<Vec<u64>>>
+where
+    M: InstErrorModel + Sync,
+    F: Fn(usize, &mut Machine) + Sync,
+{
+    if inputs == 0 {
+        return Ok(vec![Vec::new(); chips.len()]);
+    }
+    let groups = chips.len().div_ceil(LANE_GROUP);
+    let per_group: Vec<Vec<u64>> = (0..groups * inputs)
+        .into_par_iter()
+        .map(|cell| {
+            let (g, i) = (cell / inputs, cell % inputs);
+            let base = g * LANE_GROUP;
+            let group_chips = &chips[base..(base + LANE_GROUP).min(chips.len())];
+            run_lane_group(
+                program,
+                cfg,
+                scheme,
+                i,
+                &init,
+                model,
+                group_chips,
+                base,
+                full_mask(group_chips.len()),
+            )
+        })
+        .collect::<Result<_>>()?;
+    let mut counts = vec![vec![0u64; inputs]; chips.len()];
+    for (cell, lane_counts) in per_group.iter().enumerate() {
+        let (g, i) = (cell / inputs, cell % inputs);
+        for (lane, &e) in lane_counts.iter().enumerate() {
+            counts[g * LANE_GROUP + lane][i] = e;
+        }
+    }
+    Ok(counts)
+}
+
+/// The scalar reference grid: one program execution per `(chip, input)`
+/// cell, exactly as [`error_counts`] computed it before lane packing. Kept
+/// as the ground truth the packed grid is differentially tested (and
+/// benchmarked) against.
+///
+/// # Errors
+///
+/// Propagates machine errors (the lowest-indexed failing cell wins,
+/// deterministically).
+pub fn error_counts_scalar<M, F>(
     program: &Program,
     model: &M,
     chips: &[ChipSample],
@@ -387,18 +638,40 @@ where
     let mut done = mc_load(ckpt, context, total)?;
     let pending: Vec<usize> = (0..total).filter(|&c| done[c].is_none()).collect();
     for batch in pending.chunks(ckpt.every_n) {
-        let results: Vec<u64> = batch
+        // Pack the pending cells of this batch into lane groups: a resumed
+        // checkpoint may cut through a group, leaving a partial live mask —
+        // exactness is unaffected because every lane draws from its own
+        // absolute `(chip, input)` stream.
+        let mut groups: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+        for &cell in batch {
+            let (c, i) = (cell / inputs, cell % inputs);
+            *groups.entry((c / LANE_GROUP, i)).or_insert(0) |= 1u64 << (c % LANE_GROUP);
+        }
+        let tasks: Vec<((usize, usize), u64)> = groups.into_iter().collect();
+        let results: Vec<Vec<u64>> = tasks
             .par_iter()
-            .map(|&cell| {
-                let (c, i) = (cell / inputs, cell % inputs);
-                let mut rng = Xoshiro256::seed_stream(cfg.seed, cell_stream(c, i));
-                run_cell(program, cfg, scheme, i, &init, &mut rng, |prev, idx, f| {
-                    model.error_probability(prev, idx, f, &chips[c])
-                })
+            .map(|&((g, i), live)| {
+                let base = g * LANE_GROUP;
+                let group_chips = &chips[base..(base + LANE_GROUP).min(chips.len())];
+                run_lane_group(
+                    program,
+                    cfg,
+                    scheme,
+                    i,
+                    &init,
+                    model,
+                    group_chips,
+                    base,
+                    live,
+                )
             })
             .collect::<Result<_>>()?;
-        for (&cell, count) in batch.iter().zip(results) {
-            done[cell] = Some(count);
+        for (&((g, i), live), lane_counts) in tasks.iter().zip(&results) {
+            for (lane, &e) in lane_counts.iter().enumerate() {
+                if live >> lane & 1 == 1 {
+                    done[(g * LANE_GROUP + lane) * inputs + i] = Some(e);
+                }
+            }
         }
         mc_store(ckpt, context, &done)?;
     }
@@ -597,6 +870,91 @@ mod tests {
         )
         .unwrap();
         assert_eq!(plain, resumed, "resume must reproduce the full run");
+        assert!(!ck.path().exists());
+    }
+
+    /// A bus-sensitive model: the probability depends on the toggle
+    /// features, so the post-error (flushed-bus) feature path of the lane
+    /// group runner is genuinely exercised — a lane that erred draws from a
+    /// different probability than its neighbours on the next instruction.
+    struct ToggleModel;
+    impl InstErrorModel for ToggleModel {
+        fn error_probability(
+            &self,
+            _prev: Option<u32>,
+            _index: u32,
+            f: &InstFeatures,
+            chip: &ChipSample,
+        ) -> f64 {
+            let toggles = (f.toggle_a as f64 + f.toggle_b as f64) / 160.0;
+            let carry = f.carry_chain as f64 / 256.0;
+            // A per-chip wobble so lanes disagree even on equal features.
+            let wobble = chip.shared_draw().first().copied().unwrap_or(0.0).abs() / 50.0;
+            (toggles + carry + wobble).min(1.0)
+        }
+        fn marginal_probability(&self, _prev: Option<u32>, _index: u32, f: &InstFeatures) -> f64 {
+            (f.toggle_a as f64 + f.toggle_b as f64) / 160.0
+        }
+    }
+
+    #[test]
+    fn packed_grid_matches_scalar_grid_bitwise() {
+        // 70 chips: one full lane group plus a ragged 6-lane tail.
+        let p = assemble(
+            r"
+                li   r1, 0xFFFF
+                addi r2, r0, 60
+            loop:
+                add  r3, r1, r1
+                addi r2, r2, -1
+                bne  r2, r0, loop
+                halt
+        ",
+        )
+        .unwrap();
+        let cs = chips(70);
+        let cfg = MonteCarloConfig::default();
+        let scheme = CorrectionScheme::paper_default();
+        let scalar = error_counts_scalar(&p, &ToggleModel, &cs, 2, scheme, |_, _| {}, cfg).unwrap();
+        let packed = error_counts(&p, &ToggleModel, &cs, 2, scheme, |_, _| {}, cfg).unwrap();
+        assert_eq!(scalar, packed, "lane packing must be bitwise exact");
+        // The run is long enough that errors actually occur.
+        assert!(packed.iter().flatten().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn lane_occupancy_reflects_ragged_tail() {
+        assert_eq!(lane_occupancy(0), 1.0);
+        assert_eq!(lane_occupancy(LANE_GROUP), 1.0);
+        assert_eq!(lane_occupancy(2 * LANE_GROUP), 1.0);
+        assert!((lane_occupancy(LANE_GROUP / 2) - 0.5).abs() < 1e-12);
+        let o = lane_occupancy(70);
+        assert!((o - 70.0 / 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resume_mid_lane_group_is_bitwise_identical() {
+        // A checkpoint that cuts *through* a lane group: scattered cells of
+        // group 0 are already done, so the resumed run executes the group
+        // with a non-contiguous live mask — and must still reproduce the
+        // uninterrupted packed run exactly.
+        let p = assemble("li r1, 0xFFFF\nadd r2, r1, r1\nadd r3, r2, r2\nhalt\n").unwrap();
+        let cs = chips(7);
+        let (inputs, cfg) = (3, MonteCarloConfig::default());
+        let scheme = CorrectionScheme::paper_default();
+        let plain = error_counts(&p, &ToggleModel, &cs, inputs, scheme, |_, _| {}, cfg).unwrap();
+        let total = cs.len() * inputs;
+        let context = mc_context_hash(cfg, cs.len(), inputs, p.len());
+        let mut done: Vec<Option<u64>> = vec![None; total];
+        for cell in [0usize, 2, 5, 9, 11, 16] {
+            done[cell] = Some(plain[cell / inputs][cell % inputs]);
+        }
+        let ck = McCheckpoint::new(ckpt_path("midgroup"), 4);
+        mc_store(&ck, context, &done).unwrap();
+        let resumed =
+            error_counts_checkpointed(&p, &ToggleModel, &cs, inputs, scheme, |_, _| {}, cfg, &ck)
+                .unwrap();
+        assert_eq!(plain, resumed, "mid-group resume must be bitwise exact");
         assert!(!ck.path().exists());
     }
 
