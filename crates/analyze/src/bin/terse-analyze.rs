@@ -3,6 +3,7 @@
 //! ```text
 //! terse-analyze lint     [--deny] [--json] [ROOT]
 //! terse-analyze pipeline [--deny] [--json]
+//! terse-analyze jobs     [--deny] [--json] [STORE]
 //! ```
 //!
 //! * `lint` runs the codebase lints (AZ001–AZ003) over every workspace
@@ -11,6 +12,8 @@
 //!   netlist structural passes plus the slack abstract-interpretation
 //!   pass over each stage's endpoint slacks at the deterministic minimum
 //!   period.
+//! * `jobs` runs the job-store layout passes (JS005–JS008) over a
+//!   `terse-serve` store root (default: current directory).
 //!
 //! Exit status: `0` clean, `1` findings at the gating severity
 //! (errors by default; warnings too with `--deny`), `2` usage or
@@ -34,6 +37,7 @@ usage: terse-analyze <command> [options]
 commands:
   lint [--deny] [--json] [ROOT]   lint workspace Rust sources (AZ001-AZ003)
   pipeline [--deny] [--json]      analyze the reference pipeline IRs
+  jobs [--deny] [--json] [STORE]  analyze a terse-serve job store (JS005-JS008)
 
 options:
   --deny   also fail on warnings (deny-by-default CI gate)
@@ -58,6 +62,7 @@ fn main() -> ExitCode {
     let outcome = match command.as_str() {
         "lint" => run_lint(&positional, &mut report),
         "pipeline" => run_pipeline(&mut report),
+        "jobs" => run_jobs(&positional, &mut report),
         _ => {
             eprint!("unknown command `{command}`\n\n{USAGE}");
             return ExitCode::from(2);
@@ -99,6 +104,16 @@ fn run_lint(positional: &[&String], report: &mut AnalysisReport) -> Result<(), S
     let scanned = terse_analyze::lint::lint_workspace(&root, report)
         .map_err(|e| format!("workspace scan failed: {e}"))?;
     eprintln!("terse-analyze: linted {scanned} file(s)");
+    Ok(())
+}
+
+fn run_jobs(positional: &[&String], report: &mut AnalysisReport) -> Result<(), String> {
+    let root: PathBuf = positional
+        .first()
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let n = terse_analyze::analyze_job_store(&root, report)
+        .map_err(|e| format!("store scan failed: {e}"))?;
+    eprintln!("terse-analyze: inspected {n} job(s)");
     Ok(())
 }
 

@@ -1,0 +1,562 @@
+//! Structural verification of job-server specs and store directories.
+//!
+//! `terse-serve` (ROADMAP item 2) turns estimation runs into queued batch
+//! jobs: a JSON spec per job, a directory-backed store
+//! (`jobs/<id>/{spec.json,state,checkpoints/,report.json}`), and a strict
+//! state machine (`queued → running → done/failed/cancelled`, plus the
+//! recovery edge `running → queued` for crashed or time-sliced workers).
+//! This pass is the single source of truth for what a *valid* spec and a
+//! *valid* store look like; the serve crate delegates its own guards to
+//! [`valid_transition`] and runs [`analyze_job_spec`] before admitting a
+//! job, so the executor and the analyzer can never disagree.
+//!
+//! The pass operates on [`JobSpecView`] — a borrowed, crate-neutral
+//! projection of the serve crate's `JobSpec` — because `terse-serve`
+//! depends on `terse-analyze`, not the other way around.
+//!
+//! Diagnostic codes:
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | JS001 | error    | workload unresolved: unknown benchmark name, or neither/both of benchmark and inline asm given |
+//! | JS002 | error    | invalid operating-point grid: empty, or a non-finite / non-positive overclock factor (duplicates are a warning) |
+//! | JS003 | error    | invalid parameters: empty or unsafe job id, zero samples, zero threads, zero checkpoint interval |
+//! | JS004 | error    | Monte Carlo population mismatch: exactly one of `chips` / `mc_inputs` is zero |
+//! | JS005 | error    | store layout violation: missing `spec.json` or `state`, or a non-directory under `jobs/` |
+//! | JS006 | error    | invalid state file: contents are not one of the five states |
+//! | JS007 | error    | transition-log violation: an edge outside the state machine, or a broken chain |
+//! | JS008 | error    | state/artifact inconsistency: `done` without `report.json`, or `report.json` without `done` |
+
+use crate::{AnalysisReport, Severity};
+use std::path::Path;
+
+/// The five job states, in canonical string form.
+pub const JOB_STATES: [&str; 5] = ["queued", "running", "done", "failed", "cancelled"];
+
+/// Whether `state` is one of the three terminal states.
+pub fn is_terminal_state(state: &str) -> bool {
+    matches!(state, "done" | "failed" | "cancelled")
+}
+
+/// The job state machine, as a pure edge predicate. This is the only
+/// transition table in the workspace — `terse-serve` routes every state
+/// write through it.
+///
+/// Edges:
+///
+/// * `queued → running` (a worker claims the job)
+/// * `queued → cancelled` (cancel before any worker claims it)
+/// * `running → done | failed | cancelled`
+/// * `running → queued` (recovery: the worker died or the job was
+///   time-sliced at a checkpoint boundary; the checkpoint makes the
+///   re-run bit-exact)
+///
+/// Terminal states have no outgoing edges. Unknown state strings have no
+/// edges at all.
+pub fn valid_transition(from: &str, to: &str) -> bool {
+    matches!(
+        (from, to),
+        ("queued", "running" | "cancelled")
+            | ("running", "done" | "failed" | "cancelled" | "queued")
+    )
+}
+
+/// A borrowed projection of a job spec, decoupled from the serve crate's
+/// concrete `JobSpec` type.
+#[derive(Debug, Clone, Copy)]
+pub struct JobSpecView<'a> {
+    /// Job identifier (directory name under `jobs/`).
+    pub id: &'a str,
+    /// Named benchmark workload, if the spec references one.
+    pub benchmark: Option<&'a str>,
+    /// Whether the spec carries an inline assembly workload.
+    pub has_asm: bool,
+    /// Estimation sample count (lambda replicas).
+    pub samples: u64,
+    /// Operating-point grid: overclock factors relative to the rated
+    /// period.
+    pub grid: &'a [f64],
+    /// Monte Carlo chip population size (0 = Monte Carlo disabled).
+    pub chips: usize,
+    /// Monte Carlo inputs per chip (0 = Monte Carlo disabled).
+    pub mc_inputs: usize,
+    /// Worker-local rayon threads.
+    pub threads: usize,
+    /// Checkpoint flush interval (blocks / cells).
+    pub checkpoint_every: usize,
+}
+
+/// Whether `id` is safe to use verbatim as a store directory name.
+pub fn safe_job_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+        && !id.starts_with('.')
+}
+
+/// Runs every spec pass (JS001–JS004), appending findings to `report`.
+///
+/// `known_workloads` is the benchmark namespace to resolve against
+/// (callers pass the `terse-workloads` registry). Emission order is
+/// deterministic: checks run in code order.
+pub fn analyze_job_spec(
+    spec: &JobSpecView<'_>,
+    known_workloads: &[&str],
+    report: &mut AnalysisReport,
+) {
+    let entity = if spec.id.is_empty() { "<job>" } else { spec.id };
+    // JS001 — the workload must resolve to exactly one source.
+    match (spec.benchmark, spec.has_asm) {
+        (None, false) => report.push(
+            "JS001",
+            Severity::Error,
+            entity,
+            "spec names no workload: neither `benchmark` nor `asm` is present",
+            "set `workload.benchmark` to a known name or provide `workload.asm`",
+        ),
+        (Some(_), true) => report.push(
+            "JS001",
+            Severity::Error,
+            entity,
+            "spec names two workloads: both `benchmark` and `asm` are present",
+            "keep exactly one of `workload.benchmark` and `workload.asm`",
+        ),
+        (Some(name), false) if !known_workloads.contains(&name) => report.push(
+            "JS001",
+            Severity::Error,
+            entity,
+            format!("unknown benchmark `{name}`"),
+            format!("known benchmarks: {}", known_workloads.join(", ")),
+        ),
+        _ => {}
+    }
+    // JS002 — the operating-point grid must be non-empty, finite, positive.
+    if spec.grid.is_empty() {
+        report.push(
+            "JS002",
+            Severity::Error,
+            entity,
+            "operating-point grid is empty",
+            "list at least one overclock factor in `grid`",
+        );
+    }
+    for (i, &f) in spec.grid.iter().enumerate() {
+        if !(f > 0.0) || !f.is_finite() {
+            report.push(
+                "JS002",
+                Severity::Error,
+                format!("{entity} grid[{i}]"),
+                format!("overclock factor {f} is not a finite positive number"),
+                "overclock factors scale the rated period and must be finite and > 0",
+            );
+        }
+    }
+    for (i, &f) in spec.grid.iter().enumerate() {
+        if spec.grid[..i].iter().any(|&g| g.to_bits() == f.to_bits()) {
+            report.push(
+                "JS002",
+                Severity::Warning,
+                format!("{entity} grid[{i}]"),
+                format!("duplicate overclock factor {f}"),
+                "duplicate grid points repeat identical work",
+            );
+        }
+    }
+    // JS003 — scalar parameters must be usable as-is (no silent clamping).
+    if !safe_job_id(spec.id) {
+        report.push(
+            "JS003",
+            Severity::Error,
+            entity,
+            format!("job id `{}` is not a safe store directory name", spec.id),
+            "ids are 1-64 chars of [A-Za-z0-9._-], not starting with `.`",
+        );
+    }
+    for (value, what, hint) in [
+        (spec.samples as usize, "samples", "lambda replicas"),
+        (spec.threads, "threads", "worker-local rayon threads"),
+        (
+            spec.checkpoint_every,
+            "checkpoint_every",
+            "blocks/cells per checkpoint flush",
+        ),
+    ] {
+        if value == 0 {
+            report.push(
+                "JS003",
+                Severity::Error,
+                entity,
+                format!("`{what}` is 0"),
+                format!("`{what}` ({hint}) must be >= 1"),
+            );
+        }
+    }
+    // JS004 — the Monte Carlo grid is (chips × inputs): both or neither.
+    if (spec.chips == 0) != (spec.mc_inputs == 0) {
+        report.push(
+            "JS004",
+            Severity::Error,
+            entity,
+            format!(
+                "Monte Carlo population mismatch: chips = {}, mc_inputs = {}",
+                spec.chips, spec.mc_inputs
+            ),
+            "set both `chips` and `mc_inputs` to >= 1 (enable) or both to 0 (disable)",
+        );
+    }
+}
+
+/// Runs the store-layout passes (JS005–JS008) over every entry of a job
+/// store root (the directory that contains `jobs/`), appending findings
+/// to `report`. Returns the number of job directories inspected.
+///
+/// The pass is read-only and tolerant of live stores: a `running` job
+/// with in-flight checkpoints is valid; only structural violations that
+/// no crash window of the serve crate's atomic write protocol can
+/// produce are diagnosed.
+///
+/// # Errors
+///
+/// Returns `Err` only if the store root itself is unreadable; per-job
+/// read failures become JS005 diagnostics.
+pub fn analyze_job_store(root: &Path, report: &mut AnalysisReport) -> std::io::Result<usize> {
+    let jobs = root.join("jobs");
+    if !jobs.is_dir() {
+        report.push(
+            "JS005",
+            Severity::Error,
+            root.display().to_string(),
+            "store root has no jobs/ directory",
+            "initialize the store with `terse serve --store <root>` or `terse submit`",
+        );
+        return Ok(0);
+    }
+    let mut ids: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(&jobs)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if entry.file_type()?.is_dir() {
+            ids.push(name);
+        } else {
+            report.push(
+                "JS005",
+                Severity::Error,
+                format!("jobs/{name}"),
+                "non-directory entry in jobs/",
+                "only per-job directories may live under jobs/",
+            );
+        }
+    }
+    ids.sort();
+    for id in &ids {
+        analyze_job_dir(&jobs.join(id), id, report);
+    }
+    Ok(ids.len())
+}
+
+/// JS005–JS008 for a single `jobs/<id>/` directory.
+fn analyze_job_dir(dir: &Path, id: &str, report: &mut AnalysisReport) {
+    // JS005 — required artifacts.
+    if !dir.join("spec.json").is_file() {
+        report.push(
+            "JS005",
+            Severity::Error,
+            id,
+            "missing spec.json",
+            "a job directory is created by writing spec.json first",
+        );
+    }
+    let state = match std::fs::read_to_string(dir.join("state")) {
+        Ok(s) => s.trim().to_string(),
+        Err(_) => {
+            report.push(
+                "JS005",
+                Severity::Error,
+                id,
+                "missing or unreadable state file",
+                "the state file is written atomically at submit time",
+            );
+            return;
+        }
+    };
+    // JS006 — the state must be one of the five canonical strings.
+    if !JOB_STATES.contains(&state.as_str()) {
+        report.push(
+            "JS006",
+            Severity::Error,
+            id,
+            format!("state file contains unknown state `{state}`"),
+            format!("states: {}", JOB_STATES.join(", ")),
+        );
+        return;
+    }
+    // JS007 — the transition log must be a valid chain from `queued`
+    // ending at the current state.
+    if let Ok(log) = std::fs::read_to_string(dir.join("transitions.log")) {
+        let mut prev = "queued".to_string();
+        for (lineno, line) in log.lines().enumerate() {
+            let Some((from, to)) = line.split_once(" -> ") else {
+                report.push(
+                    "JS007",
+                    Severity::Error,
+                    format!("{id} transitions.log:{}", lineno + 1),
+                    format!("malformed log line `{line}`"),
+                    "log lines are `<from> -> <to>`",
+                );
+                return;
+            };
+            if from != prev {
+                report.push(
+                    "JS007",
+                    Severity::Error,
+                    format!("{id} transitions.log:{}", lineno + 1),
+                    format!("broken chain: transition starts at `{from}` but the job was `{prev}`"),
+                    "each logged transition must start where the previous one ended",
+                );
+            }
+            if !valid_transition(from, to) {
+                report.push(
+                    "JS007",
+                    Severity::Error,
+                    format!("{id} transitions.log:{}", lineno + 1),
+                    format!("`{from} -> {to}` is not an edge of the job state machine"),
+                    "see DESIGN.md §16 for the state machine",
+                );
+            }
+            prev = to.to_string();
+        }
+        if prev != state {
+            report.push(
+                "JS007",
+                Severity::Error,
+                id,
+                format!("transition log ends at `{prev}` but the state file says `{state}`"),
+                "the state file and the log tail are written by the same transition",
+            );
+        }
+    }
+    // JS008 — terminal-state artifact consistency.
+    let has_report = dir.join("report.json").is_file();
+    if state == "done" && !has_report {
+        report.push(
+            "JS008",
+            Severity::Error,
+            id,
+            "state is `done` but report.json is missing",
+            "report.json is renamed into place before the done transition",
+        );
+    }
+    if state != "done" && has_report {
+        report.push(
+            "JS008",
+            Severity::Error,
+            id,
+            format!("report.json present but state is `{state}`"),
+            "only the done transition may leave a report.json behind",
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec<'a>(grid: &'a [f64]) -> JobSpecView<'a> {
+        JobSpecView {
+            id: "job-1",
+            benchmark: Some("matmul"),
+            has_asm: false,
+            samples: 8,
+            grid,
+            chips: 4,
+            mc_inputs: 2,
+            threads: 1,
+            checkpoint_every: 4,
+        }
+    }
+
+    const KNOWN: [&str; 2] = ["matmul", "fir"];
+
+    #[test]
+    fn clean_spec_produces_no_diagnostics() {
+        let mut r = AnalysisReport::new();
+        analyze_job_spec(&spec(&[1.0, 1.15]), &KNOWN, &mut r);
+        assert!(r.is_clean(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn unknown_benchmark_is_js001() {
+        let mut r = AnalysisReport::new();
+        let mut s = spec(&[1.0]);
+        s.benchmark = Some("nope");
+        analyze_job_spec(&s, &KNOWN, &mut r);
+        assert!(r.has_code("JS001"));
+    }
+
+    #[test]
+    fn zero_and_double_workloads_are_js001() {
+        for (benchmark, has_asm) in [(None, false), (Some("matmul"), true)] {
+            let mut r = AnalysisReport::new();
+            let mut s = spec(&[1.0]);
+            s.benchmark = benchmark;
+            s.has_asm = has_asm;
+            analyze_job_spec(&s, &KNOWN, &mut r);
+            assert!(r.has_code("JS001"), "{benchmark:?} asm={has_asm}");
+        }
+    }
+
+    #[test]
+    fn bad_grids_are_js002() {
+        for grid in [&[][..], &[0.0][..], &[-1.0][..], &[f64::NAN][..]] {
+            let mut r = AnalysisReport::new();
+            analyze_job_spec(&spec(grid), &KNOWN, &mut r);
+            assert!(r.has_code("JS002"), "grid {grid:?}");
+            assert!(r.has_errors());
+        }
+        // Duplicates warn but do not error.
+        let mut r = AnalysisReport::new();
+        analyze_job_spec(&spec(&[1.15, 1.15]), &KNOWN, &mut r);
+        assert!(r.has_code("JS002"));
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn zero_params_and_unsafe_ids_are_js003() {
+        for mutate in [
+            (|s: &mut JobSpecView| s.samples = 0) as fn(&mut JobSpecView),
+            |s| s.threads = 0,
+            |s| s.checkpoint_every = 0,
+            |s| s.id = "",
+            |s| s.id = "../escape",
+            |s| s.id = ".hidden",
+        ] {
+            let mut r = AnalysisReport::new();
+            let grid = [1.0];
+            let mut s = spec(&grid);
+            mutate(&mut s);
+            analyze_job_spec(&s, &KNOWN, &mut r);
+            assert!(r.has_code("JS003"));
+        }
+    }
+
+    #[test]
+    fn mc_population_mismatch_is_js004() {
+        for (chips, inputs, bad) in [(0, 2, true), (4, 0, true), (0, 0, false), (4, 2, false)] {
+            let mut r = AnalysisReport::new();
+            let grid = [1.0];
+            let mut s = spec(&grid);
+            s.chips = chips;
+            s.mc_inputs = inputs;
+            analyze_job_spec(&s, &KNOWN, &mut r);
+            assert_eq!(r.has_code("JS004"), bad, "chips={chips} inputs={inputs}");
+        }
+    }
+
+    #[test]
+    fn transition_table_matches_the_design() {
+        // Positive edges.
+        for (from, to) in [
+            ("queued", "running"),
+            ("queued", "cancelled"),
+            ("running", "done"),
+            ("running", "failed"),
+            ("running", "cancelled"),
+            ("running", "queued"),
+        ] {
+            assert!(valid_transition(from, to), "{from} -> {to}");
+        }
+        // Everything else is invalid, including self-loops and edges out
+        // of terminal states.
+        for from in JOB_STATES {
+            for to in JOB_STATES {
+                let expected = matches!(
+                    (from, to),
+                    ("queued", "running" | "cancelled")
+                        | ("running", "done" | "failed" | "cancelled" | "queued")
+                );
+                assert_eq!(valid_transition(from, to), expected, "{from} -> {to}");
+            }
+        }
+        assert!(!valid_transition("queued", "bogus"));
+        assert!(!valid_transition("bogus", "running"));
+    }
+
+    fn temp_store(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("terse_jobpass_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(p.join("jobs")).unwrap();
+        p
+    }
+
+    fn write_job(root: &Path, id: &str, state: &str, log: &str, with_report: bool) {
+        let dir = root.join("jobs").join(id);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("spec.json"), "{}").unwrap();
+        std::fs::write(dir.join("state"), state).unwrap();
+        if !log.is_empty() {
+            std::fs::write(dir.join("transitions.log"), log).unwrap();
+        }
+        if with_report {
+            std::fs::write(dir.join("report.json"), "{}").unwrap();
+        }
+    }
+
+    #[test]
+    fn clean_store_passes_and_counts_jobs() {
+        let root = temp_store("clean");
+        write_job(&root, "a", "queued", "", false);
+        write_job(
+            &root,
+            "b",
+            "done",
+            "queued -> running\nrunning -> done\n",
+            true,
+        );
+        let mut r = AnalysisReport::new();
+        let n = analyze_job_store(&root, &mut r).unwrap();
+        assert_eq!(n, 2);
+        assert!(r.is_clean(), "{}", r.render_text());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn store_violations_get_their_codes() {
+        let root = temp_store("dirty");
+        // JS005: missing state file.
+        let dir = root.join("jobs").join("nostate");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("spec.json"), "{}").unwrap();
+        // JS006: unknown state.
+        write_job(&root, "badstate", "paused", "", false);
+        // JS007: invalid edge and broken chain.
+        write_job(
+            &root,
+            "badlog",
+            "done",
+            "queued -> done\nrunning -> done\n",
+            true,
+        );
+        // JS008: done without a report, and a report without done.
+        write_job(&root, "noreport", "done", "", false);
+        write_job(&root, "earlyreport", "running", "", true);
+        let mut r = AnalysisReport::new();
+        analyze_job_store(&root, &mut r).unwrap();
+        for code in ["JS005", "JS006", "JS007", "JS008"] {
+            assert!(r.has_code(code), "{code} missing:\n{}", r.render_text());
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn log_tail_must_match_state_file() {
+        let root = temp_store("tail");
+        write_job(&root, "stale", "queued", "queued -> running\n", false);
+        let mut r = AnalysisReport::new();
+        analyze_job_store(&root, &mut r).unwrap();
+        assert!(r.has_code("JS007"));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

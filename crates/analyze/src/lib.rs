@@ -29,8 +29,9 @@
 //! derived facts (e.g. static stage-DTS interval bounds) and never gate.
 //!
 //! Diagnostic codes are stable identifiers (`NL0xx` netlist, `CF0xx` CFG,
-//! `SL0xx` slack RVs, `TP0xx` compiled op tapes, `AZ0xx` codebase lints);
-//! see DESIGN.md §14 for the full table.
+//! `SL0xx` slack RVs, `TP0xx` compiled op tapes, `AZ0xx` codebase lints,
+//! `JS0xx` job specs and job-store layouts); see DESIGN.md §14 for the
+//! full table.
 
 // Numeric-kernel idioms used intentionally throughout this crate:
 // `!(x >= 0.0)` rejects NaN along with negatives, and index loops run over
@@ -39,12 +40,17 @@
 #![warn(missing_docs)]
 
 pub mod cfg_pass;
+pub mod job_pass;
 pub mod lint;
 pub mod netlist_pass;
 pub mod slack_pass;
 pub mod tape_pass;
 
 pub use cfg_pass::analyze_cfg;
+pub use job_pass::{
+    analyze_job_spec, analyze_job_store, is_terminal_state, valid_transition, JobSpecView,
+    JOB_STATES,
+};
 pub use netlist_pass::analyze_netlist;
 pub use slack_pass::{analyze_slacks, SlackPassConfig};
 pub use tape_pass::analyze_tape;

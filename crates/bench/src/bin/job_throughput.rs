@@ -1,0 +1,175 @@
+//! Job-server throughput benchmark: one batch of estimation jobs drained
+//! by worker pools of increasing width.
+//!
+//! ```text
+//! cargo run --release -p terse-bench --bin job_throughput
+//! ```
+//!
+//! Writes `results/BENCH_jobserver.json` and prints the same numbers to
+//! stdout. Before any speedup is reported, the deterministic report
+//! section of **every** job under every pool width is checked byte for
+//! byte against the single-worker reference — the run aborts if
+//! scheduling is ever visible in the results.
+//!
+//! Environment knobs (for the CI smoke job):
+//!
+//! * `TERSE_BENCH_SMOKE=1` — small batch (24 jobs).
+//! * `TERSE_BENCH_JOBS=N` — explicit batch size.
+//!
+//! The batch mixes plain estimation jobs, block-budgeted jobs that
+//! requeue (TERSECP1 resume churn), and Monte Carlo jobs with and without
+//! cell budgets (TERSEMC1 resume churn), over two operating-point grids —
+//! the same shape mix as the soak suite, so the measured throughput
+//! includes the cost of time-sliced resume.
+
+use std::sync::atomic::AtomicBool;
+use std::time::Instant;
+use terse_serve::{deterministic_section, serve, ExecutorConfig, JobSpec, JobStore};
+
+const KERNELS: [&str; 3] = [
+    r"li r1, 3\nli r2, 0xF0F0\nloop: add r3, r3, r2\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n",
+    r"li r1, 4\nli r2, 0x0F0F\nloop: xor r3, r3, r2\nadd r4, r4, r3\naddi r1, r1, -1\nbne r1, r0, loop\nadd r5, r4, r2\nhalt\n",
+    r"li r1, 2\nli r2, 0x00FF\nloop: slli r3, r2, 1\nor r4, r4, r3\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n",
+];
+
+fn batch_spec(i: usize) -> JobSpec {
+    let kernel = KERNELS[i % KERNELS.len()];
+    let grid = if i.is_multiple_of(2) {
+        "[1.4]"
+    } else {
+        "[1.3,1.5]"
+    };
+    let extra = match i % 4 {
+        0 => String::new(),
+        1 => r#","block_budget":1"#.to_owned(),
+        2 => format!(r#","chips":2,"mc_inputs":2,"seed":{i}"#),
+        _ => format!(r#","chips":2,"mc_inputs":2,"mc_cell_budget":3,"seed":{i}"#),
+    };
+    JobSpec::from_json(&format!(
+        r#"{{"id":"job-{i:04}","workload":{{"asm":"{kernel}","name":"bench-k{}"}},"samples":1,"grid":{grid},"checkpoint_every":2{extra}}}"#,
+        i % KERNELS.len()
+    ))
+    .expect("batch spec parses")
+}
+
+struct PoolResult {
+    workers: usize,
+    wall_s: f64,
+    jobs_per_s: f64,
+    requeued: usize,
+    attempts: usize,
+    sections: Vec<String>,
+}
+
+/// Submits the batch to a fresh store and drains it with `workers`
+/// workers, timing the drain and collecting every job's deterministic
+/// report section.
+fn drain_batch(n: usize, workers: usize) -> PoolResult {
+    let mut root = std::env::temp_dir();
+    root.push(format!(
+        "terse_bench_jobserver_w{workers}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = JobStore::open(&root).expect("store");
+    for i in 0..n {
+        store.submit(&batch_spec(i)).expect("submit");
+    }
+    let t = Instant::now();
+    let stats = serve(
+        &store,
+        &ExecutorConfig {
+            workers,
+            drain: true,
+            poll_ms: 2,
+        },
+        &AtomicBool::new(false),
+        |_| {},
+    )
+    .expect("serve");
+    let wall_s = t.elapsed().as_secs_f64();
+    assert_eq!(stats.completed, n, "pool of {workers} lost jobs: {stats:?}");
+    assert_eq!(stats.failed, 0, "{stats:?}");
+    let mut audit = terse_analyze::AnalysisReport::new();
+    terse_analyze::analyze_job_store(&root, &mut audit).expect("audit");
+    assert!(audit.is_clean(), "{}", audit.render_text());
+    let sections = (0..n)
+        .map(|i| {
+            let report = store.read_report(&format!("job-{i:04}")).expect("report");
+            deterministic_section(&report).expect("section")
+        })
+        .collect();
+    let _ = std::fs::remove_dir_all(&root);
+    PoolResult {
+        workers,
+        wall_s,
+        jobs_per_s: n as f64 / wall_s,
+        requeued: stats.requeued,
+        attempts: stats.attempts,
+        sections,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("TERSE_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let n = std::env::var("TERSE_BENCH_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(if smoke { 24 } else { 120 });
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let widths: &[usize] = &[1, 2, 4];
+
+    let mut results = Vec::with_capacity(widths.len());
+    for &workers in widths {
+        eprintln!("[{workers} worker(s)] draining {n} jobs...");
+        let r = drain_batch(n, workers);
+        eprintln!(
+            "[{workers} worker(s)] {:.3}s wall, {:.1} jobs/s, {} requeue(s), {} attempt(s)",
+            r.wall_s, r.jobs_per_s, r.requeued, r.attempts
+        );
+        results.push(r);
+    }
+
+    // Bitwise gate: every pool width must produce byte-identical
+    // deterministic sections before any speedup is reported.
+    let reference = &results[0].sections;
+    let mut bitwise_identical = true;
+    for r in &results[1..] {
+        for (i, (got, want)) in r.sections.iter().zip(reference).enumerate() {
+            assert_eq!(
+                got, want,
+                "job-{i:04}: {}-worker pool diverged from serial reference",
+                r.workers
+            );
+        }
+        bitwise_identical &= r.sections == *reference;
+    }
+
+    let serial_s = results[0].wall_s;
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"workers\": {},\n      \"wall_s\": {:.6},\n      \"jobs_per_s\": {:.3},\n      \"speedup_vs_serial\": {:.3},\n      \"requeued\": {},\n      \"attempts\": {}\n    }}",
+                r.workers,
+                r.wall_s,
+                r.jobs_per_s,
+                serial_s / r.wall_s,
+                r.requeued,
+                r.attempts
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"host_threads\": {host},\n  \"jobs\": {n},\n  \"bitwise_identical\": {bitwise_identical},\n  \"pools\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    print!("{json}");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/BENCH_jobserver.json", &json))
+    {
+        eprintln!("could not write results/BENCH_jobserver.json: {e}");
+    } else {
+        eprintln!("wrote results/BENCH_jobserver.json");
+    }
+}

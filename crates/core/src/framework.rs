@@ -412,6 +412,11 @@ impl Framework {
         self.degradation
     }
 
+    /// The gate-evaluation strategy the training co-simulations use.
+    pub fn sim_strategy(&self) -> SimStrategy {
+        self.sim_strategy
+    }
+
     /// Static analysis of every input IR this run would consume: the
     /// pipeline netlist (structure), the workload's CFG (partition,
     /// leaders, edges, reachability), and the per-stage endpoint slack
@@ -649,7 +654,8 @@ impl Framework {
     }
 
     /// Computes the error-rate estimate from profiles and a trained model
-    /// (the Section 5 statistical pipeline).
+    /// (the Section 5 statistical pipeline), using the builder-configured
+    /// checkpoint and block budget.
     ///
     /// With [`FrameworkBuilder::checkpoint`] configured, the per-block
     /// sweep periodically flushes completed blocks to disk and a re-run
@@ -667,6 +673,34 @@ impl Framework {
         cfg: &Cfg,
         profiles: &[ProfileResult],
         model: &InstructionErrorModel,
+    ) -> Result<ErrorRateEstimate> {
+        self.estimate_with(
+            w,
+            cfg,
+            profiles,
+            model,
+            self.checkpoint.as_ref(),
+            self.block_budget,
+        )
+    }
+
+    /// [`Framework::estimate`] with an explicit checkpoint handle and block
+    /// budget — the job-facing entry point: a job server sharing one
+    /// framework across many queued jobs passes each job its own
+    /// TERSECP1 checkpoint file and (optional) per-attempt unit budget
+    /// instead of baking them into the builder.
+    ///
+    /// # Errors
+    ///
+    /// As [`Framework::estimate`].
+    pub fn estimate_with(
+        &self,
+        w: &Workload,
+        cfg: &Cfg,
+        profiles: &[ProfileResult],
+        model: &InstructionErrorModel,
+        ckpt: Option<&EstimateCheckpoint>,
+        block_budget: Option<usize>,
     ) -> Result<ErrorRateEstimate> {
         failpoints::fail_point!("terse::estimate", |_| Err(TerseError::Config(
             "injected estimation fault".into()
@@ -709,8 +743,7 @@ impl Framework {
             }
             Ok((cc_blk, ce_blk))
         };
-        let per_block: Vec<BlockProbs> = if self.checkpoint.is_none() && self.block_budget.is_none()
-        {
+        let per_block: Vec<BlockProbs> = if ckpt.is_none() && block_budget.is_none() {
             self.pool.install(|| {
                 cfg.blocks()
                     .par_iter()
@@ -730,13 +763,13 @@ impl Framework {
                 self.operating.signoff_period,
                 self.operating.working_period,
             );
-            let mut slots: Vec<Option<BlockProbs>> = match &self.checkpoint {
+            let mut slots: Vec<Option<BlockProbs>> = match ckpt {
                 Some(ck) => checkpoint::load(ck.path(), ctx, m, s_count)?,
                 None => vec![None; m],
             };
             let pending: Vec<usize> = (0..m).filter(|&i| slots[i].is_none()).collect();
-            let budget = self.block_budget.unwrap_or(usize::MAX);
-            let every = self.checkpoint.as_ref().map_or(usize::MAX, |c| c.every_n());
+            let budget = block_budget.unwrap_or(usize::MAX);
+            let every = ckpt.map_or(usize::MAX, |c| c.every_n());
             let blocks = cfg.blocks();
             let mut computed = 0usize;
             let mut next = 0usize;
@@ -754,7 +787,7 @@ impl Framework {
                 }
                 computed += take;
                 next += take;
-                if let Some(ck) = &self.checkpoint {
+                if let Some(ck) = ckpt {
                     checkpoint::store(ck.path(), ctx, &slots, s_count)?;
                 }
             }
@@ -765,7 +798,7 @@ impl Framework {
                     total: m,
                 });
             }
-            if let Some(ck) = &self.checkpoint {
+            if let Some(ck) = ckpt {
                 checkpoint::finish(ck.path())?;
             }
             slots.into_iter().flatten().collect()

@@ -104,6 +104,89 @@ impl ErrorRateEstimate {
         }
         Ok(out)
     }
+
+    /// The estimate as a JSON object. Contains only values that are a pure
+    /// function of the run's inputs (no wall clock, no cache counters), so
+    /// two bitwise-identical estimates render to identical bytes — the
+    /// job server's crash-resume differential tests compare these strings
+    /// directly.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        let samples: Vec<String> = self.lambda.samples().iter().map(|&v| json_f64(v)).collect();
+        o.raw("lambda_samples", &format!("[{}]", samples.join(",")));
+        o.f64("lambda_mean", self.lambda.mean());
+        o.f64("lambda_sd", self.lambda.sd());
+        o.f64("total_instructions", self.total_instructions);
+        o.f64("mean_error_rate", self.mean_error_rate());
+        o.f64("sd_error_rate", self.sd_error_rate());
+        o.f64("dk_lambda", self.dk_lambda);
+        o.f64("dk_count", self.dk_count);
+        o.f64("chen_stein_b12_worst", self.chen_stein_b12_worst);
+        o.finish()
+    }
+}
+
+/// Renders an `f64` as a JSON value: Rust's shortest round-trip decimal for
+/// finite values (equal bit patterns ⇒ equal bytes), `null` for non-finite
+/// ones (JSON has no NaN/∞ literal).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Bare integers like `3` are valid JSON numbers, but keeping a
+        // decimal point marks the field as floating-point for typed readers.
+        if s.contains(['.', 'e', 'E']) {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".into()
+    }
+}
+
+/// Minimal ordered JSON-object builder (the workspace is offline — no
+/// serde); `raw` values must already be valid JSON.
+struct JsonObj {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObj {
+    fn new() -> Self {
+        JsonObj { fields: Vec::new() }
+    }
+
+    fn raw(&mut self, key: &str, json: &str) {
+        self.fields.push((key.to_owned(), json.to_owned()));
+    }
+
+    fn str(&mut self, key: &str, value: &str) {
+        let escaped: String = value
+            .chars()
+            .flat_map(|c| match c {
+                '"' => "\\\"".chars().collect::<Vec<_>>(),
+                '\\' => "\\\\".chars().collect(),
+                '\n' => "\\n".chars().collect(),
+                '\t' => "\\t".chars().collect(),
+                '\r' => "\\r".chars().collect(),
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect();
+        self.fields.push((key.to_owned(), format!("\"{escaped}\"")));
+    }
+
+    fn f64(&mut self, key: &str, value: f64) {
+        self.fields.push((key.to_owned(), json_f64(value)));
+    }
+
+    fn finish(self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .into_iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
 }
 
 /// One point of a Figure-3 curve.
@@ -258,28 +341,116 @@ impl Report {
             }
             None => s.push_str("\ndta-cache: disabled"),
         }
-        if let Some(bp) = &self.bitparallel {
-            s.push_str(&format!(
-                "\nbit-parallel: strategy {}, tape {} ops / {} slots, \
-                 {} lanes/word, cosim {} cycles, {} ops evaluated, \
-                 {} ops skipped",
-                bp.strategy,
-                bp.tape_ops,
-                bp.tape_slots,
-                bp.lane_width,
-                bp.cosim_cycles,
-                bp.gates_evaluated,
-                bp.tape_ops_skipped,
-            ));
-            if bp.mc_chips > 0 {
+        match &self.bitparallel {
+            Some(bp) => {
                 s.push_str(&format!(
-                    ", mc {} chips at {:.1}% lane occupancy",
-                    bp.mc_chips,
-                    bp.mc_lane_occupancy * 100.0,
+                    "\nbit-parallel: strategy {}, tape {} ops / {} slots, \
+                     {} lanes/word, cosim {} cycles, {} ops evaluated, \
+                     {} ops skipped",
+                    bp.strategy,
+                    bp.tape_ops,
+                    bp.tape_slots,
+                    bp.lane_width,
+                    bp.cosim_cycles,
+                    bp.gates_evaluated,
+                    bp.tape_ops_skipped,
                 ));
+                // The lane-occupancy segment is always present so that line-
+                // oriented consumers see a fixed field set: scalar-strategy
+                // runs (no MC grid attached) report an explicit "n/a".
+                if bp.mc_chips > 0 {
+                    s.push_str(&format!(
+                        ", mc {} chips at {:.1}% lane occupancy",
+                        bp.mc_chips,
+                        bp.mc_lane_occupancy * 100.0,
+                    ));
+                } else {
+                    s.push_str(", mc n/a (0 chips)");
+                }
             }
+            None => s.push_str("\nbit-parallel: n/a"),
         }
         s
+    }
+
+    /// The report as one self-contained JSON object — the job server's
+    /// streaming format. Every key is always present (telemetry sections
+    /// that did not run are zeroed / `null`, never missing), so downstream
+    /// consumers can index unconditionally. `f64`s are rendered in Rust's
+    /// shortest round-trip form, so equal bit patterns produce equal bytes.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("name", &self.name);
+        o.raw("static_instructions", &self.static_instructions.to_string());
+        o.f64("dynamic_instructions", self.dynamic_instructions);
+        o.raw("basic_blocks", &self.basic_blocks.to_string());
+        o.raw("estimate", &self.estimate.to_json());
+        o.raw(
+            "perf",
+            &format!(
+                "{{\"overclock\":{},\"penalty_cycles\":{}}}",
+                json_f64(self.perf.overclock),
+                json_f64(self.perf.penalty_cycles)
+            ),
+        );
+        let mut t = JsonObj::new();
+        t.f64("simulation_s", self.timings.simulation_s);
+        t.f64("training_s", self.timings.training_s);
+        t.f64("estimation_s", self.timings.estimation_s);
+        t.f64("total_s", self.timings.total_s());
+        o.raw("timings", &t.finish());
+        match &self.dta_cache {
+            Some(c) => {
+                let mut d = JsonObj::new();
+                for (k, v) in [
+                    ("hits", c.hits),
+                    ("misses", c.misses),
+                    ("evictions", c.evictions),
+                    ("collisions", c.collisions),
+                    ("entries", c.entries as u64),
+                    ("capacity", c.capacity as u64),
+                ] {
+                    d.raw(k, &v.to_string());
+                }
+                d.f64("hit_rate", c.hit_rate());
+                o.raw("dta_cache", &d.finish());
+            }
+            None => o.raw("dta_cache", "null"),
+        }
+        // The bit-parallel section always carries the full key set: a
+        // scalar-strategy run (or a hand-assembled report) gets zeroed
+        // counters and a 0.0 lane occupancy instead of missing keys.
+        let zero = BitParallelStats {
+            strategy: "n/a".into(),
+            tape_ops: 0,
+            tape_slots: 0,
+            lane_width: 0,
+            cosim_cycles: 0,
+            gates_evaluated: 0,
+            tape_ops_skipped: 0,
+            mc_chips: 0,
+            mc_lane_occupancy: 0.0,
+        };
+        let bp = self.bitparallel.as_ref().unwrap_or(&zero);
+        let mut b = JsonObj::new();
+        b.str("strategy", &bp.strategy);
+        b.raw("tape_ops", &bp.tape_ops.to_string());
+        b.raw("tape_slots", &bp.tape_slots.to_string());
+        b.raw("lane_width", &bp.lane_width.to_string());
+        b.raw("cosim_cycles", &bp.cosim_cycles.to_string());
+        b.raw("gates_evaluated", &bp.gates_evaluated.to_string());
+        b.raw("tape_ops_skipped", &bp.tape_ops_skipped.to_string());
+        b.raw("mc_chips", &bp.mc_chips.to_string());
+        b.f64(
+            "mc_lane_occupancy",
+            if bp.mc_chips > 0 {
+                bp.mc_lane_occupancy
+            } else {
+                0.0
+            },
+        );
+        o.raw("bitparallel", &b.finish());
+        o.finish()
     }
 }
 
@@ -375,10 +546,97 @@ mod tests {
         assert!(row.contains("demo"));
         assert!(row.contains("500.000M"));
         assert!((r.timings.total_s() - 3.5).abs() < 1e-12);
-        // Without a cache, the perf summary says so.
+        // Without a cache, the perf summary says so — and the bit-parallel
+        // section is explicit about being absent, not silently missing.
         let summary = r.perf_summary();
         assert!(summary.contains("phases:"));
         assert!(summary.contains("dta-cache: disabled"));
+        assert!(summary.contains("bit-parallel: n/a"), "{summary}");
+    }
+
+    #[test]
+    fn perf_summary_reports_lane_occupancy_na_for_scalar_strategies() {
+        let e = estimate(1000.0, 0.05, 5e8);
+        let r = Report {
+            name: "scalar".into(),
+            estimate: e,
+            timings: RunTimings::default(),
+            static_instructions: 1,
+            dynamic_instructions: 1.0,
+            basic_blocks: 1,
+            perf: TsPerformanceModel::paper_default(),
+            dta_cache: None,
+            bitparallel: Some(BitParallelStats {
+                strategy: "EventDriven".into(),
+                tape_ops: 5000,
+                tape_slots: 6000,
+                lane_width: 64,
+                cosim_cycles: 120,
+                gates_evaluated: 40_000,
+                tape_ops_skipped: 0,
+                mc_chips: 0,
+                mc_lane_occupancy: 1.0,
+            }),
+        };
+        // No MC grid ran: the occupancy segment must still be there, as an
+        // explicit n/a rather than a missing field.
+        let summary = r.perf_summary();
+        assert!(summary.contains("mc n/a (0 chips)"), "{summary}");
+        // And the JSON keys exist with zeroed values.
+        let json = r.to_json();
+        assert!(json.contains("\"mc_chips\":0"), "{json}");
+        assert!(json.contains("\"mc_lane_occupancy\":0.0"), "{json}");
+    }
+
+    #[test]
+    fn report_json_has_a_complete_key_set() {
+        let e = estimate(1000.0, 0.05, 5e8);
+        let r = Report {
+            name: "demo \"quoted\"".into(),
+            estimate: e,
+            timings: RunTimings {
+                training_s: 1.0,
+                simulation_s: 2.0,
+                estimation_s: 0.5,
+            },
+            static_instructions: 42,
+            dynamic_instructions: 5e8,
+            basic_blocks: 7,
+            perf: TsPerformanceModel::paper_default(),
+            dta_cache: None,
+            bitparallel: None,
+        };
+        let json = r.to_json();
+        for key in [
+            "\"name\"",
+            "\"estimate\"",
+            "\"lambda_samples\"",
+            "\"dk_lambda\"",
+            "\"timings\"",
+            "\"dta_cache\":null",
+            "\"bitparallel\"",
+            "\"strategy\":\"n/a\"",
+            "\"mc_chips\":0",
+            "\"mc_lane_occupancy\":0.0",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Quotes in names are escaped.
+        assert!(json.contains("demo \\\"quoted\\\""), "{json}");
+        // Deterministic payloads render identically.
+        assert_eq!(r.estimate.to_json(), r.estimate.clone().to_json());
+    }
+
+    #[test]
+    fn json_f64_round_trips_and_handles_non_finite() {
+        for v in [0.25, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -0.0, 42.0] {
+            let s = json_f64(v);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} -> {s}");
+        }
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(42.0), "42.0");
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! The sharded worker pool.
+//!
+//! Jobs are sharded by an FNV-1a hash of their id: worker `w` of `n`
+//! prefers jobs with `fnv(id) % n == w`, falling back to **work stealing**
+//! from other shards so a skewed hash cannot idle a worker. Mutual
+//! exclusion is the store's `O_EXCL` claim file, so sharding is purely a
+//! locality/fairness heuristic — correctness (no lost, no duplicated job)
+//! never depends on it, and multiple `terse serve` processes can share a
+//! store.
+//!
+//! Each worker owns a [`FrameworkCache`]; frameworks are not shared across
+//! workers (the framework's rayon pool is per-instance, and jobs default
+//! to one thread each — parallelism comes from the pool of workers).
+//!
+//! In drain mode a worker exits when a full scan finds no queued job and
+//! no worker is busy (a busy worker may still requeue a time-sliced job,
+//! so the queue is only provably empty when both hold).
+
+use crate::runner::{run_job, FrameworkCache, RunOutcome};
+use crate::store::{JobState, JobStore};
+use crate::{Result, ServeError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Worker threads (>= 1).
+    pub workers: usize,
+    /// Exit once the queue is fully drained (otherwise poll forever).
+    pub drain: bool,
+    /// Idle poll interval in milliseconds.
+    pub poll_ms: u64,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            workers: 4,
+            drain: true,
+            poll_ms: 20,
+        }
+    }
+}
+
+/// Aggregate counters of one executor run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Jobs taken to `done`.
+    pub completed: usize,
+    /// Jobs taken to `failed`.
+    pub failed: usize,
+    /// Jobs taken to `cancelled`.
+    pub cancelled: usize,
+    /// `running → queued` requeues (time slicing / budgets).
+    pub requeued: usize,
+    /// Claim attempts that processed a job (attempts = the sum of the
+    /// other four counters' transitions).
+    pub attempts: usize,
+}
+
+impl ExecutorStats {
+    fn absorb(&mut self, other: ExecutorStats) {
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.cancelled += other.cancelled;
+        self.requeued += other.requeued;
+        self.attempts += other.attempts;
+    }
+}
+
+/// FNV-1a shard hash (stable across runs and platforms).
+pub fn shard_of(id: &str, workers: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % workers.max(1) as u64) as usize
+}
+
+/// Runs store recovery, then the worker pool, until drained (drain mode)
+/// or until `stop` is raised (daemon mode).
+///
+/// `on_event` receives one line per job-state change, e.g.
+/// `"w2 job-17 done"` — the CLI streams these to stderr; tests collect
+/// them to audit the state machine.
+///
+/// # Errors
+///
+/// [`ServeError::Run`] when a worker thread cannot be spawned, store
+/// errors from recovery. Per-job failures are *not* errors here — they
+/// move the job to `failed` and count in [`ExecutorStats`].
+pub fn serve(
+    store: &JobStore,
+    cfg: &ExecutorConfig,
+    stop: &AtomicBool,
+    on_event: impl Fn(&str) + Sync,
+) -> Result<ExecutorStats> {
+    let requeued = store.recover()?;
+    for id in &requeued {
+        on_event(&format!("recover {id} requeued"));
+    }
+    let workers = cfg.workers.max(1);
+    let busy = AtomicUsize::new(0);
+    let mut stats = ExecutorStats::default();
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            failpoints::fail_point!("serve::worker_spawn", |_| Err(ServeError::Run(
+                "injected worker-spawn fault".into()
+            )));
+            let busy = &busy;
+            let on_event = &on_event;
+            let builder = std::thread::Builder::new().name(format!("terse-worker-{w}"));
+            let handle = builder
+                .spawn_scoped(scope, move || {
+                    worker_loop(store, w, workers, cfg, stop, busy, on_event)
+                })
+                .map_err(|e| ServeError::Run(format!("worker spawn failed: {e}")))?;
+            handles.push(handle);
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(s)) => stats.absorb(s),
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Err(ServeError::Run("worker panicked".into())),
+            }
+        }
+        Ok(())
+    })?;
+    Ok(stats)
+}
+
+fn worker_loop(
+    store: &JobStore,
+    w: usize,
+    workers: usize,
+    cfg: &ExecutorConfig,
+    stop: &AtomicBool,
+    busy: &AtomicUsize,
+    on_event: &(impl Fn(&str) + Sync),
+) -> Result<ExecutorStats> {
+    let mut cache = FrameworkCache::new();
+    let mut stats = ExecutorStats::default();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(stats);
+        }
+        // Deterministic scan: own shard first, then steal, ids sorted
+        // within each bucket.
+        let ids = store.list()?;
+        let mut own = Vec::new();
+        let mut steal = Vec::new();
+        for id in ids {
+            if store.state(&id)? != JobState::Queued {
+                continue;
+            }
+            if shard_of(&id, workers) == w {
+                own.push(id);
+            } else {
+                steal.push(id);
+            }
+        }
+        let had_queued = !(own.is_empty() && steal.is_empty());
+        let mut processed = false;
+        for id in own.into_iter().chain(steal) {
+            if stop.load(Ordering::SeqCst) {
+                return Ok(stats);
+            }
+            if !store.try_claim(&id)? {
+                continue;
+            }
+            busy.fetch_add(1, Ordering::SeqCst);
+            let outcome = process_claimed(store, &id, &mut cache, &mut stats, w, on_event);
+            busy.fetch_sub(1, Ordering::SeqCst);
+            outcome?;
+            processed = true;
+        }
+        if !processed {
+            if cfg.drain && !had_queued && busy.load(Ordering::SeqCst) == 0 {
+                return Ok(stats);
+            }
+            std::thread::sleep(Duration::from_millis(cfg.poll_ms));
+        }
+    }
+}
+
+/// Processes one claimed job: state transitions around [`run_job`]. The
+/// claim is always released, whatever the outcome.
+fn process_claimed(
+    store: &JobStore,
+    id: &str,
+    cache: &mut FrameworkCache,
+    stats: &mut ExecutorStats,
+    w: usize,
+    on_event: &(impl Fn(&str) + Sync),
+) -> Result<()> {
+    let result = (|| -> Result<()> {
+        // Between the scan and the claim someone may have transitioned the
+        // job (e.g. `terse cancel` on an unclaimed queued job); re-check
+        // under the claim.
+        if store.state(id)? != JobState::Queued {
+            return Ok(());
+        }
+        stats.attempts += 1;
+        if store.cancel_requested(id) {
+            store.transition(id, JobState::Queued, JobState::Cancelled)?;
+            stats.cancelled += 1;
+            on_event(&format!("w{w} {id} cancelled"));
+            return Ok(());
+        }
+        store.transition(id, JobState::Queued, JobState::Running)?;
+        on_event(&format!("w{w} {id} running"));
+        match run_job(store, id, cache) {
+            Ok(RunOutcome::Done) => {
+                store.transition(id, JobState::Running, JobState::Done)?;
+                stats.completed += 1;
+                on_event(&format!("w{w} {id} done"));
+            }
+            Ok(RunOutcome::Requeued { completed, total }) => {
+                store.transition(id, JobState::Running, JobState::Queued)?;
+                stats.requeued += 1;
+                on_event(&format!("w{w} {id} requeued {completed}/{total}"));
+            }
+            Ok(RunOutcome::Cancelled) => {
+                store.transition(id, JobState::Running, JobState::Cancelled)?;
+                stats.cancelled += 1;
+                on_event(&format!("w{w} {id} cancelled"));
+            }
+            Err(e) => {
+                store.write_error(id, &e.to_string())?;
+                store.transition(id, JobState::Running, JobState::Failed)?;
+                stats.failed += 1;
+                on_event(&format!("w{w} {id} failed: {e}"));
+            }
+        }
+        Ok(())
+    })();
+    // Release even on store errors — a stuck claim would wedge the job
+    // until the next recovery.
+    let release = store.release_claim(id);
+    result.and(release)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JobSpec;
+    use std::sync::Mutex;
+
+    fn temp_store(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("terse_exec_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn tiny(id: &str, extra: &str) -> JobSpec {
+        JobSpec::from_json(&format!(
+            r#"{{"id":"{id}","workload":{{"asm":"li r1, 0xAAAA\nadd r2, r1, r1\nhalt\n","name":"tiny"}},"samples":1,"grid":[1.4],"checkpoint_every":2{extra}}}"#
+        ))
+        .expect("spec")
+    }
+
+    #[test]
+    fn drains_a_small_batch_across_workers() {
+        let root = temp_store("batch");
+        let store = JobStore::open(&root).unwrap();
+        for i in 0..6 {
+            store.submit(&tiny(&format!("job-{i}"), "")).unwrap();
+        }
+        let events = Mutex::new(Vec::new());
+        let stats = serve(
+            &store,
+            &ExecutorConfig {
+                workers: 3,
+                drain: true,
+                poll_ms: 5,
+            },
+            &AtomicBool::new(false),
+            |e| events.lock().unwrap().push(e.to_owned()),
+        )
+        .unwrap();
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.failed + stats.cancelled, 0);
+        for i in 0..6 {
+            assert_eq!(
+                store.state(&format!("job-{i}")).unwrap(),
+                JobState::Done,
+                "job-{i}"
+            );
+        }
+        // Every job reported exactly one `done` event (no duplication).
+        let done_events = events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.ends_with(" done"))
+            .count();
+        assert_eq!(done_events, 6);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn failed_jobs_are_isolated() {
+        let root = temp_store("fail");
+        let store = JobStore::open(&root).unwrap();
+        store.submit(&tiny("ok", "")).unwrap();
+        // An infinite loop trips the instruction budget -> job failure.
+        let bad = JobSpec::from_json(
+            r#"{"id":"bad","workload":{"asm":"jal r0, 0\n","name":"loop"},"samples":1,"grid":[1.4]}"#,
+        )
+        .unwrap();
+        store.submit(&bad).unwrap();
+        let stats = serve(
+            &store,
+            &ExecutorConfig {
+                workers: 2,
+                drain: true,
+                poll_ms: 5,
+            },
+            &AtomicBool::new(false),
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(store.state("ok").unwrap(), JobState::Done);
+        assert_eq!(store.state("bad").unwrap(), JobState::Failed);
+        assert!(store.job_dir("bad").join("error.txt").exists());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn shard_hash_is_stable_and_total() {
+        assert_eq!(shard_of("job-1", 4), shard_of("job-1", 4));
+        assert!(shard_of("anything", 1) == 0);
+        for i in 0..32 {
+            assert!(shard_of(&format!("j{i}"), 4) < 4);
+        }
+    }
+}

@@ -1,0 +1,506 @@
+//! The directory-backed job store.
+//!
+//! Layout (everything under one *store root*):
+//!
+//! ```text
+//! <root>/jobs/<id>/
+//!     spec.json        canonical spec (written first, atomically)
+//!     state            current state, atomic tmp+rename
+//!     transitions.log  append-only `<from> -> <to>` lines
+//!     claim            worker mutual exclusion (O_EXCL create)
+//!     cancel           cancellation request flag
+//!     checkpoints/     TERSECP1 / TERSEMC1 files + per-point results
+//!     report.json      final report, renamed into place before `done`
+//! ```
+//!
+//! The state machine is `queued → running → done|failed|cancelled`, plus
+//! `running → queued` (crash recovery / time slicing) and `queued →
+//! cancelled`; [`terse_analyze::valid_transition`] is the single source of
+//! truth and every [`JobStore::transition`] call is guarded by it.
+//!
+//! Crash windows: `state` is written *before* the log line is appended, so
+//! a kill between the two leaves the log one step behind the
+//! (authoritative) state file; [`JobStore::recover`] re-appends the missing
+//! line and requeues `running` jobs whose worker died. All multi-byte
+//! writes go through tmp+rename, so no reader ever observes a torn file.
+
+use crate::spec::JobSpec;
+use crate::{Result, ServeError};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use terse_analyze::{is_terminal_state, valid_transition, JOB_STATES};
+
+/// A job's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobState {
+    /// Submitted, waiting for a worker.
+    Queued,
+    /// Claimed by a worker.
+    Running,
+    /// Completed; `report.json` is in place.
+    Done,
+    /// Terminated with a job error (recorded in `error.txt`).
+    Failed,
+    /// Cancelled before completion.
+    Cancelled,
+}
+
+impl JobState {
+    /// The canonical string (what the `state` file holds).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses a canonical state string.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::State`] on anything else.
+    pub fn parse(s: &str) -> Result<JobState> {
+        match s {
+            "queued" => Ok(JobState::Queued),
+            "running" => Ok(JobState::Running),
+            "done" => Ok(JobState::Done),
+            "failed" => Ok(JobState::Failed),
+            "cancelled" => Ok(JobState::Cancelled),
+            _ => Err(ServeError::State(format!(
+                "unknown state `{s}` (states: {})",
+                JOB_STATES.join(", ")
+            ))),
+        }
+    }
+
+    /// Whether this state has no outgoing transitions.
+    pub fn is_terminal(self) -> bool {
+        is_terminal_state(self.as_str())
+    }
+}
+
+impl std::fmt::Display for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A handle to a store root. Cheap to clone; all state lives on disk.
+#[derive(Debug, Clone)]
+pub struct JobStore {
+    root: PathBuf,
+}
+
+impl JobStore {
+    /// Opens (creating if needed) a store at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<JobStore> {
+        let root = root.into();
+        let jobs = root.join("jobs");
+        fs::create_dir_all(&jobs).map_err(|e| io_err("create store", &jobs, &e))?;
+        Ok(JobStore { root })
+    }
+
+    /// The store root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory of one job.
+    pub fn job_dir(&self, id: &str) -> PathBuf {
+        self.root.join("jobs").join(id)
+    }
+
+    /// The checkpoint directory of one job.
+    pub fn checkpoint_dir(&self, id: &str) -> PathBuf {
+        self.job_dir(id).join("checkpoints")
+    }
+
+    /// Submits a job: creates `jobs/<id>/` with the canonical spec and
+    /// state `queued`. Fails if the id already exists.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Spec`] on validation failure, [`ServeError::State`]
+    /// on a duplicate id, [`ServeError::Io`] on write failure.
+    pub fn submit(&self, spec: &JobSpec) -> Result<()> {
+        spec.validate()?;
+        let dir = self.job_dir(&spec.id);
+        if dir.exists() {
+            return Err(ServeError::State(format!(
+                "job `{}` already exists",
+                spec.id
+            )));
+        }
+        let ckpt = dir.join("checkpoints");
+        fs::create_dir_all(&ckpt).map_err(|e| io_err("create job dir", &ckpt, &e))?;
+        atomic_write(&dir.join("spec.json"), spec.to_json().as_bytes())?;
+        atomic_write(&dir.join("state"), b"queued")?;
+        Ok(())
+    }
+
+    /// Loads and re-validates a job's spec.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on a missing file; parse/validation errors as
+    /// [`JobSpec::from_json`].
+    pub fn load_spec(&self, id: &str) -> Result<JobSpec> {
+        let path = self.job_dir(id).join("spec.json");
+        let text = fs::read_to_string(&path).map_err(|e| io_err("read spec", &path, &e))?;
+        JobSpec::from_json(&text)
+    }
+
+    /// Reads a job's current state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on a missing job, [`ServeError::State`] on a
+    /// corrupt state file.
+    pub fn state(&self, id: &str) -> Result<JobState> {
+        let path = self.job_dir(id).join("state");
+        let text = fs::read_to_string(&path).map_err(|e| io_err("read state", &path, &e))?;
+        JobState::parse(text.trim())
+    }
+
+    /// All job ids, sorted (deterministic scan order).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the store is unreadable.
+    pub fn list(&self) -> Result<Vec<String>> {
+        let jobs = self.root.join("jobs");
+        let rd = fs::read_dir(&jobs).map_err(|e| io_err("list jobs", &jobs, &e))?;
+        let mut ids = Vec::new();
+        for entry in rd {
+            let entry = entry.map_err(|e| io_err("list jobs", &jobs, &e))?;
+            if entry.file_type().map(|t| t.is_dir()).unwrap_or(false) {
+                ids.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        ids.sort();
+        Ok(ids)
+    }
+
+    /// Atomically moves a job from `from` to `to`, enforcing the state
+    /// machine. The state file is replaced first (authoritative), then the
+    /// log line is appended.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::State`] when the job is not in `from` or the edge is
+    /// not in [`valid_transition`]'s table; [`ServeError::Io`] on write
+    /// failure.
+    pub fn transition(&self, id: &str, from: JobState, to: JobState) -> Result<()> {
+        if !valid_transition(from.as_str(), to.as_str()) {
+            return Err(ServeError::State(format!(
+                "`{from} -> {to}` is not a legal transition"
+            )));
+        }
+        let current = self.state(id)?;
+        if current != from {
+            return Err(ServeError::State(format!(
+                "job `{id}` is `{current}`, not `{from}`"
+            )));
+        }
+        let dir = self.job_dir(id);
+        atomic_write(&dir.join("state"), to.as_str().as_bytes())?;
+        append_line(&dir.join("transitions.log"), &format!("{from} -> {to}\n"))
+    }
+
+    /// Claims a job for exclusive processing (`O_EXCL` create of the
+    /// `claim` file). Returns `false` when another worker holds it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on filesystem failure other than "exists".
+    pub fn try_claim(&self, id: &str) -> Result<bool> {
+        let path = self.job_dir(id).join("claim");
+        match fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(_) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Ok(false),
+            Err(e) => Err(io_err("claim", &path, &e)),
+        }
+    }
+
+    /// Releases a claim taken by [`JobStore::try_claim`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on failure other than "already gone".
+    pub fn release_claim(&self, id: &str) -> Result<()> {
+        let path = self.job_dir(id).join("claim");
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err("release claim", &path, &e)),
+        }
+    }
+
+    /// Requests cancellation: sets the `cancel` flag, and if the job is
+    /// unclaimed and still `queued`, transitions it to `cancelled`
+    /// directly. Claimed jobs are cancelled by their worker at the next
+    /// checkpoint boundary. Returns the state observed after the request.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] / [`ServeError::State`] as the underlying ops.
+    pub fn cancel(&self, id: &str) -> Result<JobState> {
+        let dir = self.job_dir(id);
+        atomic_write(&dir.join("cancel"), b"1")?;
+        if self.try_claim(id)? {
+            // We hold the claim: nobody else can transition concurrently.
+            let result = match self.state(id)? {
+                JobState::Queued => {
+                    self.transition(id, JobState::Queued, JobState::Cancelled)?;
+                    Ok(JobState::Cancelled)
+                }
+                s => Ok(s),
+            };
+            self.release_claim(id)?;
+            result
+        } else {
+            self.state(id)
+        }
+    }
+
+    /// Whether cancellation has been requested for a job.
+    pub fn cancel_requested(&self, id: &str) -> bool {
+        self.job_dir(id).join("cancel").exists()
+    }
+
+    /// Store recovery, run once at serve startup **before** workers spawn:
+    ///
+    /// 1. reconciles a transition log left one step behind its state file
+    ///    by a crash between the two writes, and
+    /// 2. requeues every `running` job (its worker is gone — this process
+    ///    owns the store) and clears stale claims.
+    ///
+    /// Returns the requeued job ids.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O errors.
+    pub fn recover(&self) -> Result<Vec<String>> {
+        let mut requeued = Vec::new();
+        for id in self.list()? {
+            let state = self.state(&id)?;
+            self.reconcile_log(&id, state)?;
+            if state == JobState::Running {
+                self.transition(&id, JobState::Running, JobState::Queued)?;
+                requeued.push(id.clone());
+            }
+            if state == JobState::Running || !state.is_terminal() {
+                self.release_claim(&id)?;
+            }
+        }
+        Ok(requeued)
+    }
+
+    /// Re-appends the log line a crash between the state write and the
+    /// log append swallowed (the state file is authoritative).
+    fn reconcile_log(&self, id: &str, state: JobState) -> Result<()> {
+        let log_path = self.job_dir(id).join("transitions.log");
+        let tail = fs::read_to_string(&log_path)
+            .ok()
+            .and_then(|log| {
+                log.lines()
+                    .last()
+                    .and_then(|l| l.split(" -> ").nth(1).map(str::to_owned))
+            })
+            .unwrap_or_else(|| "queued".to_owned());
+        if tail != state.as_str() && valid_transition(&tail, state.as_str()) {
+            append_line(&log_path, &format!("{tail} -> {}\n", state))?;
+        }
+        Ok(())
+    }
+
+    /// Writes the final report atomically. Called by the runner *before*
+    /// the `running → done` transition, so `done` always implies a
+    /// complete `report.json` (JS008).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on write failure.
+    pub fn write_report(&self, id: &str, json: &str) -> Result<()> {
+        atomic_write(&self.job_dir(id).join("report.json"), json.as_bytes())
+    }
+
+    /// Reads a job's final report.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the report does not exist (yet).
+    pub fn read_report(&self, id: &str) -> Result<String> {
+        let path = self.job_dir(id).join("report.json");
+        fs::read_to_string(&path).map_err(|e| io_err("read report", &path, &e))
+    }
+
+    /// Records the error message of a failed job (`error.txt`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on write failure.
+    pub fn write_error(&self, id: &str, message: &str) -> Result<()> {
+        atomic_write(&self.job_dir(id).join("error.txt"), message.as_bytes())
+    }
+}
+
+/// Tmp+rename write — a reader sees the old bytes or the new bytes, never
+/// a prefix. The tmp name embeds the pid so two processes on one store
+/// cannot collide.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
+    failpoints::fail_point!("serve::store_write", |_| Err(ServeError::Io {
+        op: "write (injected fault)",
+        path: path.display().to_string(),
+        message: "injected store-write fault".into(),
+    }));
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    fs::write(&tmp, bytes).map_err(|e| io_err("write", &tmp, &e))?;
+    fs::rename(&tmp, path).map_err(|e| io_err("rename", path, &e))
+}
+
+fn append_line(path: &Path, line: &str) -> Result<()> {
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| io_err("append", path, &e))?;
+    f.write_all(line.as_bytes())
+        .map_err(|e| io_err("append", path, &e))
+}
+
+fn io_err(op: &'static str, path: &Path, e: &std::io::Error) -> ServeError {
+    ServeError::Io {
+        op,
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JobSpec;
+
+    fn temp_store(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("terse_store_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        p
+    }
+
+    fn spec(id: &str) -> JobSpec {
+        JobSpec::from_json(&format!(
+            r#"{{"id":"{id}","workload":{{"asm":"halt\n"}},"samples":1}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn submit_claim_transition_lifecycle() {
+        let root = temp_store("life");
+        let store = JobStore::open(&root).unwrap();
+        store.submit(&spec("a")).unwrap();
+        assert_eq!(store.state("a").unwrap(), JobState::Queued);
+        assert_eq!(store.list().unwrap(), vec!["a"]);
+        // Double submit is rejected.
+        assert!(store.submit(&spec("a")).is_err());
+        // Claim is exclusive.
+        assert!(store.try_claim("a").unwrap());
+        assert!(!store.try_claim("a").unwrap());
+        store
+            .transition("a", JobState::Queued, JobState::Running)
+            .unwrap();
+        // Wrong `from` is a typed error.
+        assert!(store
+            .transition("a", JobState::Queued, JobState::Running)
+            .is_err());
+        // Illegal edge is a typed error.
+        assert!(store
+            .transition("a", JobState::Running, JobState::Running)
+            .is_err());
+        store.write_report("a", "{}").unwrap();
+        store
+            .transition("a", JobState::Running, JobState::Done)
+            .unwrap();
+        store.release_claim("a").unwrap();
+        assert!(store.try_claim("a").unwrap());
+        // The log records the full chain.
+        let log = fs::read_to_string(store.job_dir("a").join("transitions.log")).unwrap();
+        assert_eq!(log, "queued -> running\nrunning -> done\n");
+        // The analyzer agrees the store is clean.
+        let mut report = terse_analyze::AnalysisReport::new();
+        terse_analyze::analyze_job_store(&root, &mut report).unwrap();
+        store.release_claim("a").unwrap();
+        assert!(report.is_clean(), "{}", report.render_text());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn cancel_queued_job_directly_and_flag_running() {
+        let root = temp_store("cancel");
+        let store = JobStore::open(&root).unwrap();
+        store.submit(&spec("q")).unwrap();
+        assert_eq!(store.cancel("q").unwrap(), JobState::Cancelled);
+        // Terminal: cancel again is a no-op.
+        assert_eq!(store.cancel("q").unwrap(), JobState::Cancelled);
+
+        store.submit(&spec("r")).unwrap();
+        assert!(store.try_claim("r").unwrap());
+        store
+            .transition("r", JobState::Queued, JobState::Running)
+            .unwrap();
+        // Claimed: only the flag is set; the worker will see it.
+        assert_eq!(store.cancel("r").unwrap(), JobState::Running);
+        assert!(store.cancel_requested("r"));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn recover_requeues_running_jobs_and_reconciles_logs() {
+        let root = temp_store("recover");
+        let store = JobStore::open(&root).unwrap();
+        store.submit(&spec("x")).unwrap();
+        assert!(store.try_claim("x").unwrap());
+        store
+            .transition("x", JobState::Queued, JobState::Running)
+            .unwrap();
+        // Simulate a crash window: state advanced, log append lost.
+        fs::write(store.job_dir("x").join("transitions.log"), "").unwrap();
+        let requeued = store.recover().unwrap();
+        assert_eq!(requeued, vec!["x"]);
+        assert_eq!(store.state("x").unwrap(), JobState::Queued);
+        // Claim was stale and is gone.
+        assert!(store.try_claim("x").unwrap());
+        let log = fs::read_to_string(store.job_dir("x").join("transitions.log")).unwrap();
+        assert_eq!(log, "queued -> running\nrunning -> queued\n");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn state_strings_round_trip_and_match_analyzer() {
+        for s in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+        ] {
+            assert_eq!(JobState::parse(s.as_str()).unwrap(), s);
+            assert!(JOB_STATES.contains(&s.as_str()));
+        }
+        assert!(JobState::parse("paused").is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Crash-resume differential suite.
+//!
+//! Two layers, one contract: interrupting a job at **any** checkpoint
+//! boundary and resuming it must converge to output byte-identical to a
+//! straight-through run.
+//!
+//! * **Property layer** — proptest drives randomized cut points through
+//!   both checkpoint formats: per-attempt block budgets slice the
+//!   estimate sweep (TERSECP1), per-attempt cell budgets slice the Monte
+//!   Carlo grid (TERSEMC1). Every interrupted attempt resumes from the
+//!   on-disk checkpoint; the final `points` array is compared byte for
+//!   byte against an unbudgeted reference of the same spec.
+//! * **Process layer** — the real `terse` binary is spawned on a store
+//!   and killed with SIGKILL at arbitrary instants (escalating delays),
+//!   exercising crash windows the in-process tests cannot reach: mid
+//!   atomic-write, between the state write and the log append, with a
+//!   stale claim on disk. Recovery plus re-serve must finish the job with
+//!   a deterministic report section byte-identical to an untouched
+//!   reference store, and the store must pass the JS005–JS008 audit.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use terse_serve::json::Value;
+use terse_serve::runner::{run_job, FrameworkCache, RunOutcome};
+use terse_serve::{JobSpec, JobStore};
+
+/// Per-case unique store roots (proptest reuses one test thread).
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_store(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "terse_crash_{tag}_{}_{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// A loop kernel with several basic blocks and a two-point grid, so both
+/// the per-block estimate sweep and the MC grid have interior cut points.
+fn spec_json_grid(id: &str, grid: &str, extra: &str) -> String {
+    format!(
+        r#"{{"id":"{id}","workload":{{"asm":"li r1, 3\nli r2, 0xF0F0\nloop: add r3, r3, r2\naddi r1, r1, -1\nbne r1, r0, loop\nadd r4, r3, r2\nhalt\n","name":"cut"}},"samples":2,"grid":{grid}{extra}}}"#
+    )
+}
+
+fn spec_json(id: &str, extra: &str) -> String {
+    spec_json_grid(id, "[1.3,1.5]", extra)
+}
+
+fn submit(store: &JobStore, id: &str, extra: &str) -> JobSpec {
+    let spec = JobSpec::from_json(&spec_json(id, extra)).expect("spec");
+    store.submit(&spec).expect("submit");
+    spec
+}
+
+/// Drives one claimed job to `Done`, counting requeues; returns the
+/// rendered `points` array of its report.
+fn run_to_done(store: &JobStore, id: &str, cache: &mut FrameworkCache) -> (String, usize) {
+    let mut requeues = 0;
+    loop {
+        match run_job(store, id, cache).expect("run_job") {
+            RunOutcome::Done => break,
+            RunOutcome::Requeued { completed, total } => {
+                assert!(completed <= total, "{completed}/{total}");
+                requeues += 1;
+                assert!(requeues < 500, "job `{id}` not converging");
+            }
+            RunOutcome::Cancelled => panic!("job `{id}` unexpectedly cancelled"),
+        }
+    }
+    let report = store.read_report(id).expect("report");
+    let points = Value::parse(&report)
+        .expect("report json")
+        .get("points")
+        .expect("points")
+        .render();
+    (points, requeues)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// TERSECP1: a per-attempt block budget cuts the estimate sweep at a
+    /// randomized boundary; resume is bitwise identical to no-cut.
+    #[test]
+    fn estimate_cut_points_resume_bitwise_identical(
+        block_budget in 1usize..4,
+        every in 1usize..4,
+    ) {
+        let root = temp_store("est");
+        let store = JobStore::open(&root).expect("store");
+        let mut cache = FrameworkCache::new();
+        submit(&store, "ref", &format!(r#","checkpoint_every":{every}"#));
+        let (reference, _) = run_to_done(&store, "ref", &mut cache);
+        submit(
+            &store,
+            "cut",
+            &format!(r#","checkpoint_every":{every},"block_budget":{block_budget}"#),
+        );
+        let (cut, requeues) = run_to_done(&store, "cut", &mut cache);
+        prop_assert_eq!(&cut, &reference, "sliced estimate diverged from reference");
+        if block_budget == 1 {
+            // The kernel has several basic blocks per point, so a 1-block
+            // budget must interrupt.
+            prop_assert!(requeues > 0, "1-block budget never interrupted");
+        }
+        std::fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    /// TERSEMC1: a per-attempt cell budget cuts the chips x inputs Monte
+    /// Carlo grid at a randomized boundary; resume is bitwise identical.
+    #[test]
+    fn monte_carlo_cut_points_resume_bitwise_identical(
+        cell_budget in 1usize..6,
+        every in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let root = temp_store("mc");
+        let store = JobStore::open(&root).expect("store");
+        let mut cache = FrameworkCache::new();
+        let mc = format!(r#","chips":2,"mc_inputs":2,"seed":{seed},"checkpoint_every":{every}"#);
+        submit(&store, "ref", &mc);
+        let (reference, _) = run_to_done(&store, "ref", &mut cache);
+        submit(
+            &store,
+            "cut",
+            &format!("{mc},\"mc_cell_budget\":{cell_budget}"),
+        );
+        let (cut, requeues) = run_to_done(&store, "cut", &mut cache);
+        prop_assert_eq!(&cut, &reference, "sliced MC grid diverged from reference");
+        if cell_budget < 4 {
+            // 2 chips x 2 inputs = 4 grid cells per point: any smaller
+            // budget must interrupt.
+            prop_assert!(requeues > 0, "cell budget {} never interrupted", cell_budget);
+        }
+        std::fs::remove_dir_all(&root).expect("cleanup");
+    }
+}
+
+/// End-to-end SIGKILL: spawn the real `terse serve` binary, kill it with
+/// SIGKILL at escalating delays (landing in arbitrary crash windows),
+/// and keep going until the job completes. The final deterministic
+/// report section must be byte-identical to a never-killed reference
+/// run, and the store must survive every kill with a clean audit.
+#[cfg(unix)]
+#[test]
+fn sigkill_mid_serve_resumes_bitwise_identical() {
+    use std::process::{Command, Stdio};
+    use terse_serve::{deterministic_section, JobState};
+
+    // A job heavy enough (6 grid points, MC grid per point, flush every
+    // checkpoint) that early kills land mid-run.
+    let extra = r#","chips":3,"mc_inputs":2,"seed":7,"checkpoint_every":1"#;
+    let spec = JobSpec::from_json(&spec_json_grid(
+        "kill-1",
+        "[1.2,1.3,1.35,1.4,1.45,1.5]",
+        extra,
+    ))
+    .expect("spec");
+
+    // Reference: straight through, in-process.
+    let ref_root = temp_store("sigref");
+    let ref_store = JobStore::open(&ref_root).expect("store");
+    ref_store.submit(&spec).expect("submit");
+    let mut cache = FrameworkCache::new();
+    run_to_done(&ref_store, "kill-1", &mut cache);
+    let reference =
+        deterministic_section(&ref_store.read_report("kill-1").expect("report")).expect("section");
+
+    // Victim: same spec, served by the real binary under SIGKILL fire.
+    let root = temp_store("sigkill");
+    let store = JobStore::open(&root).expect("store");
+    store.submit(&spec).expect("submit");
+    let bin = env!("CARGO_BIN_EXE_terse");
+    let root_arg = root.display().to_string();
+    let mut interrupted = 0usize;
+    for attempt in 0..60u64 {
+        if store.state("kill-1").expect("state") == JobState::Done {
+            break;
+        }
+        let mut child = Command::new(bin)
+            .args([
+                "serve",
+                "--store",
+                &root_arg,
+                "--workers",
+                "2",
+                "--drain",
+                "--poll-ms",
+                "1",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn terse serve");
+        std::thread::sleep(std::time::Duration::from_millis(4 + attempt * 6));
+        let _ = child.kill(); // SIGKILL on unix
+        let _ = child.wait();
+        if store.state("kill-1").expect("state") == JobState::Running {
+            interrupted += 1; // killed mid-job, stale claim + state on disk
+        }
+    }
+    // Finish whatever is left without killing (recovery requeues the
+    // crashed attempt, resumes from the checkpoints).
+    let status = Command::new(bin)
+        .args([
+            "serve",
+            "--store",
+            &root_arg,
+            "--workers",
+            "2",
+            "--drain",
+            "--poll-ms",
+            "1",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("final serve");
+    assert!(status.success(), "final serve failed: {status}");
+    assert_eq!(store.state("kill-1").expect("state"), JobState::Done);
+
+    let resumed =
+        deterministic_section(&store.read_report("kill-1").expect("report")).expect("section");
+    assert_eq!(
+        resumed, reference,
+        "SIGKILL/resume diverged from the reference run ({interrupted} mid-run kills observed)"
+    );
+
+    // The battered store still passes the full JS005-JS008 audit.
+    let mut audit = terse_analyze::AnalysisReport::new();
+    terse_analyze::analyze_job_store(&root, &mut audit).expect("audit");
+    assert!(audit.is_clean(), "{}", audit.render_text());
+
+    std::fs::remove_dir_all(&root).expect("cleanup");
+    std::fs::remove_dir_all(&ref_root).expect("cleanup");
+}

@@ -1,0 +1,159 @@
+//! Soak test: a large queued batch (default 300 jobs, `TERSE_SOAK_JOBS`
+//! overrides — CI smoke uses 64) drained by a 4-worker pool, audited for
+//! the server's three core guarantees:
+//!
+//! 1. **No lost, no duplicated jobs.** Every submitted job reaches `done`
+//!    exactly once (one `done` event per id, `completed == N`).
+//! 2. **The state machine is never violated.** Every `transitions.log`
+//!    chain and terminal artifact passes the JS005–JS008 store audit.
+//! 3. **Scheduling is invisible in the results.** The deterministic
+//!    report section of every job is byte-identical to a serial
+//!    single-worker reference run of the same specs — sharding, work
+//!    stealing, time-sliced requeues and worker interleaving change
+//!    nothing observable.
+//!
+//! The batch deliberately mixes spec shapes: plain estimation jobs,
+//! 1-block-budget jobs that requeue repeatedly (TERSECP1 resume churn),
+//! Monte Carlo jobs, and cell-budgeted Monte Carlo jobs (TERSEMC1 resume
+//! churn), across two operating-point grids.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::Mutex;
+use terse_serve::{deterministic_section, serve, ExecutorConfig, JobSpec, JobState, JobStore};
+
+fn temp_store(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("terse_soak_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// Three small multi-block kernels so the batch is not one repeated job.
+const KERNELS: [&str; 3] = [
+    r"li r1, 3\nli r2, 0xF0F0\nloop: add r3, r3, r2\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n",
+    r"li r1, 4\nli r2, 0x0F0F\nloop: xor r3, r3, r2\nadd r4, r4, r3\naddi r1, r1, -1\nbne r1, r0, loop\nadd r5, r4, r2\nhalt\n",
+    r"li r1, 2\nli r2, 0x00FF\nloop: slli r3, r2, 1\nor r4, r4, r3\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n",
+];
+
+/// The i-th soak spec: kernels, grids and resume-churn variants cycle so
+/// every combination appears many times in a 300-job batch.
+fn soak_spec(i: usize) -> JobSpec {
+    let kernel = KERNELS[i % KERNELS.len()];
+    let grid = if i.is_multiple_of(2) {
+        "[1.4]"
+    } else {
+        "[1.3,1.5]"
+    };
+    let extra = match i % 4 {
+        0 => String::new(),
+        1 => r#","block_budget":1"#.to_owned(),
+        2 => format!(r#","chips":2,"mc_inputs":2,"seed":{i}"#),
+        _ => format!(r#","chips":2,"mc_inputs":2,"mc_cell_budget":3,"seed":{i}"#),
+    };
+    JobSpec::from_json(&format!(
+        r#"{{"id":"soak-{i:04}","workload":{{"asm":"{kernel}","name":"soak-k{}"}},"samples":1,"grid":{grid},"checkpoint_every":2{extra}}}"#,
+        i % KERNELS.len()
+    ))
+    .expect("soak spec parses")
+}
+
+fn job_count() -> usize {
+    std::env::var("TERSE_SOAK_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
+
+#[test]
+fn soak_batch_drains_completely_and_matches_serial_reference() {
+    let n = job_count();
+    let root = temp_store("pool");
+    let store = JobStore::open(&root).unwrap();
+    for i in 0..n {
+        store.submit(&soak_spec(i)).unwrap();
+    }
+
+    let events: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let stats = serve(
+        &store,
+        &ExecutorConfig {
+            workers: 4,
+            drain: true,
+            poll_ms: 2,
+        },
+        &AtomicBool::new(false),
+        |e| events.lock().unwrap().push(e.to_owned()),
+    )
+    .unwrap();
+
+    // (1) No lost, no duplicated jobs.
+    assert_eq!(stats.completed, n, "every job completes: {stats:?}");
+    assert_eq!(stats.failed, 0, "{stats:?}");
+    assert_eq!(stats.cancelled, 0, "{stats:?}");
+    let mut done_per_id: BTreeMap<String, usize> = BTreeMap::new();
+    for e in events.lock().unwrap().iter() {
+        // Events are `w<k> <id> done`.
+        if let Some(rest) = e.strip_suffix(" done") {
+            let id = rest.split_whitespace().nth(1).unwrap_or("").to_owned();
+            *done_per_id.entry(id).or_insert(0) += 1;
+        }
+    }
+    assert_eq!(done_per_id.len(), n, "every id reported done");
+    for (id, count) in &done_per_id {
+        assert_eq!(*count, 1, "job {id} reported done {count} times");
+    }
+    for i in 0..n {
+        assert_eq!(
+            store.state(&format!("soak-{i:04}")).unwrap(),
+            JobState::Done,
+            "soak-{i:04}"
+        );
+    }
+    // The budgeted variants really exercised the resume path.
+    if n >= 4 {
+        assert!(
+            stats.requeued > 0,
+            "budgeted jobs must requeue at least once: {stats:?}"
+        );
+    }
+
+    // (2) The state machine was never violated: full JS005-JS008 audit of
+    // every spec, state file, transition chain and terminal artifact.
+    let mut audit = terse_analyze::AnalysisReport::new();
+    let inspected = terse_analyze::analyze_job_store(&root, &mut audit).unwrap();
+    assert_eq!(inspected, n);
+    assert!(audit.is_clean(), "{}", audit.render_text());
+
+    // (3) Deterministic sections match a serial single-worker reference
+    // byte for byte.
+    let serial_root = temp_store("serial");
+    let serial = JobStore::open(&serial_root).unwrap();
+    for i in 0..n {
+        serial.submit(&soak_spec(i)).unwrap();
+    }
+    let serial_stats = serve(
+        &serial,
+        &ExecutorConfig {
+            workers: 1,
+            drain: true,
+            poll_ms: 2,
+        },
+        &AtomicBool::new(false),
+        |_| {},
+    )
+    .unwrap();
+    assert_eq!(serial_stats.completed, n);
+    for i in 0..n {
+        let id = format!("soak-{i:04}");
+        let pooled = deterministic_section(&store.read_report(&id).unwrap()).unwrap();
+        let reference = deterministic_section(&serial.read_report(&id).unwrap()).unwrap();
+        assert_eq!(
+            pooled, reference,
+            "job {id}: 4-worker pool and serial reference disagree"
+        );
+    }
+
+    std::fs::remove_dir_all(&root).unwrap();
+    std::fs::remove_dir_all(&serial_root).unwrap();
+}

@@ -85,6 +85,15 @@ pub enum SimError {
     /// A Monte Carlo checkpoint file could not be read, written, or did not
     /// match the run it was resumed into.
     Checkpoint(String),
+    /// A checkpointed Monte Carlo grid ran out of its configured cell
+    /// budget; the checkpoint holds the completed cells and a re-run
+    /// resumes from it.
+    Interrupted {
+        /// Grid cells already completed (and checkpointed).
+        completed: usize,
+        /// Total cells in the grid.
+        total: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -99,6 +108,11 @@ impl fmt::Display for SimError {
             }
             SimError::Netlist(m) => write!(f, "netlist interaction failed: {m}"),
             SimError::Checkpoint(m) => write!(f, "monte carlo checkpoint failed: {m}"),
+            SimError::Interrupted { completed, total } => write!(
+                f,
+                "monte carlo grid interrupted after {completed}/{total} cells \
+                 (checkpointed; re-run to resume)"
+            ),
         }
     }
 }

@@ -496,6 +496,7 @@ pub fn pooled_counts(counts: &[Vec<u64>]) -> Vec<u64> {
 pub struct McCheckpoint {
     path: std::path::PathBuf,
     every_n: usize,
+    cell_budget: Option<usize>,
 }
 
 impl McCheckpoint {
@@ -505,12 +506,34 @@ impl McCheckpoint {
         McCheckpoint {
             path: path.into(),
             every_n: every_n.max(1),
+            cell_budget: None,
         }
+    }
+
+    /// Caps the number of new cells one [`error_counts_checkpointed`] call
+    /// may compute (`0` is treated as 1). When the cap is hit mid-grid the
+    /// completed cells are flushed and the call returns
+    /// [`crate::SimError::Interrupted`] — the supported way to exercise and
+    /// test kill/resume behaviour deterministically, and a job server's
+    /// time-slicing knob.
+    pub fn with_cell_budget(mut self, n: usize) -> Self {
+        self.cell_budget = Some(n.max(1));
+        self
     }
 
     /// The checkpoint file path.
     pub fn path(&self) -> &std::path::Path {
         &self.path
+    }
+
+    /// Cells per checkpoint flush.
+    pub fn every_n(&self) -> usize {
+        self.every_n
+    }
+
+    /// The per-call cell budget, if any.
+    pub fn cell_budget(&self) -> Option<usize> {
+        self.cell_budget
     }
 }
 
@@ -637,7 +660,12 @@ where
     let context = mc_context_hash(cfg, chips.len(), inputs, program.len());
     let mut done = mc_load(ckpt, context, total)?;
     let pending: Vec<usize> = (0..total).filter(|&c| done[c].is_none()).collect();
-    for batch in pending.chunks(ckpt.every_n) {
+    // Honour the per-call cell budget: compute at most `budget` new cells
+    // (flushing per batch as usual), then report a typed interruption so the
+    // caller can resume from the checkpoint later.
+    let budget = ckpt.cell_budget.unwrap_or(usize::MAX);
+    let capped = pending.len().min(budget);
+    for batch in pending[..capped].chunks(ckpt.every_n) {
         // Pack the pending cells of this batch into lane groups: a resumed
         // checkpoint may cut through a group, leaving a partial live mask —
         // exactness is unaffected because every lane draws from its own
@@ -674,6 +702,12 @@ where
             }
         }
         mc_store(ckpt, context, &done)?;
+    }
+    if capped < pending.len() {
+        return Err(crate::SimError::Interrupted {
+            completed: total - (pending.len() - capped),
+            total,
+        });
     }
     let counts: Vec<Vec<u64>> = done
         .chunks(inputs)
@@ -871,6 +905,68 @@ mod tests {
         .unwrap();
         assert_eq!(plain, resumed, "resume must reproduce the full run");
         assert!(!ck.path().exists());
+    }
+
+    #[test]
+    fn cell_budget_interrupts_and_resumes_bitwise_identical() {
+        let p = assemble("li r1, 0xFFFF\nadd r2, r1, r1\nhalt\n").unwrap();
+        let cs = chips(4);
+        let (inputs, cfg) = (3, MonteCarloConfig::default());
+        let plain = error_counts(
+            &p,
+            &ToyModel,
+            &cs,
+            inputs,
+            CorrectionScheme::paper_default(),
+            |_, _| {},
+            cfg,
+        )
+        .unwrap();
+        let total = cs.len() * inputs;
+        let path = ckpt_path("budget");
+        // Slice the grid into budget-limited calls: each one must stop with
+        // a typed interruption, leave its progress in the checkpoint, and
+        // the final call must finish and clean up.
+        let budget = 5;
+        let mut completed = 0;
+        loop {
+            let ck = McCheckpoint::new(&path, 2).with_cell_budget(budget);
+            assert_eq!(ck.cell_budget(), Some(budget));
+            match error_counts_checkpointed(
+                &p,
+                &ToyModel,
+                &cs,
+                inputs,
+                CorrectionScheme::paper_default(),
+                |_, _| {},
+                cfg,
+                &ck,
+            ) {
+                Ok(counts) => {
+                    assert_eq!(plain, counts, "sliced run must equal the plain run");
+                    assert!(!ck.path().exists(), "finished run removes its checkpoint");
+                    break;
+                }
+                Err(crate::SimError::Interrupted {
+                    completed: c,
+                    total: t,
+                }) => {
+                    assert_eq!(t, total);
+                    assert!(c > completed, "each slice must make progress");
+                    assert!(c < total, "an interrupted slice cannot be the full grid");
+                    completed = c;
+                    assert!(
+                        ck.path().exists(),
+                        "interrupted slice persists its checkpoint"
+                    );
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(
+            completed > 0,
+            "at least one slice must have been interrupted"
+        );
     }
 
     /// A bus-sensitive model: the probability depends on the toggle

@@ -1,0 +1,225 @@
+//! Fault-injection suite for the job server (runs with
+//! `--features failpoints` on `terse-serve`).
+//!
+//! Every fail point compiled into the serving layer is driven here, and
+//! every injected fault must surface as a **typed [`ServeError`]** at the
+//! crate boundary — never a panic, never a silently wrong artifact, and
+//! never a corrupted store. The catalog (see DESIGN.md §16):
+//!
+//! | fail point           | site                       | injected error |
+//! |----------------------|----------------------------|----------------|
+//! | `serve::spec_parse`  | `JobSpec::from_json`       | `ServeError::Spec` |
+//! | `serve::store_write` | every atomic store write   | `ServeError::Io` |
+//! | `serve::worker_spawn`| executor worker spawn      | `ServeError::Run` |
+//! | `serve::ckpt_flush`  | per-point result flush     | `ServeError::Io` (job → `failed`) |
+//!
+//! The degradation contract mirrors the core pipeline's `Strict` policy:
+//! a fault inside one job fails *that job* (typed error recorded in
+//! `error.txt`, legal `running → failed` transition); a fault in the
+//! store or the pool surfaces as a typed error from [`serve`] with the
+//! on-disk state machine left consistent, so a later run recovers.
+//!
+//! Tests hold a [`FailScenario`] for their whole body: it serializes
+//! scenarios across test threads and clears the registry on entry and
+//! drop, so points configured here can never leak into other tests.
+
+use failpoints::FailScenario;
+use std::sync::atomic::AtomicBool;
+use terse_serve::{serve, ExecutorConfig, JobSpec, JobState, JobStore, ServeError};
+
+fn temp_store(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("terse_fi_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// A multi-block kernel (loop + tail) that runs to `done` when no fault
+/// is configured.
+fn good_spec(id: &str) -> JobSpec {
+    JobSpec::from_json(&format!(
+        r#"{{"id":"{id}","workload":{{"asm":"li r1, 3\nli r2, 0xF0F0\nloop: add r3, r3, r2\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n","name":"fi"}},"samples":1,"grid":[1.4]}}"#
+    ))
+    .expect("spec parses with no faults configured")
+}
+
+fn drain_cfg(workers: usize) -> ExecutorConfig {
+    ExecutorConfig {
+        workers,
+        drain: true,
+        poll_ms: 2,
+    }
+}
+
+fn analyzer_is_clean(root: &std::path::Path) -> bool {
+    let mut report = terse_analyze::AnalysisReport::new();
+    terse_analyze::analyze_job_store(root, &mut report).expect("store scan");
+    report.is_clean()
+}
+
+#[test]
+fn spec_parse_faults_are_typed_errors() {
+    let _scenario = FailScenario::setup();
+    failpoints::cfg("serve::spec_parse", "return").unwrap();
+    let err = JobSpec::from_json(r#"{"id":"p1","workload":{"asm":"halt\n"}}"#).unwrap_err();
+    assert!(matches!(err, ServeError::Spec(_)), "{err}");
+    assert!(err.to_string().contains("injected"), "{err}");
+    failpoints::remove("serve::spec_parse");
+    // The same source parses once the point is removed.
+    assert!(JobSpec::from_json(r#"{"id":"p1","workload":{"asm":"halt\n"}}"#).is_ok());
+}
+
+#[test]
+fn spec_parse_fault_fails_the_job_not_the_server() {
+    let _scenario = FailScenario::setup();
+    let root = temp_store("spec");
+    let store = JobStore::open(&root).unwrap();
+    store.submit(&good_spec("fi-spec")).unwrap();
+    // The fault fires when the *worker* re-loads the spec: the job moves
+    // to `failed` with the typed message recorded, the pool survives.
+    failpoints::cfg("serve::spec_parse", "return").unwrap();
+    let stats = serve(&store, &drain_cfg(1), &AtomicBool::new(false), |_| {}).unwrap();
+    failpoints::remove("serve::spec_parse");
+    assert_eq!((stats.completed, stats.failed), (0, 1));
+    assert_eq!(store.state("fi-spec").unwrap(), JobState::Failed);
+    let msg = std::fs::read_to_string(store.job_dir("fi-spec").join("error.txt")).unwrap();
+    assert!(msg.contains("injected spec-parse fault"), "{msg}");
+    assert!(analyzer_is_clean(&root), "failed is a legal terminal state");
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn store_write_faults_are_typed_and_leave_state_intact() {
+    let _scenario = FailScenario::setup();
+    let root = temp_store("write");
+    let store = JobStore::open(&root).unwrap();
+    store.submit(&good_spec("fi-w")).unwrap();
+    // Persistent fault: submit of a new job fails typed; the existing
+    // job's state file is untouched (reads don't go through the point).
+    failpoints::cfg("serve::store_write", "return").unwrap();
+    let err = store.submit(&good_spec("fi-w2")).unwrap_err();
+    assert!(matches!(err, ServeError::Io { .. }), "{err}");
+    assert!(
+        err.to_string().contains("injected store-write fault"),
+        "{err}"
+    );
+    let err = store
+        .transition("fi-w", JobState::Queued, JobState::Running)
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Io { .. }), "{err}");
+    // The state write failed *before* anything changed: still queued, and
+    // no orphan log line (state file is written first, log second).
+    assert_eq!(store.state("fi-w").unwrap(), JobState::Queued);
+    assert!(!store.job_dir("fi-w").join("transitions.log").exists());
+    failpoints::remove("serve::store_write");
+    // The torn submit (job dir created, spec write failed) is exactly
+    // what the JS005 audit exists to catch.
+    let mut audit = terse_analyze::AnalysisReport::new();
+    terse_analyze::analyze_job_store(&root, &mut audit).expect("store scan");
+    assert!(audit.has_code("JS005"), "{}", audit.render_text());
+    std::fs::remove_dir_all(store.job_dir("fi-w2")).unwrap();
+    // Transient fault (`1*return`): one transition fails, the retry
+    // succeeds, and the log chain stays consistent.
+    failpoints::cfg("serve::store_write", "1*return").unwrap();
+    assert!(store
+        .transition("fi-w", JobState::Queued, JobState::Running)
+        .is_err());
+    store
+        .transition("fi-w", JobState::Queued, JobState::Running)
+        .unwrap();
+    store
+        .transition("fi-w", JobState::Running, JobState::Queued)
+        .unwrap();
+    let log = std::fs::read_to_string(store.job_dir("fi-w").join("transitions.log")).unwrap();
+    assert_eq!(log, "queued -> running\nrunning -> queued\n");
+    assert!(analyzer_is_clean(&root));
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn store_write_fault_during_serve_is_a_typed_error_then_recovers() {
+    let _scenario = FailScenario::setup();
+    let root = temp_store("serve_write");
+    let store = JobStore::open(&root).unwrap();
+    store.submit(&good_spec("fi-sw")).unwrap();
+    // Every store write fails: the pool surfaces a typed error instead of
+    // panicking or corrupting the store.
+    failpoints::cfg("serve::store_write", "return").unwrap();
+    let err = serve(&store, &drain_cfg(1), &AtomicBool::new(false), |_| {}).unwrap_err();
+    assert!(matches!(err, ServeError::Io { .. }), "{err}");
+    failpoints::remove("serve::store_write");
+    // The job is still queued (the failed write never landed) and its
+    // claim was released, so a healthy run completes it.
+    assert_eq!(store.state("fi-sw").unwrap(), JobState::Queued);
+    let stats = serve(&store, &drain_cfg(1), &AtomicBool::new(false), |_| {}).unwrap();
+    assert_eq!((stats.completed, stats.failed), (1, 0));
+    assert_eq!(store.state("fi-sw").unwrap(), JobState::Done);
+    assert!(analyzer_is_clean(&root));
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn worker_spawn_faults_are_typed_errors() {
+    let _scenario = FailScenario::setup();
+    let root = temp_store("spawn");
+    let store = JobStore::open(&root).unwrap();
+    store.submit(&good_spec("fi-sp")).unwrap();
+    failpoints::cfg("serve::worker_spawn", "return").unwrap();
+    let err = serve(&store, &drain_cfg(2), &AtomicBool::new(false), |_| {}).unwrap_err();
+    assert!(matches!(err, ServeError::Run(_)), "{err}");
+    assert!(
+        err.to_string().contains("injected worker-spawn fault"),
+        "{err}"
+    );
+    // Nothing ran: the job is untouched.
+    assert_eq!(store.state("fi-sp").unwrap(), JobState::Queued);
+    failpoints::remove("serve::worker_spawn");
+    let stats = serve(&store, &drain_cfg(2), &AtomicBool::new(false), |_| {}).unwrap();
+    assert_eq!((stats.completed, stats.failed), (1, 0));
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn ckpt_flush_fault_fails_one_job_and_isolates_the_rest() {
+    let _scenario = FailScenario::setup();
+    let root = temp_store("flush");
+    let store = JobStore::open(&root).unwrap();
+    store.submit(&good_spec("fi-a")).unwrap();
+    store.submit(&good_spec("fi-b")).unwrap();
+    // One worker processes ids in sorted order, so exactly the first job
+    // hits the single-shot flush fault; the second completes normally.
+    failpoints::cfg("serve::ckpt_flush", "1*return").unwrap();
+    let stats = serve(&store, &drain_cfg(1), &AtomicBool::new(false), |_| {}).unwrap();
+    failpoints::remove("serve::ckpt_flush");
+    assert_eq!((stats.completed, stats.failed), (1, 1));
+    assert_eq!(store.state("fi-a").unwrap(), JobState::Failed);
+    assert_eq!(store.state("fi-b").unwrap(), JobState::Done);
+    let msg = std::fs::read_to_string(store.job_dir("fi-a").join("error.txt")).unwrap();
+    assert!(msg.contains("injected checkpoint-flush fault"), "{msg}");
+    assert!(analyzer_is_clean(&root));
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn all_points_removed_everything_recovers() {
+    let _scenario = FailScenario::setup();
+    // Configure and clear every serving fail point, then run a clean
+    // job end to end — proof the registry does not leak between tests
+    // and that the no-fault path is unperturbed by the instrumentation.
+    for point in [
+        "serve::spec_parse",
+        "serve::store_write",
+        "serve::worker_spawn",
+        "serve::ckpt_flush",
+    ] {
+        failpoints::cfg(point, "return").unwrap();
+        failpoints::remove(point);
+    }
+    let root = temp_store("clean");
+    let store = JobStore::open(&root).unwrap();
+    store.submit(&good_spec("fi-clean")).unwrap();
+    let stats = serve(&store, &drain_cfg(2), &AtomicBool::new(false), |_| {}).unwrap();
+    assert_eq!((stats.completed, stats.failed), (1, 0));
+    assert!(analyzer_is_clean(&root));
+    std::fs::remove_dir_all(&root).unwrap();
+}
