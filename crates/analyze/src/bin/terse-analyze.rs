@@ -1,12 +1,14 @@
 //! Command-line driver for the static analyzer.
 //!
 //! ```text
-//! terse-analyze lint     [--deny] [--json] [ROOT]
-//! terse-analyze pipeline [--deny] [--json]
-//! terse-analyze jobs     [--deny] [--json] [STORE]
+//! terse-analyze lint       [--deny] [--json] [ROOT]
+//! terse-analyze pipeline   [--deny] [--json]
+//! terse-analyze jobs       [--deny] [--json] [STORE]
+//! terse-analyze scrub      [--deny] [--json] [STORE]
+//! terse-analyze failpoints [ROOT]
 //! ```
 //!
-//! * `lint` runs the codebase lints (AZ001–AZ003) over every workspace
+//! * `lint` runs the codebase lints (AZ001–AZ004) over every workspace
 //!   crate's `src/` tree under `ROOT` (default: current directory).
 //! * `pipeline` builds the reference pipeline netlist and runs the
 //!   netlist structural passes plus the slack abstract-interpretation
@@ -14,6 +16,12 @@
 //!   period.
 //! * `jobs` runs the job-store layout passes (JS005–JS008) over a
 //!   `terse-serve` store root (default: current directory).
+//! * `scrub` runs the layout passes plus the artifact integrity passes
+//!   (JS009–JS012): every checkpoint frame is CRC-verified, every report
+//!   digest re-checked, quarantine bundles audited for completeness.
+//! * `failpoints` lists every fail point registered in the workspace
+//!   sources with its fault-injection-test reference count (the data
+//!   behind the AZ004 coverage lint).
 //!
 //! Exit status: `0` clean, `1` findings at the gating severity
 //! (errors by default; warnings too with `--deny`), `2` usage or
@@ -35,9 +43,11 @@ const USAGE: &str = "\
 usage: terse-analyze <command> [options]
 
 commands:
-  lint [--deny] [--json] [ROOT]   lint workspace Rust sources (AZ001-AZ003)
-  pipeline [--deny] [--json]      analyze the reference pipeline IRs
-  jobs [--deny] [--json] [STORE]  analyze a terse-serve job store (JS005-JS008)
+  lint [--deny] [--json] [ROOT]    lint workspace Rust sources (AZ001-AZ004)
+  pipeline [--deny] [--json]       analyze the reference pipeline IRs
+  jobs [--deny] [--json] [STORE]   analyze a terse-serve job store (JS005-JS008)
+  scrub [--deny] [--json] [STORE]  jobs passes + artifact integrity (JS009-JS012)
+  failpoints [ROOT]                list registered fail points + test coverage
 
 options:
   --deny   also fail on warnings (deny-by-default CI gate)
@@ -63,6 +73,8 @@ fn main() -> ExitCode {
         "lint" => run_lint(&positional, &mut report),
         "pipeline" => run_pipeline(&mut report),
         "jobs" => run_jobs(&positional, &mut report),
+        "scrub" => run_scrub(&positional, &mut report),
+        "failpoints" => return run_failpoints(&positional),
         _ => {
             eprint!("unknown command `{command}`\n\n{USAGE}");
             return ExitCode::from(2);
@@ -115,6 +127,45 @@ fn run_jobs(positional: &[&String], report: &mut AnalysisReport) -> Result<(), S
         .map_err(|e| format!("store scan failed: {e}"))?;
     eprintln!("terse-analyze: inspected {n} job(s)");
     Ok(())
+}
+
+fn run_scrub(positional: &[&String], report: &mut AnalysisReport) -> Result<(), String> {
+    let root: PathBuf = positional
+        .first()
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let n = terse_analyze::scrub_job_store(&root, report)
+        .map_err(|e| format!("store scrub failed: {e}"))?;
+    eprintln!("terse-analyze: scrubbed {n} job(s)");
+    Ok(())
+}
+
+/// Prints the fail-point inventory as a table and exits directly: unlike
+/// the pass commands this is a listing, not a gate, so an uncovered
+/// point is reported by `lint` (AZ004), not here.
+fn run_failpoints(positional: &[&String]) -> ExitCode {
+    let root: PathBuf = positional
+        .first()
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    if !root.join("crates").is_dir() {
+        eprintln!(
+            "terse-analyze: `{}` does not contain a crates/ directory (pass the workspace root)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    match terse_analyze::fail_point_inventory(&root) {
+        Ok(inventory) => {
+            for (name, refs) in &inventory {
+                println!("{name}\t{refs} test file(s)");
+            }
+            eprintln!("terse-analyze: {} fail point(s)", inventory.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("terse-analyze: fail-point scan failed: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn run_pipeline(report: &mut AnalysisReport) -> Result<(), String> {

@@ -1,0 +1,287 @@
+//! Artifact integrity: CRC32 checksums and the versioned `TERSEFR1`
+//! envelope that wraps every durable binary artifact of the job server.
+//!
+//! The serving layer (DESIGN.md §17) persists three kinds of binary or
+//! semi-binary artifacts: `TERSECP1` estimate checkpoints, `TERSEMC1`
+//! Monte Carlo checkpoints, and `report.json` (digest-stamped via a
+//! `report.json.crc32` sidecar). Torn writes are already excluded by the
+//! store's tmp+rename protocol *for crashes of our own process* — but not
+//! for bit rot, truncation by a full disk, or corruption introduced by
+//! anything else that touches the store. The envelope makes every such
+//! case **detectable on load**:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"TERSEFR1"
+//! 8       4     version (u32 LE, currently 1)
+//! 12      8     payload length (u64 LE)
+//! 20      4     CRC32 (IEEE) of the payload (u32 LE)
+//! 24      n     payload (e.g. a complete TERSECP1 image)
+//! ```
+//!
+//! [`unframe`] distinguishes the three outcomes callers dispatch on:
+//! a valid frame (payload returned), a file that predates framing
+//! ([`FrameError::NotFramed`] — legacy artifacts stay loadable), and a
+//! damaged frame ([`FrameError::Torn`] / [`FrameError::Corrupt`] — the
+//! payload is **never** returned, so a corrupt checkpoint can never be
+//! loaded). Checkpoint codecs react to damage by falling back to the
+//! previous good image (`.bak`) or a fresh start, which is always
+//! bit-exact because checkpoints are pure recomputation caches.
+//!
+//! This module lives in `terse-analyze` — the lowest common dependency of
+//! `terse` (core), `terse-sim`, and `terse-serve` — for the same reason
+//! [`valid_transition`](crate::valid_transition) does: one implementation,
+//! shared by the writers, the loaders, and the store scrubber.
+
+use std::fmt;
+
+/// Magic prefix of a framed artifact.
+pub const FRAME_MAGIC: [u8; 8] = *b"TERSEFR1";
+/// Current frame format version.
+pub const FRAME_VERSION: u32 = 1;
+/// Size of the fixed frame header preceding the payload.
+pub const FRAME_HEADER_LEN: usize = 24;
+
+/// CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup table,
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `data` — the same polynomial as zip/png/ethernet, so
+/// externally produced checksums of store artifacts can be compared
+/// directly.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// CRC32 of `data` as fixed-width lowercase hex — the digest form stamped
+/// into `report.json.crc32` sidecars.
+pub fn crc32_hex(data: &[u8]) -> String {
+    format!("{:08x}", crc32(data))
+}
+
+/// Why a byte image failed to unframe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The image does not start with [`FRAME_MAGIC`] — either a legacy
+    /// (pre-framing) artifact or something else entirely. The caller
+    /// decides whether bare payloads are acceptable.
+    NotFramed,
+    /// The header declares a different length than the image carries —
+    /// a truncated (torn) or padded file.
+    Torn {
+        /// Payload bytes the header promised.
+        declared: usize,
+        /// Payload bytes actually present.
+        actual: usize,
+    },
+    /// The frame version is newer than this build understands.
+    UnknownVersion(u32),
+    /// The payload does not match its stored checksum: bit rot, a torn
+    /// overwrite, or deliberate corruption.
+    Corrupt {
+        /// Checksum recorded in the header.
+        stored: u32,
+        /// Checksum recomputed over the payload.
+        computed: u32,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::NotFramed => write!(f, "image is not TERSEFR1-framed"),
+            FrameError::Torn { declared, actual } => write!(
+                f,
+                "torn frame: header declares {declared} payload byte(s), image carries {actual}"
+            ),
+            FrameError::UnknownVersion(v) => {
+                write!(
+                    f,
+                    "unknown frame version {v} (this build reads version {FRAME_VERSION})"
+                )
+            }
+            FrameError::Corrupt { stored, computed } => write!(
+                f,
+                "payload checksum mismatch: stored {stored:08x}, computed {computed:08x}"
+            ),
+        }
+    }
+}
+
+/// Wraps `payload` in a `TERSEFR1` frame.
+///
+/// Fail point `integrity::frame_corrupt` (chaos suite): when triggered,
+/// one payload byte is flipped *after* the checksum is computed, so the
+/// artifact written to disk is corrupt in exactly the way a bit flip
+/// would make it — and must be caught by [`unframe`] on the next load.
+/// An optional numeric payload selects the byte index to flip.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    if failpoints::ENABLED {
+        if let Some(arg) = failpoints::eval("integrity::frame_corrupt") {
+            if payload.is_empty() {
+                // Nothing to flip in the payload: damage the checksum field.
+                out[FRAME_HEADER_LEN - 1] ^= 0x01;
+            } else {
+                let idx = arg.parse::<usize>().unwrap_or(0).min(payload.len() - 1);
+                out[FRAME_HEADER_LEN + idx] ^= 0x01;
+            }
+        }
+    }
+    out
+}
+
+/// Validates a `TERSEFR1` frame and returns the payload slice.
+///
+/// # Errors
+///
+/// [`FrameError::NotFramed`] for images without the magic (legacy bare
+/// payloads — the caller chooses whether to accept them),
+/// [`FrameError::Torn`] / [`FrameError::UnknownVersion`] /
+/// [`FrameError::Corrupt`] for damaged frames. A payload is returned
+/// **only** when its checksum verifies.
+pub fn unframe(image: &[u8]) -> Result<&[u8], FrameError> {
+    if image.len() < FRAME_MAGIC.len() || image[..FRAME_MAGIC.len()] != FRAME_MAGIC {
+        return Err(FrameError::NotFramed);
+    }
+    if image.len() < FRAME_HEADER_LEN {
+        return Err(FrameError::Torn {
+            declared: 0,
+            actual: image.len().saturating_sub(FRAME_MAGIC.len()),
+        });
+    }
+    let mut u32buf = [0u8; 4];
+    let mut u64buf = [0u8; 8];
+    u32buf.copy_from_slice(&image[8..12]);
+    let version = u32::from_le_bytes(u32buf);
+    if version != FRAME_VERSION {
+        return Err(FrameError::UnknownVersion(version));
+    }
+    u64buf.copy_from_slice(&image[12..20]);
+    let declared = u64::from_le_bytes(u64buf) as usize;
+    u32buf.copy_from_slice(&image[20..24]);
+    let stored = u32::from_le_bytes(u32buf);
+    let payload = &image[FRAME_HEADER_LEN..];
+    if payload.len() != declared {
+        return Err(FrameError::Torn {
+            declared,
+            actual: payload.len(),
+        });
+    }
+    let computed = crc32(payload);
+    if computed != stored {
+        return Err(FrameError::Corrupt { stored, computed });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_ieee_check_vector() {
+        // The canonical CRC32 check value: crc32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32_hex(b"123456789"), "cbf43926");
+    }
+
+    #[test]
+    fn frame_roundtrips_all_payload_shapes() {
+        for payload in [&b""[..], &b"x"[..], &[0u8; 1024][..], b"TERSECP1 inner"] {
+            let image = frame(payload);
+            assert_eq!(image.len(), FRAME_HEADER_LEN + payload.len());
+            assert_eq!(unframe(&image), Ok(payload));
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let image = frame(b"some checkpoint payload");
+        for byte in 0..image.len() {
+            for bit in 0..8u8 {
+                let mut damaged = image.clone();
+                damaged[byte] ^= 1 << bit;
+                assert!(
+                    unframe(&damaged).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_extension_are_torn() {
+        let image = frame(b"payload bytes");
+        for cut in FRAME_HEADER_LEN..image.len() {
+            match unframe(&image[..cut]) {
+                Err(FrameError::Torn { .. }) => {}
+                other => panic!("truncation to {cut} gave {other:?}"),
+            }
+        }
+        let mut extended = image.clone();
+        extended.push(0);
+        assert!(matches!(unframe(&extended), Err(FrameError::Torn { .. })));
+        // Cutting into the header is also torn (magic still present).
+        assert!(matches!(
+            unframe(&image[..10]),
+            Err(FrameError::Torn { .. })
+        ));
+    }
+
+    #[test]
+    fn bare_payloads_and_foreign_files_are_not_framed() {
+        assert_eq!(
+            unframe(b"TERSECP1 legacy image"),
+            Err(FrameError::NotFramed)
+        );
+        assert_eq!(unframe(b""), Err(FrameError::NotFramed));
+        assert_eq!(unframe(b"short"), Err(FrameError::NotFramed));
+    }
+
+    #[test]
+    fn future_versions_are_rejected_not_misread() {
+        let mut image = frame(b"payload");
+        image[8..12].copy_from_slice(&2u32.to_le_bytes());
+        assert_eq!(unframe(&image), Err(FrameError::UnknownVersion(2)));
+    }
+
+    #[test]
+    fn display_forms_are_informative() {
+        let s = FrameError::Corrupt {
+            stored: 0xDEAD_BEEF,
+            computed: 1,
+        }
+        .to_string();
+        assert!(s.contains("deadbeef"), "{s}");
+        assert!(FrameError::NotFramed.to_string().contains("TERSEFR1"));
+    }
+}

@@ -3,8 +3,10 @@
 //! `terse-serve` (ROADMAP item 2) turns estimation runs into queued batch
 //! jobs: a JSON spec per job, a directory-backed store
 //! (`jobs/<id>/{spec.json,state,checkpoints/,report.json}`), and a strict
-//! state machine (`queued → running → done/failed/cancelled`, plus the
-//! recovery edge `running → queued` for crashed or time-sliced workers).
+//! state machine (`queued → running → done/failed/cancelled/quarantined`,
+//! plus the recovery edge `running → queued` for crashed, hung, or
+//! time-sliced workers; `quarantined` is the terminal state for jobs that
+//! exhausted their retry budget and carry a diagnostic bundle).
 //! This pass is the single source of truth for what a *valid* spec and a
 //! *valid* store look like; the serve crate delegates its own guards to
 //! [`valid_transition`] and runs [`analyze_job_spec`] before admitting a
@@ -23,19 +25,37 @@
 //! | JS003 | error    | invalid parameters: empty or unsafe job id, zero samples, zero threads, zero checkpoint interval |
 //! | JS004 | error    | Monte Carlo population mismatch: exactly one of `chips` / `mc_inputs` is zero |
 //! | JS005 | error    | store layout violation: missing `spec.json` or `state`, or a non-directory under `jobs/` |
-//! | JS006 | error    | invalid state file: contents are not one of the five states |
+//! | JS006 | error    | invalid state file: contents are not one of the six states |
 //! | JS007 | error    | transition-log violation: an edge outside the state machine, or a broken chain |
 //! | JS008 | error    | state/artifact inconsistency: `done` without `report.json`, or `report.json` without `done` |
+//!
+//! The **scrub** family (JS009–JS012, [`scrub_job_store`]) goes one layer
+//! deeper than the structural audit: it opens every durable artifact and
+//! verifies its integrity envelope (see [`crate::integrity`]):
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | JS009 | error    | damaged checkpoint: a `TERSEFR1` frame that is torn, checksum-corrupt, or of an unknown version (legacy unframed checkpoints are a warning) |
+//! | JS010 | error    | report digest mismatch: `report.json` does not match its `report.json.crc32` sidecar (missing sidecar on a legacy report is a warning) |
+//! | JS011 | error    | damaged store file: a zero-length artifact (stray `*.tmp.*` writer leftovers and `.corrupt` evidence files are warnings) |
+//! | JS012 | error    | incomplete quarantine: a `quarantined` job missing its diagnostic bundle (`quarantine/{spec.json,error.txt,transitions.log,attempts}`) or top-level `error.txt` |
 
 use crate::{AnalysisReport, Severity};
 use std::path::Path;
 
-/// The five job states, in canonical string form.
-pub const JOB_STATES: [&str; 5] = ["queued", "running", "done", "failed", "cancelled"];
+/// The six job states, in canonical string form.
+pub const JOB_STATES: [&str; 6] = [
+    "queued",
+    "running",
+    "done",
+    "failed",
+    "cancelled",
+    "quarantined",
+];
 
-/// Whether `state` is one of the three terminal states.
+/// Whether `state` is one of the four terminal states.
 pub fn is_terminal_state(state: &str) -> bool {
-    matches!(state, "done" | "failed" | "cancelled")
+    matches!(state, "done" | "failed" | "cancelled" | "quarantined")
 }
 
 /// The job state machine, as a pure edge predicate. This is the only
@@ -47,9 +67,12 @@ pub fn is_terminal_state(state: &str) -> bool {
 /// * `queued → running` (a worker claims the job)
 /// * `queued → cancelled` (cancel before any worker claims it)
 /// * `running → done | failed | cancelled`
-/// * `running → queued` (recovery: the worker died or the job was
-///   time-sliced at a checkpoint boundary; the checkpoint makes the
-///   re-run bit-exact)
+/// * `running → queued` (recovery: the worker died, hung, overran its
+///   deadline, or the job was time-sliced at a checkpoint boundary; the
+///   checkpoint makes the re-run bit-exact)
+/// * `running → quarantined` (the retry budget is exhausted: the job is
+///   parked terminally with a diagnostic bundle instead of retrying
+///   forever)
 ///
 /// Terminal states have no outgoing edges. Unknown state strings have no
 /// edges at all.
@@ -57,7 +80,10 @@ pub fn valid_transition(from: &str, to: &str) -> bool {
     matches!(
         (from, to),
         ("queued", "running" | "cancelled")
-            | ("running", "done" | "failed" | "cancelled" | "queued")
+            | (
+                "running",
+                "done" | "failed" | "cancelled" | "queued" | "quarantined"
+            )
     )
 }
 
@@ -281,7 +307,7 @@ fn analyze_job_dir(dir: &Path, id: &str, report: &mut AnalysisReport) {
             return;
         }
     };
-    // JS006 — the state must be one of the five canonical strings.
+    // JS006 — the state must be one of the six canonical strings.
     if !JOB_STATES.contains(&state.as_str()) {
         report.push(
             "JS006",
@@ -355,6 +381,219 @@ fn analyze_job_dir(dir: &Path, id: &str, report: &mut AnalysisReport) {
             id,
             format!("report.json present but state is `{state}`"),
             "only the done transition may leave a report.json behind",
+        );
+    }
+}
+
+/// Walks a job store verifying **every durable artifact's integrity**
+/// (JS009–JS012) on top of the structural JS005–JS008 audit. This is the
+/// pass behind `terse scrub`. Returns the number of job directories
+/// inspected.
+///
+/// Unlike the structural audit, the scrub opens file *contents*: every
+/// `*.ckpt` / `*.ckpt.bak` image is unframed and checksum-verified
+/// (JS009), every `report.json` is compared against its `.crc32` sidecar
+/// digest (JS010), zero-length artifacts and writer leftovers are flagged
+/// (JS011), and `quarantined` jobs must carry a complete diagnostic
+/// bundle (JS012). The pass is read-only and safe on a live store: an
+/// artifact mid-replacement is still either the old or the new complete
+/// image (tmp+rename), never a torn hybrid.
+///
+/// # Errors
+///
+/// Returns `Err` only if the store root itself is unreadable; per-job
+/// read failures become diagnostics.
+pub fn scrub_job_store(root: &Path, report: &mut AnalysisReport) -> std::io::Result<usize> {
+    let inspected = analyze_job_store(root, report)?;
+    let jobs = root.join("jobs");
+    if !jobs.is_dir() {
+        return Ok(inspected);
+    }
+    let mut ids: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(&jobs)? {
+        let entry = entry?;
+        if entry.file_type()?.is_dir() {
+            ids.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    ids.sort();
+    for id in &ids {
+        scrub_job_dir(&jobs.join(id), id, report);
+    }
+    Ok(inspected)
+}
+
+/// Sorted file names directly under `dir` (empty if unreadable).
+fn sorted_files(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    names.sort();
+    names
+}
+
+/// JS009–JS012 for a single `jobs/<id>/` directory.
+fn scrub_job_dir(dir: &Path, id: &str, report: &mut AnalysisReport) {
+    let state = std::fs::read_to_string(dir.join("state"))
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default();
+
+    // JS011 over the job directory itself: zero-length core artifacts and
+    // stray writer leftovers.
+    for name in sorted_files(dir) {
+        let path = dir.join(&name);
+        let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(1);
+        if name.contains(".tmp") {
+            report.push(
+                "JS011",
+                Severity::Warning,
+                format!("{id}/{name}"),
+                "stray temp file from an interrupted writer",
+                "tmp files are never read; delete after confirming no writer is live",
+            );
+        } else if len == 0 && name != "claim" && name != "cancel" && !name.starts_with('.') {
+            // Dotfiles (the `.lock` transition lock) are coordination
+            // primitives, legitimately empty — only artifacts are audited.
+            report.push(
+                "JS011",
+                Severity::Error,
+                format!("{id}/{name}"),
+                "zero-length artifact",
+                "store artifacts are written whole via tmp+rename; a zero-length file is damage",
+            );
+        }
+    }
+
+    // JS009 + JS011 over the checkpoint directory.
+    let ckpts = dir.join("checkpoints");
+    for name in sorted_files(&ckpts) {
+        let path = ckpts.join(&name);
+        if name.contains(".tmp") {
+            report.push(
+                "JS011",
+                Severity::Warning,
+                format!("{id}/checkpoints/{name}"),
+                "stray temp file from an interrupted writer",
+                "tmp files are never read; delete after confirming no worker is live",
+            );
+            continue;
+        }
+        if name.ends_with(".corrupt") {
+            report.push(
+                "JS011",
+                Severity::Warning,
+                format!("{id}/checkpoints/{name}"),
+                "corruption evidence: a loader detected a damaged image and set it aside",
+                "the job recomputed from the previous good image; delete after diagnosis",
+            );
+            continue;
+        }
+        if !(name.ends_with(".ckpt") || name.ends_with(".ckpt.bak")) {
+            continue;
+        }
+        let Ok(bytes) = std::fs::read(&path) else {
+            report.push(
+                "JS011",
+                Severity::Error,
+                format!("{id}/checkpoints/{name}"),
+                "unreadable checkpoint file",
+                "check permissions and the underlying filesystem",
+            );
+            continue;
+        };
+        if bytes.is_empty() {
+            report.push(
+                "JS011",
+                Severity::Error,
+                format!("{id}/checkpoints/{name}"),
+                "zero-length checkpoint",
+                "loaders treat this as damage and fall back; safe to delete",
+            );
+            continue;
+        }
+        match crate::integrity::unframe(&bytes) {
+            Ok(_) => {}
+            Err(crate::integrity::FrameError::NotFramed) => report.push(
+                "JS009",
+                Severity::Warning,
+                format!("{id}/checkpoints/{name}"),
+                "legacy unframed checkpoint (no TERSEFR1 envelope)",
+                "rewritten with an envelope on the next flush; corruption is undetectable until then",
+            ),
+            Err(e) => report.push(
+                "JS009",
+                Severity::Error,
+                format!("{id}/checkpoints/{name}"),
+                format!("damaged checkpoint: {e}"),
+                "loaders fall back to the .bak image or a fresh start; delete after diagnosis",
+            ),
+        }
+    }
+
+    // JS010 — report.json digest sidecar.
+    let report_path = dir.join("report.json");
+    if let Ok(bytes) = std::fs::read(&report_path) {
+        match std::fs::read_to_string(dir.join("report.json.crc32")) {
+            Ok(sidecar) => {
+                let computed = crate::integrity::crc32_hex(&bytes);
+                if sidecar.trim() != computed {
+                    report.push(
+                        "JS010",
+                        Severity::Error,
+                        format!("{id}/report.json"),
+                        format!(
+                            "report digest mismatch: sidecar says {}, content is {computed}",
+                            sidecar.trim()
+                        ),
+                        "the report was altered after it was stamped; re-run the job",
+                    );
+                }
+            }
+            Err(_) => report.push(
+                "JS010",
+                Severity::Warning,
+                format!("{id}/report.json"),
+                "report has no .crc32 digest sidecar",
+                "legacy report (pre-digest); re-running the job stamps it",
+            ),
+        }
+    }
+
+    // JS012 — quarantine bundle completeness.
+    let bundle = dir.join("quarantine");
+    if state == "quarantined" {
+        if !dir.join("error.txt").is_file() {
+            report.push(
+                "JS012",
+                Severity::Error,
+                id,
+                "quarantined job has no error.txt",
+                "the quarantine transition records the final error before parking the job",
+            );
+        }
+        for piece in ["spec.json", "error.txt", "transitions.log", "attempts"] {
+            if !bundle.join(piece).is_file() {
+                report.push(
+                    "JS012",
+                    Severity::Error,
+                    format!("{id}/quarantine/{piece}"),
+                    "diagnostic bundle is incomplete",
+                    "quarantine/ must capture spec.json, error.txt, transitions.log and attempts",
+                );
+            }
+        }
+    } else if bundle.is_dir() {
+        report.push(
+            "JS012",
+            Severity::Warning,
+            format!("{id}/quarantine"),
+            format!("quarantine bundle present but state is `{state}`"),
+            "only the quarantine transition creates this directory",
         );
     }
 }
@@ -464,6 +703,7 @@ mod tests {
             ("running", "failed"),
             ("running", "cancelled"),
             ("running", "queued"),
+            ("running", "quarantined"),
         ] {
             assert!(valid_transition(from, to), "{from} -> {to}");
         }
@@ -474,13 +714,21 @@ mod tests {
                 let expected = matches!(
                     (from, to),
                     ("queued", "running" | "cancelled")
-                        | ("running", "done" | "failed" | "cancelled" | "queued")
+                        | (
+                            "running",
+                            "done" | "failed" | "cancelled" | "queued" | "quarantined"
+                        )
                 );
                 assert_eq!(valid_transition(from, to), expected, "{from} -> {to}");
             }
         }
         assert!(!valid_transition("queued", "bogus"));
         assert!(!valid_transition("bogus", "running"));
+        // Terminal states are exactly the states with no outgoing edges.
+        for s in JOB_STATES {
+            let has_exit = JOB_STATES.iter().any(|t| valid_transition(s, t));
+            assert_eq!(is_terminal_state(s), !has_exit, "{s}");
+        }
     }
 
     fn temp_store(tag: &str) -> std::path::PathBuf {
@@ -557,6 +805,139 @@ mod tests {
         let mut r = AnalysisReport::new();
         analyze_job_store(&root, &mut r).unwrap();
         assert!(r.has_code("JS007"));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn quarantined_is_a_valid_terminal_state_for_the_audit() {
+        let root = temp_store("quar");
+        write_job(
+            &root,
+            "q",
+            "quarantined",
+            "queued -> running\nrunning -> quarantined\n",
+            false,
+        );
+        let mut r = AnalysisReport::new();
+        analyze_job_store(&root, &mut r).unwrap();
+        assert!(r.is_clean(), "{}", r.render_text());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    fn write_quarantine_bundle(root: &Path, id: &str) {
+        let dir = root.join("jobs").join(id);
+        std::fs::write(dir.join("error.txt"), "boom").unwrap();
+        let bundle = dir.join("quarantine");
+        std::fs::create_dir_all(&bundle).unwrap();
+        for (name, body) in [
+            ("spec.json", "{}"),
+            ("error.txt", "boom"),
+            ("transitions.log", "queued -> running\n"),
+            ("attempts", "3"),
+        ] {
+            std::fs::write(bundle.join(name), body).unwrap();
+        }
+    }
+
+    #[test]
+    fn scrub_is_clean_on_a_healthy_store() {
+        let root = temp_store("scrub_clean");
+        write_job(&root, "a", "queued", "", false);
+        write_job(
+            &root,
+            "q",
+            "quarantined",
+            "queued -> running\nrunning -> quarantined\n",
+            false,
+        );
+        write_quarantine_bundle(&root, "q");
+        // A framed checkpoint and a digest-stamped report survive the scrub.
+        let dir = root.join("jobs").join("done1");
+        std::fs::create_dir_all(dir.join("checkpoints")).unwrap();
+        std::fs::write(dir.join("spec.json"), "{}").unwrap();
+        std::fs::write(dir.join("state"), "done").unwrap();
+        std::fs::write(
+            dir.join("transitions.log"),
+            "queued -> running\nrunning -> done\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("checkpoints").join("est-0.ckpt"),
+            crate::integrity::frame(b"TERSECP1 payload"),
+        )
+        .unwrap();
+        let report_body = b"{\"points\":[]}";
+        std::fs::write(dir.join("report.json"), report_body).unwrap();
+        std::fs::write(
+            dir.join("report.json.crc32"),
+            crate::integrity::crc32_hex(report_body),
+        )
+        .unwrap();
+        let mut r = AnalysisReport::new();
+        let n = scrub_job_store(&root, &mut r).unwrap();
+        assert_eq!(n, 3);
+        assert!(r.is_clean(), "{}", r.render_text());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn scrub_violations_get_their_codes() {
+        let root = temp_store("scrub_dirty");
+        let dir = root.join("jobs").join("sick");
+        std::fs::create_dir_all(dir.join("checkpoints")).unwrap();
+        std::fs::write(dir.join("spec.json"), "{}").unwrap();
+        std::fs::write(dir.join("state"), "done").unwrap();
+        std::fs::write(
+            dir.join("transitions.log"),
+            "queued -> running\nrunning -> done\n",
+        )
+        .unwrap();
+        // JS009: a checksum-corrupt frame.
+        let mut image = crate::integrity::frame(b"TERSECP1 payload");
+        let last = image.len() - 1;
+        image[last] ^= 0x40;
+        std::fs::write(dir.join("checkpoints").join("est-0.ckpt"), image).unwrap();
+        // JS010: sidecar does not match the report bytes.
+        std::fs::write(dir.join("report.json"), "{\"points\":[]}").unwrap();
+        std::fs::write(dir.join("report.json.crc32"), "00000000").unwrap();
+        // JS011: a zero-length checkpoint and a stray tmp file.
+        std::fs::write(dir.join("checkpoints").join("mc-0.ckpt"), b"").unwrap();
+        std::fs::write(dir.join("checkpoints").join("est-1.ckpt.tmp.42"), b"x").unwrap();
+        // JS012: quarantined job with no bundle at all.
+        write_job(
+            &root,
+            "qbad",
+            "quarantined",
+            "queued -> running\nrunning -> quarantined\n",
+            false,
+        );
+        let mut r = AnalysisReport::new();
+        scrub_job_store(&root, &mut r).unwrap();
+        for code in ["JS009", "JS010", "JS011", "JS012"] {
+            assert!(r.has_code(code), "{code} missing:\n{}", r.render_text());
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn scrub_flags_legacy_artifacts_as_warnings_not_errors() {
+        let root = temp_store("scrub_legacy");
+        let dir = root.join("jobs").join("old");
+        std::fs::create_dir_all(dir.join("checkpoints")).unwrap();
+        std::fs::write(dir.join("spec.json"), "{}").unwrap();
+        std::fs::write(dir.join("state"), "done").unwrap();
+        std::fs::write(
+            dir.join("transitions.log"),
+            "queued -> running\nrunning -> done\n",
+        )
+        .unwrap();
+        // Pre-framing checkpoint, pre-digest report: warnings only.
+        std::fs::write(dir.join("checkpoints").join("est-0.ckpt"), b"TERSECP1 old").unwrap();
+        std::fs::write(dir.join("report.json"), "{\"points\":[]}").unwrap();
+        let mut r = AnalysisReport::new();
+        scrub_job_store(&root, &mut r).unwrap();
+        assert!(r.has_code("JS009") && r.has_code("JS010"));
+        assert!(!r.has_errors(), "{}", r.render_text());
         std::fs::remove_dir_all(&root).unwrap();
     }
 }

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod cfg_pass;
+pub mod integrity;
 pub mod job_pass;
 pub mod lint;
 pub mod netlist_pass;
@@ -47,10 +48,12 @@ pub mod slack_pass;
 pub mod tape_pass;
 
 pub use cfg_pass::analyze_cfg;
+pub use integrity::{crc32, crc32_hex, frame, unframe, FrameError};
 pub use job_pass::{
-    analyze_job_spec, analyze_job_store, is_terminal_state, valid_transition, JobSpecView,
-    JOB_STATES,
+    analyze_job_spec, analyze_job_store, is_terminal_state, scrub_job_store, valid_transition,
+    JobSpecView, JOB_STATES,
 };
+pub use lint::{fail_point_inventory, lint_fail_point_coverage, lint_workspace};
 pub use netlist_pass::analyze_netlist;
 pub use slack_pass::{analyze_slacks, SlackPassConfig};
 pub use tape_pass::analyze_tape;

@@ -24,9 +24,10 @@
 //! | AZ001 | panicking API (`.unwrap()`, `.expect(…)`, `panic!`, `todo!`, `unreachable!`, `unimplemented!`) | library crates (not `oracle`/`bench`) |
 //! | AZ002 | iteration over a `HashMap`/`HashSet` (nondeterministic order on paths feeding the index-ordered parallel merges) | all crates |
 //! | AZ003 | wall-clock or entropy-seeded randomness (`Instant::now`, `SystemTime::now`, `thread_rng`, `from_entropy`, …) | library crates (not `bench`) |
+//! | AZ004 | registered fail point with no fault-injection test referencing it (see [`lint_fail_point_coverage`]) | all crates |
 
 use crate::{AnalysisReport, Severity};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -112,8 +113,10 @@ pub fn mask_source(src: &str) -> String {
                 let mut j = i + 1;
                 while j < n {
                     if b[j] == b'\\' && j + 1 < n {
+                        // A `\<newline>` continuation must keep its
+                        // newline or every later line number shifts.
                         out.push(b' ');
-                        out.push(b' ');
+                        out.push(if b[j + 1] == b'\n' { b'\n' } else { b' ' });
                         j += 2;
                     } else if b[j] == b'"' {
                         break;
@@ -597,6 +600,129 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
+/// Extracts fail-point names declared in one file's **raw** source.
+///
+/// Declarations are the invocation sites themselves — a macro call or an
+/// `eval` call whose first argument is a string literal. The name lives
+/// inside that literal, so this scan runs on raw text, not the masked
+/// text the other rules use. A candidate only counts when it looks like
+/// a registered point: it contains `::` and is made of lowercase
+/// identifier characters and colons. Test-side `cfg("…", "…")`
+/// configuration calls are deliberately not scanned — configuring a
+/// point in a test is a *reference*, not a declaration.
+fn scan_fail_point_names(raw: &str, out: &mut BTreeSet<String>) {
+    for marker in ["fail_point!(", "eval("] {
+        let mut from = 0usize;
+        while let Some(p) = raw[from..].find(marker) {
+            let abs = from + p;
+            from = abs + marker.len();
+            // Word-bound the marker so e.g. `reeval(` does not match.
+            if abs > 0 {
+                let before = raw.as_bytes()[abs - 1];
+                if before.is_ascii_alphanumeric() || before == b'_' {
+                    continue;
+                }
+            }
+            let rest = raw[from..].trim_start();
+            let Some(body) = rest.strip_prefix('"') else {
+                continue;
+            };
+            let Some(end) = body.find('"') else { continue };
+            let name = &body[..end];
+            let plausible = name.contains("::")
+                && !name.is_empty()
+                && name.bytes().all(|c| {
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || c == b'_' || c == b':'
+                });
+            if plausible {
+                out.insert(name.to_owned());
+            }
+        }
+    }
+}
+
+/// Builds the workspace fail-point inventory: every fail-point name
+/// declared under `crates/*/src`, mapped to the number of test files
+/// (under `<root>/tests` and `crates/*/tests`) that mention it.
+///
+/// This is the shared backend for the AZ004 coverage lint and the
+/// `terse-analyze failpoints` listing command.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unreadable directories or files).
+pub fn fail_point_inventory(root: &Path) -> io::Result<BTreeMap<String, usize>> {
+    let crates = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut names = BTreeSet::new();
+    let mut test_paths: Vec<PathBuf> = Vec::new();
+    let workspace_tests = root.join("tests");
+    if workspace_tests.is_dir() {
+        rust_files(&workspace_tests, &mut test_paths)?;
+    }
+    for dir in &crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            let mut paths = Vec::new();
+            rust_files(&src, &mut paths)?;
+            for p in paths {
+                scan_fail_point_names(&fs::read_to_string(&p)?, &mut names);
+            }
+        }
+        let tests = dir.join("tests");
+        if tests.is_dir() {
+            rust_files(&tests, &mut test_paths)?;
+        }
+    }
+
+    let mut test_texts = Vec::with_capacity(test_paths.len());
+    for p in &test_paths {
+        test_texts.push(fs::read_to_string(p)?);
+    }
+    let mut inventory = BTreeMap::new();
+    // terse-analyze: allow(AZ002): a BTreeSet iterates in sorted order.
+    for name in names {
+        let refs = test_texts
+            .iter()
+            .filter(|t| t.contains(name.as_str()))
+            .count();
+        inventory.insert(name, refs);
+    }
+    Ok(inventory)
+}
+
+/// AZ004 — every registered fail point must be exercised by at least one
+/// fault-injection test. An injectable fault nobody injects is a
+/// recovery path that has never run; this keeps the failure schedule
+/// space and the test suite in lockstep. Returns the number of fail
+/// points inspected.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unreadable directories or files).
+pub fn lint_fail_point_coverage(root: &Path, report: &mut AnalysisReport) -> io::Result<usize> {
+    let inventory = fail_point_inventory(root)?;
+    let n = inventory.len();
+    for (name, refs) in &inventory {
+        if *refs == 0 {
+            report.push(
+                "AZ004",
+                Severity::Error,
+                name.clone(),
+                "fail point is never referenced by a fault-injection test",
+                "add a test under tests/ or crates/*/tests that configures \
+                 this point and asserts the recovery behaviour",
+            );
+        }
+    }
+    Ok(n)
+}
+
 /// Lints every workspace crate's `src/` tree under `root` (the directory
 /// containing `crates/`). Returns the number of files scanned.
 ///
@@ -643,6 +769,9 @@ pub fn lint_workspace(root: &Path, report: &mut AnalysisReport) -> io::Result<us
             .into_owned();
         lint_file(&label, &text, rules, &hash_names, report);
     }
+
+    // Phase 3: cross-file fail-point coverage (AZ004).
+    lint_fail_point_coverage(root, report)?;
     Ok(count)
 }
 
@@ -655,6 +784,67 @@ mod tests {
         let names = collect_hash_names(&mask_source(src));
         lint_file("test.rs", src, rules, &names, &mut r);
         r
+    }
+
+    #[test]
+    fn fail_point_scanner_extracts_plausible_names() {
+        // Markers are assembled at runtime so this file's own raw source
+        // never declares the demo points to the workspace-wide scan.
+        let fp = ["fail_point", "!("].concat();
+        let ev = ["ev", "al("].concat();
+        let src = format!(
+            "{fp}\"demo::alpha\", |_| Err(x));\n\
+             if let Some(p) = failpoints::{ev}\"demo::beta\") {{}}\n\
+             failpoints::cfg(\"demo::gamma\", \"off\");\n\
+             reeval(\"demo::delta\");\n\
+             {fp}\"Not A Point\");\n"
+        );
+        let mut names = BTreeSet::new();
+        scan_fail_point_names(&src, &mut names);
+        assert!(names.contains("demo::alpha"), "{names:?}");
+        assert!(names.contains("demo::beta"), "{names:?}");
+        assert!(
+            !names.contains("demo::gamma"),
+            "cfg is a reference, not a declaration"
+        );
+        assert!(
+            !names.contains("demo::delta"),
+            "marker must be word-bounded"
+        );
+        assert_eq!(names.len(), 2, "{names:?}");
+    }
+
+    #[test]
+    fn fail_point_inventory_counts_test_references() {
+        let mut root = std::env::temp_dir();
+        root.push(format!("terse_az004_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let src_dir = root.join("crates/demo/src");
+        let test_dir = root.join("tests");
+        fs::create_dir_all(&src_dir).unwrap();
+        fs::create_dir_all(&test_dir).unwrap();
+        let fp = ["fail_point", "!("].concat();
+        fs::write(
+            src_dir.join("lib.rs"),
+            format!("{fp}\"demo::covered\", |_| ());\n{fp}\"demo::orphan\", |_| ());\n"),
+        )
+        .unwrap();
+        fs::write(
+            test_dir.join("faults.rs"),
+            "fn t() { failpoints::cfg(\"demo::covered\", \"return\"); }\n",
+        )
+        .unwrap();
+
+        let inv = fail_point_inventory(&root).unwrap();
+        assert_eq!(inv.get("demo::covered"), Some(&1));
+        assert_eq!(inv.get("demo::orphan"), Some(&0));
+
+        let mut r = AnalysisReport::new();
+        let n = lint_fail_point_coverage(&root, &mut r).unwrap();
+        assert_eq!(n, 2);
+        assert!(r.has_code("AZ004"));
+        assert_eq!(r.error_count(), 1, "only the orphan point is flagged");
+        let _ = fs::remove_dir_all(&root);
     }
 
     #[test]

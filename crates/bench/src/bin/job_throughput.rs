@@ -82,6 +82,7 @@ fn drain_batch(n: usize, workers: usize) -> PoolResult {
             workers,
             drain: true,
             poll_ms: 2,
+            ..ExecutorConfig::default()
         },
         &AtomicBool::new(false),
         |_| {},

@@ -30,6 +30,16 @@
 //! the previous checkpoint intact. `f64` values round-trip through their
 //! IEEE-754 bit patterns, preserving bitwise identity across save/resume.
 //!
+//! Since DESIGN.md §17 the image above is wrapped in the workspace-wide
+//! `TERSEFR1` integrity envelope (`terse_analyze::integrity`): every flush
+//! is CRC32-stamped, and every load verifies the checksum before parsing a
+//! byte. Damage — truncation by a full disk, bit rot, external tampering —
+//! is therefore *detected*, never loaded: the loader sets the damaged file
+//! aside as `<name>.corrupt` evidence and falls back to the previous good
+//! image (`<name>.bak`, refreshed on each flush) or, failing that, to a
+//! fresh start. Both fallbacks are bit-exact because a checkpoint is a
+//! pure recomputation cache. Legacy unframed images remain loadable.
+//!
 //! [`Framework::estimate`]: crate::Framework::estimate
 //! [`SampleRv`]: terse_stats::SampleRv
 
@@ -123,10 +133,23 @@ fn ck_err(message: impl Into<String>) -> TerseError {
     TerseError::Checkpoint(message.into())
 }
 
+/// `path` with `suffix` appended to the full file name (`est-0.ckpt` +
+/// `.bak` → `est-0.ckpt.bak`).
+pub(crate) fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.as_os_str().to_owned();
+    name.push(suffix);
+    PathBuf::from(name)
+}
+
 /// Loads a checkpoint into per-block slots (`None` = not yet computed).
 ///
-/// A missing file is a fresh start; a present-but-mismatched file is a
-/// typed error — a checkpoint from a different run is never mixed in.
+/// A missing file is a fresh start. A CRC-damaged or torn image is set
+/// aside as `.corrupt` evidence and the previous good image (`.bak`) is
+/// loaded instead — or a fresh start if there is none; either way the
+/// resumed run recomputes exactly what the damaged image would have
+/// cached, so the result is unchanged. A *verified* image that does not
+/// match this run (context hash, grid shape) is a typed error — a
+/// checkpoint from a different run is never mixed in.
 pub(crate) fn load(
     path: &Path,
     context: u64,
@@ -140,6 +163,40 @@ pub(crate) fn load(
         }
         Err(e) => return Err(ck_err(format!("read {}: {e}", path.display()))),
     };
+    match terse_analyze::unframe(&bytes) {
+        Ok(payload) => parse_image(payload, context, total_blocks, s_count),
+        // Pre-framing image: parse the bare bytes (its own magic still
+        // guards against foreign files). Bytes with neither frame nor
+        // magic (zero-length files from ENOSPC, torn non-atomic writes)
+        // are damage, not legacy.
+        Err(terse_analyze::FrameError::NotFramed)
+            if bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] == *MAGIC =>
+        {
+            parse_image(&bytes, context, total_blocks, s_count)
+        }
+        Err(_damage) => {
+            // Detected corruption: preserve the evidence, never parse it.
+            let _ = fs::rename(path, sibling(path, ".corrupt"));
+            let bak = sibling(path, ".bak");
+            if let Ok(bak_bytes) = fs::read(&bak) {
+                if let Ok(payload) = terse_analyze::unframe(&bak_bytes) {
+                    if let Ok(slots) = parse_image(payload, context, total_blocks, s_count) {
+                        return Ok(slots);
+                    }
+                }
+            }
+            Ok(vec![None; total_blocks])
+        }
+    }
+}
+
+/// Parses a verified (or legacy bare) `TERSECP1` image.
+fn parse_image(
+    bytes: &[u8],
+    context: u64,
+    total_blocks: usize,
+    s_count: usize,
+) -> Result<Vec<Option<BlockProbs>>> {
     let mut pos = 0usize;
     let mut take8 = |what: &str| -> Result<[u8; 8]> {
         let end = pos
@@ -211,7 +268,10 @@ pub(crate) fn load(
     Ok(slots)
 }
 
-/// Atomically writes the completed slots to `path` (temp file + rename).
+/// Atomically writes the completed slots to `path` (temp file + rename),
+/// wrapped in the `TERSEFR1` integrity envelope. The previous image is
+/// preserved as `.bak` so a later load can fall back past a damaged
+/// primary.
 pub(crate) fn store(
     path: &Path,
     context: u64,
@@ -237,14 +297,21 @@ pub(crate) fn store(
             }
         }
     }
+    let image = terse_analyze::frame(&out);
     let tmp = path.with_extension("tmp");
     let mut f =
         fs::File::create(&tmp).map_err(|e| ck_err(format!("create {}: {e}", tmp.display())))?;
-    f.write_all(&out)
+    f.write_all(&image)
         .map_err(|e| ck_err(format!("write {}: {e}", tmp.display())))?;
     f.sync_all()
         .map_err(|e| ck_err(format!("sync {}: {e}", tmp.display())))?;
     drop(f);
+    // Keep the outgoing image as the fallback generation. Best-effort: a
+    // failed copy only narrows fallback to a fresh start, and a torn copy
+    // is caught by its CRC.
+    if path.exists() {
+        let _ = fs::copy(path, sibling(path, ".bak"));
+    }
     fs::rename(&tmp, path).map_err(|e| {
         ck_err(format!(
             "rename {} -> {}: {e}",
@@ -255,9 +322,11 @@ pub(crate) fn store(
     Ok(())
 }
 
-/// Removes a completed checkpoint (a missing file is fine — e.g. the run
-/// never flushed before finishing).
+/// Removes a completed checkpoint and its `.bak` generation (a missing
+/// file is fine — e.g. the run never flushed before finishing).
+/// `.corrupt` evidence files are deliberately left for diagnosis.
 pub(crate) fn finish(path: &Path) -> Result<()> {
+    let _ = fs::remove_file(sibling(path, ".bak"));
     match fs::remove_file(path) {
         Ok(()) => Ok(()),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
@@ -330,21 +399,17 @@ mod tests {
             load(&path, 7, 1, 3),
             Err(TerseError::Checkpoint(_))
         ));
-        // Garbage bytes.
-        fs::write(&path, b"not a checkpoint at all").unwrap();
-        assert!(matches!(
-            load(&path, 7, 1, 1),
-            Err(TerseError::Checkpoint(_))
-        ));
-        // Truncation mid-entry.
-        store(&path, 7, &slots, 1).unwrap();
-        let bytes = fs::read(&path).unwrap();
-        fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
-        assert!(matches!(
-            load(&path, 7, 1, 1),
-            Err(TerseError::Checkpoint(_))
-        ));
-        fs::remove_file(&path).unwrap();
+        // Garbage bytes (no TERSEFR1 envelope, no TERSECP1 magic) are
+        // indistinguishable from a torn write: damage, not a foreign
+        // image — set aside as `.corrupt` and restarted fresh.
+        for garbage in [b"not a checkpoint at all".as_slice(), b"".as_slice()] {
+            fs::write(&path, garbage).unwrap();
+            assert_eq!(load(&path, 7, 1, 1).unwrap(), vec![None]);
+            assert!(sibling(&path, ".corrupt").exists(), "evidence preserved");
+            let _ = fs::remove_file(sibling(&path, ".corrupt"));
+        }
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(sibling(&path, ".bak"));
     }
 
     #[test]
@@ -352,5 +417,76 @@ mod tests {
         let path = tmp_path("missing");
         let slots = load(&path, 1, 4, 2).unwrap();
         assert_eq!(slots, vec![None, None, None, None]);
+    }
+
+    #[test]
+    fn damaged_image_falls_back_to_the_previous_generation() {
+        let path = tmp_path("fallback");
+        let _ = fs::remove_file(sibling(&path, ".bak"));
+        let _ = fs::remove_file(sibling(&path, ".corrupt"));
+        let gen1 = vec![Some((vec![rv(&[0.5])], vec![rv(&[0.25])]))];
+        store(&path, 7, &gen1, 1).unwrap();
+        // Second flush: the first image becomes `.bak`.
+        store(&path, 7, &gen1, 1).unwrap();
+        assert!(sibling(&path, ".bak").exists());
+        // Flip a payload bit in the primary: the CRC catches it, the
+        // loader sets the evidence aside and serves the `.bak` image.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x20;
+        fs::write(&path, &bytes).unwrap();
+        let slots = load(&path, 7, 1, 1).unwrap();
+        assert_eq!(slots.len(), 1);
+        let (cc, ce) = slots[0].as_ref().expect("fallback restored the entry");
+        assert_eq!(cc[0].samples(), &[0.5]);
+        assert_eq!(ce[0].samples(), &[0.25]);
+        assert!(
+            sibling(&path, ".corrupt").exists(),
+            "evidence file preserved"
+        );
+        assert!(!path.exists(), "damaged primary was set aside");
+        fs::remove_file(sibling(&path, ".bak")).unwrap();
+        fs::remove_file(sibling(&path, ".corrupt")).unwrap();
+    }
+
+    #[test]
+    fn damaged_image_without_backup_is_a_fresh_start() {
+        let path = tmp_path("fresh");
+        let _ = fs::remove_file(sibling(&path, ".bak"));
+        let _ = fs::remove_file(sibling(&path, ".corrupt"));
+        let slots = vec![Some((vec![rv(&[0.5])], vec![rv(&[0.25])]))];
+        store(&path, 7, &slots, 1).unwrap();
+        // Truncate the framed image mid-payload: torn, no .bak to serve.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        let loaded = load(&path, 7, 1, 1).unwrap();
+        assert_eq!(loaded, vec![None], "fresh start, never a torn parse");
+        assert!(sibling(&path, ".corrupt").exists());
+        fs::remove_file(sibling(&path, ".corrupt")).unwrap();
+    }
+
+    #[test]
+    fn legacy_bare_images_remain_loadable() {
+        let path = tmp_path("legacy");
+        let slots = vec![Some((vec![rv(&[0.5])], vec![rv(&[0.25])]))];
+        store(&path, 7, &slots, 1).unwrap();
+        // Strip the envelope, leaving the bare TERSECP1 image on disk.
+        let framed = fs::read(&path).unwrap();
+        let payload = terse_analyze::unframe(&framed).unwrap().to_vec();
+        fs::write(&path, &payload).unwrap();
+        let loaded = load(&path, 7, 1, 1).unwrap();
+        assert!(loaded[0].is_some());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn finish_removes_the_backup_generation_too() {
+        let path = tmp_path("finish_bak");
+        let slots = vec![Some((vec![rv(&[0.5])], vec![rv(&[0.25])]))];
+        store(&path, 7, &slots, 1).unwrap();
+        store(&path, 7, &slots, 1).unwrap();
+        assert!(sibling(&path, ".bak").exists());
+        finish(&path).unwrap();
+        assert!(!path.exists() && !sibling(&path, ".bak").exists());
     }
 }

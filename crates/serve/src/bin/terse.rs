@@ -7,19 +7,26 @@
 //! terse cancel  --store DIR ID...
 //! terse report  --store DIR ID              stream report.json to stdout
 //! terse verify  --store DIR                 JS005-JS008 store audit
+//! terse scrub   --store DIR                 verify + JS009-JS012 integrity audit
 //! ```
 //!
 //! `serve` recovers the store (requeueing crashed `running` jobs), then
 //! fans queued jobs across the worker pool; with `--drain` it exits once
 //! the queue is empty, otherwise it polls forever (SIGKILL-safe: state is
-//! on disk and every artifact write is atomic). Exit status: `0` success,
-//! `1` domain failure (failed jobs in a drained run, findings in
-//! `verify`, missing report), `2` usage or store error.
+//! on disk and every artifact write is atomic). `status` and `report`
+//! surface `error.txt` and the transition history for `failed` and
+//! `quarantined` jobs, so a post-mortem needs no store spelunking.
+//! `scrub` runs the full artifact integrity audit (checkpoint CRC
+//! frames, report digests, quarantine bundles) on top of `verify`'s
+//! layout passes. Exit status: `0` success, `1` domain failure (failed
+//! jobs in a drained run, findings in `verify`/`scrub`, missing report),
+//! `2` usage or store error.
 
 use std::io::Read as _;
 use std::process::ExitCode;
 use std::sync::atomic::AtomicBool;
 
+use terse_serve::json::Value;
 use terse_serve::{deterministic_section, serve, ExecutorConfig, JobSpec, JobState, JobStore};
 
 const USAGE: &str = "\
@@ -32,6 +39,7 @@ commands:
   cancel --store DIR ID...
   report --store DIR ID [--result-only]
   verify --store DIR
+  scrub  --store DIR
 
 options:
   --store DIR     store root (required)
@@ -56,6 +64,7 @@ fn main() -> ExitCode {
         "cancel" => cmd_cancel(rest),
         "report" => cmd_report(rest),
         "verify" => cmd_verify(rest),
+        "scrub" => cmd_scrub(rest),
         _ => {
             eprint!("unknown command `{command}`\n\n{USAGE}");
             return ExitCode::from(2);
@@ -154,6 +163,7 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         workers,
         drain,
         poll_ms,
+        ..ExecutorConfig::default()
     };
     eprintln!(
         "terse serve: store `{}`, {workers} worker(s){}",
@@ -185,17 +195,38 @@ fn cmd_status(args: &[String]) -> Result<ExitCode, String> {
     let mut rows = Vec::new();
     for id in &ids {
         let state = store.state(id).map_err(|e| e.to_string())?;
-        rows.push((id.clone(), state));
+        // Failed and quarantined jobs carry their diagnosis inline: the
+        // first line of error.txt in the listing, so `terse status` alone
+        // answers "what went wrong".
+        let error = match state {
+            JobState::Failed | JobState::Quarantined => store
+                .read_error(id)
+                .map(|e| e.lines().next().unwrap_or("").to_owned()),
+            _ => None,
+        };
+        rows.push((id.clone(), state, error));
     }
     if json {
-        let items: Vec<String> = rows
+        let items: Vec<Value> = rows
             .iter()
-            .map(|(id, s)| format!(r#"{{"id":"{id}","state":"{s}"}}"#))
+            .map(|(id, s, error)| {
+                let mut fields = vec![
+                    ("id".to_owned(), Value::Str(id.clone())),
+                    ("state".to_owned(), Value::Str(s.as_str().to_owned())),
+                ];
+                if let Some(e) = error {
+                    fields.push(("error".to_owned(), Value::Str(e.clone())));
+                }
+                Value::Obj(fields)
+            })
             .collect();
-        println!("[{}]", items.join(","));
+        println!("{}", Value::Arr(items).render());
     } else {
-        for (id, state) in &rows {
-            println!("{id}\t{state}");
+        for (id, state, error) in &rows {
+            match error {
+                Some(e) => println!("{id}\t{state}\t{e}"),
+                None => println!("{id}\t{state}"),
+            }
         }
     }
     Ok(ExitCode::SUCCESS)
@@ -223,6 +254,20 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
         JobState::Done => {}
         s => {
             eprintln!("terse report: job `{id}` is `{s}`, not done");
+            if matches!(s, JobState::Failed | JobState::Quarantined) {
+                if let Some(error) = store.read_error(id) {
+                    eprintln!("error:");
+                    for line in error.lines() {
+                        eprintln!("  {line}");
+                    }
+                }
+                if let Some(log) = store.read_transitions(id) {
+                    eprintln!("transitions:");
+                    for line in log.lines() {
+                        eprintln!("  {line}");
+                    }
+                }
+            }
             return Ok(ExitCode::from(1));
         }
     }
@@ -248,6 +293,23 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
         .map_err(|e| format!("store scan failed: {e}"))?;
     print!("{}", report.render_text());
     eprintln!("terse verify: inspected {n} job(s)");
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn cmd_scrub(args: &[String]) -> Result<ExitCode, String> {
+    let (store, rest) = parse_store(args)?;
+    if let Some(extra) = rest.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    let mut report = terse_analyze::AnalysisReport::new();
+    let n = terse_analyze::scrub_job_store(store.root(), &mut report)
+        .map_err(|e| format!("store scrub failed: {e}"))?;
+    print!("{}", report.render_text());
+    eprintln!("terse scrub: scrubbed {n} job(s)");
     Ok(if report.is_clean() {
         ExitCode::SUCCESS
     } else {

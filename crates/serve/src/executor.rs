@@ -14,10 +14,20 @@
 //!
 //! In drain mode a worker exits when a full scan finds no queued job and
 //! no worker is busy (a busy worker may still requeue a time-sliced job,
-//! so the queue is only provably empty when both hold).
+//! so the queue is only provably empty when both hold). Queued jobs inside
+//! a retry backoff window still count as pending — a worker waits them
+//! out rather than abandoning them.
+//!
+//! A supervisor thread (see [`crate::supervise`]) runs alongside the pool,
+//! reclaiming hung, dead, and deadline-expired jobs. Workers hold fencing
+//! tokens for their claims: a worker whose job was reclaimed detects the
+//! lost claim before any terminal transition and abandons the attempt
+//! (its checkpoint/report writes are idempotent and deterministic, so the
+//! retry converges on bit-identical artifacts).
 
 use crate::runner::{run_job, FrameworkCache, RunOutcome};
 use crate::store::{JobState, JobStore};
+use crate::supervise::{backoff_deadline, supervise, SupervisorConfig};
 use crate::{Result, ServeError};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Duration;
@@ -31,6 +41,8 @@ pub struct ExecutorConfig {
     pub drain: bool,
     /// Idle poll interval in milliseconds.
     pub poll_ms: u64,
+    /// Supervisor tuning (scan interval, hang threshold, retry backoff).
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for ExecutorConfig {
@@ -39,6 +51,7 @@ impl Default for ExecutorConfig {
             workers: 4,
             drain: true,
             poll_ms: 20,
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -55,8 +68,17 @@ pub struct ExecutorStats {
     /// `running → queued` requeues (time slicing / budgets).
     pub requeued: usize,
     /// Claim attempts that processed a job (attempts = the sum of the
-    /// other four counters' transitions).
+    /// other transition counters).
     pub attempts: usize,
+    /// Failed attempts requeued for retry (worker-side retry budget).
+    pub retried: usize,
+    /// Jobs whose retry budget was exhausted into `quarantined`.
+    pub quarantined: usize,
+    /// Supervisor reclaims (hang / dead worker / deadline expiry).
+    pub reclaimed: usize,
+    /// Attempts abandoned because the supervisor broke the claim while
+    /// the worker was still running the job.
+    pub preempted: usize,
 }
 
 impl ExecutorStats {
@@ -66,6 +88,10 @@ impl ExecutorStats {
         self.cancelled += other.cancelled;
         self.requeued += other.requeued;
         self.attempts += other.attempts;
+        self.retried += other.retried;
+        self.quarantined += other.quarantined;
+        self.reclaimed += other.reclaimed;
+        self.preempted += other.preempted;
     }
 }
 
@@ -79,8 +105,8 @@ pub fn shard_of(id: &str, workers: usize) -> usize {
     (h % workers.max(1) as u64) as usize
 }
 
-/// Runs store recovery, then the worker pool, until drained (drain mode)
-/// or until `stop` is raised (daemon mode).
+/// Runs store recovery, then the worker pool plus supervisor, until
+/// drained (drain mode) or until `stop` is raised (daemon mode).
 ///
 /// `on_event` receives one line per job-state change, e.g.
 /// `"w2 job-17 done"` — the CLI streams these to stderr; tests collect
@@ -90,19 +116,26 @@ pub fn shard_of(id: &str, workers: usize) -> usize {
 ///
 /// [`ServeError::Run`] when a worker thread cannot be spawned, store
 /// errors from recovery. Per-job failures are *not* errors here — they
-/// move the job to `failed` and count in [`ExecutorStats`].
+/// move the job to `failed`/`quarantined` and count in [`ExecutorStats`].
 pub fn serve(
     store: &JobStore,
     cfg: &ExecutorConfig,
     stop: &AtomicBool,
     on_event: impl Fn(&str) + Sync,
 ) -> Result<ExecutorStats> {
-    let requeued = store.recover()?;
-    for id in &requeued {
+    let recovery = store.recover()?;
+    for id in &recovery.requeued {
         on_event(&format!("recover {id} requeued"));
+    }
+    for id in &recovery.repaired {
+        on_event(&format!("recover {id} repaired (torn submit)"));
+    }
+    for id in &recovery.damaged {
+        on_event(&format!("recover {id} damaged (run `terse scrub`)"));
     }
     let workers = cfg.workers.max(1);
     let busy = AtomicUsize::new(0);
+    let pool_done = AtomicBool::new(false);
     let mut stats = ExecutorStats::default();
     std::thread::scope(|scope| -> Result<()> {
         let mut handles = Vec::with_capacity(workers);
@@ -120,14 +153,54 @@ pub fn serve(
                 .map_err(|e| ServeError::Run(format!("worker spawn failed: {e}")))?;
             handles.push(handle);
         }
+        // The supervisor is spawned after the workers so a worker-spawn
+        // fault leaves nothing running; it exits when the pool drains.
+        let sup_handle = {
+            let pool_done = &pool_done;
+            let on_event = &on_event;
+            std::thread::Builder::new()
+                .name("terse-supervisor".into())
+                .spawn_scoped(scope, move || {
+                    supervise(store, &cfg.supervisor, pool_done, on_event)
+                })
+                .map_err(|e| ServeError::Run(format!("supervisor spawn failed: {e}")))?
+        };
+        let mut pool_result = Ok(());
         for handle in handles {
             match handle.join() {
                 Ok(Ok(s)) => stats.absorb(s),
-                Ok(Err(e)) => return Err(e),
-                Err(_) => return Err(ServeError::Run("worker panicked".into())),
+                Ok(Err(e)) => {
+                    if pool_result.is_ok() {
+                        pool_result = Err(e);
+                    }
+                }
+                Err(_) => {
+                    if pool_result.is_ok() {
+                        pool_result = Err(ServeError::Run("worker panicked".into()));
+                    }
+                }
             }
         }
-        Ok(())
+        pool_done.store(true, Ordering::SeqCst);
+        match sup_handle.join() {
+            Ok(Ok(s)) => {
+                stats.reclaimed += s.reclaimed;
+                stats.retried += s.retried;
+                stats.quarantined += s.quarantined;
+                stats.failed += s.failed;
+            }
+            Ok(Err(e)) => {
+                if pool_result.is_ok() {
+                    pool_result = Err(e);
+                }
+            }
+            Err(_) => {
+                if pool_result.is_ok() {
+                    pool_result = Err(ServeError::Run("supervisor panicked".into()));
+                }
+            }
+        }
+        pool_result
     })?;
     Ok(stats)
 }
@@ -162,17 +235,23 @@ fn worker_loop(
                 steal.push(id);
             }
         }
+        // Backoff jobs still count as pending work (drain must wait for
+        // them) but are not claimable yet.
         let had_queued = !(own.is_empty() && steal.is_empty());
         let mut processed = false;
         for id in own.into_iter().chain(steal) {
             if stop.load(Ordering::SeqCst) {
                 return Ok(stats);
             }
-            if !store.try_claim(&id)? {
+            if store.in_backoff(&id) {
                 continue;
             }
+            let Some(token) = store.try_claim_token(&id)? else {
+                continue;
+            };
             busy.fetch_add(1, Ordering::SeqCst);
-            let outcome = process_claimed(store, &id, &mut cache, &mut stats, w, on_event);
+            let outcome =
+                process_claimed(store, &id, &token, &mut cache, cfg, &mut stats, w, on_event);
             busy.fetch_sub(1, Ordering::SeqCst);
             outcome?;
             processed = true;
@@ -187,11 +266,16 @@ fn worker_loop(
 }
 
 /// Processes one claimed job: state transitions around [`run_job`]. The
-/// claim is always released, whatever the outcome.
+/// claim is released through its fencing token, whatever the outcome —
+/// unless the supervisor already broke it, in which case the attempt is
+/// abandoned without touching the state machine (the reclaim owns it).
+#[allow(clippy::too_many_arguments)]
 fn process_claimed(
     store: &JobStore,
     id: &str,
+    token: &crate::store::ClaimToken,
     cache: &mut FrameworkCache,
+    cfg: &ExecutorConfig,
     stats: &mut ExecutorStats,
     w: usize,
     on_event: &(impl Fn(&str) + Sync),
@@ -210,9 +294,20 @@ fn process_claimed(
             on_event(&format!("w{w} {id} cancelled"));
             return Ok(());
         }
+        store.mark_started(id)?;
         store.transition(id, JobState::Queued, JobState::Running)?;
+        store.beat(id);
         on_event(&format!("w{w} {id} running"));
-        match run_job(store, id, cache) {
+        let outcome = run_job(store, id, cache);
+        // The supervisor may have reclaimed the job while we ran (hang /
+        // deadline). Our claim token no longer holds: the reclaim owns the
+        // job's fate, and every write we made is idempotent — abandon.
+        if !store.holds_claim(id, token) {
+            stats.preempted += 1;
+            on_event(&format!("w{w} {id} preempted (claim reclaimed)"));
+            return Ok(());
+        }
+        match outcome {
             Ok(RunOutcome::Done) => {
                 store.transition(id, JobState::Running, JobState::Done)?;
                 stats.completed += 1;
@@ -229,17 +324,36 @@ fn process_claimed(
                 on_event(&format!("w{w} {id} cancelled"));
             }
             Err(e) => {
-                store.write_error(id, &e.to_string())?;
-                store.transition(id, JobState::Running, JobState::Failed)?;
-                stats.failed += 1;
-                on_event(&format!("w{w} {id} failed: {e}"));
+                let attempts = store.record_attempt(id)?;
+                let retries = store.load_spec(id).map(|s| s.retries).unwrap_or(0);
+                if attempts > retries {
+                    if retries > 0 {
+                        store.quarantine(id, &e.to_string())?;
+                        stats.quarantined += 1;
+                        on_event(&format!("w{w} {id} quarantined: {e}"));
+                    } else {
+                        store.write_error(id, &e.to_string())?;
+                        store.transition(id, JobState::Running, JobState::Failed)?;
+                        stats.failed += 1;
+                        on_event(&format!("w{w} {id} failed: {e}"));
+                    }
+                } else {
+                    store.write_error(id, &e.to_string())?;
+                    store.transition(id, JobState::Running, JobState::Queued)?;
+                    store.set_backoff(
+                        id,
+                        backoff_deadline(cfg.supervisor.backoff_base_ms, attempts),
+                    )?;
+                    stats.retried += 1;
+                    on_event(&format!("w{w} {id} retry {attempts}/{retries}: {e}"));
+                }
             }
         }
         Ok(())
     })();
     // Release even on store errors — a stuck claim would wedge the job
-    // until the next recovery.
-    let release = store.release_claim(id);
+    // until the next recovery. Fenced: never release a successor's claim.
+    let release = store.release_claim_if(id, token).map(|_| ());
     result.and(release)
 }
 
@@ -277,6 +391,7 @@ mod tests {
                 workers: 3,
                 drain: true,
                 poll_ms: 5,
+                ..ExecutorConfig::default()
             },
             &AtomicBool::new(false),
             |e| events.lock().unwrap().push(e.to_owned()),
@@ -319,6 +434,7 @@ mod tests {
                 workers: 2,
                 drain: true,
                 poll_ms: 5,
+                ..ExecutorConfig::default()
             },
             &AtomicBool::new(false),
             |_| {},
@@ -329,6 +445,45 @@ mod tests {
         assert_eq!(store.state("ok").unwrap(), JobState::Done);
         assert_eq!(store.state("bad").unwrap(), JobState::Failed);
         assert!(store.job_dir("bad").join("error.txt").exists());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn failing_jobs_with_retries_are_retried_then_quarantined() {
+        let root = temp_store("retry");
+        let store = JobStore::open(&root).unwrap();
+        // Always fails (instruction budget), two retries allowed.
+        let bad = JobSpec::from_json(
+            r#"{"id":"rq","workload":{"asm":"jal r0, 0\n","name":"loop"},"samples":1,"grid":[1.4],"retries":2}"#,
+        )
+        .unwrap();
+        store.submit(&bad).unwrap();
+        let mut cfg = ExecutorConfig {
+            workers: 1,
+            drain: true,
+            poll_ms: 2,
+            ..ExecutorConfig::default()
+        };
+        cfg.supervisor.backoff_base_ms = 1; // keep the drain fast
+        let events = Mutex::new(Vec::new());
+        let stats = serve(&store, &cfg, &AtomicBool::new(false), |e| {
+            events.lock().unwrap().push(e.to_owned())
+        })
+        .unwrap();
+        assert_eq!(stats.retried, 2, "{:?}", events.lock().unwrap());
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.failed, 0, "quarantine replaces failed here");
+        assert_eq!(store.state("rq").unwrap(), JobState::Quarantined);
+        assert_eq!(store.attempts("rq"), 3);
+        // The bundle is complete and the error names the real failure.
+        let bundle = store.job_dir("rq").join("quarantine");
+        for f in ["spec.json", "error.txt", "transitions.log", "attempts"] {
+            assert!(bundle.join(f).exists(), "bundle missing {f}");
+        }
+        // The transition history shows the retry loop.
+        let log = store.read_transitions("rq").unwrap();
+        assert_eq!(log.matches("running -> queued").count(), 2, "{log}");
+        assert!(log.ends_with("running -> quarantined\n"), "{log}");
         std::fs::remove_dir_all(&root).unwrap();
     }
 

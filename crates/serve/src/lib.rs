@@ -22,6 +22,10 @@
 //! 4. **[`executor`]** — a sharded worker pool (FNV shard preference +
 //!    work stealing) that fans queued jobs across workers; the `terse`
 //!    binary wraps it as `terse serve/submit/status/cancel/report/verify`.
+//! 5. **[`supervise`]** — a supervisor thread that reclaims hung, dead,
+//!    and deadline-expired jobs, retrying them under a bounded budget
+//!    with exponential backoff and quarantining repeat offenders with a
+//!    diagnostic bundle (DESIGN.md §17).
 //!
 //! Determinism contract: the deterministic section of a job's report
 //! (`id`, `name`, `spec_digest`, `points`) is a pure function of the spec
@@ -35,11 +39,13 @@ pub mod json;
 pub mod runner;
 pub mod spec;
 pub mod store;
+pub mod supervise;
 
 pub use executor::{serve, ExecutorConfig, ExecutorStats};
 pub use runner::{deterministic_section, run_job, FrameworkCache, RunOutcome};
 pub use spec::{JobSpec, PipelinePreset, WorkloadSpec};
-pub use store::{JobState, JobStore};
+pub use store::{ClaimToken, JobState, JobStore, Recovery};
+pub use supervise::{SupervisorConfig, SupervisorStats};
 
 use std::fmt;
 

@@ -23,7 +23,7 @@
 //! deterministic output.
 
 use crate::spec::{JobSpec, PipelinePreset};
-use crate::store::JobStore;
+use crate::store::{JobState, JobStore};
 use crate::{json::Value, Result, ServeError};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -124,6 +124,14 @@ impl FrameworkCache {
 /// [`ServeError::Run`] on estimation/simulation failures (the caller maps
 /// this to `running → failed`); store I/O errors as [`ServeError::Io`].
 pub fn run_job(store: &JobStore, id: &str, cache: &mut FrameworkCache) -> Result<RunOutcome> {
+    // Injected worker hang: stop heartbeating for the payload's duration
+    // (ms) so the supervisor's flat-sequence detector can reclaim the job.
+    if failpoints::ENABLED {
+        if let Some(payload) = failpoints::eval("serve::worker_hang") {
+            let ms: u64 = payload.parse().unwrap_or(50);
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+    }
     let spec = store.load_spec(id)?;
     let ckpt_dir = store.checkpoint_dir(id);
     std::fs::create_dir_all(&ckpt_dir).map_err(|e| ServeError::Io {
@@ -140,9 +148,20 @@ pub fn run_job(store: &JobStore, id: &str, cache: &mut FrameworkCache) -> Result
         if store.cancel_requested(id) {
             return Ok(RunOutcome::Cancelled);
         }
+        store.beat(id);
         let point_path = ckpt_dir.join(format!("point-{g}.json"));
         if point_path.exists() {
-            continue; // finished in an earlier attempt
+            // A finished point is never recomputed — but a damaged one
+            // (torn by ENOSPC, bit-flipped at rest) is deleted and redone
+            // rather than poisoning the aggregate.
+            let intact = std::fs::read_to_string(&point_path)
+                .ok()
+                .and_then(|t| Value::parse(&t).ok())
+                .is_some();
+            if intact {
+                continue;
+            }
+            let _ = std::fs::remove_file(&point_path);
         }
         let fw = cache.framework(&spec, overclock)?;
         // terse-analyze: allow(AZ003): wall-clock telemetry only; never feeds results.
@@ -241,6 +260,7 @@ pub fn run_job(store: &JobStore, id: &str, cache: &mut FrameworkCache) -> Result
         last_point = Some((fw, est));
     }
     // --- Aggregate report.json ------------------------------------------
+    store.beat(id);
     let mut points = Vec::with_capacity(spec.grid.len());
     for g in 0..spec.grid.len() {
         let path = ckpt_dir.join(format!("point-{g}.json"));
@@ -259,6 +279,17 @@ pub fn run_job(store: &JobStore, id: &str, cache: &mut FrameworkCache) -> Result
         ("points".into(), Value::Arr(points)),
         ("telemetry".into(), telemetry),
     ]);
+    // A supervisor reclaim may have routed the job to another terminal
+    // state while this attempt computed (this worker is a zombie now —
+    // its claim is broken). A report written here would contradict that
+    // state (JS008); abandon instead. Every point artifact already on
+    // disk is idempotent, so a retry loses nothing.
+    if matches!(
+        store.state(id),
+        Ok(JobState::Failed | JobState::Quarantined | JobState::Cancelled)
+    ) {
+        return Ok(RunOutcome::Cancelled);
+    }
     store.write_report(id, &report.render())?;
     Ok(RunOutcome::Done)
 }

@@ -19,7 +19,9 @@
 //!   "pipeline": "small",
 //!   "checkpoint_every": 4,
 //!   "block_budget": null,
-//!   "mc_cell_budget": null
+//!   "mc_cell_budget": null,
+//!   "retries": 0,
+//!   "deadline_ms": null
 //! }
 //! ```
 //!
@@ -85,6 +87,15 @@ pub struct JobSpec {
     pub block_budget: Option<usize>,
     /// Optional per-attempt Monte Carlo cell budget (same contract).
     pub mc_cell_budget: Option<usize>,
+    /// Failed-attempt retry budget. `0` (the default) preserves the
+    /// classic semantics: the first error moves the job to `failed`. With
+    /// `retries: N`, a failed/hung/expired attempt is requeued with
+    /// exponential backoff up to `N` times; exhausting the budget moves
+    /// the job to `quarantined` with a diagnostic bundle.
+    pub retries: u32,
+    /// Optional per-attempt wall-clock deadline (ms). The supervisor
+    /// reclaims a running job whose attempt exceeds it.
+    pub deadline_ms: Option<u64>,
 }
 
 /// The two pipeline presets a spec may name.
@@ -173,6 +184,18 @@ impl JobSpec {
             checkpoint_every: opt_usize(v, "checkpoint_every")?.unwrap_or(4),
             block_budget: opt_budget(v, "block_budget")?,
             mc_cell_budget: opt_budget(v, "mc_cell_budget")?,
+            retries: opt_u64(v, "retries")?.map_or(0, |n| n.min(u64::from(u32::MAX)) as u32),
+            deadline_ms: match v.get("deadline_ms") {
+                None | Some(Value::Null) => None,
+                Some(x) => match x.as_u64() {
+                    Some(n) if n >= 1 => Some(n),
+                    _ => {
+                        return Err(ServeError::Spec(
+                            "`deadline_ms` must be null or an integer >= 1".into(),
+                        ))
+                    }
+                },
+            },
         };
         spec.validate()?;
         Ok(spec)
@@ -265,6 +288,12 @@ impl JobSpec {
             ("checkpoint_every".into(), num(self.checkpoint_every)),
             ("block_budget".into(), budget(self.block_budget)),
             ("mc_cell_budget".into(), budget(self.mc_cell_budget)),
+            ("retries".into(), Value::Num(f64::from(self.retries))),
+            (
+                "deadline_ms".into(),
+                self.deadline_ms
+                    .map_or(Value::Null, |n| Value::Num(n as f64)),
+            ),
         ])
         .render()
     }
@@ -312,7 +341,7 @@ impl JobSpec {
 }
 
 /// Every legal spec key (strict parsing rejects the rest).
-const ALL_KEYS: [&str; 13] = [
+const ALL_KEYS: [&str; 15] = [
     "id",
     "workload",
     "samples",
@@ -326,6 +355,8 @@ const ALL_KEYS: [&str; 13] = [
     "checkpoint_every",
     "block_budget",
     "mc_cell_budget",
+    "retries",
+    "deadline_ms",
 ];
 
 /// SplitMix64 — seeds the inline-asm input draws.
@@ -492,11 +523,13 @@ mod tests {
         assert_eq!(s.pipeline, PipelinePreset::Small);
         assert_eq!(s.sim, SimStrategy::default());
         assert!(s.block_budget.is_none());
+        assert_eq!(s.retries, 0);
+        assert!(s.deadline_ms.is_none());
     }
 
     #[test]
     fn canonical_json_round_trips() {
-        let src = r#"{"id":"mc-1","workload":{"asm":"halt\n","name":"nop"},"samples":3,"seed":7,"grid":[1.0,1.33],"chips":8,"mc_inputs":2,"sim":"packed","threads":2,"pipeline":"default","checkpoint_every":2,"block_budget":5,"mc_cell_budget":3}"#;
+        let src = r#"{"id":"mc-1","workload":{"asm":"halt\n","name":"nop"},"samples":3,"seed":7,"grid":[1.0,1.33],"chips":8,"mc_inputs":2,"sim":"packed","threads":2,"pipeline":"default","checkpoint_every":2,"block_budget":5,"mc_cell_budget":3,"retries":2,"deadline_ms":60000}"#;
         let s = JobSpec::from_json(src).unwrap();
         let round = JobSpec::from_json(&s.to_json()).unwrap();
         assert_eq!(s, round);
@@ -521,6 +554,8 @@ mod tests {
             r#"{"id":"x","workload":{"benchmark":"dijkstra"},"block_budget":0}"#,
             r#"{"id":"../up","workload":{"benchmark":"dijkstra"}}"#,
             r#"{"id":"x","workload":{"benchmark":"dijkstra"},"chips":4}"#,
+            r#"{"id":"x","workload":{"benchmark":"dijkstra"},"deadline_ms":0}"#,
+            r#"{"id":"x","workload":{"benchmark":"dijkstra"},"retries":-1}"#,
         ] {
             assert!(JobSpec::from_json(src).is_err(), "accepted: {src}");
         }

@@ -81,6 +81,7 @@ fn soak_batch_drains_completely_and_matches_serial_reference() {
             workers: 4,
             drain: true,
             poll_ms: 2,
+            ..ExecutorConfig::default()
         },
         &AtomicBool::new(false),
         |e| events.lock().unwrap().push(e.to_owned()),
@@ -138,6 +139,7 @@ fn soak_batch_drains_completely_and_matches_serial_reference() {
             workers: 1,
             drain: true,
             poll_ms: 2,
+            ..ExecutorConfig::default()
         },
         &AtomicBool::new(false),
         |_| {},

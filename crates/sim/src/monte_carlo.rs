@@ -563,18 +563,57 @@ fn ck_err(e: impl std::fmt::Display) -> crate::SimError {
     crate::SimError::Checkpoint(e.to_string())
 }
 
+/// `path` with `suffix` appended to the full file name (`mc-0.ckpt` +
+/// `.bak` → `mc-0.ckpt.bak`).
+fn ck_sibling(path: &std::path::Path, suffix: &str) -> std::path::PathBuf {
+    let mut name = path.as_os_str().to_owned();
+    name.push(suffix);
+    std::path::PathBuf::from(name)
+}
+
 /// Loads a checkpoint: `done[cell] = Some(count)` for stored cells.
 ///
-/// A missing file is a fresh start; a present file with the wrong magic,
-/// context hash, or cell range is an error (silently mixing two runs'
-/// counts would corrupt the statistics).
+/// A missing file is a fresh start. A CRC-damaged or torn `TERSEFR1`
+/// image (see `terse_analyze::integrity`) is set aside as `.corrupt`
+/// evidence and the previous good generation (`.bak`) is served instead —
+/// or a fresh start; either way the resumed run recomputes the missing
+/// cells from their own RNG streams, bitwise identically. A *verified*
+/// file with the wrong magic, context hash, or cell range is an error
+/// (silently mixing two runs' counts would corrupt the statistics).
 fn mc_load(ckpt: &McCheckpoint, context: u64, total: usize) -> Result<Vec<Option<u64>>> {
-    let mut done = vec![None; total];
     let bytes = match std::fs::read(&ckpt.path) {
         Ok(b) => b,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(done),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(vec![None; total]),
         Err(e) => return Err(ck_err(e)),
     };
+    match terse_analyze::unframe(&bytes) {
+        Ok(payload) => mc_parse(payload, context, total),
+        // Pre-framing image: its own magic still guards against foreign
+        // files. Bytes with neither frame nor magic (zero-length files
+        // from ENOSPC, torn non-atomic writes) are damage, not legacy.
+        Err(terse_analyze::FrameError::NotFramed)
+            if bytes.len() >= MC_MAGIC.len() && &bytes[..MC_MAGIC.len()] == MC_MAGIC =>
+        {
+            mc_parse(&bytes, context, total)
+        }
+        Err(_damage) => {
+            let _ = std::fs::rename(&ckpt.path, ck_sibling(&ckpt.path, ".corrupt"));
+            let bak = ck_sibling(&ckpt.path, ".bak");
+            if let Ok(bak_bytes) = std::fs::read(&bak) {
+                if let Ok(payload) = terse_analyze::unframe(&bak_bytes) {
+                    if let Ok(done) = mc_parse(payload, context, total) {
+                        return Ok(done);
+                    }
+                }
+            }
+            Ok(vec![None; total])
+        }
+    }
+}
+
+/// Parses a verified (or legacy bare) `TERSEMC1` image.
+fn mc_parse(bytes: &[u8], context: u64, total: usize) -> Result<Vec<Option<u64>>> {
+    let mut done = vec![None; total];
     let word = |i: usize| -> Result<u64> {
         let at = 8 + 8 * i;
         bytes
@@ -604,7 +643,9 @@ fn mc_load(ckpt: &McCheckpoint, context: u64, total: usize) -> Result<Vec<Option
     Ok(done)
 }
 
-/// Atomically writes the checkpoint (tmp + rename).
+/// Atomically writes the checkpoint (tmp + rename), wrapped in the
+/// `TERSEFR1` integrity envelope. The previous image is preserved as
+/// `.bak` so a later load can fall back past a damaged primary.
 fn mc_store(ckpt: &McCheckpoint, context: u64, done: &[Option<u64>]) -> Result<()> {
     let mut buf = Vec::with_capacity(32 + 16 * done.len());
     buf.extend_from_slice(MC_MAGIC);
@@ -618,8 +659,14 @@ fn mc_store(ckpt: &McCheckpoint, context: u64, done: &[Option<u64>]) -> Result<(
             buf.extend_from_slice(&count.to_le_bytes());
         }
     }
+    let image = terse_analyze::frame(&buf);
     let tmp = ckpt.path.with_extension("tmp");
-    std::fs::write(&tmp, &buf).map_err(ck_err)?;
+    std::fs::write(&tmp, &image).map_err(ck_err)?;
+    // Best-effort backup of the outgoing generation: a failed or torn
+    // copy only narrows fallback (its CRC is checked before use).
+    if ckpt.path.exists() {
+        let _ = std::fs::copy(&ckpt.path, ck_sibling(&ckpt.path, ".bak"));
+    }
     std::fs::rename(&tmp, &ckpt.path).map_err(ck_err)
 }
 
@@ -713,7 +760,9 @@ where
         .chunks(inputs)
         .map(|row| row.iter().map(|d| d.unwrap_or(0)).collect())
         .collect();
-    // The grid is complete — the checkpoint has served its purpose.
+    // The grid is complete — the checkpoint (and its backup generation)
+    // has served its purpose. `.corrupt` evidence is left for diagnosis.
+    let _ = std::fs::remove_file(ck_sibling(&ckpt.path, ".bak"));
     if let Err(e) = std::fs::remove_file(&ckpt.path) {
         if e.kind() != std::io::ErrorKind::NotFound {
             return Err(ck_err(e));
@@ -1080,10 +1129,11 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, crate::SimError::Checkpoint(_)), "{err}");
         let _ = std::fs::remove_file(ck.path());
-        // Garbage bytes are rejected too, not deserialized into nonsense.
-        let ck2 = McCheckpoint::new(ckpt_path("garbage"), 4);
-        std::fs::write(ck2.path(), b"not a checkpoint").unwrap();
-        let err = error_counts_checkpointed(
+        // Bytes with neither frame nor magic (garbage, zero-length) are
+        // indistinguishable from a torn write: set aside as `.corrupt`
+        // and recomputed from scratch — never deserialized into
+        // nonsense, never a hard error.
+        let reference = error_counts(
             &p,
             &ToyModel,
             &cs,
@@ -1091,11 +1141,66 @@ mod tests {
             CorrectionScheme::paper_default(),
             |_, _| {},
             cfg,
-            &ck2,
         )
-        .unwrap_err();
-        assert!(matches!(err, crate::SimError::Checkpoint(_)), "{err}");
-        let _ = std::fs::remove_file(ck2.path());
+        .unwrap();
+        for garbage in [b"not a checkpoint".as_slice(), b"".as_slice()] {
+            let ck2 = McCheckpoint::new(ckpt_path("garbage"), 4);
+            std::fs::write(ck2.path(), garbage).unwrap();
+            let counts = error_counts_checkpointed(
+                &p,
+                &ToyModel,
+                &cs,
+                2,
+                CorrectionScheme::paper_default(),
+                |_, _| {},
+                cfg,
+                &ck2,
+            )
+            .unwrap();
+            assert_eq!(counts, reference, "fallback recompute must be bitwise");
+            assert!(
+                ck_sibling(ck2.path(), ".corrupt").exists(),
+                "evidence preserved"
+            );
+            let _ = std::fs::remove_file(ck2.path());
+            let _ = std::fs::remove_file(ck_sibling(ck2.path(), ".corrupt"));
+        }
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_never_loaded_and_resume_stays_bitwise() {
+        let p = assemble("li r1, 0xFFF\nadd r2, r1, r1\nhalt\n").unwrap();
+        let cs = chips(3);
+        let inputs = 2;
+        let cfg = MonteCarloConfig::default();
+        let scheme = CorrectionScheme::paper_default();
+        let plain = error_counts(&p, &ToggleModel, &cs, inputs, scheme, |_, _| {}, cfg).unwrap();
+        let total = cs.len() * inputs;
+        let context = mc_context_hash(cfg, cs.len(), inputs, p.len());
+        // Two generations on disk: a half-done image, then a fuller one.
+        let mut done: Vec<Option<u64>> = vec![None; total];
+        done[0] = Some(plain[0][0]);
+        let ck = McCheckpoint::new(ckpt_path("corrupt"), 4);
+        mc_store(&ck, context, &done).unwrap();
+        done[1] = Some(plain[0][1]);
+        mc_store(&ck, context, &done).unwrap();
+        assert!(ck_sibling(ck.path(), ".bak").exists());
+        // Flip a payload bit in the primary: the CRC must catch it, the
+        // loader must fall back to the .bak generation — never parse the
+        // damaged image — and the final counts must still be bitwise
+        // identical to the uninterrupted run.
+        let mut bytes = std::fs::read(ck.path()).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x08;
+        std::fs::write(ck.path(), &bytes).unwrap();
+        let resumed =
+            error_counts_checkpointed(&p, &ToggleModel, &cs, inputs, scheme, |_, _| {}, cfg, &ck)
+                .unwrap();
+        assert_eq!(plain, resumed, "fallback resume must be bitwise exact");
+        let evidence = ck_sibling(ck.path(), ".corrupt");
+        assert!(evidence.exists(), "evidence of the damaged image is kept");
+        assert!(!ck.path().exists() && !ck_sibling(ck.path(), ".bak").exists());
+        std::fs::remove_file(&evidence).unwrap();
     }
 
     #[test]
