@@ -6,8 +6,9 @@
 //! cargo run --release -p terse-bench --bin bitparallel
 //! ```
 //!
-//! Writes `results/BENCH_bitparallel.json` and prints the same numbers to
-//! stdout. The comparison is only meaningful because both layers are
+//! Writes `results/BENCH_bitparallel.json` (the common
+//! `{bench, config, wall_ms, speedup, checks, detail}` envelope) and prints
+//! the same JSON to stdout. The comparison is only meaningful because both layers are
 //! **exact**: the run aborts unless the packed MC count matrix is bitwise
 //! identical to the scalar one and the packed per-lane activation sets match
 //! the scalar simulators gate for gate. The MC-grid speedup at equal thread
@@ -20,10 +21,11 @@
 //! * `TERSE_BENCH_SMOKE=1` — smaller chip population and dataset.
 
 use std::time::Instant;
-use terse_bench::{workload_of, HarnessConfig};
+use terse_bench::{workload_of, BenchEnvelope, HarnessConfig};
 use terse_netlist::gate::GateKind;
 use terse_netlist::sim::{SimStrategy, Simulator};
 use terse_netlist::PackedSimulator;
+use terse_serve::json::Value;
 use terse_sim::monte_carlo::{self, MonteCarloConfig, LANE_GROUP};
 use terse_stats::rng::Xoshiro256;
 use terse_workloads::DatasetSize;
@@ -209,6 +211,7 @@ fn bench_kernel(cycles: usize) -> KernelResult {
 }
 
 fn main() {
+    let wall = Instant::now();
     let smoke = std::env::var("TERSE_BENCH_SMOKE").is_ok_and(|v| v != "0");
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     let cfg = HarnessConfig {
@@ -254,9 +257,8 @@ fn main() {
         k.scalar_s, k.packed_s, kernel_speedup, ops_per_cycle, k.tape_ops
     );
 
-    let json = format!(
-        "{{\n  \"host_threads\": {host},\n  \"dataset\": \"{size:?}\",\n  \"mc_grid\": {{\n    \"workload\": \"typeset\",\n    \"chips\": {chips},\n    \"inputs\": {inputs},\n    \"lane_group\": {LANE_GROUP},\n    \"lane_occupancy\": {occ:.6},\n    \"scalar_s\": {mc_scalar:.6},\n    \"packed_s\": {mc_packed:.6},\n    \"speedup\": {mc_speedup:.3},\n    \"bitwise_identical\": {mc_id},\n    \"errors_total\": {errors}\n  }},\n  \"netlist_kernel\": {{\n    \"lanes\": {LANE_GROUP},\n    \"cycles\": {cycles},\n    \"tape_ops\": {tape_ops},\n    \"scalar_s\": {k_scalar:.6},\n    \"packed_s\": {k_packed:.6},\n    \"speedup\": {k_speedup:.3},\n    \"packed_ops_per_cycle\": {opc:.3},\n    \"packed_ops_executed\": {ope},\n    \"packed_ops_skipped\": {ops},\n    \"scalar_gate_evals\": {sge},\n    \"bitwise_identical\": {k_id}\n  }}\n}}\n",
-        size = cfg.size,
+    let detail = format!(
+        "{{\n  \"mc_grid\": {{\n    \"workload\": \"typeset\",\n    \"chips\": {chips},\n    \"inputs\": {inputs},\n    \"lane_group\": {LANE_GROUP},\n    \"lane_occupancy\": {occ:.6},\n    \"scalar_s\": {mc_scalar:.6},\n    \"packed_s\": {mc_packed:.6},\n    \"speedup\": {mc_speedup:.3},\n    \"bitwise_identical\": {mc_id},\n    \"errors_total\": {errors}\n  }},\n  \"netlist_kernel\": {{\n    \"lanes\": {LANE_GROUP},\n    \"cycles\": {cycles},\n    \"tape_ops\": {tape_ops},\n    \"scalar_s\": {k_scalar:.6},\n    \"packed_s\": {k_packed:.6},\n    \"speedup\": {k_speedup:.3},\n    \"packed_ops_per_cycle\": {opc:.3},\n    \"packed_ops_executed\": {ope},\n    \"packed_ops_skipped\": {ops},\n    \"scalar_gate_evals\": {sge},\n    \"bitwise_identical\": {k_id}\n  }}\n}}\n",
         chips = mc.chips,
         inputs = mc.inputs,
         occ = mc.lane_occupancy,
@@ -275,12 +277,27 @@ fn main() {
         sge = k.scalar_gate_evals,
         k_id = k.identical,
     );
-    print!("{json}");
-    if let Err(e) = std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write("results/BENCH_bitparallel.json", &json))
-    {
-        eprintln!("could not write results/BENCH_bitparallel.json: {e}");
-    } else {
-        eprintln!("wrote results/BENCH_bitparallel.json");
+    let env = BenchEnvelope {
+        bench: "bitparallel",
+        config: Value::Obj(vec![
+            ("host_threads".into(), Value::Num(host as f64)),
+            ("dataset".into(), Value::Str(format!("{:?}", cfg.size))),
+            ("chips".into(), Value::Num(mc.chips as f64)),
+            ("inputs".into(), Value::Num(mc.inputs as f64)),
+            ("kernel_cycles".into(), Value::Num(KERNEL_CYCLES as f64)),
+        ]),
+        wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+        // Headline: the 64-lane packed MC grid vs the scalar reference.
+        speedup: mc_speedup,
+        checks: vec![
+            ("mc_bitwise_identical".into(), mc.identical),
+            ("kernel_bitwise_identical".into(), k.identical),
+            ("mc_speedup_floor_10x".into(), mc_speedup >= 10.0),
+        ],
+        detail: Value::parse(&detail).expect("detail json"),
+    };
+    match env.write() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results artifact: {e}"),
     }
 }

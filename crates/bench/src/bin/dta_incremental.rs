@@ -7,10 +7,11 @@
 //! cargo run --release -p terse-bench --bin dta_incremental
 //! ```
 //!
-//! Writes `results/BENCH_dta_incremental.json` and prints the same numbers
-//! to stdout. Every compared variant is checked **bitwise** against the
-//! reference (full-scan simulation, uncached DTA) before any speedup is
-//! reported; the run aborts if anything diverges.
+//! Writes `results/BENCH_dta_incremental.json` (the common
+//! `{bench, config, wall_ms, speedup, checks, detail}` envelope) and prints
+//! the same JSON to stdout. Every compared variant is checked **bitwise**
+//! against the reference (full-scan simulation, uncached DTA) before any
+//! speedup is reported; the run aborts if anything diverges.
 //!
 //! Environment knobs (for the CI smoke job):
 //!
@@ -19,9 +20,11 @@
 
 use std::sync::Arc;
 use std::time::Instant;
+use terse_bench::BenchEnvelope;
 use terse_dta::{DtaMode, DtsCache, DtsEngine, EndpointFilter};
 use terse_netlist::pipeline::STAGE_COUNT;
 use terse_netlist::{ActivityTrace, BitSet};
+use terse_serve::json::Value;
 use terse_sim::cosim::CoSim;
 use terse_sim::{Machine, SimStrategy};
 use terse_sta::canonical::CanonicalRv;
@@ -162,6 +165,7 @@ fn bench_dta(
 }
 
 fn main() {
+    let wall = Instant::now();
     let smoke = std::env::var("TERSE_BENCH_SMOKE").is_ok_and(|v| v != "0");
     let sweep_cap = std::env::var("TERSE_BENCH_CYCLES")
         .ok()
@@ -180,6 +184,8 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut all_identical = true;
+    let mut warm_not_slower = true;
+    let mut min_warm_speedup = f64::INFINITY;
     for name in ["bitcount", "dijkstra"] {
         eprintln!("[{name}] simulating ({size:?})...");
         let spec = terse_workloads::by_name(name).expect("known workload");
@@ -206,6 +212,8 @@ fn main() {
         )
         .expect("engine");
         let dta = bench_dta(&mut engine, &sim.activity, sweep_cap, STAGE_COUNT);
+        warm_not_slower &= dta.warm_s <= dta.cold_s;
+        min_warm_speedup = min_warm_speedup.min(dta.uncached_s / dta.warm_s);
         assert!(dta.identical, "{name}: cached stage DTS diverged");
         // The CI smoke gate: a warm cache must never lose to a cold one.
         // The margin is structural (pure lookups vs full DTA searches), so
@@ -252,16 +260,28 @@ fn main() {
         ));
     }
 
-    let json = format!(
-        "{{\n  \"host_threads\": {host},\n  \"dataset\": \"{size:?}\",\n  \"bitwise_identical\": {all_identical},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+    let detail = format!(
+        "{{\n  \"bitwise_identical\": {all_identical},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
-    print!("{json}");
-    if let Err(e) = std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write("results/BENCH_dta_incremental.json", &json))
-    {
-        eprintln!("could not write results/BENCH_dta_incremental.json: {e}");
-    } else {
-        eprintln!("wrote results/BENCH_dta_incremental.json");
+    let env = BenchEnvelope {
+        bench: "dta_incremental",
+        config: Value::Obj(vec![
+            ("host_threads".into(), Value::Num(host as f64)),
+            ("dataset".into(), Value::Str(format!("{size:?}"))),
+            ("sweep_cycles".into(), Value::Num(sweep_cap as f64)),
+        ]),
+        wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+        // Headline: the smallest warm-cache DTA speedup across workloads.
+        speedup: min_warm_speedup,
+        checks: vec![
+            ("bitwise_identical".into(), all_identical),
+            ("warm_not_slower_than_cold".into(), warm_not_slower),
+        ],
+        detail: Value::parse(&detail).expect("detail json"),
+    };
+    match env.write() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results artifact: {e}"),
     }
 }

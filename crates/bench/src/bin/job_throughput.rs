@@ -5,8 +5,9 @@
 //! cargo run --release -p terse-bench --bin job_throughput
 //! ```
 //!
-//! Writes `results/BENCH_jobserver.json` and prints the same numbers to
-//! stdout. Before any speedup is reported, the deterministic report
+//! Writes `results/BENCH_jobserver.json` (the common
+//! `{bench, config, wall_ms, speedup, checks, detail}` envelope) and prints
+//! the same JSON to stdout. Before any speedup is reported, the deterministic report
 //! section of **every** job under every pool width is checked byte for
 //! byte against the single-worker reference — the run aborts if
 //! scheduling is ever visible in the results.
@@ -24,6 +25,8 @@
 
 use std::sync::atomic::AtomicBool;
 use std::time::Instant;
+use terse_bench::BenchEnvelope;
+use terse_serve::json::Value;
 use terse_serve::{deterministic_section, serve, ExecutorConfig, JobSpec, JobStore};
 
 const KERNELS: [&str; 3] = [
@@ -112,6 +115,7 @@ fn drain_batch(n: usize, workers: usize) -> PoolResult {
 }
 
 fn main() {
+    let wall = Instant::now();
     let smoke = std::env::var("TERSE_BENCH_SMOKE").is_ok_and(|v| v != "0");
     let n = std::env::var("TERSE_BENCH_JOBS")
         .ok()
@@ -161,16 +165,29 @@ fn main() {
             )
         })
         .collect();
-    let json = format!(
-        "{{\n  \"host_threads\": {host},\n  \"jobs\": {n},\n  \"bitwise_identical\": {bitwise_identical},\n  \"pools\": [\n{}\n  ]\n}}\n",
+    let detail = format!(
+        "{{\n  \"bitwise_identical\": {bitwise_identical},\n  \"pools\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
-    print!("{json}");
-    if let Err(e) = std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write("results/BENCH_jobserver.json", &json))
-    {
-        eprintln!("could not write results/BENCH_jobserver.json: {e}");
-    } else {
-        eprintln!("wrote results/BENCH_jobserver.json");
+    let widest = results.last().expect("at least one pool");
+    let env = BenchEnvelope {
+        bench: "jobserver",
+        config: Value::Obj(vec![
+            ("host_threads".into(), Value::Num(host as f64)),
+            ("jobs".into(), Value::Num(n as f64)),
+            (
+                "widths".into(),
+                Value::Arr(widths.iter().map(|&w| Value::Num(w as f64)).collect()),
+            ),
+        ]),
+        wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+        // Headline: the widest pool vs the single-worker drain.
+        speedup: serial_s / widest.wall_s,
+        checks: vec![("bitwise_identical".into(), bitwise_identical)],
+        detail: Value::parse(&detail).expect("detail json"),
+    };
+    match env.write() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results artifact: {e}"),
     }
 }

@@ -9,8 +9,9 @@
 //! cargo run --release -p terse-bench --bin par_scaling
 //! ```
 //!
-//! Writes `results/BENCH_parallel.json` (relative to the working directory)
-//! and prints the same numbers to stdout. Both variants record the thread
+//! Writes `results/BENCH_parallel.json` (the common
+//! `{bench, config, wall_ms, speedup, checks, detail}` envelope) and prints
+//! the same JSON to stdout. Both variants record the thread
 //! count they actually ran with — on a single-core host the parallel run
 //! degenerates to one worker and the speedup is necessarily ~1.0; the JSON
 //! makes that visible instead of looking like a broken harness. The
@@ -20,7 +21,8 @@
 //! sample/block; training is dominated by gate-level DTA).
 
 use std::time::Instant;
-use terse_bench::{default_framework, workload_of, HarnessConfig};
+use terse_bench::{default_framework, workload_of, BenchEnvelope, HarnessConfig};
+use terse_serve::json::Value;
 use terse_sim::monte_carlo::{self, MonteCarloConfig};
 
 /// Chips in the MC grid (the acceptance grid from the issue).
@@ -43,6 +45,7 @@ fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
 }
 
 fn main() {
+    let wall = Instant::now();
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     let cfg = HarnessConfig {
         samples: INPUTS,
@@ -129,8 +132,8 @@ fn main() {
             r.timings.simulation_s, r.timings.training_s, r.timings.estimation_s
         )
     };
-    let json = format!(
-        "{{\n  \"host_threads\": {host},\n  \"mc_grid\": {{\n    \"workload\": \"{name}\",\n    \"chips\": {CHIPS},\n    \"inputs\": {INPUTS},\n    \"serial\": {{ \"threads\": {mc_serial_threads}, \"wall_s\": {mc_serial_s:.6} }},\n    \"parallel\": {{ \"threads\": {mc_par_threads}, \"wall_s\": {mc_par_s:.6} }},\n    \"speedup\": {mc_speedup:.3},\n    \"packed_serial\": {{ \"threads\": 1, \"wall_s\": {mc_packed_serial_s:.6} }},\n    \"packed_parallel\": {{ \"threads\": {mc_par_threads}, \"wall_s\": {mc_packed_par_s:.6} }},\n    \"packed_speedup_serial\": {packed_speedup_serial:.3},\n    \"packed_speedup_parallel\": {packed_speedup_parallel:.3},\n    \"bitwise_identical\": {mc_identical}\n  }},\n  \"framework_run\": {{\n    \"workload\": \"{name}\",\n    \"samples\": {samples},\n    \"serial\": {{\n      \"threads\": 1,\n      \"wall_s\": {run_serial_s:.6},\n      \"phases\": {serial_phases}\n    }},\n    \"parallel\": {{\n      \"threads\": {host},\n      \"wall_s\": {run_par_s:.6},\n      \"phases\": {par_phases}\n    }},\n    \"speedup\": {run_speedup:.3},\n    \"bitwise_identical\": {run_identical}\n  }}\n}}\n",
+    let detail = format!(
+        "{{\n  \"mc_grid\": {{\n    \"workload\": \"{name}\",\n    \"chips\": {CHIPS},\n    \"inputs\": {INPUTS},\n    \"serial\": {{ \"threads\": {mc_serial_threads}, \"wall_s\": {mc_serial_s:.6} }},\n    \"parallel\": {{ \"threads\": {mc_par_threads}, \"wall_s\": {mc_par_s:.6} }},\n    \"speedup\": {mc_speedup:.3},\n    \"packed_serial\": {{ \"threads\": 1, \"wall_s\": {mc_packed_serial_s:.6} }},\n    \"packed_parallel\": {{ \"threads\": {mc_par_threads}, \"wall_s\": {mc_packed_par_s:.6} }},\n    \"packed_speedup_serial\": {packed_speedup_serial:.3},\n    \"packed_speedup_parallel\": {packed_speedup_parallel:.3},\n    \"bitwise_identical\": {mc_identical}\n  }},\n  \"framework_run\": {{\n    \"workload\": \"{name}\",\n    \"samples\": {samples},\n    \"serial\": {{\n      \"threads\": 1,\n      \"wall_s\": {run_serial_s:.6},\n      \"phases\": {serial_phases}\n    }},\n    \"parallel\": {{\n      \"threads\": {host},\n      \"wall_s\": {run_par_s:.6},\n      \"phases\": {par_phases}\n    }},\n    \"speedup\": {run_speedup:.3},\n    \"bitwise_identical\": {run_identical}\n  }}\n}}\n",
         name = w.name(),
         samples = cfg.samples,
         mc_speedup = mc_serial_s / mc_par_s,
@@ -140,12 +143,26 @@ fn main() {
         serial_phases = phases(&report_serial),
         par_phases = phases(&report_par),
     );
-    print!("{json}");
-    if let Err(e) = std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write("results/BENCH_parallel.json", &json))
-    {
-        eprintln!("could not write results/BENCH_parallel.json: {e}");
-    } else {
-        eprintln!("wrote results/BENCH_parallel.json");
+    let env = BenchEnvelope {
+        bench: "parallel",
+        config: Value::Obj(vec![
+            ("host_threads".into(), Value::Num(host as f64)),
+            ("workload".into(), Value::Str(w.name().into())),
+            ("chips".into(), Value::Num(CHIPS as f64)),
+            ("inputs".into(), Value::Num(INPUTS as f64)),
+            ("samples".into(), Value::Num(cfg.samples as f64)),
+        ]),
+        wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+        // Headline: thread scaling of the scalar MC grid.
+        speedup: mc_serial_s / mc_par_s,
+        checks: vec![
+            ("mc_bitwise_identical".into(), mc_identical),
+            ("run_bitwise_identical".into(), run_identical),
+        ],
+        detail: Value::parse(&detail).expect("detail json"),
+    };
+    match env.write() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results artifact: {e}"),
     }
 }

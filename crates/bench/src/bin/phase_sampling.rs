@@ -1,0 +1,418 @@
+//! Phase-clustered sampled DTA benchmark: SimPoint-style window clustering
+//! turns the O(cycles) gate-level DTA sweep into O(phases).
+//!
+//! ```text
+//! cargo run --release -p terse-bench --bin phase_sampling
+//! ```
+//!
+//! Two measurements, one artifact (`results/BENCH_phase.json`):
+//!
+//! 1. **Containment sweep** (framework level): every MiBench workload runs
+//!    exact and sampled; the sampled report's `lambda_bound` must contain
+//!    the exact λ on every workload.
+//! 2. **Long-trace speedup** (gate level): on a long activity trace, the
+//!    full per-(cycle, stage) stage-DTS sweep is timed against the sampled
+//!    pipeline — fingerprint windows with stage-cone-masked toggle
+//!    signatures, cluster them with the seeded k-means, and sweep only each
+//!    cluster's representative window. Representative-window results are
+//!    bit-compared against the full sweep before the speedup is reported,
+//!    and the population-weighted aggregate is checked against the exact
+//!    full-trace mean.
+//!
+//! Environment knobs (for the CI smoke job):
+//!
+//! * `TERSE_BENCH_SMOKE=1` — small datasets, short sweeps, fewer workloads.
+//! * `TERSE_BENCH_CYCLES=N` — cap the DTA sweep at `N` cycles.
+
+use std::time::Instant;
+use terse_bench::BenchEnvelope;
+use terse_dta::{DtaMode, DtsEngine, EndpointFilter};
+use terse_netlist::pipeline::STAGE_COUNT;
+use terse_netlist::{signature, ActivityTrace, BitSet};
+use terse_serve::json::Value;
+use terse_sim::cosim::CoSim;
+use terse_sim::phase::PhaseConfig;
+use terse_sim::{cluster_windows, Machine, SimStrategy};
+use terse_sta::delay::{DelayLibrary, TimingConstraints};
+use terse_sta::statmin::MinOrdering;
+use terse_sta::variation::VariationConfig;
+use terse_workloads::DatasetSize;
+
+/// Timed repetitions per variant; the minimum is reported.
+const REPS: usize = 3;
+/// Machine instruction budget per workload execution.
+const BUDGET: u64 = 5_000_000;
+/// CI gate: the sampled gate-level sweep must beat the full sweep by this.
+const SPEEDUP_FLOOR: f64 = 5.0;
+
+fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let v = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn num(v: f64) -> Value {
+    Value::Num(v)
+}
+
+fn unum(v: u64) -> Value {
+    Value::Num(v as f64)
+}
+
+/// Runs the exact-vs-sampled framework comparison on one workload and
+/// returns the per-workload detail row plus the containment verdict.
+fn containment_row(
+    spec: &terse_workloads::BenchmarkSpec,
+    size: DatasetSize,
+    samples: usize,
+    phase: PhaseConfig,
+) -> (Value, bool) {
+    let w = spec.workload(size, samples, 0xDAC19).expect("workload");
+    let exact_fw = terse::Framework::builder()
+        .samples(samples)
+        .build()
+        .expect("exact framework");
+    let t0 = Instant::now();
+    let exact = exact_fw.run(&w).expect("exact run");
+    let exact_s = t0.elapsed().as_secs_f64();
+
+    let sampled_fw = terse::Framework::builder()
+        .samples(samples)
+        .sampling(phase)
+        .build()
+        .expect("sampled framework");
+    let t1 = Instant::now();
+    let sampled = sampled_fw.run(&w).expect("sampled run");
+    let sampled_s = t1.elapsed().as_secs_f64();
+
+    let stats = sampled.estimate.sampling.expect("sampled stats");
+    let lambda_exact = exact.estimate.lambda.mean();
+    let lambda_sampled = sampled.estimate.lambda.mean();
+    let abs_err = (lambda_sampled - lambda_exact).abs();
+    let contained = abs_err <= stats.lambda_bound;
+    eprintln!(
+        "  {:<14} λe {lambda_exact:.5} λs {lambda_sampled:.5} |Δ| {abs_err:.5} ≤ bound {:.5}: {} \
+         (coverage {:.0}%, {} of {} windows, exact {exact_s:.2}s / sampled {sampled_s:.2}s)",
+        spec.name,
+        stats.lambda_bound,
+        if contained { "ok" } else { "VIOLATED" },
+        stats.coverage * 100.0,
+        stats.windows_simulated,
+        stats.windows_total,
+    );
+    let row = Value::Obj(vec![
+        ("name".into(), Value::Str(spec.name.into())),
+        ("lambda_exact".into(), num(lambda_exact)),
+        ("lambda_sampled".into(), num(lambda_sampled)),
+        ("abs_err".into(), num(abs_err)),
+        ("lambda_bound".into(), num(stats.lambda_bound)),
+        ("contained".into(), Value::Bool(contained)),
+        ("coverage".into(), num(stats.coverage)),
+        ("windows_total".into(), unum(stats.windows_total)),
+        ("windows_simulated".into(), unum(stats.windows_simulated)),
+        ("clusters".into(), unum(stats.clusters as u64)),
+        ("exact_s".into(), num(exact_s)),
+        ("sampled_s".into(), num(sampled_s)),
+    ]);
+    (row, contained)
+}
+
+/// Simulates the workload once (event-driven co-simulation) and returns the
+/// per-cycle gate activation trace.
+fn activity_of(
+    pipeline: &terse_netlist::pipeline::PipelineNetlist,
+    w: &terse::Workload,
+) -> ActivityTrace {
+    let mut machine = Machine::new(w.program(), 1 << 16);
+    w.init_input(0, &mut machine);
+    let mut cosim = CoSim::with_strategy(pipeline, SimStrategy::EventDriven);
+    let mut activity = ActivityTrace::new(pipeline.netlist().gate_count());
+    let mut executed = 0u64;
+    while !machine.halted() {
+        assert!(executed < BUDGET, "instruction budget exhausted");
+        let r = machine.step(w.program()).expect("machine step");
+        executed += 1;
+        activity.push(cosim.feed(Some(r)).expect("cosim feed"));
+    }
+    for _ in 0..STAGE_COUNT {
+        activity.push(cosim.feed(None).expect("cosim drain"));
+    }
+    activity
+}
+
+/// One cycle's worth of stage-DTS results: the bitwise fingerprint (for
+/// exactness checks) and the mean-DTS accumulator contribution.
+fn cycle_dts(engine: &DtsEngine<'_>, vcd: &BitSet, stages: usize) -> (Vec<u64>, f64) {
+    let mut bits = Vec::with_capacity(stages * 2);
+    let mut mean_sum = 0.0;
+    for s in 0..stages {
+        let dts = engine.stage_dts(s, vcd, EndpointFilter::All).expect("dts");
+        match &dts {
+            None => bits.push(u64::MAX),
+            Some(rv) => {
+                bits.push(rv.mean().to_bits());
+                bits.push(rv.variance().to_bits());
+                bits.extend(rv.coeffs().iter().map(|c: &f64| c.to_bits()));
+                mean_sum += rv.mean();
+            }
+        }
+    }
+    (bits, mean_sum / stages as f64)
+}
+
+/// Fingerprints each window of `cycles` with stage-cone-masked toggle
+/// signatures — the gate-level analogue of the instruction-level windowing
+/// pass, sharing `terse_netlist::signature` — and returns the normalized
+/// histogram feature vectors.
+fn window_vectors(
+    cycles: &[&BitSet],
+    window: usize,
+    cones: &[BitSet],
+    buckets: usize,
+) -> Vec<Vec<f64>> {
+    cycles
+        .chunks(window)
+        .map(|win| {
+            let mut hist = vec![0.0f64; cones.len() * buckets];
+            for vcd in win {
+                for (c, cone) in cones.iter().enumerate() {
+                    let sig = signature::masked_toggle_signature(vcd, cone);
+                    hist[c * buckets + signature::bucket(sig, buckets)] += 1.0;
+                }
+            }
+            let n = win.len().max(1) as f64;
+            for h in &mut hist {
+                *h /= n;
+            }
+            hist
+        })
+        .collect()
+}
+
+struct PhaseDtaResult {
+    sweep_cycles: usize,
+    windows: usize,
+    representatives: usize,
+    full_s: f64,
+    sampled_s: f64,
+    rep_bitwise_identical: bool,
+    full_mean_dts: f64,
+    sampled_mean_dts: f64,
+}
+
+/// The tentpole measurement: full per-cycle stage-DTS sweep vs the sampled
+/// pipeline (window fingerprints → k-means → representative windows only,
+/// population-weighted aggregate). The sampled timing includes the
+/// fingerprinting and clustering overhead — the whole O(phases) pipeline is
+/// on the clock, not just the representative sweep.
+fn bench_phase_dta(
+    engine: &mut DtsEngine<'_>,
+    activity: &ActivityTrace,
+    sweep_cycles: usize,
+    window: usize,
+    k: usize,
+    iters: usize,
+    seed: u64,
+) -> PhaseDtaResult {
+    let stages = STAGE_COUNT;
+    let cycles: Vec<&BitSet> = activity.iter().take(sweep_cycles).collect();
+    let cones = engine.netlist().stage_cones();
+    engine.clear_cache();
+
+    // Reference: every (cycle, stage) pair.
+    let (full_s, (reference, full_mean_dts)) = time_min(REPS, || {
+        let mut bits = Vec::with_capacity(cycles.len());
+        let mut sum = 0.0;
+        for vcd in &cycles {
+            let (b, m) = cycle_dts(engine, vcd, stages);
+            bits.push(b);
+            sum += m;
+        }
+        (bits, sum / cycles.len().max(1) as f64)
+    });
+
+    // Sampled: fingerprint + cluster + representative windows only.
+    let buckets = terse_sim::phase::SIG_BUCKETS;
+    let (sampled_s, (clustering, rep_bits, sampled_mean_dts)) = time_min(REPS, || {
+        let vectors = window_vectors(&cycles, window, &cones, buckets);
+        let cl = cluster_windows(&vectors, k, iters, seed);
+        let mut rep_bits = Vec::with_capacity(cl.clusters());
+        let mut weighted = 0.0;
+        let mut weight = 0.0;
+        for (c, &rep) in cl.representatives.iter().enumerate() {
+            let lo = rep as usize * window;
+            let hi = (lo + window).min(cycles.len());
+            let mut win_bits = Vec::with_capacity(hi - lo);
+            let mut sum = 0.0;
+            for vcd in &cycles[lo..hi] {
+                let (b, m) = cycle_dts(engine, vcd, stages);
+                win_bits.push(b);
+                sum += m;
+            }
+            let pop = cl.populations[c] as f64;
+            weighted += pop * (sum / (hi - lo).max(1) as f64);
+            weight += pop;
+            rep_bits.push((lo, win_bits));
+        }
+        (cl, rep_bits, weighted / weight.max(1.0))
+    });
+
+    // Every representative window's per-cycle results must match the full
+    // sweep bit for bit — sampling skips work, it never changes answers.
+    let rep_bitwise_identical = rep_bits
+        .iter()
+        .all(|(lo, win)| win.iter().enumerate().all(|(i, b)| &reference[lo + i] == b));
+
+    PhaseDtaResult {
+        sweep_cycles: cycles.len(),
+        windows: cycles.chunks(window).count(),
+        representatives: clustering.clusters(),
+        full_s,
+        sampled_s,
+        rep_bitwise_identical,
+        full_mean_dts,
+        sampled_mean_dts,
+    }
+}
+
+fn main() {
+    let wall = Instant::now();
+    let smoke = std::env::var("TERSE_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let sweep_cap = std::env::var("TERSE_BENCH_CYCLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(if smoke { 120 } else { 512 });
+    let size = if smoke {
+        DatasetSize::Small
+    } else {
+        DatasetSize::Large
+    };
+    let samples = if smoke { 1 } else { 2 };
+    let (window, k) = if smoke { (8, 2) } else { (16, 4) };
+    let phase = PhaseConfig {
+        window_size: if smoke { 32 } else { 64 },
+        max_clusters: if smoke { 4 } else { 8 },
+        ..PhaseConfig::default()
+    };
+
+    // Part 1: sampled-vs-exact λ containment on the MiBench suite.
+    let specs = terse_workloads::all();
+    let specs: Vec<_> = if smoke {
+        specs.into_iter().take(4).collect()
+    } else {
+        specs
+    };
+    eprintln!(
+        "containment sweep: {} workloads ({size:?}, {samples} draw(s), window {} / {} clusters)",
+        specs.len(),
+        phase.window_size,
+        phase.max_clusters
+    );
+    let mut rows = Vec::new();
+    let mut all_contained = true;
+    for spec in &specs {
+        let (row, contained) = containment_row(spec, size, samples, phase);
+        rows.push(row);
+        all_contained &= contained;
+    }
+
+    // Part 2: the long-trace O(cycles) → O(phases) gate-level DTA speedup.
+    let fixture = "bitcount";
+    eprintln!("long-trace fixture [{fixture}]: simulating ({size:?})...");
+    let fw = terse::Framework::builder().build().expect("framework");
+    let spec = terse_workloads::by_name(fixture).expect("known workload");
+    let w = spec.workload(size, 1, 0xDAC19).expect("workload");
+    let activity = activity_of(fw.pipeline(), &w);
+    let mut engine = DtsEngine::new(
+        fw.pipeline().netlist(),
+        DelayLibrary::normalized_45nm(),
+        VariationConfig::default(),
+        TimingConstraints::with_period(fw.operating_point().working_period),
+        DtaMode::default(),
+        MinOrdering::default(),
+    )
+    .expect("engine");
+    eprintln!(
+        "long-trace fixture [{fixture}]: DTA over {sweep_cap} of {} cycles, window {window}, k {k}...",
+        activity.len()
+    );
+    let dta = bench_phase_dta(
+        &mut engine,
+        &activity,
+        sweep_cap,
+        window,
+        k,
+        PhaseConfig::default().kmeans_iters,
+        PhaseConfig::default().seed,
+    );
+    let speedup = dta.full_s / dta.sampled_s;
+    let agg_rel_err =
+        (dta.sampled_mean_dts - dta.full_mean_dts).abs() / dta.full_mean_dts.abs().max(1e-300);
+    eprintln!(
+        "long-trace fixture [{fixture}]: full {:.4}s / sampled {:.4}s ({speedup:.2}x), \
+         {} windows -> {} representatives, mean-DTS rel err {agg_rel_err:.4}",
+        dta.full_s, dta.sampled_s, dta.windows, dta.representatives
+    );
+    assert!(
+        dta.rep_bitwise_identical,
+        "[{fixture}] representative-window DTS diverged from the full sweep"
+    );
+    assert!(all_contained, "λ bound violated on at least one workload");
+    assert!(
+        speedup >= SPEEDUP_FLOOR,
+        "[{fixture}] sampled sweep speedup {speedup:.2}x below the {SPEEDUP_FLOOR}x floor"
+    );
+
+    let env = BenchEnvelope {
+        bench: "phase",
+        config: Value::Obj(vec![
+            ("dataset".into(), Value::Str(format!("{size:?}"))),
+            ("samples".into(), unum(samples as u64)),
+            ("workloads".into(), unum(specs.len() as u64)),
+            ("fw_window_size".into(), unum(phase.window_size)),
+            ("fw_max_clusters".into(), unum(phase.max_clusters as u64)),
+            ("sweep_cycles".into(), unum(dta.sweep_cycles as u64)),
+            ("dta_window_cycles".into(), unum(window as u64)),
+            ("dta_max_clusters".into(), unum(k as u64)),
+        ]),
+        wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+        speedup,
+        checks: vec![
+            ("bound_contains_exact_lambda".into(), all_contained),
+            (
+                "rep_windows_bitwise_identical".into(),
+                dta.rep_bitwise_identical,
+            ),
+            ("speedup_floor".into(), speedup >= SPEEDUP_FLOOR),
+        ],
+        detail: Value::Obj(vec![
+            ("workloads".into(), Value::Arr(rows)),
+            (
+                "long_trace".into(),
+                Value::Obj(vec![
+                    ("fixture".into(), Value::Str(fixture.into())),
+                    ("trace_cycles".into(), unum(activity.len() as u64)),
+                    ("sweep_cycles".into(), unum(dta.sweep_cycles as u64)),
+                    ("windows".into(), unum(dta.windows as u64)),
+                    ("representatives".into(), unum(dta.representatives as u64)),
+                    ("full_sweep_s".into(), num(dta.full_s)),
+                    ("sampled_sweep_s".into(), num(dta.sampled_s)),
+                    ("speedup".into(), num(speedup)),
+                    ("full_mean_dts".into(), num(dta.full_mean_dts)),
+                    ("sampled_mean_dts".into(), num(dta.sampled_mean_dts)),
+                    ("agg_rel_err".into(), num(agg_rel_err)),
+                ]),
+            ),
+        ]),
+    };
+    match env.write() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results artifact: {e}"),
+    }
+}

@@ -20,7 +20,78 @@
 
 use std::time::Instant;
 use terse::{Framework, Report, Result, Workload};
+use terse_serve::json::Value;
 use terse_workloads::{BenchmarkSpec, DatasetSize};
+
+/// The common envelope every `results/BENCH_*.json` artifact shares, so CI
+/// and ad-hoc tooling can read any benchmark's outcome without knowing its
+/// internals: `{bench, config, wall_ms, speedup, checks, detail}`.
+///
+/// * `bench` — short benchmark id; the file is `results/BENCH_<bench>.json`.
+/// * `config` — the knobs this run used (dataset, caps, thread counts).
+/// * `wall_ms` — total wall-clock of the benchmark binary's measured work.
+/// * `speedup` — the headline ratio the benchmark exists to demonstrate.
+/// * `checks` — named pass/fail gates (bitwise equality, speedup floors);
+///   CI greps these instead of re-deriving thresholds from `detail`.
+/// * `detail` — the benchmark-specific payload (the pre-envelope body).
+#[derive(Debug, Clone)]
+pub struct BenchEnvelope {
+    /// Short benchmark id (`dta_incremental`, `parallel`, `phase`, ...).
+    pub bench: &'static str,
+    /// Run configuration knobs.
+    pub config: Value,
+    /// Total measured wall-clock in milliseconds.
+    pub wall_ms: f64,
+    /// Headline speedup ratio.
+    pub speedup: f64,
+    /// Named pass/fail gates, in evaluation order.
+    pub checks: Vec<(String, bool)>,
+    /// Benchmark-specific payload.
+    pub detail: Value,
+}
+
+impl BenchEnvelope {
+    /// True when every named check passed.
+    pub fn all_checks_pass(&self) -> bool {
+        self.checks.iter().all(|(_, ok)| *ok)
+    }
+
+    /// The envelope as a JSON value with the fixed key order
+    /// `bench, config, wall_ms, speedup, checks, detail`.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("bench".into(), Value::Str(self.bench.into())),
+            ("config".into(), self.config.clone()),
+            ("wall_ms".into(), Value::Num(self.wall_ms)),
+            ("speedup".into(), Value::Num(self.speedup)),
+            (
+                "checks".into(),
+                Value::Obj(
+                    self.checks
+                        .iter()
+                        .map(|(name, ok)| (name.clone(), Value::Bool(*ok)))
+                        .collect(),
+                ),
+            ),
+            ("detail".into(), self.detail.clone()),
+        ])
+    }
+
+    /// Renders the envelope, prints it to stdout, and writes it to
+    /// `results/BENCH_<bench>.json` (creating `results/` if needed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating or writing the artifact.
+    pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
+        let json = format!("{}\n", self.to_value().render());
+        print!("{json}");
+        let path = std::path::Path::new("results").join(format!("BENCH_{}.json", self.bench));
+        std::fs::create_dir_all("results")?;
+        std::fs::write(&path, &json)?;
+        Ok(path)
+    }
+}
 
 /// Harness-wide experiment settings (kept small enough for laptop runs;
 /// scale `samples` up for tighter data-variation statistics).
@@ -88,6 +159,40 @@ pub fn run_benchmark(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn envelope_round_trips_with_fixed_key_order() {
+        let env = BenchEnvelope {
+            bench: "smoke",
+            config: Value::Obj(vec![("cap".into(), Value::Num(96.0))]),
+            wall_ms: 12.5,
+            speedup: 6.0,
+            checks: vec![
+                ("bitwise_identical".into(), true),
+                ("speedup_floor".into(), false),
+            ],
+            detail: Value::Null,
+        };
+        assert!(!env.all_checks_pass());
+        let v = Value::parse(&env.to_value().render()).unwrap();
+        assert_eq!(v.get("bench").and_then(Value::as_str), Some("smoke"));
+        assert_eq!(
+            v.get("checks")
+                .and_then(|c| c.get("speedup_floor"))
+                .and_then(Value::as_bool),
+            Some(false)
+        );
+        let keys: Vec<&str> = v
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(
+            keys,
+            ["bench", "config", "wall_ms", "speedup", "checks", "detail"]
+        );
+    }
 
     #[test]
     fn harness_smoke() {

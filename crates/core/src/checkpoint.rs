@@ -21,12 +21,21 @@
 //!            u64 LE   instructions in the block (n_inst)
 //!            u64 LE × n_inst·s_count   p^c samples (f64 bit patterns)
 //!            u64 LE × n_inst·s_count   p^e samples (f64 bit patterns)
+//!            u64 LE × n_inst·s_count   δ samples (phase-sampled runs only)
 //! ```
 //!
-//! The context hash covers the CFG shape, the per-profile execution counts,
-//! and the operating-point periods; a checkpoint written by a different run
-//! is rejected with [`TerseError::Checkpoint`] rather than silently mixed
-//! in. Writes are atomic (temp file + rename), so a crash mid-write leaves
+//! Phase-sampled sweeps carry a third per-entry table — the per-instruction
+//! sampling disagreement `δ` that feeds the reported λ bound. Whether the
+//! table is present is *not* flagged in the image: the caller knows (it
+//! configured the run), and the context hash folds in a sampling digest
+//! (`0` for exact runs), so a sampled image can never be offered to an
+//! exact resume or vice versa. Exact-run images therefore stay
+//! byte-identical to the pre-sampling format.
+//!
+//! The context hash covers the CFG shape, the profiled execution counts,
+//! the phase-sampling digest, and the operating-point periods; a checkpoint
+//! written by a different run is rejected with [`TerseError::Checkpoint`]
+//! rather than silently mixed in. Writes are atomic (temp file + rename), so a crash mid-write leaves
 //! the previous checkpoint intact. `f64` values round-trip through their
 //! IEEE-754 bit patterns, preserving bitwise identity across save/resume.
 //!
@@ -83,9 +92,20 @@ impl EstimateCheckpoint {
     }
 }
 
-/// One completed block's conditional-probability tables:
-/// (`p^c` per instruction, `p^e` per instruction).
-pub(crate) type BlockProbs = (Vec<SampleRv>, Vec<SampleRv>);
+/// One completed block's conditional-probability tables: `p^c` and `p^e`
+/// per instruction, plus (for phase-sampled sweeps) the per-instruction
+/// sampling disagreement `δ` that feeds the reported λ bound.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BlockProbs {
+    /// `p^c` (previous instruction correct), one [`SampleRv`] per
+    /// instruction.
+    pub cc: Vec<SampleRv>,
+    /// `p^e` (previous instruction erred), one [`SampleRv`] per
+    /// instruction.
+    pub ce: Vec<SampleRv>,
+    /// Per-instruction phase-sampling `δ` (`None` on exact sweeps).
+    pub delta: Option<Vec<SampleRv>>,
+}
 
 const MAGIC: &[u8; 8] = b"TERSECP1";
 
@@ -98,12 +118,16 @@ fn fnv_mix(hash: &mut u64, value: u64) {
 
 /// FNV-1a hash of everything the per-block sweep's output depends on: the
 /// CFG shape, the profiled execution counts, the profiler configuration
-/// (its reservoir seed selects the sampled feature vectors), and the
-/// operating-point periods (which pin the trained model's timing regime).
+/// (its reservoir seed selects the sampled feature vectors), the
+/// phase-sampling digest (`0` for exact runs — the digest folds the window
+/// size, clustering, and representative choice, so an exact resume can
+/// never pick up a sampled image or vice versa), and the operating-point
+/// periods (which pin the trained model's timing regime).
 pub(crate) fn context_hash(
     cfg: &Cfg,
-    profiles: &[ProfileResult],
+    profiles: &[&ProfileResult],
     profiler: &Profiler,
+    sampling_digest: u64,
     signoff_period: f64,
     working_period: f64,
 ) -> u64 {
@@ -124,6 +148,7 @@ pub(crate) fn context_hash(
     fnv_mix(&mut h, profiler.budget);
     fnv_mix(&mut h, profiler.dmem_words as u64);
     fnv_mix(&mut h, profiler.max_feature_samples as u64);
+    fnv_mix(&mut h, sampling_digest);
     fnv_mix(&mut h, signoff_period.to_bits());
     fnv_mix(&mut h, working_period.to_bits());
     h
@@ -150,11 +175,16 @@ pub(crate) fn sibling(path: &Path, suffix: &str) -> PathBuf {
 /// cached, so the result is unchanged. A *verified* image that does not
 /// match this run (context hash, grid shape) is a typed error — a
 /// checkpoint from a different run is never mixed in.
+///
+/// `sampled` tells the parser whether each entry carries the third `δ`
+/// table; the caller knows from its own configuration, and the context
+/// hash's sampling digest guarantees the image agrees.
 pub(crate) fn load(
     path: &Path,
     context: u64,
     total_blocks: usize,
     s_count: usize,
+    sampled: bool,
 ) -> Result<Vec<Option<BlockProbs>>> {
     let bytes = match fs::read(path) {
         Ok(b) => b,
@@ -164,7 +194,7 @@ pub(crate) fn load(
         Err(e) => return Err(ck_err(format!("read {}: {e}", path.display()))),
     };
     match terse_analyze::unframe(&bytes) {
-        Ok(payload) => parse_image(payload, context, total_blocks, s_count),
+        Ok(payload) => parse_image(payload, context, total_blocks, s_count, sampled),
         // Pre-framing image: parse the bare bytes (its own magic still
         // guards against foreign files). Bytes with neither frame nor
         // magic (zero-length files from ENOSPC, torn non-atomic writes)
@@ -172,7 +202,7 @@ pub(crate) fn load(
         Err(terse_analyze::FrameError::NotFramed)
             if bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] == *MAGIC =>
         {
-            parse_image(&bytes, context, total_blocks, s_count)
+            parse_image(&bytes, context, total_blocks, s_count, sampled)
         }
         Err(_damage) => {
             // Detected corruption: preserve the evidence, never parse it.
@@ -180,7 +210,8 @@ pub(crate) fn load(
             let bak = sibling(path, ".bak");
             if let Ok(bak_bytes) = fs::read(&bak) {
                 if let Ok(payload) = terse_analyze::unframe(&bak_bytes) {
-                    if let Ok(slots) = parse_image(payload, context, total_blocks, s_count) {
+                    if let Ok(slots) = parse_image(payload, context, total_blocks, s_count, sampled)
+                    {
                         return Ok(slots);
                     }
                 }
@@ -196,6 +227,7 @@ fn parse_image(
     context: u64,
     total_blocks: usize,
     s_count: usize,
+    sampled: bool,
 ) -> Result<Vec<Option<BlockProbs>>> {
     let mut pos = 0usize;
     let mut take8 = |what: &str| -> Result<[u8; 8]> {
@@ -260,10 +292,15 @@ fn parse_image(
         };
         let cc = read_table("p^c")?;
         let ce = read_table("p^e")?;
+        let delta = if sampled {
+            Some(read_table("delta")?)
+        } else {
+            None
+        };
         if slots[idx].is_some() {
             return Err(ck_err(format!("duplicate entry for block {idx}")));
         }
-        slots[idx] = Some((cc, ce));
+        slots[idx] = Some(BlockProbs { cc, ce, delta });
     }
     Ok(slots)
 }
@@ -286,10 +323,11 @@ pub(crate) fn store(
     let entries = slots.iter().filter(|s| s.is_some()).count() as u64;
     out.extend_from_slice(&entries.to_le_bytes());
     for (idx, slot) in slots.iter().enumerate() {
-        let Some((cc, ce)) = slot else { continue };
+        let Some(bp) = slot else { continue };
         out.extend_from_slice(&(idx as u64).to_le_bytes());
-        out.extend_from_slice(&(cc.len() as u64).to_le_bytes());
-        for rvs in [cc, ce] {
+        out.extend_from_slice(&(bp.cc.len() as u64).to_le_bytes());
+        let tables = [Some(&bp.cc), Some(&bp.ce), bp.delta.as_ref()];
+        for rvs in tables.into_iter().flatten() {
             for rv in rvs {
                 for &v in rv.samples() {
                     out.extend_from_slice(&v.to_bits().to_le_bytes());
@@ -346,34 +384,30 @@ mod tests {
         SampleRv::new(samples.to_vec()).unwrap()
     }
 
+    fn bp(cc: Vec<SampleRv>, ce: Vec<SampleRv>) -> BlockProbs {
+        BlockProbs {
+            cc,
+            ce,
+            delta: None,
+        }
+    }
+
     #[test]
     fn roundtrip_preserves_bits_exactly() {
         let path = tmp_path("roundtrip");
         let slots = vec![
-            Some((
+            Some(bp(
                 vec![rv(&[0.1, 0.2]), rv(&[1.0 / 3.0, f64::MIN_POSITIVE])],
                 vec![rv(&[0.9, 0.25]), rv(&[0.0, 1.0])],
             )),
             None,
-            Some((vec![rv(&[0.5, 0.5])], vec![rv(&[0.125, 2.5e-17])])),
+            Some(bp(vec![rv(&[0.5, 0.5])], vec![rv(&[0.125, 2.5e-17])])),
         ];
         store(&path, 42, &slots, 2).unwrap();
-        let loaded = load(&path, 42, 3, 2).unwrap();
+        let loaded = load(&path, 42, 3, 2, false).unwrap();
         assert_eq!(loaded.len(), 3);
         assert!(loaded[1].is_none());
-        for (a, b) in slots.iter().zip(&loaded) {
-            match (a, b) {
-                (None, None) => {}
-                (Some((ac, ae)), Some((bc, be))) => {
-                    for (x, y) in ac.iter().zip(bc).chain(ae.iter().zip(be)) {
-                        for (u, v) in x.samples().iter().zip(y.samples()) {
-                            assert_eq!(u.to_bits(), v.to_bits());
-                        }
-                    }
-                }
-                _ => panic!("slot presence mismatch"),
-            }
-        }
+        assert_eq!(slots, loaded, "SampleRv equality is bitwise on samples");
         finish(&path).unwrap();
         assert!(!path.exists());
         // Removing again is fine.
@@ -381,22 +415,39 @@ mod tests {
     }
 
     #[test]
+    fn sampled_roundtrip_carries_the_delta_table() {
+        let path = tmp_path("sampled");
+        let slots = vec![
+            Some(BlockProbs {
+                cc: vec![rv(&[0.1, 0.2]), rv(&[0.3, 0.4])],
+                ce: vec![rv(&[0.9, 0.25]), rv(&[0.0, 1.0])],
+                delta: Some(vec![rv(&[0.05, 1.0 / 7.0]), rv(&[0.0, 0.5])]),
+            }),
+            None,
+        ];
+        store(&path, 99, &slots, 2).unwrap();
+        let loaded = load(&path, 99, 2, 2, true).unwrap();
+        assert_eq!(slots, loaded);
+        finish(&path).unwrap();
+    }
+
+    #[test]
     fn mismatches_are_typed_errors() {
         let path = tmp_path("mismatch");
-        let slots = vec![Some((vec![rv(&[0.5])], vec![rv(&[0.25])]))];
+        let slots = vec![Some(bp(vec![rv(&[0.5])], vec![rv(&[0.25])]))];
         store(&path, 7, &slots, 1).unwrap();
         // Wrong context hash.
         assert!(matches!(
-            load(&path, 8, 1, 1),
+            load(&path, 8, 1, 1, false),
             Err(TerseError::Checkpoint(_))
         ));
         // Wrong grid shape.
         assert!(matches!(
-            load(&path, 7, 2, 1),
+            load(&path, 7, 2, 1, false),
             Err(TerseError::Checkpoint(_))
         ));
         assert!(matches!(
-            load(&path, 7, 1, 3),
+            load(&path, 7, 1, 3, false),
             Err(TerseError::Checkpoint(_))
         ));
         // Garbage bytes (no TERSEFR1 envelope, no TERSECP1 magic) are
@@ -404,7 +455,7 @@ mod tests {
         // image — set aside as `.corrupt` and restarted fresh.
         for garbage in [b"not a checkpoint at all".as_slice(), b"".as_slice()] {
             fs::write(&path, garbage).unwrap();
-            assert_eq!(load(&path, 7, 1, 1).unwrap(), vec![None]);
+            assert_eq!(load(&path, 7, 1, 1, false).unwrap(), vec![None]);
             assert!(sibling(&path, ".corrupt").exists(), "evidence preserved");
             let _ = fs::remove_file(sibling(&path, ".corrupt"));
         }
@@ -415,7 +466,7 @@ mod tests {
     #[test]
     fn missing_file_is_a_fresh_start() {
         let path = tmp_path("missing");
-        let slots = load(&path, 1, 4, 2).unwrap();
+        let slots = load(&path, 1, 4, 2, false).unwrap();
         assert_eq!(slots, vec![None, None, None, None]);
     }
 
@@ -424,7 +475,7 @@ mod tests {
         let path = tmp_path("fallback");
         let _ = fs::remove_file(sibling(&path, ".bak"));
         let _ = fs::remove_file(sibling(&path, ".corrupt"));
-        let gen1 = vec![Some((vec![rv(&[0.5])], vec![rv(&[0.25])]))];
+        let gen1 = vec![Some(bp(vec![rv(&[0.5])], vec![rv(&[0.25])]))];
         store(&path, 7, &gen1, 1).unwrap();
         // Second flush: the first image becomes `.bak`.
         store(&path, 7, &gen1, 1).unwrap();
@@ -435,11 +486,11 @@ mod tests {
         let last = bytes.len() - 1;
         bytes[last] ^= 0x20;
         fs::write(&path, &bytes).unwrap();
-        let slots = load(&path, 7, 1, 1).unwrap();
+        let slots = load(&path, 7, 1, 1, false).unwrap();
         assert_eq!(slots.len(), 1);
-        let (cc, ce) = slots[0].as_ref().expect("fallback restored the entry");
-        assert_eq!(cc[0].samples(), &[0.5]);
-        assert_eq!(ce[0].samples(), &[0.25]);
+        let entry = slots[0].as_ref().expect("fallback restored the entry");
+        assert_eq!(entry.cc[0].samples(), &[0.5]);
+        assert_eq!(entry.ce[0].samples(), &[0.25]);
         assert!(
             sibling(&path, ".corrupt").exists(),
             "evidence file preserved"
@@ -454,12 +505,12 @@ mod tests {
         let path = tmp_path("fresh");
         let _ = fs::remove_file(sibling(&path, ".bak"));
         let _ = fs::remove_file(sibling(&path, ".corrupt"));
-        let slots = vec![Some((vec![rv(&[0.5])], vec![rv(&[0.25])]))];
+        let slots = vec![Some(bp(vec![rv(&[0.5])], vec![rv(&[0.25])]))];
         store(&path, 7, &slots, 1).unwrap();
         // Truncate the framed image mid-payload: torn, no .bak to serve.
         let bytes = fs::read(&path).unwrap();
         fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
-        let loaded = load(&path, 7, 1, 1).unwrap();
+        let loaded = load(&path, 7, 1, 1, false).unwrap();
         assert_eq!(loaded, vec![None], "fresh start, never a torn parse");
         assert!(sibling(&path, ".corrupt").exists());
         fs::remove_file(sibling(&path, ".corrupt")).unwrap();
@@ -468,13 +519,13 @@ mod tests {
     #[test]
     fn legacy_bare_images_remain_loadable() {
         let path = tmp_path("legacy");
-        let slots = vec![Some((vec![rv(&[0.5])], vec![rv(&[0.25])]))];
+        let slots = vec![Some(bp(vec![rv(&[0.5])], vec![rv(&[0.25])]))];
         store(&path, 7, &slots, 1).unwrap();
         // Strip the envelope, leaving the bare TERSECP1 image on disk.
         let framed = fs::read(&path).unwrap();
         let payload = terse_analyze::unframe(&framed).unwrap().to_vec();
         fs::write(&path, &payload).unwrap();
-        let loaded = load(&path, 7, 1, 1).unwrap();
+        let loaded = load(&path, 7, 1, 1, false).unwrap();
         assert!(loaded[0].is_some());
         fs::remove_file(&path).unwrap();
     }
@@ -482,7 +533,7 @@ mod tests {
     #[test]
     fn finish_removes_the_backup_generation_too() {
         let path = tmp_path("finish_bak");
-        let slots = vec![Some((vec![rv(&[0.5])], vec![rv(&[0.25])]))];
+        let slots = vec![Some(bp(vec![rv(&[0.5])], vec![rv(&[0.25])]))];
         store(&path, 7, &slots, 1).unwrap();
         store(&path, 7, &slots, 1).unwrap();
         assert!(sibling(&path, ".bak").exists());

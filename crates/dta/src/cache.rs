@@ -193,9 +193,22 @@ impl DtsCache {
         &self.interner
     }
 
-    /// Computes the masked signature of a toggle set.
+    /// Computes the masked signature of a toggle set — the shared
+    /// [`terse_netlist::signature`] definition, truncated by the cache's
+    /// collision-test mask. (The engine computes the same value through
+    /// [`terse_netlist::signature::masked_toggle_signature`] +
+    /// [`DtsCache::truncate`] without materializing the intersection.)
+    #[cfg(test)]
     pub(crate) fn signature(&self, toggles: &BitSet) -> u64 {
-        toggles.fingerprint() & self.sig_mask
+        self.truncate(terse_netlist::signature::toggle_signature(toggles))
+    }
+
+    /// Applies the collision-test mask to an already-computed signature
+    /// (e.g. one produced by
+    /// [`terse_netlist::signature::masked_toggle_signature`] without
+    /// materializing the intersection).
+    pub(crate) fn truncate(&self, sig: u64) -> u64 {
+        terse_netlist::signature::truncated(sig, self.sig_mask)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Lru> {

@@ -4,6 +4,7 @@ use crate::cache::{CacheKey, DtsCache};
 use crate::{DtaError, Result};
 use rayon::prelude::*;
 use std::sync::Arc;
+use terse_netlist::signature;
 use terse_netlist::{BitSet, EndpointClass, Netlist};
 use terse_sim::cosim::CoSimTrace;
 use terse_sta::analysis::Sta;
@@ -291,10 +292,14 @@ impl<'n> DtsEngine<'n> {
     ) -> Result<Option<CanonicalRv>> {
         // Memoized front door: a stage's DTS depends on the activation set
         // only through `vcd ∧ cone(s)`, so the masked set (exact) plus its
-        // signature (fast) form a sound cache identity.
+        // signature (fast, via the shared `terse_netlist::signature`
+        // helpers) form a sound cache identity.
         if let Some(binding) = &self.cache {
             if let Some(cone) = binding.cones.get(s) {
                 if cone.capacity() == vcd.capacity() {
+                    let sig = binding
+                        .cache
+                        .truncate(signature::masked_toggle_signature(vcd, cone));
                     let masked = vcd.masked(cone);
                     let key = CacheKey {
                         stage: s,
@@ -302,7 +307,7 @@ impl<'n> DtsEngine<'n> {
                         mode: self.mode,
                         ordering: self.ordering,
                         t_clk_bits: self.t_clk.to_bits(),
-                        signature: binding.cache.signature(&masked),
+                        signature: sig,
                     };
                     if let Some(dts) = binding.cache.lookup(&key, &masked) {
                         return Ok(dts);

@@ -1,0 +1,218 @@
+//! Cluster-population-weighted probability aggregation for phase-sampled
+//! profiles.
+//!
+//! Under phase sampling (`terse_sim::phase`) a static instruction's feature
+//! population is no longer one uniform reservoir: each retained sample came
+//! from a cluster's representative window and stands in for `weight` dynamic
+//! executions (the cluster's population spread over its samples). The mean
+//! conditional error probability of the instruction is then the *weighted*
+//! mean over samples, and the residual phase-approximation error is bounded
+//! by how much the per-cluster means disagree — the `δ` spread that the
+//! estimator turns into its reported sampling-error term.
+//!
+//! Both kernels here are deliberately order-sensitive-free: they fold in
+//! index order with compensated summation, so results are bitwise identical
+//! for any thread count of the surrounding sweep.
+
+use crate::{ErrModelError, Result};
+use terse_stats::kahan::KahanSum;
+
+/// Weighted mean `Σ wⱼ·vⱼ / Σ wⱼ`, folded in index order with compensated
+/// summation. A zero total weight yields `0.0` (an instruction with no
+/// observed executions contributes nothing).
+///
+/// # Errors
+///
+/// [`ErrModelError::DimensionMismatch`] if `values` and `weights` differ in
+/// length; [`ErrModelError::NonFinite`] for NaN/∞ inputs or negative
+/// weights.
+pub fn weighted_mean(values: &[f64], weights: &[f64]) -> Result<f64> {
+    if values.len() != weights.len() {
+        return Err(ErrModelError::DimensionMismatch {
+            context: "weighted_mean values vs weights",
+            expected: values.len(),
+            got: weights.len(),
+        });
+    }
+    let mut num = KahanSum::new();
+    let mut den = KahanSum::new();
+    for (&v, &w) in values.iter().zip(weights) {
+        if !v.is_finite() {
+            return Err(ErrModelError::NonFinite {
+                context: "weighted_mean value",
+                value: v,
+            });
+        }
+        if !(w >= 0.0) || !w.is_finite() {
+            return Err(ErrModelError::NonFinite {
+                context: "weighted_mean weight",
+                value: w,
+            });
+        }
+        num.add(v * w);
+        den.add(w);
+    }
+    if den.value() <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok(num.value() / den.value())
+}
+
+/// Per-cluster disagreement of a value population: the simple mean of each
+/// cluster's values and their spread (`max − min` of the cluster means) —
+/// the phase-sampling `δ` term.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpread {
+    /// `(cluster id, mean)` for every cluster with at least one value,
+    /// ascending by cluster id.
+    pub means: Vec<(u32, f64)>,
+    /// `max − min` over the cluster means; `0.0` with fewer than two
+    /// clusters (no disagreement is *observable* — callers must treat that
+    /// case conservatively, not as evidence of agreement).
+    pub spread: f64,
+}
+
+/// Groups `values` by the parallel `clusters` array and measures the
+/// disagreement of per-cluster means. `clusters` must be sorted ascending
+/// (the phase profiler emits samples grouped by ascending cluster id); each
+/// cluster's mean folds its members in index order.
+///
+/// # Errors
+///
+/// [`ErrModelError::DimensionMismatch`] on length mismatch or an unsorted
+/// cluster array; [`ErrModelError::NonFinite`] for NaN/∞ values.
+pub fn cluster_spread(values: &[f64], clusters: &[u32]) -> Result<ClusterSpread> {
+    if values.len() != clusters.len() {
+        return Err(ErrModelError::DimensionMismatch {
+            context: "cluster_spread values vs clusters",
+            expected: values.len(),
+            got: clusters.len(),
+        });
+    }
+    let mut means: Vec<(u32, f64)> = Vec::new();
+    let mut i = 0usize;
+    while i < values.len() {
+        let c = clusters[i];
+        if let Some(&(prev, _)) = means.last() {
+            if c <= prev {
+                return Err(ErrModelError::DimensionMismatch {
+                    context: "cluster_spread clusters not ascending",
+                    expected: prev as usize + 1,
+                    got: c as usize,
+                });
+            }
+        }
+        let mut sum = KahanSum::new();
+        let mut n = 0u64;
+        while i < values.len() && clusters[i] == c {
+            let v = values[i];
+            if !v.is_finite() {
+                return Err(ErrModelError::NonFinite {
+                    context: "cluster_spread value",
+                    value: v,
+                });
+            }
+            sum.add(v);
+            n += 1;
+            i += 1;
+        }
+        means.push((c, sum.value() / n as f64));
+    }
+    let spread = if means.len() < 2 {
+        0.0
+    } else {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &(_, m) in &means {
+            lo = lo.min(m);
+            hi = hi.max(m);
+        }
+        hi - lo
+    };
+    Ok(ClusterSpread { means, spread })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_mean_basic() {
+        // 1.0 with weight 3, 0.0 with weight 1 → 0.75.
+        let m = weighted_mean(&[1.0, 0.0], &[3.0, 1.0]).unwrap();
+        assert!((m - 0.75).abs() < 1e-15);
+        // Uniform weights reduce to the simple mean.
+        let u = weighted_mean(&[0.2, 0.4, 0.6], &[2.0, 2.0, 2.0]).unwrap();
+        assert!((u - 0.4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn weighted_mean_empty_and_zero_weight() {
+        assert_eq!(weighted_mean(&[], &[]).unwrap(), 0.0);
+        assert_eq!(weighted_mean(&[0.5, 0.9], &[0.0, 0.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn weighted_mean_rejects_bad_inputs() {
+        assert!(matches!(
+            weighted_mean(&[1.0], &[1.0, 2.0]),
+            Err(ErrModelError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            weighted_mean(&[f64::NAN], &[1.0]),
+            Err(ErrModelError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            weighted_mean(&[0.5], &[-1.0]),
+            Err(ErrModelError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            weighted_mean(&[0.5], &[f64::INFINITY]),
+            Err(ErrModelError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn cluster_spread_measures_disagreement() {
+        // Cluster 0 mean 0.1, cluster 2 mean 0.4, cluster 5 mean 0.2.
+        let values = [0.1, 0.1, 0.3, 0.5, 0.2];
+        let clusters = [0, 0, 2, 2, 5];
+        let s = cluster_spread(&values, &clusters).unwrap();
+        assert_eq!(s.means.len(), 3);
+        assert_eq!(s.means[0].0, 0);
+        assert_eq!(s.means[1].0, 2);
+        assert_eq!(s.means[2].0, 5);
+        assert!((s.means[1].1 - 0.4).abs() < 1e-15);
+        assert!((s.spread - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cluster_spread_single_cluster_is_zero() {
+        let s = cluster_spread(&[0.9, 0.7], &[3, 3]).unwrap();
+        assert_eq!(s.means.len(), 1);
+        assert_eq!(s.spread, 0.0);
+        let empty = cluster_spread(&[], &[]).unwrap();
+        assert!(empty.means.is_empty());
+        assert_eq!(empty.spread, 0.0);
+    }
+
+    #[test]
+    fn cluster_spread_rejects_unsorted_and_non_finite() {
+        assert!(matches!(
+            cluster_spread(&[0.1, 0.2], &[1, 0]),
+            Err(ErrModelError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            cluster_spread(&[0.1, 0.2, 0.3], &[0, 1, 0]),
+            Err(ErrModelError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            cluster_spread(&[f64::INFINITY], &[0]),
+            Err(ErrModelError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            cluster_spread(&[0.1], &[0, 1]),
+            Err(ErrModelError::DimensionMismatch { .. })
+        ));
+    }
+}

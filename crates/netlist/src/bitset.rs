@@ -23,7 +23,7 @@ pub struct BitSet {
 
 /// `splitmix64` finalizer — the word mixer behind [`BitSet::fingerprint`].
 #[inline]
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
@@ -41,6 +41,43 @@ impl BitSet {
     /// The capacity (exclusive upper bound on element values).
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Creates a set from raw little-endian words: word `i` holds elements
+    /// `64·i .. 64·i+63`. Missing trailing words are zero; bits at or above
+    /// `capacity` are cleared. This is the cheap bulk constructor for
+    /// word-shaped data (e.g. per-instruction operand toggle masks), exactly
+    /// equivalent to inserting each set bit individually.
+    pub fn from_words(words: &[u64], capacity: usize) -> Self {
+        let n = capacity.div_ceil(64);
+        let mut out = vec![0u64; n];
+        for (dst, &src) in out.iter_mut().zip(words) {
+            *dst = src;
+        }
+        if !capacity.is_multiple_of(64) {
+            if let Some(last) = out.last_mut() {
+                *last &= (1u64 << (capacity % 64)) - 1;
+            }
+        }
+        BitSet {
+            words: out,
+            capacity,
+        }
+    }
+
+    /// Overwrites the set's content from raw little-endian words, in place
+    /// (the allocation-free counterpart of [`BitSet::from_words`] for
+    /// per-cycle scratch sets). Missing trailing words are zeroed; bits at
+    /// or above the capacity are cleared.
+    pub fn copy_from_words(&mut self, words: &[u64]) {
+        for (i, dst) in self.words.iter_mut().enumerate() {
+            *dst = words.get(i).copied().unwrap_or(0);
+        }
+        if !self.capacity.is_multiple_of(64) {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << (self.capacity % 64)) - 1;
+            }
+        }
     }
 
     /// Inserts `i`.

@@ -67,6 +67,7 @@ pub mod gate;
 pub mod netlist;
 pub mod packed;
 pub mod pipeline;
+pub mod signature;
 pub mod sim;
 pub mod tape;
 

@@ -1,0 +1,232 @@
+//! Differential suite for the phase-sampling layer: the seeded k-means
+//! clustering and the two-pass phased profiler against their exact
+//! counterparts.
+//!
+//! Phase sampling is an approximation for *features*, never for *counts*:
+//! the phased profile's block counts, edge counts, operand representatives
+//! and instruction totals must equal a full [`Profiler::profile`] run
+//! exactly, and everything the sampler decides (window vectors, clustering,
+//! representatives, the checkpoint context digest) must be **bitwise
+//! deterministic** — independent of thread count and repetition. The
+//! properties here demand exact equality accordingly; only the feature
+//! lists themselves are allowed to differ from the exact run (that error is
+//! what `SamplingStats::lambda_bound` accounts for, tested at the core
+//! layer).
+
+use oracle::gen;
+use proptest::prelude::*;
+use terse_isa::Cfg;
+use terse_sim::phase::{PhaseConfig, SIG_BUCKETS};
+use terse_sim::{cluster_windows, Machine, Profiler};
+use terse_stats::rng::Xoshiro256;
+
+/// Random window feature vectors with the real signature-histogram shape
+/// (a few duplicated rows included, so clusters can genuinely merge).
+fn random_vectors(seed: u64, n: usize, dims: usize) -> Vec<Vec<f64>> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut vectors: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..dims).map(|_| rng.next_range(0.0, 1.0)).collect())
+        .collect();
+    for i in 0..n {
+        if rng.next_below(4) == 0 {
+            let j = rng.next_below(n as u64) as usize;
+            vectors[i] = vectors[j].clone();
+        }
+    }
+    vectors
+}
+
+fn check_invariants(vectors: &[Vec<f64>], k: usize, cl: &terse_sim::Clustering) {
+    let n = vectors.len();
+    assert_eq!(cl.assignment.len(), n);
+    assert_eq!(cl.representatives.len(), cl.populations.len());
+    if n == 0 {
+        assert_eq!(cl.clusters(), 0);
+        return;
+    }
+    // Effective count: at least one phase (`k` is clamped up to 1), at
+    // most min(k, windows).
+    let k_eff = k.clamp(1, n);
+    assert!(cl.clusters() >= 1 && cl.clusters() <= k_eff, "{cl:?}");
+    // Every window lands in a live cluster; populations count members.
+    let mut members = vec![0u64; cl.clusters()];
+    for &c in &cl.assignment {
+        assert!((c as usize) < cl.clusters(), "dangling cluster id {c}");
+        members[c as usize] += 1;
+    }
+    assert_eq!(members, cl.populations, "population bookkeeping");
+    assert!(cl.populations.iter().all(|&p| p >= 1), "empty cluster kept");
+    assert_eq!(cl.populations.iter().sum::<u64>(), n as u64);
+    // A representative is a member of the cluster it represents.
+    for (c, &rep) in cl.representatives.iter().enumerate() {
+        assert_eq!(cl.assignment[rep as usize] as usize, c, "foreign rep");
+    }
+    // Cluster ids are numbered by ascending first-member window index.
+    let first_member: Vec<usize> = (0..cl.clusters())
+        .map(|c| {
+            cl.assignment
+                .iter()
+                .position(|&a| a as usize == c)
+                .expect("live cluster has a member")
+        })
+        .collect();
+    assert!(
+        first_member.windows(2).all(|w| w[0] < w[1]),
+        "cluster ids not in first-member order: {first_member:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Structural invariants plus run-to-run and thread-count determinism
+    /// of the seeded k-means.
+    #[test]
+    fn kmeans_invariants_and_thread_determinism(
+        seed in any::<u64>(),
+        n in 0usize..40,
+        k in 0usize..10,
+        iters in 0usize..20,
+    ) {
+        let vectors = random_vectors(seed, n, SIG_BUCKETS);
+        let cl = cluster_windows(&vectors, k, iters, seed);
+        check_invariants(&vectors, k, &cl);
+        // Repetition determinism.
+        prop_assert_eq!(&cl, &cluster_windows(&vectors, k, iters, seed));
+        // Thread-count determinism: the assignment map parallelizes, so a
+        // 1-thread pool and a 4-thread pool must agree exactly.
+        let pool_of = |threads| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool")
+        };
+        let serial = pool_of(1).install(|| cluster_windows(&vectors, k, iters, seed));
+        let wide = pool_of(4).install(|| cluster_windows(&vectors, k, iters, seed));
+        prop_assert_eq!(&cl, &serial);
+        prop_assert_eq!(&cl, &wide);
+    }
+}
+
+/// A profiler small enough that random programs finish (or hit the budget)
+/// quickly, with feature reservoirs small enough to actually truncate.
+fn profiler(seed: u64) -> Profiler {
+    Profiler {
+        max_feature_samples: 4,
+        budget: 20_000,
+        dmem_words: 1 << 10,
+        seed,
+    }
+}
+
+fn init_regs(seed: u64) -> impl Fn(&mut Machine) {
+    move |m: &mut Machine| {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        for r in 1..8u8 {
+            m.set_reg(r, rng.next_u64() as u32);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The phased profile's counts are the exact run's counts, its
+    /// bookkeeping is internally consistent, and the whole two-pass
+    /// pipeline is bitwise deterministic across repetitions and thread
+    /// counts.
+    #[test]
+    fn phased_profile_matches_exact_counts(
+        seed in any::<u64>(),
+        body in 8usize..32,
+        branches in 0usize..4,
+        window_size in 1u64..24,
+        max_clusters in 1usize..6,
+    ) {
+        let program = gen::random_program(seed, body, branches);
+        let cfg = Cfg::from_program(&program);
+        let p = profiler(seed ^ 0xA11CE);
+        let init = init_regs(seed ^ 0x5EED);
+        let phase = PhaseConfig { window_size, max_clusters, ..PhaseConfig::default() };
+
+        // Random branch targets can loop past the budget; both runs must
+        // then fail identically, and there is nothing further to compare.
+        let exact = p.profile(&program, &cfg, &init);
+        let phased = p.profile_phased(&program, &cfg, &phase, &init);
+        prop_assert_eq!(
+            exact.is_ok(),
+            phased.is_ok(),
+            "exact and phased must agree on whether the program runs"
+        );
+        if let (Err(e), Err(pe)) = (&exact, &phased) {
+            prop_assert_eq!(format!("{e}"), format!("{pe}"));
+            return;
+        }
+        let exact = exact.expect("checked above");
+        let phased = phased.expect("checked above");
+
+        // Counts are exact — sampling only ever thins features.
+        prop_assert_eq!(&phased.profile.block_counts, &exact.block_counts);
+        prop_assert_eq!(&phased.profile.edge_counts, &exact.edge_counts);
+        prop_assert_eq!(phased.profile.total_instructions, exact.total_instructions);
+        prop_assert_eq!(&phased.profile.operand_reps, &exact.operand_reps);
+
+        // Window bookkeeping sums back to the exact totals.
+        let total = exact.total_instructions;
+        prop_assert_eq!(phased.window_size, window_size);
+        prop_assert_eq!(phased.windows_total, total.div_ceil(window_size));
+        prop_assert_eq!(phased.windows_simulated, phased.clustering.clusters() as u64);
+        prop_assert!(phased.windows_simulated <= phased.windows_total);
+        prop_assert!(phased.covered_instructions <= total);
+        prop_assert!(phased.coverage() > 0.0 && phased.coverage() <= 1.0);
+        check_invariants(
+            &vec![Vec::new(); phased.windows_total as usize],
+            max_clusters,
+            &phased.clustering,
+        );
+        for (rep, all) in phased.block_rep_counts.iter().zip(&exact.block_counts) {
+            prop_assert!(rep <= all, "replay saw more executions than the trace");
+        }
+        // When every window is its own phase, replay IS the exact trace.
+        if phased.windows_simulated == phased.windows_total {
+            prop_assert_eq!(&phased.block_rep_counts, &exact.block_counts);
+            prop_assert_eq!(phased.covered_instructions, total);
+        }
+
+        // Feature bookkeeping: weights/cluster ids parallel the feature
+        // lists, weights are positive and finite, cluster ids ascend.
+        for idx in 0..program.len() {
+            let feats = &phased.profile.features_normal[idx];
+            prop_assert_eq!(feats.len(), phased.profile.features_corrected[idx].len());
+            prop_assert_eq!(feats.len(), phased.feature_weights[idx].len());
+            prop_assert_eq!(feats.len(), phased.feature_clusters[idx].len());
+            prop_assert!(phased.feature_weights[idx].iter().all(|w| w.is_finite() && *w > 0.0));
+            prop_assert!(phased.feature_clusters[idx].windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        // Bitwise determinism: repetition and thread count are invisible.
+        let pool_of = |threads| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool")
+        };
+        for threads in [1usize, 4] {
+            let again = pool_of(threads)
+                .install(|| p.profile_phased(&program, &cfg, &phase, &init))
+                .expect("deterministic rerun");
+            prop_assert_eq!(again.context_digest, phased.context_digest);
+            prop_assert_eq!(&again.clustering, &phased.clustering);
+            prop_assert_eq!(&again.profile.features_normal, &phased.profile.features_normal);
+            prop_assert_eq!(
+                &again.profile.features_corrected,
+                &phased.profile.features_corrected
+            );
+            let bits = |w: &Vec<Vec<f64>>| -> Vec<Vec<u64>> {
+                w.iter().map(|v| v.iter().map(|x| x.to_bits()).collect()).collect()
+            };
+            prop_assert_eq!(bits(&again.feature_weights), bits(&phased.feature_weights));
+            prop_assert_eq!(&again.feature_clusters, &phased.feature_clusters);
+        }
+    }
+}
