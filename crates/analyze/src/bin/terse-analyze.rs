@@ -8,12 +8,14 @@
 //! terse-analyze failpoints [ROOT]
 //! ```
 //!
-//! * `lint` runs the codebase lints (AZ001–AZ004) over every workspace
+//! * `lint` runs the codebase lints (AZ001–AZ005) over every workspace
 //!   crate's `src/` tree under `ROOT` (default: current directory).
 //! * `pipeline` builds the reference pipeline netlist and runs the
-//!   netlist structural passes plus the slack abstract-interpretation
-//!   pass over each stage's endpoint slacks at the deterministic minimum
-//!   period.
+//!   netlist structural passes, the slack abstract-interpretation pass
+//!   over each stage's endpoint slacks at the deterministic minimum
+//!   period (cross-checked against the arrival-certificate interval),
+//!   and the CFG + dataflow passes (DF001–DF005) over an embedded
+//!   reference program.
 //! * `jobs` runs the job-store layout passes (JS005–JS008) over a
 //!   `terse-serve` store root (default: current directory).
 //! * `scrub` runs the layout passes plus the artifact integrity passes
@@ -32,8 +34,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use terse_analyze::{
-    analyze_netlist, analyze_slacks, analyze_tape, AnalysisReport, SlackPassConfig,
+    analyze_cfg, analyze_dataflow, analyze_netlist, analyze_slacks, analyze_tape, AnalysisReport,
+    SlackPassConfig,
 };
+use terse_isa::{assemble, Cfg};
 use terse_netlist::pipeline::{PipelineConfig, PipelineNetlist};
 use terse_netlist::tape::CompiledTape;
 use terse_sta::analysis::{Sta, StatisticalSta};
@@ -43,7 +47,7 @@ const USAGE: &str = "\
 usage: terse-analyze <command> [options]
 
 commands:
-  lint [--deny] [--json] [ROOT]    lint workspace Rust sources (AZ001-AZ004)
+  lint [--deny] [--json] [ROOT]    lint workspace Rust sources (AZ001-AZ005)
   pipeline [--deny] [--json]       analyze the reference pipeline IRs
   jobs [--deny] [--json] [STORE]   analyze a terse-serve job store (JS005-JS008)
   scrub [--deny] [--json] [STORE]  jobs passes + artifact integrity (JS009-JS012)
@@ -187,18 +191,60 @@ fn run_pipeline(report: &mut AnalysisReport) -> Result<(), String> {
         expect_variance,
         ..Default::default()
     };
+    let sta = Sta::new(netlist, &lib);
     for s in 0..netlist.stage_count() {
         let endpoints = netlist
             .endpoints(s)
             .map_err(|e| format!("stage {s} endpoints failed: {e}"))?;
         let mut rvs = Vec::with_capacity(endpoints.len());
+        // Independent SL004 cross-check input: deterministic arrivals
+        // plus the `sd ≤ σ_rel · arrival` certificate inequality.
+        let (mut ilo, mut ihi) = (f64::INFINITY, f64::INFINITY);
         for &e in endpoints {
             let rv = ssta
                 .endpoint_slack(e, t_clk)
                 .map_err(|err| format!("slack of {e} failed: {err}"))?;
             rvs.push(rv);
+            let slack = sta
+                .endpoint_slack(e, t_clk)
+                .map_err(|err| format!("det slack of {e} failed: {err}"))?;
+            let arr = sta
+                .endpoint_arrival(e)
+                .map_err(|err| format!("arrival of {e} failed: {err}"))?;
+            let w = slack_cfg.sigma_bound * VariationConfig::default().sigma_rel * arr.max(0.0);
+            ilo = ilo.min(slack - w);
+            ihi = ihi.min(slack + w);
         }
-        analyze_slacks(&rvs, &slack_cfg, &format!("stage {s}"), report);
+        let stage_cfg = SlackPassConfig {
+            interval_bound: ilo.is_finite().then_some((ilo, ihi)),
+            ..slack_cfg.clone()
+        };
+        analyze_slacks(&rvs, &stage_cfg, &format!("stage {s}"), report);
     }
+
+    // Dataflow passes over an embedded reference program exercising every
+    // interesting CFG shape: a loop, a taken/fall-through branch, and a
+    // call/return pair.
+    let prog = assemble(REFERENCE_PROGRAM).map_err(|e| format!("reference program: {e}"))?;
+    let cfg = Cfg::from_program(&prog);
+    analyze_cfg(&prog, &cfg, report);
+    analyze_dataflow(&prog, &cfg, report);
     Ok(())
 }
+
+/// The reference program the `pipeline` command's dataflow passes run
+/// over: all writes are read, all reads are initialized, branch operands
+/// are data-dependent — clean under DF001–DF005 by construction.
+const REFERENCE_PROGRAM: &str = "\
+        addi r1, r0, 8
+        addi r2, r0, 0
+        jal  sum
+        addi r4, r2, 1
+        st   r4, r0, 0
+        halt
+sum:
+        add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r0, sum
+        jr   r31
+";

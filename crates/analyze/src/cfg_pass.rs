@@ -20,7 +20,7 @@
 //! | CF005 | error    | leader mismatch: a branch/jump target or post-control instruction that is not a block start |
 
 use crate::{AnalysisReport, Severity};
-use terse_isa::{BlockId, Cfg, Opcode, Program};
+use terse_isa::{BlockId, Cfg, ControlKind, Opcode, Program};
 
 /// Runs every CFG pass, appending findings to `report`.
 ///
@@ -83,15 +83,11 @@ fn leaders(program: &Program, cfg: &Cfg, report: &mut AnalysisReport) {
     };
     require(0, "the entry instruction is a leader".to_string());
     for (i, inst) in insts.iter().enumerate() {
-        let is_ctrl = inst.opcode.is_branch()
-            || matches!(inst.opcode, Opcode::Jal | Opcode::Jr | Opcode::Halt);
-        if inst.opcode.is_branch() || inst.opcode == Opcode::Jal {
-            require(
-                inst.imm as usize,
-                format!("instruction {i} targets a leader"),
-            );
+        let kind = ControlKind::of(inst);
+        if let Some(t) = kind.static_target() {
+            require(t as usize, format!("instruction {i} targets a leader"));
         }
-        if is_ctrl {
+        if kind.is_control() {
             require(
                 i + 1,
                 format!("instruction {i} is control flow, so its successor is a leader"),
@@ -100,9 +96,11 @@ fn leaders(program: &Program, cfg: &Cfg, report: &mut AnalysisReport) {
     }
 }
 
-/// The static successor set the terminator of `b` justifies, mirroring
-/// `Cfg::from_program` exactly (including the `beq r0, r0` pseudo-jump
-/// whose fall-through edge is suppressed). `None` marks a block whose
+/// The static successor set the terminator of `b` justifies. Both this
+/// pass and `Cfg::from_program` decode the terminator through the shared
+/// [`ControlKind`] classifier (including the `beq r0, r0` pseudo-jump
+/// whose fall-through edge is suppressed), so the expectation cannot
+/// drift from the real construction. `None` marks a block whose
 /// successors are discovered dynamically (indirect jump).
 fn expected_succs(program: &Program, cfg: &Cfg, b: terse_isa::BasicBlock) -> Option<Vec<BlockId>> {
     let insts = program.instructions();
@@ -124,17 +122,20 @@ fn expected_succs(program: &Program, cfg: &Cfg, b: terse_isa::BasicBlock) -> Opt
             }
         }
     };
-    match last.opcode {
-        op if op.is_branch() => {
-            add(block_at(last.imm as usize));
-            if !(last.rs1 == 0 && last.rs2 == 0 && last.opcode == Opcode::Beq) {
+    match ControlKind::of(last) {
+        ControlKind::Branch {
+            target,
+            falls_through,
+        } => {
+            add(block_at(target as usize));
+            if falls_through {
                 add(block_at(b.end as usize));
             }
         }
-        Opcode::Jal => add(block_at(last.imm as usize)),
-        Opcode::Jr => return None,
-        Opcode::Halt => {}
-        _ => add(block_at(b.end as usize)),
+        ControlKind::Jump { target } => add(block_at(target as usize)),
+        ControlKind::Indirect => return None,
+        ControlKind::Halt => {}
+        ControlKind::FallThrough => add(block_at(b.end as usize)),
     }
     Some(out)
 }
@@ -162,8 +163,7 @@ fn edges(program: &Program, cfg: &Cfg, report: &mut AnalysisReport) {
             }
         }
         let last = &insts[(b.end - 1) as usize];
-        let is_terminator = last.opcode.is_branch()
-            || matches!(last.opcode, Opcode::Jal | Opcode::Jr | Opcode::Halt);
+        let is_terminator = ControlKind::of(last).is_control();
         let Some(expected) = expected_succs(program, cfg, *b) else {
             // Indirect terminator: static successors are discovered at
             // profile time; the block must be flagged as indirect and

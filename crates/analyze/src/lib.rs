@@ -14,6 +14,11 @@
 //!   [`tape_pass`] (compiled-op-tape write-before-read order, destination
 //!   slot aliasing, slab-range and external-slot ownership checks for the
 //!   bit-parallel kernels).
+//! * **Program dataflow** — [`dataflow`], a monotone-framework fixpoint
+//!   engine over the ISA CFG (reaching definitions, liveness, constant
+//!   propagation, register value intervals) emitting the `DF0xx` family
+//!   and exporting the per-instruction operand bounds the DTA
+//!   error-immunity pre-screen consumes.
 //! * **Codebase lints** — [`lint`], an offline scanner over the
 //!   workspace's own Rust sources (no registry dependencies, consistent
 //!   with the vendored-shim policy): panicking APIs in library crates,
@@ -29,9 +34,9 @@
 //! derived facts (e.g. static stage-DTS interval bounds) and never gate.
 //!
 //! Diagnostic codes are stable identifiers (`NL0xx` netlist, `CF0xx` CFG,
-//! `SL0xx` slack RVs, `TP0xx` compiled op tapes, `AZ0xx` codebase lints,
-//! `JS0xx` job specs and job-store layouts); see DESIGN.md §14 for the
-//! full table.
+//! `SL0xx` slack RVs, `TP0xx` compiled op tapes, `DF0xx` program
+//! dataflow, `AZ0xx` codebase lints, `JS0xx` job specs and job-store
+//! layouts); see DESIGN.md §14 and §19 for the full table.
 
 // Numeric-kernel idioms used intentionally throughout this crate:
 // `!(x >= 0.0)` rejects NaN along with negatives, and index loops run over
@@ -40,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod cfg_pass;
+pub mod dataflow;
 pub mod integrity;
 pub mod job_pass;
 pub mod lint;
@@ -48,6 +54,10 @@ pub mod slack_pass;
 pub mod tape_pass;
 
 pub use cfg_pass::analyze_cfg;
+pub use dataflow::{
+    analyze_dataflow, augmented_edges, call_return_discipline, operand_bounds, reachable_blocks,
+    Interval, OperandBounds,
+};
 pub use integrity::{crc32, crc32_hex, frame, unframe, FrameError};
 pub use job_pass::{
     analyze_job_spec, analyze_job_store, is_terminal_state, scrub_job_store, valid_transition,
@@ -109,6 +119,10 @@ pub struct Diagnostic {
     pub message: String,
     /// Actionable fix hint.
     pub hint: String,
+    /// Machine-readable key/value facts backing the finding (e.g. which
+    /// of two cross-checked bounds was binding). Rendered as a `data`
+    /// object in JSON; empty for most diagnostics.
+    pub data: Vec<(String, String)>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -148,6 +162,28 @@ impl AnalysisReport {
             entity: entity.into(),
             message: message.into(),
             hint: hint.into(),
+            data: Vec::new(),
+        });
+    }
+
+    /// Appends a diagnostic carrying machine-readable key/value facts
+    /// (surfaced as a `data` object in the JSON rendering).
+    pub fn push_with_data(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        entity: impl Into<String>,
+        message: impl Into<String>,
+        hint: impl Into<String>,
+        data: Vec<(String, String)>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity,
+            entity: entity.into(),
+            message: message.into(),
+            hint: hint.into(),
+            data,
         });
     }
 
@@ -228,13 +264,24 @@ impl AnalysisReport {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"code\":{},\"severity\":{},\"entity\":{},\"message\":{},\"hint\":{}}}",
+                "{{\"code\":{},\"severity\":{},\"entity\":{},\"message\":{},\"hint\":{}",
                 json_str(d.code),
                 json_str(d.severity.label()),
                 json_str(&d.entity),
                 json_str(&d.message),
                 json_str(&d.hint)
             ));
+            if !d.data.is_empty() {
+                out.push_str(",\"data\":{");
+                for (j, (k, v)) in d.data.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{}:{}", json_str(k), json_str(v)));
+                }
+                out.push('}');
+            }
+            out.push('}');
         }
         out.push_str(&format!(
             "],\"errors\":{},\"warnings\":{},\"total\":{}}}",

@@ -25,6 +25,7 @@
 //! | AZ002 | iteration over a `HashMap`/`HashSet` (nondeterministic order on paths feeding the index-ordered parallel merges) | all crates |
 //! | AZ003 | wall-clock or entropy-seeded randomness (`Instant::now`, `SystemTime::now`, `thread_rng`, `from_entropy`, …) | library crates (not `bench`) |
 //! | AZ004 | registered fail point with no fault-injection test referencing it (see [`lint_fail_point_coverage`]) | all crates |
+//! | AZ005 | lossy `as` cast to a ≤32-bit integer type with no bounding evidence on the line (mask, `min`/`clamp`, bit-count, `wrapping_*`, index-newtype round-trip) | hot value-path crates (`netlist`/`dta`/`sim`) |
 
 use crate::{AnalysisReport, Severity};
 use std::collections::{BTreeMap, BTreeSet};
@@ -41,6 +42,8 @@ pub struct RuleSet {
     pub hash_iter: bool,
     /// AZ003 — forbid wall-clock / entropy randomness.
     pub entropy: bool,
+    /// AZ005 — forbid unproven lossy `as` integer casts.
+    pub cast: bool,
 }
 
 impl RuleSet {
@@ -50,18 +53,22 @@ impl RuleSet {
             panic: true,
             hash_iter: true,
             entropy: true,
+            cast: true,
         }
     }
 
     /// The rule set for a workspace crate, by crate directory name.
     /// `oracle` (test-fixture generators, allowed to assert) and `bench`
     /// (measures wall-clock by design) get reduced sets, mirroring the
-    /// clippy no-panic gate's crate list.
+    /// clippy no-panic gate's crate list. The cast rule covers only the
+    /// hot value-path crates, where a silently truncated index or
+    /// reinterpreted immediate corrupts λ rather than a report.
     pub fn for_crate(crate_dir: &str) -> Self {
         RuleSet {
             panic: !matches!(crate_dir, "oracle" | "bench"),
             hash_iter: true,
             entropy: crate_dir != "bench",
+            cast: matches!(crate_dir, "netlist" | "dta" | "sim"),
         }
     }
 }
@@ -360,6 +367,25 @@ const ENTROPY_PATTERNS: [&str; 6] = [
     "rand::random",
     "getrandom",
 ];
+/// Cast targets AZ005 treats as narrowing: an `as` cast into one of
+/// these from `usize`/`u64` drops bits, and from the opposite-signedness
+/// type silently reinterprets the sign bit.
+const NARROW_CAST_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+/// Line-local evidence that a cast operand is already bounded (or that
+/// the cast is a lossless round-trip), suppressing AZ005: explicit
+/// masking, clamping, bit-counting (results ≤ 64), `wrapping_*` modular
+/// intent, and the u32-backed index newtypes' `.index()` accessor.
+const BOUNDED_CAST_EVIDENCE: [&str; 9] = [
+    ".min(",
+    ".clamp(",
+    "wrapping_",
+    "count_ones()",
+    "leading_zeros()",
+    "trailing_zeros()",
+    "& 0x",
+    "& 31",
+    ".index() as",
+];
 
 /// Lints one file's source, appending findings to `report`. `label` is
 /// the path shown in diagnostics; `hash_names` is the workspace-wide
@@ -563,6 +589,39 @@ pub fn lint_file(
                          affects results, add `// terse-analyze: allow(AZ003): why`",
                     );
                 }
+            }
+        }
+
+        // --- AZ005: lossy integer casts ------------------------------
+        if rules.cast
+            && !marker_on(lineno, "AZ005")
+            && !BOUNDED_CAST_EVIDENCE.iter().any(|p| mline.contains(p))
+        {
+            let mut flagged: BTreeSet<String> = BTreeSet::new();
+            let mut from = 0usize;
+            while let Some(p) = mline[from..].find(" as ") {
+                let abs = from + p;
+                from = abs + 4;
+                let rest = &mline[abs + 4..];
+                let ty: String = rest
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric())
+                    .collect();
+                // Word-bound the type name so `u32x4` or `u8_tag` never match.
+                if !rest[ty.len()..].starts_with('_') && NARROW_CAST_TYPES.contains(&ty.as_str()) {
+                    flagged.insert(ty);
+                }
+            }
+            for ty in flagged {
+                report.push(
+                    "AZ005",
+                    Severity::Error,
+                    entity.clone(),
+                    format!("`as {ty}` can silently truncate or reinterpret on the hot value path"),
+                    "use cast_signed()/cast_unsigned() for two's-complement \
+                     reinterpretation, bound the operand on the same line \
+                     (mask/min/clamp), or add `// terse-analyze: allow(AZ005): why`",
+                );
             }
         }
     }
@@ -956,6 +1015,35 @@ fn f(s: &S) {
         let src = "fn f() { let t = Instant::now(); }";
         assert!(lint_src(src, RuleSet::all()).has_code("AZ003"));
         assert!(!lint_src(src, RuleSet::for_crate("bench")).has_code("AZ003"));
+    }
+
+    #[test]
+    fn lossy_cast_flagged_evidence_and_marker_escape() {
+        let hot = RuleSet::for_crate("dta");
+        assert!(hot.cast);
+        assert!(lint_src("fn f(x: usize) -> u32 { x as u32 }", hot).has_code("AZ005"));
+        assert!(lint_src("fn f(x: u32) -> i32 { x as i32 }", hot).has_code("AZ005"));
+        // Line-local bounding evidence suppresses the finding.
+        assert!(!lint_src("fn f(x: usize) -> u32 { x.min(9) as u32 }", hot).has_code("AZ005"));
+        assert!(!lint_src("fn f(x: u64) -> u8 { (x & 0xFF) as u8 }", hot).has_code("AZ005"));
+        assert!(!lint_src("fn f(x: u64) -> u8 { x.count_ones() as u8 }", hot).has_code("AZ005"));
+        assert!(!lint_src("fn f(g: GateId) -> u32 { g.index() as u32 }", hot).has_code("AZ005"));
+        // The audited marker escape hatch works like the other rules.
+        let marked = "fn f(x: usize) -> u32 {\n\
+                      \x20   // terse-analyze: allow(AZ005): caller bounds x below 2^32.\n\
+                      \x20   x as u32\n}";
+        assert!(!lint_src(marked, hot).has_code("AZ005"));
+    }
+
+    #[test]
+    fn widening_casts_and_cold_crates_are_not_flagged() {
+        let hot = RuleSet::for_crate("sim");
+        assert!(!lint_src("fn f(x: u32) -> u64 { x as u64 }", hot).has_code("AZ005"));
+        assert!(!lint_src("fn f(x: u32) -> usize { x as usize }", hot).has_code("AZ005"));
+        assert!(!lint_src("fn f(x: u32) -> f64 { x as f64 }", hot).has_code("AZ005"));
+        let cold = RuleSet::for_crate("core");
+        assert!(!cold.cast);
+        assert!(!lint_src("fn f(x: usize) -> u32 { x as u32 }", cold).has_code("AZ005"));
     }
 
     #[test]

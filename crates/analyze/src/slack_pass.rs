@@ -13,6 +13,14 @@
 //! Algorithm 1's per-cycle result for every activation set (activated
 //! paths are a subset of the static paths).
 //!
+//! When the caller also has an *independently derived* interval for the
+//! same quantity (the deterministic-STA certificate bound
+//! `sd(slack) ≤ σ_rel · arrival` used by the DTA pre-screen), passing it
+//! as [`SlackPassConfig::interval_bound`] tightens SL004 to the
+//! intersection; the diagnostic's `data` records both inputs and which
+//! bound was binding on each side. Disjoint inputs mean one of the two
+//! abstractions is wrong and upgrade SL004 to a warning.
+//!
 //! Diagnostic codes:
 //!
 //! | code  | severity | meaning |
@@ -39,6 +47,11 @@ pub struct SlackPassConfig {
     /// Half-width multiplier `k` of the per-RV interval `μ ± kσ` used for
     /// the SL004 bound.
     pub sigma_bound: f64,
+    /// An independently derived `[lo, hi]` interval for the same
+    /// worst-slack quantity (e.g. from deterministic arrival times and
+    /// the `sd ≤ σ_rel · arrival` certificate). SL004 reports the
+    /// intersection and which bound was binding per side.
+    pub interval_bound: Option<(f64, f64)>,
 }
 
 impl Default for SlackPassConfig {
@@ -47,6 +60,7 @@ impl Default for SlackPassConfig {
             expected_var_count: None,
             expect_variance: true,
             sigma_bound: 3.0,
+            interval_bound: None,
         }
     }
 }
@@ -135,17 +149,61 @@ pub fn analyze_slacks(
         }
     }
     if all_finite {
-        report.push(
-            "SL004",
-            Severity::Info,
-            entity_prefix.to_string(),
-            format!(
-                "static DTS bound: worst slack of {} endpoint(s) in [{lo:.4}, {hi:.4}] (±{}σ)",
-                rvs.len(),
-                cfg.sigma_bound
-            ),
-            "informational interval abstraction; negative lo admits timing errors",
-        );
+        let mut data = vec![
+            ("sigma_lo".to_string(), format!("{lo}")),
+            ("sigma_hi".to_string(), format!("{hi}")),
+        ];
+        let (mut binding_lo, mut binding_hi) = ("sigma", "sigma");
+        let (mut tight_lo, mut tight_hi) = (lo, hi);
+        if let Some((ilo, ihi)) = cfg.interval_bound {
+            data.push(("interval_lo".to_string(), format!("{ilo}")));
+            data.push(("interval_hi".to_string(), format!("{ihi}")));
+            if ilo > tight_lo {
+                tight_lo = ilo;
+                binding_lo = "interval";
+            }
+            if ihi < tight_hi {
+                tight_hi = ihi;
+                binding_hi = "interval";
+            }
+        }
+        data.push(("binding_lo".to_string(), binding_lo.to_string()));
+        data.push(("binding_hi".to_string(), binding_hi.to_string()));
+        if tight_lo > tight_hi {
+            // Two sound abstractions of one quantity cannot be disjoint:
+            // one of the inputs is wrong.
+            report.push_with_data(
+                "SL004",
+                Severity::Warning,
+                entity_prefix.to_string(),
+                format!(
+                    "static DTS cross-check failed: ±{}σ bound [{lo:.4}, {hi:.4}] is \
+                     disjoint from interval bound {:?}",
+                    cfg.sigma_bound, cfg.interval_bound,
+                ),
+                "the sensitivity extraction and the arrival-certificate bound disagree",
+                data,
+            );
+        } else {
+            report.push_with_data(
+                "SL004",
+                Severity::Info,
+                entity_prefix.to_string(),
+                format!(
+                    "static DTS bound: worst slack of {} endpoint(s) in \
+                     [{tight_lo:.4}, {tight_hi:.4}] (±{}σ{})",
+                    rvs.len(),
+                    cfg.sigma_bound,
+                    if cfg.interval_bound.is_some() {
+                        " ∩ certificate interval"
+                    } else {
+                        ""
+                    },
+                ),
+                "informational interval abstraction; negative lo admits timing errors",
+                data,
+            );
+        }
     }
 }
 
@@ -190,6 +248,56 @@ mod tests {
             "{}",
             note.message
         );
+    }
+
+    #[test]
+    fn interval_cross_check_tightens_and_records_binding_side() {
+        // σ bound: [10 − 3, 10 + 3] = [7, 13].
+        let rvs = vec![rv(10.0, vec![1.0], 0.0)];
+        let cfg = SlackPassConfig {
+            interval_bound: Some((8.0, 20.0)),
+            ..Default::default()
+        };
+        let r = check(&rvs, &cfg);
+        let note = r
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "SL004")
+            .expect("bound note");
+        assert_eq!(note.severity, Severity::Info);
+        assert!(
+            note.message.contains("[8.0000, 13.0000]"),
+            "{}",
+            note.message
+        );
+        let get = |k: &str| {
+            note.data
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.as_str())
+                .unwrap_or_else(|| panic!("missing data key {k}"))
+        };
+        assert_eq!(get("binding_lo"), "interval");
+        assert_eq!(get("binding_hi"), "sigma");
+        assert_eq!(get("sigma_lo"), "7");
+        assert_eq!(get("interval_hi"), "20");
+    }
+
+    #[test]
+    fn disjoint_cross_check_is_a_warning() {
+        let rvs = vec![rv(10.0, vec![1.0], 0.0)];
+        let cfg = SlackPassConfig {
+            interval_bound: Some((20.0, 30.0)),
+            ..Default::default()
+        };
+        let r = check(&rvs, &cfg);
+        let note = r
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "SL004")
+            .expect("cross-check finding");
+        assert_eq!(note.severity, Severity::Warning);
+        assert!(!r.is_clean());
     }
 
     #[test]

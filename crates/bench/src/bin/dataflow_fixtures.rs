@@ -1,0 +1,111 @@
+//! Fixture gate for the dataflow framework: zero false positives on
+//! clean-by-construction loop programs, and every injected dataflow defect
+//! class detected with its expected DF diagnostic code.
+//!
+//! ```text
+//! cargo run --release -p terse-bench --bin dataflow_fixtures [valid_count] [defect_seeds]
+//! ```
+//!
+//! `valid_count` (default 256) clean fixtures from the oracle crate's
+//! `random_dataflow_fixture` generator must produce **zero**
+//! Warning-or-above diagnostics from the full dataflow pass stack
+//! (reaching definitions, liveness, constant propagation, intervals).
+//! Each defect class (DF001–DF005) must be detected on every one of
+//! `defect_seeds` (default 32) seeds. A JSON summary is written to
+//! `results/ANALYZE_dataflow.json`; the exit status is nonzero on any
+//! false positive or missed defect, which is what the CI `analyze` job
+//! gates on.
+
+use oracle::gen;
+
+struct DefectOutcome {
+    kind: String,
+    expected_code: &'static str,
+    seeds: usize,
+    detected: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let valid_count: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(256);
+    let defect_seeds: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(32);
+
+    let chain_for = |seed: u64| 1 + (seed % 5) as usize;
+
+    // --- Valid fixtures: the zero-false-positive contract ---------------
+    let mut false_positives: Vec<String> = Vec::new();
+    for seed in 0..valid_count as u64 {
+        let fx = gen::random_dataflow_fixture(seed, chain_for(seed), None);
+        let r = gen::dataflow_fixture_report(&fx);
+        if !r.is_clean() {
+            false_positives.push(format!("dataflow seed {seed}:\n{}", r.render_text()));
+        }
+    }
+
+    // --- Defect fixtures: every class detected, every seed --------------
+    let mut outcomes: Vec<DefectOutcome> = Vec::new();
+    for defect in gen::DataflowDefect::ALL {
+        let code = defect.expected_code();
+        let mut detected = 0usize;
+        for seed in 0..defect_seeds as u64 {
+            let fx = gen::random_dataflow_fixture(seed, chain_for(seed), Some(defect));
+            let r = gen::dataflow_fixture_report(&fx);
+            if r.has_code(code) {
+                detected += 1;
+            }
+        }
+        outcomes.push(DefectOutcome {
+            kind: format!("{defect:?}"),
+            expected_code: code,
+            seeds: defect_seeds,
+            detected,
+        });
+    }
+
+    let missed: Vec<&DefectOutcome> = outcomes.iter().filter(|o| o.detected < o.seeds).collect();
+    let pass = false_positives.is_empty() && missed.is_empty();
+
+    // --- Report ---------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"valid_count\": {valid_count},\n  \"defect_seeds\": {defect_seeds},\n"
+    ));
+    json.push_str(&format!(
+        "  \"false_positives\": {},\n  \"defects\": [\n",
+        false_positives.len()
+    ));
+    for (i, o) in outcomes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kind\": \"{}\", \"expected_code\": \"{}\", \"seeds\": {}, \"detected\": {}}}{}\n",
+            o.kind,
+            o.expected_code,
+            o.seeds,
+            o.detected,
+            if i + 1 < outcomes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!("  ],\n  \"pass\": {pass}\n}}\n"));
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/ANALYZE_dataflow.json", &json).expect("write fixture report");
+
+    for fp in &false_positives {
+        eprintln!("FALSE POSITIVE on clean fixture — {fp}");
+    }
+    for o in &missed {
+        eprintln!(
+            "MISSED DEFECT — {} expected {} on {} seed(s), detected on {}",
+            o.kind, o.expected_code, o.seeds, o.detected
+        );
+    }
+    println!(
+        "dataflow_fixtures: {} clean fixtures clean: {}; {}/{} defect classes fully detected",
+        valid_count,
+        false_positives.is_empty(),
+        outcomes.len() - missed.len(),
+        outcomes.len()
+    );
+    if !pass {
+        std::process::exit(1);
+    }
+}

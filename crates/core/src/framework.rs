@@ -36,13 +36,14 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use terse_analyze::{
-    analyze_cfg, analyze_netlist, analyze_slacks, AnalysisReport, SlackPassConfig,
+    analyze_cfg, analyze_dataflow, analyze_netlist, analyze_slacks, AnalysisReport, SlackPassConfig,
 };
 use terse_dta::cache::{DtsCache, DtsCacheStats};
 use terse_dta::control::{characterization_edges, characterize_control_with};
 use terse_dta::datapath::DatapathModel;
 use terse_dta::engine::{DtaMode, DtsEngine};
 use terse_dta::instmodel::InstructionErrorModel;
+use terse_dta::prescreen::{build_plan, PrescreenConfig, PrescreenMode, PrescreenStats};
 use terse_errmodel::marginal::{solve_marginals_with, MarginalProblem};
 use terse_isa::{assemble, BasicBlock, BlockId, Cfg, Program};
 use terse_netlist::pipeline::{PipelineConfig, PipelineNetlist};
@@ -53,7 +54,7 @@ use terse_sim::features::InstFeatures;
 use terse_sim::machine::Machine;
 use terse_sim::phase::{PhaseConfig, PhasedProfile};
 use terse_sim::profile::{ProfileResult, Profiler};
-use terse_sta::analysis::StatisticalSta;
+use terse_sta::analysis::{Sta, StatisticalSta};
 use terse_sta::delay::{DelayLibrary, TimingConstraints};
 use terse_sta::statmin::MinOrdering;
 use terse_sta::variation::{ChipSample, VariationConfig, VariationModel};
@@ -174,6 +175,7 @@ pub struct FrameworkBuilder {
     dta_cache_entries: usize,
     sim_strategy: SimStrategy,
     sampling: Option<PhaseConfig>,
+    prescreen: PrescreenConfig,
 }
 
 impl Default for FrameworkBuilder {
@@ -199,6 +201,7 @@ impl Default for FrameworkBuilder {
             dta_cache_entries: 1024,
             sim_strategy: SimStrategy::default(),
             sampling: None,
+            prescreen: PrescreenConfig::default(),
         }
     }
 }
@@ -342,6 +345,17 @@ impl FrameworkBuilder {
         self
     }
 
+    /// Sets the static error-immunity pre-screening configuration (see
+    /// [`terse_dta::prescreen`]). Default: [`PrescreenMode::Off`] —
+    /// every `(instruction, stage)` pair is computed. `Prune` skips
+    /// statically proven-immune pairs during control characterization;
+    /// `Oracle` computes them anyway and asserts the proof (bitwise
+    /// identical results to `Prune`).
+    pub fn prescreen(mut self, cfg: PrescreenConfig) -> Self {
+        self.prescreen = cfg;
+        self
+    }
+
     /// Builds the framework (constructs the pipeline netlist and derives
     /// the operating point).
     ///
@@ -378,6 +392,8 @@ impl FrameworkBuilder {
             sim_strategy: self.sim_strategy,
             cosim_stats: Mutex::new(CosimStats::default()),
             sampling: self.sampling,
+            prescreen: self.prescreen,
+            prescreen_stats: Mutex::new(PrescreenStats::default()),
         })
     }
 }
@@ -410,6 +426,10 @@ pub struct Framework {
     cosim_stats: Mutex<CosimStats>,
     /// Phase-sampling configuration (`None` = exact full-trace runs).
     sampling: Option<PhaseConfig>,
+    /// Static error-immunity pre-screening configuration.
+    prescreen: PrescreenConfig,
+    /// Pair counters accumulated across every pre-screened training run.
+    prescreen_stats: Mutex<PrescreenStats>,
 }
 
 impl Framework {
@@ -479,8 +499,10 @@ impl Framework {
         analyze_netlist(netlist, &mut report);
         let cfg = Cfg::from_program(w.program());
         analyze_cfg(w.program(), &cfg, &mut report);
+        analyze_dataflow(w.program(), &cfg, &mut report);
         let model = VariationModel::new(netlist, &self.lib, self.variation)?;
         let ssta = StatisticalSta::new(netlist, &self.lib, &model);
+        let sta = Sta::new(netlist, &self.lib);
         let slack_cfg = SlackPassConfig {
             expected_var_count: Some(model.var_count()),
             expect_variance: self.variation.sigma_rel > 0.0,
@@ -489,10 +511,24 @@ impl Framework {
         for s in 0..netlist.stage_count() {
             let endpoints = netlist.endpoints(s)?;
             let mut rvs = Vec::with_capacity(endpoints.len());
+            // Cross-check input for SL004: the deterministic-arrival
+            // certificate interval (`sd(slack) ≤ σ_rel · arrival`, the same
+            // inequality the DTA pre-screen is built on), derived without
+            // the SSTA sensitivity machinery.
+            let (mut ilo, mut ihi) = (f64::INFINITY, f64::INFINITY);
             for &e in endpoints {
                 rvs.push(ssta.endpoint_slack(e, self.operating.working_period)?);
+                let slack = sta.endpoint_slack(e, self.operating.working_period)?;
+                let arr = sta.endpoint_arrival(e)?;
+                let w = slack_cfg.sigma_bound * self.variation.sigma_rel * arr.max(0.0);
+                ilo = ilo.min(slack - w);
+                ihi = ihi.min(slack + w);
             }
-            analyze_slacks(&rvs, &slack_cfg, &format!("stage {s}"), &mut report);
+            let stage_cfg = SlackPassConfig {
+                interval_bound: ilo.is_finite().then_some((ilo, ihi)),
+                ..slack_cfg.clone()
+            };
+            analyze_slacks(&rvs, &stage_cfg, &format!("stage {s}"), &mut report);
         }
         Ok(report)
     }
@@ -558,6 +594,19 @@ impl Framework {
     /// handed out.
     pub fn dta_cache_stats(&self) -> Option<DtsCacheStats> {
         self.dts_cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Accumulated pre-screening pair counters across every training run,
+    /// or `None` when pre-screening is off. Counters only grow while a
+    /// built plan is consulted (its certificates cover the engine clock).
+    pub fn prescreen_stats(&self) -> Option<PrescreenStats> {
+        if self.prescreen.mode == PrescreenMode::Off {
+            return None;
+        }
+        Some(match self.prescreen_stats.lock() {
+            Ok(g) => *g,
+            Err(p) => *p.into_inner(),
+        })
     }
 
     /// Draws manufactured-chip samples (for Monte Carlo validation).
@@ -674,7 +723,22 @@ impl Framework {
         cfg: &Cfg,
         profiles: &[&ProfileResult],
     ) -> Result<InstructionErrorModel> {
-        let engine = self.engine()?;
+        let mut engine = self.engine()?;
+        let plan = if self.prescreen.mode != PrescreenMode::Off {
+            let p = Arc::new(build_plan(
+                self.pipeline.netlist(),
+                &self.lib,
+                &self.variation,
+                self.operating.working_period,
+                w.program(),
+                cfg,
+                self.prescreen,
+            )?);
+            engine.set_prune_plan(Arc::clone(&p));
+            Some(p)
+        } else {
+            None
+        };
         let mut edges: Vec<(BlockId, BlockId)> = profiles
             .iter()
             // terse-analyze: allow(AZ002): collected, sorted and deduped below.
@@ -707,6 +771,15 @@ impl Framework {
         match self.cosim_stats.lock() {
             Ok(mut g) => g.merge(stats),
             Err(p) => p.into_inner().merge(stats),
+        }
+        if let Some(p) = &plan {
+            let s = p.stats();
+            let mut g = match self.prescreen_stats.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            g.pairs_total += s.pairs_total;
+            g.pairs_pruned += s.pairs_pruned;
         }
         Ok(InstructionErrorModel::new(
             cfg,
@@ -1232,6 +1305,7 @@ impl Framework {
             perf: self.performance_model(),
             dta_cache: self.dta_cache_stats(),
             bitparallel: Some(self.bitparallel_stats(0)),
+            prescreen: self.prescreen_stats(),
         })
     }
 }
@@ -1455,6 +1529,54 @@ mod tests {
         let hi = report.estimate.rate_cdf(1.0).unwrap();
         assert!(lo.nominal <= hi.nominal);
         assert!((hi.nominal - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prescreened_run_matches_oracle_and_reports_pruning() {
+        let src = r"
+            addi r1, r0, 6
+            li   r2, 0xF0F0F
+        loop:
+            add  r3, r3, r2
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            halt
+        ";
+        let run_with = |mode: PrescreenMode| {
+            let f = Framework::builder()
+                .samples(2)
+                .profiler(Profiler {
+                    max_feature_samples: 8,
+                    budget: 100_000,
+                    dmem_words: 4096,
+                    seed: 1,
+                })
+                .prescreen(PrescreenConfig::with_mode(mode))
+                .build()
+                .unwrap();
+            f.run(&Workload::from_asm("pre", src).unwrap()).unwrap()
+        };
+        let pruned = run_with(PrescreenMode::Prune);
+        // Oracle computes every pruned pair and asserts its certificate —
+        // completing without PrescreenViolation is the soundness check —
+        // then excludes it exactly like Prune: λ must agree bitwise.
+        let oracle = run_with(PrescreenMode::Oracle);
+        let (lp, lo) = (&pruned.estimate.lambda, &oracle.estimate.lambda);
+        assert_eq!(lp.samples().len(), lo.samples().len());
+        for (a, b) in lp.samples().iter().zip(lo.samples()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let stats = pruned.prescreen.expect("prescreen stats in report");
+        assert!(stats.pairs_total > 0);
+        assert!(
+            stats.pairs_pruned * 5 >= stats.pairs_total,
+            "expected ≥20% pruning, got {stats:?}"
+        );
+        assert!(pruned.perf_summary().contains("prescreen:"));
+        // An Off run reports no prescreen section.
+        let off = run_with(PrescreenMode::Off);
+        assert!(off.prescreen.is_none());
+        assert!(off.perf_summary().contains("prescreen: off"));
     }
 
     #[test]

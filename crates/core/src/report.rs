@@ -4,6 +4,7 @@
 use crate::perf::TsPerformanceModel;
 use crate::Result;
 use terse_dta::cache::DtsCacheStats;
+use terse_dta::prescreen::PrescreenStats;
 use terse_stats::mixture::CdfBounds;
 use terse_stats::{Normal, PoissonNormalMixture, SampleRv};
 
@@ -318,6 +319,9 @@ pub struct Report {
     /// Bit-parallel backend counters (`None` for reports assembled outside
     /// `Framework::run`, e.g. by hand in tests).
     pub bitparallel: Option<BitParallelStats>,
+    /// Static pre-screening pair counters (`None` when pre-screening was
+    /// off for the run).
+    pub prescreen: Option<PrescreenStats>,
 }
 
 impl Report {
@@ -412,6 +416,15 @@ impl Report {
                 }
             }
             None => s.push_str("\nbit-parallel: n/a"),
+        }
+        match &self.prescreen {
+            Some(p) => s.push_str(&format!(
+                "\nprescreen: {}/{} pairs pruned ({:.1}%)",
+                p.pairs_pruned,
+                p.pairs_total,
+                p.ratio() * 100.0,
+            )),
+            None => s.push_str("\nprescreen: off"),
         }
         // Like the segments above, the sampling line is always present so
         // line-oriented consumers see a fixed field set.
@@ -508,6 +521,16 @@ impl Report {
             },
         );
         o.raw("bitparallel", &b.finish());
+        match &self.prescreen {
+            Some(p) => {
+                let mut pr = JsonObj::new();
+                pr.raw("pairs_total", &p.pairs_total.to_string());
+                pr.raw("pairs_pruned", &p.pairs_pruned.to_string());
+                pr.f64("ratio", p.ratio());
+                o.raw("prescreen", &pr.finish());
+            }
+            None => o.raw("prescreen", "null"),
+        }
         o.finish()
     }
 }
@@ -598,6 +621,7 @@ mod tests {
             perf: TsPerformanceModel::paper_default(),
             dta_cache: None,
             bitparallel: None,
+            prescreen: None,
         };
         let header = Report::table2_header();
         let row = r.table2_row();
@@ -636,6 +660,7 @@ mod tests {
                 mc_chips: 0,
                 mc_lane_occupancy: 1.0,
             }),
+            prescreen: None,
         };
         // No MC grid ran: the occupancy segment must still be there, as an
         // explicit n/a rather than a missing field.
@@ -664,6 +689,7 @@ mod tests {
             perf: TsPerformanceModel::paper_default(),
             dta_cache: None,
             bitparallel: None,
+            prescreen: None,
         };
         let json = r.to_json();
         for key in [
@@ -715,6 +741,7 @@ mod tests {
             perf: TsPerformanceModel::paper_default(),
             dta_cache: None,
             bitparallel: None,
+            prescreen: None,
         };
         let summary = r.perf_summary();
         assert!(
@@ -781,6 +808,10 @@ mod tests {
                 mc_chips: 70,
                 mc_lane_occupancy: 70.0 / 128.0,
             }),
+            prescreen: Some(PrescreenStats {
+                pairs_total: 40,
+                pairs_pruned: 10,
+            }),
         };
         let summary = r.perf_summary();
         assert!(summary.contains("30 hits"));
@@ -793,6 +824,7 @@ mod tests {
         assert!(summary.contains("64 lanes/word"));
         assert!(summary.contains("560000 ops skipped"));
         assert!(summary.contains("mc 70 chips at 54.7% lane occupancy"));
+        assert!(summary.contains("prescreen: 10/40 pairs pruned (25.0%)"));
     }
 
     #[test]

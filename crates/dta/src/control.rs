@@ -81,7 +81,7 @@ fn synth_retired(
 ) -> Retired {
     let (rs1_val, rs2_val) = hint(index);
     let taken = if inst.opcode.is_branch() {
-        Some(inst.imm as u32 == next_index)
+        Some(inst.imm.cast_unsigned() == next_index)
     } else {
         None
     };
@@ -170,11 +170,13 @@ pub fn characterize_control_with(
             let pb = cfg.blocks()[p.index()];
             let tail_len = (pb.len()).min(STAGE_COUNT);
             for i in (pb.end as usize - tail_len)..pb.end as usize {
+                // terse-analyze: allow(AZ005): stream indices are program positions, < 2^32.
                 stream.push((i as u32, program.instructions()[i]));
             }
         }
         let body_start = stream.len();
         for i in blk.range() {
+            // terse-analyze: allow(AZ005): stream indices are program positions, < 2^32.
             stream.push((i as u32, program.instructions()[i]));
         }
         // Synthesize retirements (next index = following stream element).
@@ -207,7 +209,12 @@ pub fn characterize_control_with(
         // endpoints).
         let mut slacks = Vec::with_capacity(blk.len());
         for k in body_start..retired.len() {
-            slacks.push(engine.inst_dts(&trace, k, EndpointFilter::Control)?);
+            slacks.push(engine.inst_dts_for(
+                &trace,
+                k,
+                EndpointFilter::Control,
+                Some(retired[k].index),
+            )?);
         }
         stats.absorb(&cosim);
         table.entries.insert((block, pred), slacks);

@@ -27,6 +27,11 @@
 //! * [`cache`] — **activation-signature memoization** of stage DTS: an
 //!   exact (bit-verified) bounded LRU keyed on the per-stage masked toggle
 //!   set, exploiting the tight-loop repetition of real programs.
+//! * [`prescreen`] — **static error-immunity pre-screening**: abstract
+//!   interpretation over the netlist plus dataflow facts over the ISA CFG
+//!   prove `(instruction, stage)` pairs that can never violate the clock,
+//!   so Algorithm 2 skips them (with an oracle mode that computes them
+//!   anyway and asserts the proof).
 
 // Numeric-kernel idioms used intentionally throughout this crate:
 // `!(x >= 0.0)` rejects NaN along with negatives, and index loops run over
@@ -38,12 +43,14 @@ pub mod control;
 pub mod datapath;
 pub mod engine;
 pub mod instmodel;
+pub mod prescreen;
 
 pub use cache::{DtsCache, DtsCacheStats};
 pub use control::{characterize_control, characterize_control_with, ControlDtsTable};
 pub use datapath::{DatapathModel, FuncUnit};
 pub use engine::{DtaMode, DtsEngine, EndpointFilter};
 pub use instmodel::InstructionErrorModel;
+pub use prescreen::{build_plan, PrescreenConfig, PrescreenMode, PrescreenStats, PrunePlan};
 
 use std::fmt;
 
@@ -66,6 +73,18 @@ pub enum DtaError {
         /// Offending value.
         value: f64,
     },
+    /// Oracle-mode pre-screening found a pair whose computed slack
+    /// contradicts its static immunity certificate (a soundness bug).
+    PrescreenViolation {
+        /// Pipeline stage of the pair.
+        stage: usize,
+        /// Program instruction index, if the trace was program-tagged.
+        index: Option<u32>,
+        /// Computed slack mean.
+        mean: f64,
+        /// Computed slack standard deviation.
+        sd: f64,
+    },
 }
 
 impl fmt::Display for DtaError {
@@ -79,6 +98,16 @@ impl fmt::Display for DtaError {
             DtaError::InvalidParameter { name, value } => {
                 write!(f, "invalid parameter `{name}` = {value}")
             }
+            DtaError::PrescreenViolation {
+                stage,
+                index,
+                mean,
+                sd,
+            } => write!(
+                f,
+                "prescreen oracle violation at stage {stage} (instruction {index:?}): \
+                 slack mean {mean} sd {sd} contradicts immunity certificate"
+            ),
         }
     }
 }

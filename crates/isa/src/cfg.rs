@@ -13,6 +13,67 @@ use crate::inst::Instruction;
 use crate::opcode::Opcode;
 use crate::program::Program;
 
+/// Decoded control-transfer behaviour of one instruction — the single
+/// source of truth for leader derivation and static edge construction,
+/// shared between [`Cfg::from_program`] and the static analyzer's
+/// structural re-derivation so the two can never drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlKind {
+    /// Not a control-flow instruction: execution falls through.
+    FallThrough,
+    /// Conditional branch to `target`. `falls_through` is `false` for the
+    /// `beq r0, r0` pseudo-jump, which is always taken.
+    Branch {
+        /// Instruction index of the branch target.
+        target: u32,
+        /// Whether the fall-through edge is real.
+        falls_through: bool,
+    },
+    /// Unconditional direct jump or call to `target`.
+    Jump {
+        /// Instruction index of the jump target.
+        target: u32,
+    },
+    /// Indirect jump — successors are discovered dynamically at profile
+    /// time.
+    Indirect,
+    /// Program termination.
+    Halt,
+}
+
+impl ControlKind {
+    /// Classifies an instruction's control-transfer behaviour.
+    pub fn of(inst: &Instruction) -> ControlKind {
+        match inst.opcode {
+            op if op.is_branch() => ControlKind::Branch {
+                target: inst.imm as u32,
+                // `beq r0, r0` compares the hardwired zero register with
+                // itself: always taken, so the fall-through edge is dead.
+                falls_through: !(inst.opcode == Opcode::Beq && inst.rs1 == 0 && inst.rs2 == 0),
+            },
+            Opcode::Jal => ControlKind::Jump {
+                target: inst.imm as u32,
+            },
+            Opcode::Jr => ControlKind::Indirect,
+            Opcode::Halt => ControlKind::Halt,
+            _ => ControlKind::FallThrough,
+        }
+    }
+
+    /// Whether the instruction transfers control (ends a basic block).
+    pub fn is_control(&self) -> bool {
+        !matches!(self, ControlKind::FallThrough)
+    }
+
+    /// The static branch/jump target, if any.
+    pub fn static_target(&self) -> Option<u32> {
+        match *self {
+            ControlKind::Branch { target, .. } | ControlKind::Jump { target } => Some(target),
+            _ => None,
+        }
+    }
+}
+
 /// Identifier of a basic block (dense index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockId(pub u32);
@@ -95,29 +156,14 @@ impl Cfg {
             leader[0] = true;
         }
         for (i, inst) in insts.iter().enumerate() {
-            match inst.opcode {
-                op if op.is_branch() => {
-                    let t = inst.imm as usize;
-                    if t < n {
-                        leader[t] = true;
-                    }
-                    if i + 1 < n {
-                        leader[i + 1] = true;
-                    }
+            let kind = ControlKind::of(inst);
+            if let Some(t) = kind.static_target() {
+                if (t as usize) < n {
+                    leader[t as usize] = true;
                 }
-                Opcode::Jal => {
-                    let t = inst.imm as usize;
-                    if t < n {
-                        leader[t] = true;
-                    }
-                    if i + 1 < n {
-                        leader[i + 1] = true;
-                    }
-                }
-                Opcode::Jr | Opcode::Halt if i + 1 < n => {
-                    leader[i + 1] = true;
-                }
-                _ => {}
+            }
+            if kind.is_control() && i + 1 < n {
+                leader[i + 1] = true;
             }
         }
         // Blocks.
@@ -163,20 +209,20 @@ impl Cfg {
                     }
                 }
             };
-            match last.opcode {
-                op if op.is_branch() => {
-                    add(block_at(last.imm as usize), &mut succs);
-                    // Unconditional pseudo-jump (beq r0,r0) has no real
-                    // fall-through edge, but keeping it harms nothing:
-                    // its activation probability will be measured as 0.
-                    if !(last.rs1 == 0 && last.rs2 == 0 && last.opcode == Opcode::Beq) {
+            match ControlKind::of(last) {
+                ControlKind::Branch {
+                    target,
+                    falls_through,
+                } => {
+                    add(block_at(target as usize), &mut succs);
+                    if falls_through {
                         add(block_at(b.end as usize), &mut succs);
                     }
                 }
-                Opcode::Jal => add(block_at(last.imm as usize), &mut succs),
-                Opcode::Jr => indirect.push(b.id),
-                Opcode::Halt => {}
-                _ => add(block_at(b.end as usize), &mut succs),
+                ControlKind::Jump { target } => add(block_at(target as usize), &mut succs),
+                ControlKind::Indirect => indirect.push(b.id),
+                ControlKind::Halt => {}
+                ControlKind::FallThrough => add(block_at(b.end as usize), &mut succs),
             }
         }
         for (i, ss) in succs.iter().enumerate() {

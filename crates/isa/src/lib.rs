@@ -56,7 +56,7 @@ pub mod opcode;
 pub mod program;
 
 pub use asm::{assemble, disassemble};
-pub use cfg::{BasicBlock, BlockId, Cfg};
+pub use cfg::{BasicBlock, BlockId, Cfg, ControlKind};
 pub use inst::Instruction;
 pub use opcode::Opcode;
 pub use program::Program;

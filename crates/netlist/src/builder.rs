@@ -41,6 +41,14 @@ pub struct NetlistBuilder {
     place_state: u64,
 }
 
+/// Packs a stage index into the per-gate `u16` field. Stage counts are
+/// fixed at builder construction (single digits for the reference
+/// pipeline) and never approach `u16::MAX`.
+fn stage_u16(stage: usize) -> u16 {
+    // terse-analyze: allow(AZ005): stage indices are small, builder-validated counts.
+    stage as u16
+}
+
 impl NetlistBuilder {
     /// Creates a builder for a netlist with `stage_count` pipeline stages.
     ///
@@ -102,7 +110,7 @@ impl NetlistBuilder {
     }
 
     fn push(&mut self, data: GateData) -> GateId {
-        let id = GateId(self.gates.len() as u32);
+        let id = GateId::from_index(self.gates.len());
         self.gates.push(data);
         self.ff_input.push(None);
         id
@@ -139,7 +147,7 @@ impl NetlistBuilder {
         Ok(self.push(GateData {
             kind,
             fanin: fanin.to_vec(),
-            stage: stage as u16,
+            stage: stage_u16(stage),
             pos,
             endpoint: None,
         }))
@@ -168,7 +176,7 @@ impl NetlistBuilder {
             ids.push(self.push(GateData {
                 kind: GateKind::Input,
                 fanin: Vec::new(),
-                stage: stage as u16,
+                stage: stage_u16(stage),
                 pos,
                 endpoint: None,
             }));
@@ -212,7 +220,7 @@ impl NetlistBuilder {
             ids.push(self.push(GateData {
                 kind: GateKind::FlipFlop,
                 fanin: Vec::new(),
-                stage: capture_stage as u16,
+                stage: stage_u16(capture_stage),
                 pos,
                 endpoint: Some(class),
             }));
@@ -232,7 +240,7 @@ impl NetlistBuilder {
         Ok(self.push(GateData {
             kind: GateKind::Tie(value),
             fanin: Vec::new(),
-            stage: stage as u16,
+            stage: stage_u16(stage),
             pos,
             endpoint: None,
         }))
@@ -345,6 +353,7 @@ impl NetlistBuilder {
         // Every FF must have a D driver.
         for (i, g) in self.gates.iter().enumerate() {
             if g.kind == GateKind::FlipFlop && self.ff_input[i].is_none() {
+                // terse-analyze: allow(AZ005): gate index, dense and < 2^32 by construction.
                 return Err(NetlistError::UnconnectedFlipFlop { id: i as u32 });
             }
         }
@@ -352,7 +361,7 @@ impl NetlistBuilder {
         let mut fanout: Vec<Vec<GateId>> = vec![Vec::new(); n];
         for (i, g) in self.gates.iter().enumerate() {
             for f in &g.fanin {
-                fanout[f.index()].push(GateId(i as u32));
+                fanout[f.index()].push(GateId::from_index(i));
             }
         }
         // Kahn topological sort over combinational gates (endpoints and
@@ -377,7 +386,7 @@ impl NetlistBuilder {
         while head < queue.len() {
             let u = queue[head];
             head += 1;
-            topo.push(GateId(u as u32));
+            topo.push(GateId::from_index(u));
             for v in &fanout[u] {
                 let vi = v.index();
                 if self.gates[vi].kind.is_endpoint() {
@@ -397,7 +406,7 @@ impl NetlistBuilder {
         let mut endpoints_by_stage: Vec<Vec<GateId>> = vec![Vec::new(); self.stage_count];
         for (i, g) in self.gates.iter().enumerate() {
             if g.kind == GateKind::FlipFlop {
-                endpoints_by_stage[g.stage as usize].push(GateId(i as u32));
+                endpoints_by_stage[g.stage as usize].push(GateId::from_index(i));
             }
         }
         Ok(Netlist {
@@ -425,7 +434,7 @@ impl NetlistBuilder {
         let mut fanout: Vec<Vec<GateId>> = vec![Vec::new(); n];
         for (i, g) in self.gates.iter().enumerate() {
             for f in &g.fanin {
-                fanout[f.index()].push(GateId(i as u32));
+                fanout[f.index()].push(GateId::from_index(i));
             }
         }
         // Same Kahn sweep as `finish`, but a short count (cycle) is
@@ -449,7 +458,7 @@ impl NetlistBuilder {
         while head < queue.len() {
             let u = queue[head];
             head += 1;
-            topo.push(GateId(u as u32));
+            topo.push(GateId::from_index(u));
             for v in &fanout[u] {
                 let vi = v.index();
                 if self.gates[vi].kind.is_endpoint() {
@@ -465,7 +474,7 @@ impl NetlistBuilder {
         for (i, g) in self.gates.iter().enumerate() {
             if g.kind == GateKind::FlipFlop {
                 let s = (g.stage as usize).min(self.stage_count - 1);
-                endpoints_by_stage[s].push(GateId(i as u32));
+                endpoints_by_stage[s].push(GateId::from_index(i));
             }
         }
         Netlist {

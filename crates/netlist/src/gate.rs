@@ -19,6 +19,7 @@ impl GateId {
     /// Prefer obtaining ids from the netlist; this exists for serialization
     /// and test helpers.
     pub fn from_index(index: usize) -> Self {
+        // terse-analyze: allow(AZ005): ids are dense creation-order indices < 2^32.
         GateId(index as u32)
     }
 }

@@ -63,6 +63,7 @@ pub mod activity;
 pub mod bitset;
 pub mod builder;
 pub mod circuits;
+pub mod consts;
 pub mod gate;
 pub mod netlist;
 pub mod packed;
@@ -74,6 +75,7 @@ pub mod tape;
 pub use activity::ActivityTrace;
 pub use bitset::BitSet;
 pub use builder::NetlistBuilder;
+pub use consts::{eval_with, stable_values, stable_values_with, Tri, ValueConstraints};
 pub use gate::{GateId, GateKind};
 pub use netlist::{EndpointClass, Netlist};
 pub use packed::PackedSimulator;

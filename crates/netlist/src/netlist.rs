@@ -193,6 +193,7 @@ impl Netlist {
 
     /// Iterates over every gate id.
     pub fn gate_ids(&self) -> impl Iterator<Item = GateId> {
+        // terse-analyze: allow(AZ005): gate count fits u32 (ids are u32 indices).
         (0..self.gates.len() as u32).map(GateId)
     }
 

@@ -334,6 +334,7 @@ impl<'n> PackedSimulator<'n> {
             if changed != 0 {
                 self.slab[i] = new;
                 self.toggle[i] = changed;
+                // terse-analyze: allow(AZ005): slab index is a dense gate index, < 2^32.
                 self.touched.push(i as u32);
             }
         }

@@ -121,6 +121,7 @@ impl<'n> Simulator<'n> {
         let n = netlist.gate_count();
         let mut topo_pos = vec![u32::MAX; n];
         for (pos, &g) in netlist.topo_order().iter().enumerate() {
+            // terse-analyze: allow(AZ005): topo position < gate count, which fits u32.
             topo_pos[g.index()] = pos as u32;
         }
         let seq: Vec<GateId> = netlist

@@ -121,6 +121,7 @@ fn csr<T: Copy>(n: usize, pairs: &[(u32, T)]) -> (Vec<u32>, Vec<T>) {
 impl CompiledTape {
     /// Lowers a netlist's combinational topo order into an op tape.
     pub fn compile(netlist: &Netlist) -> Self {
+        // terse-analyze: allow(AZ005): slot count equals the u32-indexed gate count.
         let slots = netlist.gate_count() as u32;
         let mut ops = Vec::with_capacity(netlist.topo_order().len());
         let mut consumers: Vec<(u32, u32)> = Vec::new();

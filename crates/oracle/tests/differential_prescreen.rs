@@ -1,0 +1,183 @@
+//! Differential suite for the static error-immunity pre-screen.
+//!
+//! The pre-screen plan marks (instruction, stage) pairs whose certified
+//! slack bound proves them immune at the working clock; `Prune` mode skips
+//! their per-stage DTS work, `Oracle` mode computes every skipped pair
+//! anyway and returns a typed error if the certificate is ever violated.
+//! Two properties, checked over seeded loop programs through the *public*
+//! control-characterization path:
+//!
+//! * **Immunity soundness** — the `Oracle` engine always returns `Ok`:
+//!   no statically-certified-immune pair is ever observed critical.
+//! * **Prune ≡ Oracle** — the control DTS tables produced with pruning on
+//!   and with full oracle recomputation are bitwise identical (Clark's min
+//!   over the surviving stages is dominated by the binding stage), while
+//!   the plan actually prunes a meaningful fraction of pairs.
+//!
+//! One pipeline netlist is shared across cases (it does not depend on the
+//! seed); programs, plans, and engines are per-case.
+
+use proptest::prelude::*;
+use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock};
+use terse_dta::control::characterization_edges;
+use terse_dta::{
+    build_plan, characterize_control, ControlDtsTable, DtaMode, DtsEngine, PrescreenConfig,
+    PrescreenMode,
+};
+use terse_isa::{assemble, BlockId, Cfg, Program};
+use terse_netlist::pipeline::{PipelineConfig, PipelineNetlist};
+use terse_sta::analysis::Sta;
+use terse_sta::delay::{DelayLibrary, TimingConstraints};
+use terse_sta::statmin::MinOrdering;
+use terse_sta::variation::VariationConfig;
+use terse_sta::CanonicalRv;
+
+fn pipeline() -> &'static PipelineNetlist {
+    static P: OnceLock<PipelineNetlist> = OnceLock::new();
+    P.get_or_init(|| PipelineNetlist::build(PipelineConfig::small()).expect("small pipeline"))
+}
+
+fn engine(p: &PipelineNetlist) -> DtsEngine<'_> {
+    let lib = DelayLibrary::normalized_45nm();
+    let sta = Sta::new(p.netlist(), &lib);
+    let t = sta.min_period() / 1.15; // overclocked 1.15× like the paper
+    DtsEngine::new(
+        p.netlist(),
+        lib,
+        VariationConfig::default(),
+        TimingConstraints::with_period(t),
+        DtaMode::ActivatedSubgraph,
+        MinOrdering::AscendingMean,
+    )
+    .expect("valid engine inputs")
+}
+
+/// A seeded counted loop: init, a chain of ALU ops, decrement, back-branch,
+/// halt. Shaped like the paper's kernel loops; every seed varies the trip
+/// count, chain length, opcode mix, and operand registers.
+fn loop_program(seed: u64, chain: usize) -> Program {
+    const OPS: [&str; 4] = ["add", "xor", "or", "and"];
+    let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut src = String::new();
+    let _ = writeln!(src, "addi r1, r0, {}", 1 + next() % 7);
+    let _ = writeln!(src, "addi r2, r0, {}", next() % 64);
+    src.push_str("loop:\n");
+    for _ in 0..chain.max(1) {
+        let op = OPS[(next() % 4) as usize];
+        let rs2 = 1 + next() % 2; // r1 or r2
+        let _ = writeln!(src, "{op} r3, r3, r{rs2}");
+    }
+    src.push_str("addi r1, r1, -1\nbne r1, r0, loop\nhalt\n");
+    assemble(&src).expect("generated loop assembles")
+}
+
+/// Every static CFG edge, plus the program-entry pseudo-edge.
+fn all_edges(cfg: &Cfg) -> Vec<(Option<BlockId>, BlockId)> {
+    let mut profiled: Vec<(BlockId, BlockId)> = Vec::new();
+    for (i, _) in cfg.blocks().iter().enumerate() {
+        let b = cfg.block_containing(cfg.blocks()[i].range().start);
+        for &s in cfg.successors(b) {
+            profiled.push((b, s));
+        }
+    }
+    characterization_edges(cfg, profiled)
+}
+
+fn assert_rv_bitwise_eq(a: &Option<CanonicalRv>, b: &Option<CanonicalRv>, ctx: &str) {
+    match (a, b) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert_eq!(a.mean().to_bits(), b.mean().to_bits(), "mean {ctx}");
+            assert_eq!(a.indep().to_bits(), b.indep().to_bits(), "indep {ctx}");
+            let (ca, cb) = (a.coeffs(), b.coeffs());
+            assert_eq!(ca.len(), cb.len(), "coeff len {ctx}");
+            for (x, y) in ca.iter().zip(cb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "coeff {ctx}");
+            }
+        }
+        _ => panic!("presence mismatch {ctx}: {a:?} vs {b:?}"),
+    }
+}
+
+fn assert_tables_bitwise_eq(
+    a: &ControlDtsTable,
+    b: &ControlDtsTable,
+    edges: &[(Option<BlockId>, BlockId)],
+    seed: u64,
+) {
+    assert_eq!(a.len(), b.len(), "seed {seed}: table sizes differ");
+    for &(pred, block) in edges {
+        let va = a.get(block, pred).expect("prune table entry");
+        let vb = b.get(block, pred).expect("oracle table entry");
+        assert_eq!(va.len(), vb.len(), "seed {seed}: slot count");
+        for (slot, (x, y)) in va.iter().zip(vb).enumerate() {
+            assert_rv_bitwise_eq(
+                x,
+                y,
+                &format!("seed {seed} {pred:?}->{block:?} slot {slot}"),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prescreen_oracle_sees_no_violations_and_prune_is_bitwise_identical(
+        seed in 0u64..1_000_000,
+        chain in 1usize..5,
+    ) {
+        let p = pipeline();
+        let prog = loop_program(seed, chain);
+        let cfg = Cfg::from_program(&prog);
+        let edges = all_edges(&cfg);
+        let base = engine(p);
+        let lib = DelayLibrary::normalized_45nm();
+        let mut tables = Vec::new();
+        let mut prune_stats = None;
+        for mode in [PrescreenMode::Prune, PrescreenMode::Oracle] {
+            let plan = Arc::new(
+                build_plan(
+                    p.netlist(),
+                    &lib,
+                    &VariationConfig::default(),
+                    base.clock_period(),
+                    &prog,
+                    &cfg,
+                    PrescreenConfig::with_mode(mode),
+                )
+                .expect("plan builds"),
+            );
+            let mut eng = engine(p);
+            eng.set_prune_plan(Arc::clone(&plan));
+            // In Oracle mode every pruned pair is recomputed and checked
+            // against its immunity certificate — `Err` means a
+            // statically-certified-immune pair was observed critical.
+            let table = characterize_control(p, &prog, &cfg, &eng, &edges, &|_| (0, 0));
+            prop_assert!(
+                table.is_ok(),
+                "seed {seed} {mode:?}: certificate violation: {:?}",
+                table.err()
+            );
+            tables.push(table.unwrap());
+            if mode == PrescreenMode::Prune {
+                prune_stats = Some(plan.stats());
+            }
+        }
+        assert_tables_bitwise_eq(&tables[0], &tables[1], &edges, seed);
+        let stats = prune_stats.unwrap();
+        prop_assert!(stats.pairs_total > 0, "seed {seed}: empty plan");
+        prop_assert!(
+            stats.pairs_pruned * 5 >= stats.pairs_total,
+            "seed {seed}: expected ≥20% pruning, got {stats:?}"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Lattice-law property tests for the dataflow framework.
+//!
+//! The monotone-framework fixpoint theorem needs three things from every
+//! shipped pass: the join is a semilattice operation (commutative,
+//! associative, idempotent), the transfer functions are monotone with
+//! respect to the join order, and — as a consequence — the worklist
+//! fixpoint is independent of iteration order. Each property is tested
+//! against facts actually reachable by the analyses (bottom plus every
+//! block-boundary fact of a solved random program), and order
+//! independence is tested directly by solving twice with opposite
+//! worklist pop orders and asserting identical solutions.
+
+use oracle::gen;
+use proptest::prelude::*;
+use terse_analyze::dataflow::{
+    solve, Analysis, ConstProp, IntervalAnalysis, Liveness, ReachingDefs, WorklistOrder,
+};
+use terse_isa::{Cfg, Program};
+
+/// Deduplicated sample of lattice elements the analysis can actually
+/// reach: bottom plus every entry/exit fact of the solved program.
+fn fact_pool<A: Analysis>(a: &A, p: &Program, cfg: &Cfg) -> Vec<A::Fact> {
+    let sol = solve(a, p, cfg, WorklistOrder::Fifo);
+    let mut out: Vec<A::Fact> = vec![a.bottom()];
+    for f in sol.entry.into_iter().chain(sol.exit) {
+        if !out.contains(&f) {
+            out.push(f);
+        }
+    }
+    out
+}
+
+fn join<A: Analysis>(a: &A, x: &A::Fact, y: &A::Fact) -> A::Fact {
+    let mut z = x.clone();
+    a.join(&mut z, y);
+    z
+}
+
+/// `x ⊑ y` in the join order: `x ⊔ y == y`.
+fn leq<A: Analysis>(a: &A, x: &A::Fact, y: &A::Fact) -> bool {
+    join(a, x, y) == *y
+}
+
+fn check_join_laws<A: Analysis>(a: &A, p: &Program, cfg: &Cfg) {
+    let facts = fact_pool(a, p, cfg);
+    for x in &facts {
+        assert!(join(a, x, x) == *x, "join not idempotent on {x:?}");
+        for y in &facts {
+            assert!(
+                join(a, x, y) == join(a, y, x),
+                "join not commutative on {x:?}, {y:?}"
+            );
+            for z in &facts {
+                assert!(
+                    join(a, &join(a, x, y), z) == join(a, x, &join(a, y, z)),
+                    "join not associative on {x:?}, {y:?}, {z:?}"
+                );
+            }
+        }
+    }
+}
+
+fn check_monotone<A: Analysis>(a: &A, p: &Program, cfg: &Cfg) {
+    let facts = fact_pool(a, p, cfg);
+    let insts = p.instructions();
+    for x in &facts {
+        for y in &facts {
+            // x ⊑ x ⊔ y always; monotonicity requires the order to
+            // survive every transfer function.
+            let top = join(a, x, y);
+            for (i, inst) in insts.iter().enumerate() {
+                let mut tx = x.clone();
+                a.transfer_inst(i, inst, &mut tx);
+                let mut tt = top.clone();
+                a.transfer_inst(i, inst, &mut tt);
+                assert!(
+                    leq(a, &tx, &tt),
+                    "transfer of inst {i} ({:?}) not monotone: f({x:?}) ⋢ f({top:?})",
+                    inst.opcode
+                );
+            }
+        }
+    }
+}
+
+fn check_order_independence<A: Analysis>(a: &A, p: &Program, cfg: &Cfg) {
+    let fifo = solve(a, p, cfg, WorklistOrder::Fifo);
+    let lifo = solve(a, p, cfg, WorklistOrder::Lifo);
+    assert!(
+        fifo.entry == lifo.entry && fifo.exit == lifo.exit,
+        "fixpoint depends on worklist pop order"
+    );
+}
+
+fn check_all(p: &Program, cfg: &Cfg) {
+    check_join_laws(&Liveness, p, cfg);
+    check_join_laws(&ReachingDefs, p, cfg);
+    check_join_laws(&ConstProp, p, cfg);
+    check_join_laws(&IntervalAnalysis, p, cfg);
+    check_monotone(&Liveness, p, cfg);
+    check_monotone(&ReachingDefs, p, cfg);
+    check_monotone(&ConstProp, p, cfg);
+    check_monotone(&IntervalAnalysis, p, cfg);
+    check_order_independence(&Liveness, p, cfg);
+    check_order_independence(&ReachingDefs, p, cfg);
+    check_order_independence(&ConstProp, p, cfg);
+    check_order_independence(&IntervalAnalysis, p, cfg);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lattice_laws_hold_on_random_programs(
+        seed in 0u64..1_000_000,
+        body in 1usize..10,
+        branches in 0usize..4,
+    ) {
+        let p = gen::random_program(seed, body, branches);
+        let cfg = Cfg::from_program(&p);
+        check_all(&p, &cfg);
+    }
+
+    #[test]
+    fn lattice_laws_hold_on_structured_loop_programs(
+        seed in 0u64..1_000_000,
+        chain in 1usize..6,
+    ) {
+        let fx = gen::random_dataflow_fixture(seed, chain, None);
+        check_all(&fx.program, &fx.cfg);
+    }
+}

@@ -70,6 +70,18 @@ pub fn id_control_word(op: Opcode) -> u64 {
     w
 }
 
+/// ME-stage control word (drives the `b4.mctl` bank: bit0 is the load
+/// select for the write-back mux; upper bits exercise the ME cloud).
+pub fn me_control_word(op: Opcode) -> u64 {
+    u64::from(op == Opcode::Ld) | (((op.code() as u64).wrapping_mul(0x5D) & 0x7E) & !1)
+}
+
+/// WB-stage control word (drives the `b5.wctl` bank: bit0 is the commit
+/// qualifier gating the result bus).
+pub fn wb_control_word(op: Opcode) -> u64 {
+    1 | (((op.code() as u64) << 1) & 0x3E)
+}
+
 /// The co-simulation trace: activation sets plus the feed schedule.
 #[derive(Debug, Clone)]
 pub struct CoSimTrace {
@@ -202,7 +214,7 @@ impl<'n> CoSim<'n> {
             sim.force_ff_bus("b2.rs1", i2.inst.rs1 as u64)?;
             sim.force_ff_bus("b2.rs2", i2.inst.rs2 as u64)?;
             sim.force_ff_bus("b2.rd", i2.inst.rd as u64)?;
-            sim.force_ff_bus("b2.imm", i2.inst.imm as u32 as u64)?;
+            sim.force_ff_bus("b2.imm", u64::from(i2.inst.imm.cast_unsigned()))?;
             sim.force_ff_bus("b2.op_ctl", id_control_word(i2.inst.opcode))?;
             sim.force_ff_bus("b2.pc", (i2.index as u64) << 2)?;
             // Register-file read data and forwarding sources.
@@ -219,7 +231,7 @@ impl<'n> CoSim<'n> {
         if let Some(i3) = ex {
             let use_imm = i3.inst.opcode.is_itype() || i3.inst.opcode.is_memory();
             let op_b = if use_imm {
-                i3.inst.imm as u32
+                i3.inst.imm.cast_unsigned()
             } else {
                 i3.rs2_val
             };
@@ -233,16 +245,13 @@ impl<'n> CoSim<'n> {
             sim.force_ff_bus("b4.alu", i4.result as u64)?;
             sim.force_ff_bus("b4.addr", i4.mem_addr.unwrap_or(0) as u64)?;
             sim.force_ff_bus("b4.store", i4.rs2_val as u64)?;
-            let mut mctl = u64::from(i4.inst.opcode == Opcode::Ld);
-            mctl |= ((i4.inst.opcode.code() as u64).wrapping_mul(0x5D) & 0x7E) & !1;
-            sim.force_ff_bus("b4.mctl", mctl)?;
+            sim.force_ff_bus("b4.mctl", me_control_word(i4.inst.opcode))?;
             sim.set_input_bus("dmem.rdata", i4.loaded.unwrap_or(0) as u64)?;
         }
         // Stage 5 inputs (WB).
         if let Some(i5) = self.window.get(5).and_then(|x| x.as_ref()) {
             sim.force_ff_bus("b5.wb", i5.result as u64)?;
-            let wctl = 1 | (((i5.inst.opcode.code() as u64) << 1) & 0x3E);
-            sim.force_ff_bus("b5.wctl", wctl)?;
+            sim.force_ff_bus("b5.wctl", wb_control_word(i5.inst.opcode))?;
         }
         Ok(())
     }

@@ -73,7 +73,7 @@ impl BusState {
 /// The values an instruction drives on the two ALU operand buses.
 pub fn operand_values(r: &Retired) -> (u32, u32) {
     let b = if r.inst.opcode.is_itype() || r.inst.opcode == Opcode::Ld {
-        r.inst.imm as u32
+        r.inst.imm.cast_unsigned()
     } else {
         r.rs2_val
     };

@@ -177,7 +177,7 @@ impl Machine {
             Opcode::Srl => result = rs1_val.wrapping_shr(rs2_val & 31),
             Opcode::Sra => result = (rs1_val as i32).wrapping_shr(rs2_val & 31) as u32,
             Opcode::Mul => result = rs1_val.wrapping_mul(rs2_val),
-            Opcode::Slt => result = u32::from((rs1_val as i32) < (rs2_val as i32)),
+            Opcode::Slt => result = u32::from(rs1_val.cast_signed() < rs2_val.cast_signed()),
             Opcode::Sltu => result = u32::from(rs1_val < rs2_val),
             Opcode::Addi => result = rs1_val.wrapping_add(imm as u32),
             Opcode::Andi => result = rs1_val & imm_u16,
@@ -186,7 +186,7 @@ impl Machine {
             Opcode::Slli => result = rs1_val.wrapping_shl(imm as u32 & 31),
             Opcode::Srli => result = rs1_val.wrapping_shr(imm as u32 & 31),
             Opcode::Srai => result = (rs1_val as i32).wrapping_shr(imm as u32 & 31) as u32,
-            Opcode::Slti => result = u32::from((rs1_val as i32) < imm),
+            Opcode::Slti => result = u32::from(rs1_val.cast_signed() < imm),
             Opcode::Lui => result = imm_u16 << 16,
             Opcode::Ld => {
                 let addr = rs1_val.wrapping_add(imm as u32);
@@ -205,18 +205,18 @@ impl Machine {
                 let cond = match inst.opcode {
                     Opcode::Beq => rs1_val == rs2_val,
                     Opcode::Bne => rs1_val != rs2_val,
-                    Opcode::Blt => (rs1_val as i32) < (rs2_val as i32),
-                    _ => (rs1_val as i32) >= (rs2_val as i32),
+                    Opcode::Blt => rs1_val.cast_signed() < rs2_val.cast_signed(),
+                    _ => rs1_val.cast_signed() >= rs2_val.cast_signed(),
                 };
                 taken = Some(cond);
                 result = rs1_val.wrapping_sub(rs2_val);
                 if cond {
-                    next_pc = imm as u32;
+                    next_pc = imm.cast_unsigned();
                 }
             }
             Opcode::Jal => {
                 result = idx + 1; // link value
-                next_pc = imm as u32;
+                next_pc = imm.cast_unsigned();
             }
             Opcode::Jr => {
                 next_pc = rs1_val;

@@ -146,6 +146,7 @@ fn nearest(v: &[f64], centers: &[Vec<f64>]) -> u32 {
         let d = dist2(v, center);
         if d < best_d {
             best_d = d;
+            // terse-analyze: allow(AZ005): cluster index < k, far below 2^32.
             best = c as u32;
         }
     }
@@ -270,6 +271,7 @@ pub fn cluster_windows(vectors: &[Vec<f64>], k: usize, iters: usize, seed: u64) 
         let d = dist2(&vectors[i], &centers[old_of_new[c]]);
         if d < best[c] {
             best[c] = d;
+            // terse-analyze: allow(AZ005): window index < window count, fits u32.
             representatives[c] = i as u32;
         }
     }
@@ -531,6 +533,7 @@ impl Profiler {
             .representatives
             .iter()
             .enumerate()
+            // terse-analyze: allow(AZ005): cluster index < k, far below 2^32.
             .map(|(c, &w)| (w, c as u32))
             .collect();
         reps.sort_unstable();
@@ -591,6 +594,7 @@ impl Profiler {
         let mut feature_clusters: Vec<Vec<u32>> = vec![Vec::new(); n_static];
         for idx in 0..n_static {
             let b = cfg.block_containing(idx).index();
+            // terse-analyze: allow(AZ005): k is a small cluster count.
             for c in 0..k as u32 {
                 let key = (idx, c);
                 let Some(vn) = feat_n.get(&key) else { continue };

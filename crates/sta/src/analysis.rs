@@ -5,7 +5,7 @@ use crate::canonical::CanonicalRv;
 use crate::delay::DelayLibrary;
 use crate::variation::VariationModel;
 use crate::{Result, StaError};
-use terse_netlist::{GateId, GateKind, Netlist};
+use terse_netlist::{GateId, GateKind, Netlist, Tri};
 
 /// Deterministic static timing analysis of a netlist.
 ///
@@ -104,6 +104,101 @@ impl<'n> Sta<'n> {
     /// Returns [`StaError::NotAnEndpoint`] if `e` is not a flip-flop.
     pub fn endpoint_slack(&self, e: GateId, t_clk: f64) -> Result<f64> {
         Ok(t_clk - self.endpoint_arrival(e)?)
+    }
+
+    /// Longest-path arrivals restricted to gates that can actually
+    /// toggle.
+    ///
+    /// `vals[g]` is a sound three-valued abstraction of the values gate
+    /// `g` can carry on every cycle under consideration (see
+    /// `terse_netlist::consts::stable_values`). A gate whose value is a
+    /// known constant neither launches nor propagates a transition, so
+    /// every path through it is timing-dead; a `Mux` whose select is a
+    /// known constant propagates transitions only from the selected
+    /// branch (and the select itself), even though its output varies.
+    /// The returned per-gate arrival is `f64::NEG_INFINITY` for wires
+    /// that can never carry a transition: constant gates, `Tie`
+    /// constants, and combinational gates whose entire live fanin is
+    /// dead. An endpoint whose D driver reports `NEG_INFINITY` is
+    /// immune at *any* clock period; finite values upper-bound the
+    /// nominal delay of every *activatable* path, which is the bound
+    /// the DTA pre-screen certificates scale.
+    pub fn masked_arrival(&self, vals: &[Tri]) -> Vec<f64> {
+        let nl = self.netlist;
+        let quiet =
+            |gi: usize| -> bool { vals.get(gi).copied().unwrap_or(Tri::Unknown).is_known() };
+        let mut arr = vec![f64::NEG_INFINITY; nl.gate_count()];
+        for g in nl.gate_ids() {
+            let gi = g.index();
+            if quiet(gi) {
+                continue;
+            }
+            match nl.kind(g) {
+                GateKind::FlipFlop | GateKind::Input => arr[gi] = self.clk_to_q,
+                // A tie never transitions regardless of masking.
+                GateKind::Tie(_) => {}
+                _ => {}
+            }
+        }
+        for &g in nl.topo_order() {
+            let gi = g.index();
+            if quiet(gi)
+                || matches!(
+                    nl.kind(g),
+                    GateKind::FlipFlop | GateKind::Input | GateKind::Tie(_)
+                )
+            {
+                continue;
+            }
+            let fanin = nl.fanin(g);
+            // fanin of a Mux = [sel, a, b], output = sel ? b : a. With
+            // a constant select only the chosen branch can drive an
+            // output transition; the constant select's own arrival is
+            // already NEG_INFINITY.
+            let max_in = match nl.kind(g) {
+                GateKind::Mux => {
+                    let chosen = match vals.get(fanin[0].index()).copied() {
+                        Some(Tri::Zero) => arr[fanin[1].index()],
+                        Some(Tri::One) => arr[fanin[2].index()],
+                        _ => f64::max(arr[fanin[1].index()], arr[fanin[2].index()]),
+                    };
+                    f64::max(arr[fanin[0].index()], chosen)
+                }
+                _ => fanin
+                    .iter()
+                    .map(|f| arr[f.index()])
+                    .fold(f64::NEG_INFINITY, f64::max),
+            };
+            // No live fanin -> the gate output cannot toggle either.
+            arr[gi] = if max_in == f64::NEG_INFINITY {
+                f64::NEG_INFINITY
+            } else {
+                max_in + self.delays[gi]
+            };
+        }
+        arr
+    }
+
+    /// Data arrival at an endpoint under a quiet-gate mask: the masked
+    /// arrival at its D driver plus setup, or `NEG_INFINITY` when no
+    /// transition can ever reach the endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::NotAnEndpoint`] if `e` is not a flip-flop.
+    pub fn masked_endpoint_arrival(&self, e: GateId, masked: &[f64]) -> Result<f64> {
+        let d = self
+            .netlist
+            .ff_input(e)
+            .map_err(|_| StaError::NotAnEndpoint {
+                id: e.index() as u32,
+            })?;
+        let a = masked[d.index()];
+        if a == f64::NEG_INFINITY {
+            Ok(f64::NEG_INFINITY)
+        } else {
+            Ok(a + self.setup)
+        }
     }
 
     /// The worst (largest) data arrival over all endpoints of a stage —
@@ -319,6 +414,67 @@ mod tests {
         let dst = n.bus("dst").unwrap()[0];
         let and = n.ff_input(dst).unwrap();
         assert!(sta.endpoint_arrival(and).is_err());
+    }
+
+    #[test]
+    fn masked_arrival_all_unknown_matches_plain_sta() {
+        let n = chain();
+        let lib = DelayLibrary::normalized_45nm();
+        let sta = Sta::new(&n, &lib);
+        let vals = vec![Tri::Unknown; n.gate_count()];
+        let masked = sta.masked_arrival(&vals);
+        let dst = n.bus("dst").unwrap()[0];
+        let got = sta.masked_endpoint_arrival(dst, &masked).unwrap();
+        assert!((got - sta.endpoint_arrival(dst).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_arrival_drops_constant_cones_and_dead_mux_branches() {
+        // sel, a: primary inputs; deep = Not(Not(Not(a))); ff captures
+        // mux(sel, a, deep) = sel ? deep : a.
+        let mut b = NetlistBuilder::new(1);
+        let sel = b.input("sel", 0).unwrap();
+        let a = b.input("a", 0).unwrap();
+        let mut deep = a;
+        for _ in 0..3 {
+            deep = b.gate(GateKind::Not, &[deep], 0).unwrap();
+        }
+        let m = b.gate(GateKind::Mux, &[sel, a, deep], 0).unwrap();
+        let ff = b.flip_flop("q", EndpointClass::Data, 0).unwrap();
+        b.connect_ff_input(ff, m).unwrap();
+        let n = b.finish().unwrap();
+        let lib = DelayLibrary::normalized_45nm();
+        let sta = Sta::new(&n, &lib);
+
+        // Unknown select: the deep branch dominates the masked arrival.
+        let free = sta.masked_arrival(&vec![Tri::Unknown; n.gate_count()]);
+        let ep_free = sta.masked_endpoint_arrival(ff, &free).unwrap();
+        assert!((ep_free - sta.endpoint_arrival(ff).unwrap()).abs() < 1e-12);
+
+        // Constant-zero select: only the shallow branch can propagate a
+        // transition, even though the mux output still varies with `a`.
+        let mut c = vec![None; n.gate_count()];
+        c[sel.index()] = Some(Tri::Zero);
+        let vals = terse_netlist::stable_values(&n, &c);
+        assert_eq!(vals[m.index()], Tri::Unknown, "output still varies");
+        let masked = sta.masked_arrival(&vals);
+        let ep_masked = sta.masked_endpoint_arrival(ff, &masked).unwrap();
+        assert!(
+            ep_masked < ep_free,
+            "dead branch must be pruned: {ep_masked} vs {ep_free}"
+        );
+
+        // Constant input upstream of everything: nothing toggles, so no
+        // transition ever reaches the endpoint.
+        let mut c2 = vec![None; n.gate_count()];
+        c2[sel.index()] = Some(Tri::Zero);
+        c2[a.index()] = Some(Tri::Zero);
+        let vals2 = terse_netlist::stable_values(&n, &c2);
+        let masked2 = sta.masked_arrival(&vals2);
+        assert_eq!(
+            sta.masked_endpoint_arrival(ff, &masked2).unwrap(),
+            f64::NEG_INFINITY
+        );
     }
 
     #[test]
